@@ -1,0 +1,38 @@
+"""Experiment ``alpha-transfer``: swap bounds hold for every α at once.
+
+Kernel benchmarked: one greedy α-dynamics run to equilibrium plus the
+owner-restricted swap audit (the polynomial-time stability check the basic
+game makes possible).
+"""
+
+from repro.bench import run_experiment
+from repro.games import (
+    FabrikantGame,
+    greedy_dynamics,
+    owner_swap_stable,
+    random_profile,
+)
+
+from conftest import emit
+
+
+def alpha_point(alpha: float, seed: int) -> bool:
+    game = FabrikantGame(10, alpha)
+    res = greedy_dynamics(game, random_profile(10, 2, seed=seed), seed=seed)
+    return res.converged and owner_swap_stable(game, res.profile)
+
+
+def test_alpha_dynamics_kernel(benchmark):
+    ok = benchmark(alpha_point, 2.0, 13)
+    assert ok
+
+
+def test_generate_alpha_transfer_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("alpha-transfer", "quick"), rounds=1, iterations=1
+    )
+    (table,) = tables
+    assert all(table.column("all within bound"))
+    # Every converged run passed the owner-swap audit.
+    assert table.column("#owner-swap stable") == table.column("#converged")
+    emit(tables, results_dir, "alpha-transfer")

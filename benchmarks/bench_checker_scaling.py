@@ -1,0 +1,65 @@
+"""Experiment ``equilibrium-cost``: polynomial-time equilibrium checking.
+
+The paper's model-level selling point — "equilibrium can be checked in
+polynomial time, unlike previous models" — made quantitative, plus the two
+DESIGN.md ablations:
+
+* patched-BFS vs copy-BFS swap evaluation;
+* scipy csgraph vs pure-NumPy APSP engines.
+"""
+
+import numpy as np
+
+from repro.bench import run_experiment
+from repro.core import Swap, is_sum_equilibrium, swap_cost_after
+from repro.graphs import distance_matrix, random_connected_gnm
+
+from conftest import emit
+
+G_SMALL = random_connected_gnm(48, 96, seed=21)
+G_LARGE = random_connected_gnm(128, 256, seed=22)
+
+
+def test_full_audit_kernel_n48(benchmark):
+    benchmark(is_sum_equilibrium, G_SMALL)
+
+
+def test_full_audit_kernel_n128(benchmark):
+    benchmark(is_sum_equilibrium, G_LARGE)
+
+
+def _eval_many(mode: str) -> float:
+    total = 0.0
+    g = G_SMALL
+    for v in range(0, g.n, 3):
+        w = int(g.neighbors(v)[0])
+        w2 = (v + g.n // 2) % g.n
+        if w2 in (v, w):
+            continue
+        total += swap_cost_after(g, Swap(v, w, w2), "sum", mode)
+    return total
+
+
+def test_ablation_patched_eval(benchmark):
+    benchmark(_eval_many, "patched")
+
+
+def test_ablation_copy_eval(benchmark):
+    benchmark(_eval_many, "copy")
+
+
+def test_ablation_scipy_apsp(benchmark):
+    dm = benchmark(distance_matrix, G_LARGE, "scipy")
+    assert dm.shape == (128, 128)
+
+
+def test_ablation_numpy_apsp(benchmark):
+    dm = benchmark(distance_matrix, G_LARGE, "numpy")
+    assert np.array_equal(dm, distance_matrix(G_LARGE, "scipy"))
+
+
+def test_generate_equilibrium_cost_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("equilibrium-cost", "quick"), rounds=1, iterations=1
+    )
+    emit(tables, results_dir, "equilibrium-cost")

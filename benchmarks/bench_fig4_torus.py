@@ -1,0 +1,46 @@
+"""Experiment ``fig4-torus``: Theorem 12's Θ(√n) max equilibrium.
+
+Kernel benchmarked: the complete Figure 4 verification at k=6 (n=72) —
+max-swap audit + deletion-criticality + insertion-stability, i.e. every
+property the theorem claims, in one call chain.
+"""
+
+from repro.bench import run_experiment
+from repro.constructions import rotated_torus
+from repro.core import (
+    is_deletion_critical,
+    is_insertion_stable,
+    is_max_equilibrium,
+)
+
+from conftest import emit
+
+
+def full_audit(g) -> bool:
+    return (
+        is_max_equilibrium(g)
+        and is_deletion_critical(g)
+        and is_insertion_stable(g)
+    )
+
+
+def test_torus_full_audit_kernel(benchmark):
+    g = rotated_torus(6)  # n = 72
+    result = benchmark(full_audit, g)
+    assert result is True
+
+
+def test_torus_construction_kernel(benchmark):
+    g = benchmark(rotated_torus, 16)  # n = 512
+    assert g.n == 512
+
+
+def test_generate_fig4_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("fig4-torus", "quick"), rounds=1, iterations=1
+    )
+    main = tables[0]
+    assert all(main.column("max equilibrium"))
+    # diameter == k == sqrt(n/2): the Θ(√n) lower bound, exactly.
+    assert main.column("local diam (all vertices)") == main.column("k")
+    emit(tables, results_dir, "fig4-torus")

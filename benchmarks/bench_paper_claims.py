@@ -1,0 +1,27 @@
+"""Experiment ``paper-claims``: the claim-by-claim verification of the paper.
+
+Kernel benchmarked: the full registry run — every numbered claim's finite
+check, end to end.  This is the repository's "verify the whole paper in one
+call" path.
+"""
+
+from repro.bench import run_experiment
+from repro.paper import verify_all
+
+from conftest import emit
+
+
+def test_verify_all_claims_kernel(benchmark):
+    results = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    assert all(r.passed for r in results)
+
+
+def test_generate_paper_claims_table(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("paper-claims", "quick"), rounds=1, iterations=1
+    )
+    (table,) = tables
+    assert all(table.column("check passed"))
+    statuses = set(table.column("status"))
+    assert statuses == {"confirmed", "refuted-witness", "evidence"}
+    emit(tables, results_dir, "paper-claims")

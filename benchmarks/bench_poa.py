@@ -1,0 +1,29 @@
+"""Experiment ``poa-diameter``: price of anarchy ≍ equilibrium diameter.
+
+Kernel benchmarked: the PoA computation for the k=8 torus (usage cost,
+same-budget baseline, diameter) — the quantity the paper's headline relation
+is about.
+"""
+
+from repro.bench import run_experiment
+from repro.constructions import rotated_torus
+from repro.games.social import poa_diameter_ratio
+
+from conftest import emit
+
+
+def test_poa_kernel(benchmark):
+    g = rotated_torus(8)  # n = 128
+    poa, d, ratio = benchmark(poa_diameter_ratio, g)
+    assert d == 8
+    assert poa >= 1.0
+
+
+def test_generate_poa_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("poa-diameter", "quick"), rounds=1, iterations=1
+    )
+    (table,) = tables
+    ratios = [float(x) for x in table.column("PoA / diameter")]
+    assert max(ratios) / min(ratios) < 10  # the constant-factor band
+    emit(tables, results_dir, "poa-diameter")

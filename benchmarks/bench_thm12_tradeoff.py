@@ -1,0 +1,34 @@
+"""Experiment ``thm12-tradeoff``: the d-dimensional diameter/power trade-off.
+
+Kernel benchmarked: the exact k-insertion stability decision (the set-cover
+reduction) on the 3-dimensional torus — the computation that certifies the
+Ω(n^{1/(k+1)}) trade-off construction.
+"""
+
+from repro.bench import run_experiment
+from repro.constructions import diagonal_torus
+from repro.core import is_k_insertion_stable
+
+from conftest import emit
+
+
+def test_k_insertion_audit_kernel(benchmark):
+    g = diagonal_torus(3, 3)  # n = 54, degree 8
+    result = benchmark(is_k_insertion_stable, g, 2, [0])
+    assert result is True
+
+
+def test_diagonal_torus_construction_kernel(benchmark):
+    g = benchmark(diagonal_torus, 4, 3)  # n = 128, degree 8
+    assert g.n == 128
+
+
+def test_generate_thm12_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("thm12-tradeoff", "quick"), rounds=1, iterations=1
+    )
+    main = tables[0]
+    assert all(main.column("deletion-critical"))
+    assert all(main.column("stable k=d-1 insertions"))
+    assert main.column("diameter") == main.column("k(side)")
+    emit(tables, results_dir, "thm12-tradeoff")

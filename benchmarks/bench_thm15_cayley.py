@@ -1,0 +1,35 @@
+"""Experiment ``thm15-cayley``: distance-uniform Abelian Cayley graphs.
+
+Kernels benchmarked: iterated-sumset growth (the Plünnecke engine) on a
+1024-element group, and the uniformity measurement of a 1024-vertex
+circulant.
+"""
+
+from repro.analysis import distance_uniformity, iterated_sumset_sizes
+from repro.bench import run_experiment
+from repro.constructions import AbelianGroup, circulant_graph
+
+from conftest import emit
+
+
+def test_sumset_growth_kernel(benchmark):
+    group = AbelianGroup((32, 32))
+    conn = [(1, 0), (31, 0), (0, 1), (0, 31), (1, 1), (31, 31)]
+    sizes = benchmark(iterated_sumset_sizes, group, conn, 24)
+    assert int(sizes[-1]) == group.order  # the walk eventually fills Z_32^2
+
+
+def test_uniformity_measurement_kernel(benchmark):
+    g = circulant_graph(1024, [1, 31, 97])
+    report = benchmark(distance_uniformity, g)
+    assert 0.0 <= report.epsilon <= 1.0
+
+
+def test_generate_thm15_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("thm15-cayley", "quick"), rounds=1, iterations=1
+    )
+    (table,) = tables
+    assert all(x in (True, "-") for x in table.column("within bound"))
+    assert all(x in (True, "-") for x in table.column("plunnecke ok"))
+    emit(tables, results_dir, "thm15-cayley")

@@ -1,0 +1,37 @@
+"""Experiment ``thm1-sum-trees``: Theorem 1 (trees ⇒ stars).
+
+Kernel benchmarked: one full sum-swap dynamics run on a 24-vertex random
+tree — the "Theorem 1 in motion" computation (trees collapse to stars).
+"""
+
+from repro.bench import run_experiment
+from repro.core import SwapDynamics
+from repro.graphs import random_tree
+from repro.theory import is_star
+
+from conftest import emit
+
+
+def collapse(seed: int):
+    dyn = SwapDynamics(objective="sum", seed=seed)
+    return dyn.run(random_tree(24, seed=seed))
+
+
+def test_tree_collapse_kernel(benchmark):
+    result = benchmark(collapse, 5)
+    assert result.converged
+    assert is_star(result.graph)
+
+
+def test_generate_thm1_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("thm1-sum-trees", "quick"), rounds=1, iterations=1
+    )
+    exhaustive = tables[0]
+    assert all(exhaustive.column("all consistent"))
+    # #equilibria == #stars == n per the theorem.
+    assert exhaustive.column("#sum equilibria") == exhaustive.column("#stars")
+    dynamics = tables[1]
+    assert dynamics.column("#converged") == dynamics.column("replicates")
+    assert dynamics.column("#ended as star") == dynamics.column("replicates")
+    emit(tables, results_dir, "thm1-sum-trees")

@@ -1,0 +1,41 @@
+"""Experiment ``thm9-diameter-census``: equilibrium diameters vs the bound.
+
+Kernel benchmarked: one census point (dynamics from a sparse random seed to
+a verified equilibrium at n=24).  Also regenerates the Lemma 10 /
+Corollary 11 audit table on census endpoints.
+"""
+
+from repro.bench import run_experiment
+from repro.core import SwapDynamics, is_sum_equilibrium
+from repro.core.census import seed_graph
+
+from conftest import emit
+
+
+def census_point(seed: int):
+    g0 = seed_graph("sparse", 24, seed)
+    res = SwapDynamics(objective="sum", seed=seed).run(g0)
+    assert res.converged and is_sum_equilibrium(res.graph)
+    return res
+
+
+def test_census_point_kernel(benchmark):
+    result = benchmark(census_point, 11)
+    assert result.graph.m == census_point(11).graph.m
+
+
+def test_generate_thm9_tables(benchmark, results_dir):
+    tables = benchmark.pedantic(
+        run_experiment, args=("thm9-diameter-census", "quick"), rounds=1, iterations=1
+    )
+    census = tables[0]
+    for max_d, bound in zip(
+        census.column("max eq diameter"), census.column("2^(2*sqrt(lg n))")
+    ):
+        assert float(max_d) <= float(bound)
+    audit = tables[1]
+    assert all(
+        x != "FAIL" for x in audit.column("lemma10 anchor-0")
+    )
+    assert all(audit.column("corollary11 (<= 5 n lg n)"))
+    emit(tables, results_dir, "thm9-diameter-census")

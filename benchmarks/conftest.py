@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module owns one experiment id from DESIGN.md §3.  The
+pattern is uniform: pytest-benchmark times the experiment's *kernel* (the
+computation the paper's claim hinges on), and the full table is generated
+once, printed, asserted, and written to ``results/`` as CSV — so a benchmark
+run regenerates every figure/table of the reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(tables, results_dir: Path, exp_id: str) -> None:
+    """Print tables and persist them as CSVs under results/."""
+    for i, table in enumerate(tables):
+        print()
+        print(table.to_ascii())
+        slug = f"{exp_id}-{i}"
+        table.write_csv(results_dir / f"{slug}.csv")

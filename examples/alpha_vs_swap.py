@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The transfer principle: one α-free bound covers every α-game.
+
+Classical network creation games price each edge at α and their equilibria
+change shape as α moves (clique below α=1ish, star/sparse above).  The
+paper's point: swap-equilibrium bounds need no α at all, and every α-game
+equilibrium is stable against its owners' swaps — so the single curve
+2^{O(√lg n)} covers the whole α axis.
+
+This example sweeps α across three orders of magnitude, drives the α-game
+to greedy equilibrium, audits owner-swap stability, and prints the measured
+diameters against the α-free bound.
+
+Run: ``python examples/alpha_vs_swap.py``
+"""
+
+from repro.analysis import theorem9_diameter_bound
+from repro.games import (
+    FabrikantGame,
+    greedy_dynamics,
+    is_nash_equilibrium,
+    owner_swap_stable,
+    profile_from_graph,
+    random_profile,
+)
+from repro.graphs import diameter_or_inf, star_graph
+from repro.rng import derive_seed
+
+
+def main() -> None:
+    n = 9
+    bound = theorem9_diameter_bound(n)
+    print(f"alpha-game on n={n} players; alpha-free swap bound = {bound:.1f}")
+    print()
+    print(f"{'alpha':>8} {'m(edges)':>9} {'diameter':>9} {'owner-swap-stable':>18} {'within bound':>13}")
+    for alpha in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 32.0, 81.0):
+        game = FabrikantGame(n, alpha)
+        res = greedy_dynamics(
+            game, random_profile(n, 2, seed=derive_seed(7, int(alpha * 100))),
+            seed=derive_seed(8, int(alpha * 100)),
+        )
+        g = game.graph_of(res.profile)
+        d = diameter_or_inf(g)
+        stable = owner_swap_stable(game, res.profile)
+        print(
+            f"{alpha:>8} {g.m:>9} {d:>9.0f} {str(stable):>18} "
+            f"{str(d <= bound):>13}"
+        )
+
+    print()
+    print("the star is simultaneously:")
+    star = star_graph(n)
+    prof = profile_from_graph(star)
+    from repro.core import is_sum_equilibrium
+
+    print(f"  a basic-game sum equilibrium:      {is_sum_equilibrium(star)}")
+    for alpha in (1.0, 5.0, 50.0):
+        game = FabrikantGame(n, alpha)
+        print(
+            f"  an exact Nash equilibrium (a={alpha:>4}):  "
+            f"{is_nash_equilibrium(game, prof)}"
+        )
+    print()
+    print(
+        "note the asymmetry in verification cost: the swap audit is "
+        "polynomial,\nwhile the Nash check above enumerates all 2^(n-1) "
+        "strategies per player\n(NP-complete in general) — the paper's "
+        "computational argument for swaps."
+    )
+
+
+if __name__ == "__main__":
+    main()

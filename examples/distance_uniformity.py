@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Section 5: distance uniformity, the Theorem 13 pipeline, and the spider.
+
+Three demonstrations:
+
+1. measure ε-distance-uniformity of assorted graphs (the per-vertex notion);
+2. run the Theorem 13 transform (skew intervals → multiple-free power →
+   power graph) on a high-diameter input and report the resulting uniformity;
+3. build the Conjecture 14 spider and display the separation between the
+   pairwise and per-vertex notions that motivates the definition.
+
+Run: ``python examples/distance_uniformity.py``
+"""
+
+from repro.analysis import (
+    distance_almost_uniformity,
+    distance_uniformity,
+    pairwise_concentration,
+    theorem13_transform,
+)
+from repro.constructions import (
+    polarity_graph,
+    rotated_torus,
+    spider_for_epsilon,
+    spider_graph,
+)
+from repro.graphs import complete_graph, cycle_graph, diameter
+
+
+def main() -> None:
+    print("per-vertex distance uniformity (smaller epsilon = more uniform)")
+    print()
+    graphs = [
+        ("complete K32", complete_graph(32)),
+        ("polarity ER_5", polarity_graph(5)),
+        ("cycle C64", cycle_graph(64)),
+        ("torus k=6", rotated_torus(6)),
+    ]
+    print(f"{'graph':>15} {'n':>5} {'diam':>5} {'eps(uniform)':>13} {'@r':>4} {'eps(almost)':>12}")
+    for label, g in graphs:
+        u = distance_uniformity(g)
+        au = distance_almost_uniformity(g)
+        print(
+            f"{label:>15} {g.n:>5} {diameter(g):>5} {u.epsilon:>13.3f} "
+            f"{u.radius:>4} {au.epsilon:>12.3f}"
+        )
+
+    print()
+    print("Theorem 13 transform on a high-diameter input (C512, p=0.5)")
+    res = theorem13_transform(cycle_graph(512), beta=0.125, p=0.5)
+    print(f"  input diameter d = {res.input_diameter} (premise d > 2 lg n: {res.meets_diameter_premise})")
+    print(
+        f"  almost-uniform branch: power x = {res.almost_power}, "
+        f"power-graph diameter {res.almost_diameter}, eps = {res.almost_report.epsilon:.3f}"
+    )
+    print(
+        f"  uniform branch:        power x = {res.uniform_power} "
+        f"(multiple-free, within 4 lg^2 n: {res.uniform_power_within_bound}), "
+        f"power-graph diameter {res.uniform_diameter}, eps = {res.uniform_report.epsilon:.3f}"
+    )
+
+    print()
+    print("Conjecture 14's quantifier: the spider separation")
+    print(f"{'eps':>7} {'n':>6} {'diam':>5} {'pairwise modal':>15} {'per-vertex eps':>15}")
+    for eps in (0.25, 0.125, 0.0625):
+        shape = spider_for_epsilon(eps, 8)
+        g = spider_graph(shape)
+        r, frac = pairwise_concentration(g)
+        u = distance_uniformity(g)
+        print(f"{eps:>7} {g.n:>6} {diameter(g):>5} {frac:>13.3f}@{r:<2} {u.epsilon:>15.3f}")
+    print()
+    print(
+        "pairwise mass concentrates at one distance while per-vertex "
+        "uniformity\nfails — so Conjecture 14 must quantify per vertex, "
+        "exactly as the paper does."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Verify the whole paper, claim by claim.
+
+``repro.paper`` registers one executable check per numbered statement of
+*Basic Network Creation Games*.  This example runs the registry and prints a
+human-readable verdict sheet — the one-command answer to "does the paper
+hold up?".
+
+Expected picture: everything confirmed, except Theorem 5's *witness*
+(Figure 3), which is refuted as printed and repaired by this repository's
+10-vertex replacement (the next line in the sheet).
+
+Run: ``python examples/verify_paper.py``
+"""
+
+import time
+
+from repro.paper import CLAIMS, verify_claim
+
+STATUS_GLYPH = {
+    "confirmed": "[ok]",
+    "refuted-witness": "[!!]",
+    "evidence": "[~>]",
+}
+
+
+def main() -> None:
+    print("Basic Network Creation Games (SPAA 2010) — claim verification")
+    print()
+    total_start = time.perf_counter()
+    failures = 0
+    for claim in CLAIMS:
+        start = time.perf_counter()
+        result = verify_claim(claim)
+        elapsed = time.perf_counter() - start
+        glyph = STATUS_GLYPH[claim.expected_status]
+        verdict = "pass" if result.passed else "FAIL"
+        if not result.passed:
+            failures += 1
+        print(
+            f"{glyph} {claim.claim_id:<26} {verdict:<5} ({elapsed:5.2f}s)  "
+            f"{claim.statement}"
+        )
+    print()
+    print(
+        f"{len(CLAIMS)} claims checked in "
+        f"{time.perf_counter() - total_start:.1f}s; failures: {failures}"
+    )
+    print()
+    print("legend: [ok] confirmed   [~>] finite-run evidence for an")
+    print("        asymptotic claim   [!!] the Figure 3 finding — the check")
+    print("        passes by VERIFYING the refutation of the printed witness;")
+    print("        Theorem 5 itself is re-established by the repaired witness")
+
+
+if __name__ == "__main__":
+    main()

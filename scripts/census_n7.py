@@ -1,0 +1,36 @@
+"""Shard the exhaustive n=7 sum census across workers and merge.
+
+Answers: do diameter-3 sum equilibria exist at n=7?  (n <= 6 is known: no.)
+Writes the merged counts to results/census_n7.txt.
+"""
+import sys, time
+from repro.core.exhaustive import exhaustive_equilibrium_census, merge_censuses
+from repro.parallel import parallel_map
+
+N = 7
+TOTAL = 1 << (N * (N - 1) // 2)
+SHARDS = 16
+
+def shard(i: int):
+    lo = TOTAL * i // SHARDS
+    hi = TOTAL * (i + 1) // SHARDS
+    return exhaustive_equilibrium_census(N, "sum", mask_range=(lo, hi))
+
+def main():
+    t0 = time.time()
+    parts = parallel_map(shard, list(range(SHARDS)), workers=2)
+    merged = merge_censuses(parts)
+    lines = [
+        f"n={N} exhaustive sum census ({time.time()-t0:.0f}s)",
+        f"connected graphs: {merged.connected_graphs}",
+        f"audited (diam>=3): {merged.audited}",
+    ]
+    for d, cell in sorted(merged.by_diameter.items()):
+        lines.append(f"diameter {d}: graphs={cell.graphs} equilibria={cell.equilibria} example={cell.example if cell.equilibria else None}")
+    text = "\n".join(lines)
+    print(text)
+    with open("results/census_n7.txt", "w") as fh:
+        fh.write(text + "\n")
+
+if __name__ == "__main__":
+    main()

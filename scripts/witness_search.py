@@ -1,0 +1,68 @@
+"""Annealing search for diameter-3 sum equilibria at n = 7, 8, 9.
+
+Tightens the minimal-witness bracket between the exhaustive n<=6/7 censuses
+and the known n=10 witness.  Writes findings to results/witness_search.txt.
+"""
+import math, sys, time
+import numpy as np
+from repro.graphs import CSRGraph, diameter_or_inf, random_connected_gnm, is_connected
+from repro.core import sum_equilibrium_gap, find_sum_violation
+
+def search(n: int, restarts: int, iters: int, seed: int):
+    rng = np.random.default_rng(seed)
+
+    def score(g):
+        d = diameter_or_inf(g)
+        if d != 3:
+            return 1e6 + abs(d - 3)
+        return sum_equilibrium_gap(g)
+
+    def neighbor(g):
+        edges = set(g.edge_set())
+        for _ in range(60):
+            u, v = map(int, rng.integers(0, n, 2))
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e in edges:
+                if len(edges) <= n - 1:
+                    continue
+                g2 = CSRGraph(n, edges - {e})
+                if not is_connected(g2):
+                    continue
+                return g2
+            return CSRGraph(n, edges | {e})
+        return g
+
+    best_gap = math.inf
+    for r in range(restarts):
+        m0 = int(rng.integers(n + n // 2, min(3 * n, n * (n - 1) // 2)))
+        g = random_connected_gnm(n, m0, seed=int(rng.integers(0, 2**31)))
+        s = score(g)
+        T = 3.0
+        for it in range(iters):
+            g2 = neighbor(g)
+            s2 = score(g2)
+            if s2 <= s or rng.random() < math.exp(-(s2 - s) / max(T, 1e-9)):
+                g, s = g2, s2
+            T *= 0.997
+            if s == 0.0:
+                assert find_sum_violation(g) is None
+                return ("FOUND", sorted(g.edge_set()))
+        if s < best_gap:
+            best_gap = s
+    return ("none", best_gap)
+
+def main():
+    out = []
+    for n, restarts, iters in ((7, 40, 1500), (8, 40, 2000), (9, 30, 2500)):
+        t0 = time.time()
+        status, detail = search(n, restarts, iters, seed=1000 + n)
+        line = f"n={n}: {status} {detail} ({time.time()-t0:.0f}s)"
+        print(line, flush=True)
+        out.append(line)
+    with open("results/witness_search.txt", "w") as fh:
+        fh.write("\n".join(out) + "\n")
+
+if __name__ == "__main__":
+    main()

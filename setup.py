@@ -1,0 +1,5 @@
+"""Legacy shim so `python setup.py develop` works on environments without
+the `wheel` package (offline editable install fallback)."""
+from setuptools import setup
+
+setup()

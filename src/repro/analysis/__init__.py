@@ -1,0 +1,73 @@
+"""Analysis layer: distance uniformity, skew triples, sumsets, bound curves."""
+
+from .bounds import (
+    conjectured_polylog_bound,
+    corollary11_gain_bound,
+    lemma10_removal_bound,
+    theorem9_diameter_bound,
+    theorem12_lower_bound,
+    theorem12_tradeoff_bound,
+    theorem13_almost_uniform_diameter,
+    theorem13_uniform_diameter,
+    theorem15_diameter_bound,
+)
+from .smallworld import (
+    SmallWorldReport,
+    clustering_coefficient,
+    small_world_report,
+)
+from .skew import (
+    interval_widths,
+    middle_distance_interval,
+    sample_skew_fraction,
+    skew_threshold,
+    skew_triple_fraction,
+)
+from .sumsets import (
+    iterated_sumset_masks,
+    iterated_sumset_sizes,
+    plunnecke_violations,
+    theorem15_radius_bound,
+)
+from .trajectories import TrajectorySummary, summarize_trajectory
+from .transform import Theorem13Result, suggested_p, theorem13_transform
+from .uniformity import (
+    UniformityReport,
+    distance_almost_uniformity,
+    distance_uniformity,
+    pairwise_concentration,
+    per_vertex_distance_counts,
+)
+
+__all__ = [
+    "SmallWorldReport",
+    "Theorem13Result",
+    "TrajectorySummary",
+    "UniformityReport",
+    "clustering_coefficient",
+    "small_world_report",
+    "conjectured_polylog_bound",
+    "corollary11_gain_bound",
+    "distance_almost_uniformity",
+    "distance_uniformity",
+    "interval_widths",
+    "iterated_sumset_masks",
+    "iterated_sumset_sizes",
+    "lemma10_removal_bound",
+    "middle_distance_interval",
+    "pairwise_concentration",
+    "per_vertex_distance_counts",
+    "plunnecke_violations",
+    "sample_skew_fraction",
+    "skew_threshold",
+    "skew_triple_fraction",
+    "suggested_p",
+    "summarize_trajectory",
+    "theorem12_lower_bound",
+    "theorem12_tradeoff_bound",
+    "theorem13_almost_uniform_diameter",
+    "theorem13_uniform_diameter",
+    "theorem15_diameter_bound",
+    "theorem15_radius_bound",
+    "theorem9_diameter_bound",
+]

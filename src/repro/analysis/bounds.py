@@ -1,0 +1,100 @@
+"""Closed-form bound curves from the paper, for tables and comparisons.
+
+Asymptotic statements can't be "checked" at one n, but every experiment
+reports measured values *next to* the corresponding curve so the shape
+comparison (who grows how fast, where crossings occur) is visible in the
+output tables.  Constants are explicit and documented; where the paper gives
+only an order, the constant is 1 unless the proof pins one down.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "theorem9_diameter_bound",
+    "conjectured_polylog_bound",
+    "theorem12_lower_bound",
+    "theorem12_tradeoff_bound",
+    "theorem13_almost_uniform_diameter",
+    "theorem13_uniform_diameter",
+    "theorem15_diameter_bound",
+    "corollary11_gain_bound",
+    "lemma10_removal_bound",
+]
+
+
+def theorem9_diameter_bound(n: int, c: float = 2.0) -> float:
+    """Theorem 9: sum equilibria have diameter ``2^{O(√lg n)}``.
+
+    Returned as ``2^{c √lg n}``; the census compares its measured maxima to
+    this curve (and to the polylog conjecture's) to display the gap.
+    """
+    if n < 2:
+        return 1.0
+    return 2.0 ** (c * math.sqrt(math.log2(n)))
+
+
+def conjectured_polylog_bound(n: int, power: float = 2.0, c: float = 1.0) -> float:
+    """The conjectured ``O(lg^power n)`` diameter (power 2 if Conjecture 14 holds)."""
+    if n < 2:
+        return 1.0
+    return c * math.log2(n) ** power
+
+
+def theorem12_lower_bound(n: int) -> float:
+    """Theorem 12: max equilibria of diameter ``Θ(√n)`` exist — ``√(n/2)``.
+
+    The torus on ``n = 2k²`` vertices has diameter exactly ``k = √(n/2)``,
+    so the constant here is exact for the construction.
+    """
+    return math.sqrt(n / 2.0)
+
+
+def theorem12_tradeoff_bound(n: int, k: int) -> float:
+    """The k-insertion trade-off ``Ω(n^{1/(k+1)})``: ``(n/2)^{1/(k+1)}``.
+
+    The d-dimensional torus with ``d = k + 1`` has diameter
+    ``(n/2)^{1/d}`` and is stable under ``k = d − 1`` insertions.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return (n / 2.0) ** (1.0 / (k + 1))
+
+
+def theorem13_almost_uniform_diameter(eps: float, d: int, n: int) -> float:
+    """Theorem 13: the almost-uniform power graph has diameter ``Θ(ε d / lg n)``."""
+    if n < 2:
+        return float(d)
+    return eps * d / math.log2(n)
+
+
+def theorem13_uniform_diameter(eps: float, d: int, n: int) -> float:
+    """Theorem 13: the uniform power graph has diameter ``Θ(ε d / lg² n)``."""
+    if n < 2:
+        return float(d)
+    return eps * d / (math.log2(n) ** 2)
+
+
+def theorem15_diameter_bound(n: int, epsilon: float) -> float:
+    """Theorem 15's diameter bound ``2r + 2`` with ``r = 1 + 2 lg n / lg((1-ε)/ε)``."""
+    if not 0 < epsilon < 0.5:
+        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    if n < 2:
+        return 2.0
+    r = 1.0 + 2.0 * math.log2(n) / math.log2((1 - epsilon) / epsilon)
+    return 2.0 * r + 2.0
+
+
+def corollary11_gain_bound(n: int) -> float:
+    """Corollary 11: adding one edge gains the endpoint at most ``5 n lg n``."""
+    if n < 2:
+        return 0.0
+    return 5.0 * n * math.log2(n)
+
+
+def lemma10_removal_bound(n: int) -> float:
+    """Lemma 10: the removable edge costs its endpoint at most ``2n(1 + lg n)``."""
+    if n < 2:
+        return 0.0
+    return 2.0 * n * (1.0 + math.log2(n))

@@ -1,0 +1,144 @@
+"""Skew triples — the counting tool inside Theorem 13's proof.
+
+The proof calls an ordered vertex triple ``(a, b, c)`` **skew** when
+``d(a, c) > p·lg n + d(a, b)`` and shows (first claim) that in a sum
+equilibrium fewer than a ``4/p`` fraction of all triples can be skew —
+otherwise some vertex could profitably swap a removable edge (Lemma 10) onto
+``b``.  The second claim converts "few skew triples" into "distances from
+any vertex concentrate in an O(lg n)-wide interval".
+
+We expose the machinery in both exact and sampled forms:
+
+* :func:`skew_triple_fraction` — exact fraction, vectorized (O(n²) memory,
+  so guard with sampling for n over ~2000);
+* :func:`sample_skew_fraction` — unbiased estimator for big graphs;
+* :func:`middle_distance_interval` — the per-vertex middle-(1−2β) distance
+  interval ``[ℓ_a, u_a]`` of the second claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..graphs import CSRGraph, UNREACHABLE, distance_matrix
+from ..rng import make_rng
+
+__all__ = [
+    "skew_threshold",
+    "skew_triple_fraction",
+    "sample_skew_fraction",
+    "middle_distance_interval",
+    "interval_widths",
+]
+
+
+def skew_threshold(n: int, p: float) -> float:
+    """The paper's threshold ``p · lg n`` (lg = log base 2)."""
+    if n < 2:
+        return 0.0
+    return p * math.log2(n)
+
+
+def skew_triple_fraction(
+    graph: CSRGraph, p: float, dm: np.ndarray | None = None
+) -> float:
+    """Exact fraction of ordered triples ``(a, b, c)`` that are skew.
+
+    A triple is skew when ``d(a, c) > p lg n + d(a, b)``; the count is
+    ``Σ_a Σ_t (#{b : d(a,b) < t_a - …})`` — computed per anchor ``a`` by
+    sorting its distance row once, so the total cost is O(n² log n) and no
+    n³ loop materializes.
+    """
+    n = graph.n
+    if n < 3:
+        return 0.0
+    if dm is None:
+        dm = distance_matrix(graph)
+    if (dm == UNREACHABLE).any():
+        raise DisconnectedGraphError("skew triples of a disconnected graph")
+    thresh = skew_threshold(n, p)
+    total = 0
+    for a in range(n):
+        row = np.delete(dm[a], a).astype(np.float64)
+        row.sort()
+        # For each c, count b with d(a,b) < d(a,c) - thresh; pairs (b, c)
+        # with b == c cannot occur since that needs thresh < 0.
+        cutoffs = row - thresh
+        counts = np.searchsorted(row, cutoffs, side="left")
+        total += int(counts.sum())
+    return total / (n * (n - 1) * (n - 2))
+
+
+def sample_skew_fraction(
+    graph: CSRGraph,
+    p: float,
+    samples: int = 20_000,
+    seed=None,
+    dm: np.ndarray | None = None,
+) -> float:
+    """Monte-Carlo estimate of the skew fraction (for large graphs)."""
+    n = graph.n
+    if n < 3:
+        return 0.0
+    if dm is None:
+        dm = distance_matrix(graph)
+    if (dm == UNREACHABLE).any():
+        raise DisconnectedGraphError("skew triples of a disconnected graph")
+    rng = make_rng(seed)
+    thresh = skew_threshold(n, p)
+    hits = 0
+    done = 0
+    while done < samples:
+        batch = min(samples - done, 65536)
+        a = rng.integers(0, n, batch)
+        b = rng.integers(0, n, batch)
+        c = rng.integers(0, n, batch)
+        distinct = (a != b) & (b != c) & (a != c)
+        a, b, c = a[distinct], b[distinct], c[distinct]
+        hits += int((dm[a, c] > thresh + dm[a, b]).sum())
+        done += int(distinct.sum())
+    return hits / max(done, 1)
+
+
+def middle_distance_interval(
+    graph: CSRGraph, a: int, beta: float, dm: np.ndarray | None = None
+) -> tuple[int, int]:
+    """``[ℓ_a, u_a]``: distances of the middle ``(1 - 2β) n`` vertices from ``a``.
+
+    Drops the nearest ``⌊βn⌋`` and farthest ``⌊βn⌋`` vertices (the paper's
+    trimming) and returns the min and max of what remains.
+    """
+    if not 0 <= beta < 0.5:
+        raise ValueError(f"beta must be in [0, 0.5), got {beta}")
+    if dm is None:
+        dm = distance_matrix(graph)
+    if (dm == UNREACHABLE).any():
+        raise DisconnectedGraphError("distance interval of a disconnected graph")
+    n = graph.n
+    row = np.sort(np.delete(dm[a], a))
+    k = int(beta * n)
+    trimmed = row[k : row.size - k] if row.size > 2 * k else row
+    if trimmed.size == 0:
+        trimmed = row
+    return int(trimmed[0]), int(trimmed[-1])
+
+
+def interval_widths(
+    graph: CSRGraph, beta: float, dm: np.ndarray | None = None
+) -> np.ndarray:
+    """Widths ``u_a - ℓ_a`` for every anchor ``a`` (Theorem 13's second claim).
+
+    In a sum equilibrium these widths are O(lg n); the uniformity bench
+    reports the max width against ``2 p lg n``.
+    """
+    if dm is None:
+        dm = distance_matrix(graph)
+    n = graph.n
+    widths = np.empty(n, dtype=np.int64)
+    for a in range(n):
+        lo, hi = middle_distance_interval(graph, a, beta, dm)
+        widths[a] = hi - lo
+    return widths

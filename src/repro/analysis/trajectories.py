@@ -1,0 +1,80 @@
+"""Dynamics trajectory analysis.
+
+The sum version of the basic game is **not a potential game**: an improving
+swap lowers the mover's sum of distances but can raise other vertices' —
+and therefore the social cost.  (This is why the paper's equilibria need
+direct structural arguments rather than potential-function ones, and why the
+dynamics engine carries cycle detection.)  These helpers quantify that on
+recorded runs: how often society lost while an agent won, how much diameter
+moved, and whether the trajectory was socially monotone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.dynamics import DynamicsResult
+from ..errors import ConfigurationError
+
+__all__ = ["TrajectorySummary", "summarize_trajectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectorySummary:
+    """Aggregates of one recorded dynamics run.
+
+    Attributes
+    ----------
+    steps:
+        Applied improving moves.
+    social_cost_initial / social_cost_final:
+        Endpoints of the social-cost trace.
+    selfish_regressions:
+        Steps where the *social* cost strictly increased even though the
+        mover improved — the non-potential signature.
+    max_social_cost_increase:
+        Largest single-step social-cost increase (0 when monotone).
+    socially_monotone:
+        No regressions anywhere in the run.
+    diameter_initial / diameter_final / diameter_peak:
+        Diameter endpoints and the worst diameter visited en route (the
+        trajectory can transiently exceed both endpoints).
+    """
+
+    steps: int
+    social_cost_initial: float
+    social_cost_final: float
+    selfish_regressions: int
+    max_social_cost_increase: float
+    socially_monotone: bool
+    diameter_initial: float
+    diameter_final: float
+    diameter_peak: float
+
+
+def summarize_trajectory(result: DynamicsResult) -> TrajectorySummary:
+    """Summarize a dynamics run executed with ``record=True``."""
+    costs = result.social_cost_trace
+    diams = result.diameter_trace
+    if not costs or not diams:
+        raise ConfigurationError(
+            "trajectory analysis needs a run recorded with record=True"
+        )
+    regressions = 0
+    worst_jump = 0.0
+    for before, after in zip(costs, costs[1:]):
+        if after > before:
+            regressions += 1
+            worst_jump = max(worst_jump, after - before)
+    return TrajectorySummary(
+        steps=result.steps,
+        social_cost_initial=float(costs[0]),
+        social_cost_final=float(costs[-1]),
+        selfish_regressions=regressions,
+        max_social_cost_increase=worst_jump,
+        socially_monotone=regressions == 0,
+        diameter_initial=float(diams[0]),
+        diameter_final=float(diams[-1]),
+        diameter_peak=float(max(diams)),
+    )

@@ -1,0 +1,165 @@
+"""The Theorem 13 pipeline: equilibrium → distance-(almost-)uniform graph.
+
+Theorem 13 takes a sum equilibrium ``G`` with ``n ≥ 24`` vertices and
+diameter ``d > 2 lg n`` and produces
+
+* an ε-distance-**almost**-uniform power graph ``G^x`` with
+  ``x = 2p lg n + 1`` and diameter ``Θ(ε d / lg n)``, and
+* an ε-distance-**uniform** power graph using an ``x = O(lg² n)`` chosen so
+  no multiple of ``x`` lands in the distance interval ``D ± 2p lg n``
+  (collapsing the two residual distances ``r, r+1`` into one).
+
+The pipeline below implements the construction *unconditionally* (it applies
+to any connected graph); the equilibrium hypothesis is what *guarantees* the
+distance-interval premise, and the experiment records how far each input
+satisfies it.  No high-diameter sum equilibrium is known (the paper
+conjectures none exists beyond polylog), so the ``thm13-uniformity`` bench
+exercises the pipeline on the max-equilibrium torus and on census equilibria,
+as declared in DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError, GraphError
+from ..graphs import CSRGraph, UNREACHABLE, distance_matrix
+from ..graphs.power import power_distance_matrix
+from ..theory.primes import interval_avoidance_bound, multiple_free_modulus
+from .uniformity import UniformityReport
+
+__all__ = ["Theorem13Result", "theorem13_transform", "suggested_p"]
+
+
+def suggested_p(beta: float) -> float:
+    """The constant the proof needs: ``p ≥ 8/β`` covers both claims."""
+    if not 0 < beta < 0.5:
+        raise ValueError(f"beta must be in (0, 0.5), got {beta}")
+    return 8.0 / beta
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem13Result:
+    """Everything the Theorem 13 construction produced for one input graph."""
+
+    n: int
+    input_diameter: int
+    meets_diameter_premise: bool
+    #: The almost-uniform branch: x = 2 p lg n + 1 (rounded to >= 1).
+    almost_power: int
+    almost_diameter: int
+    almost_report: UniformityReport
+    #: The uniform branch: multiple-free x = O(lg^2 n).
+    uniform_power: int
+    uniform_power_within_bound: bool
+    uniform_diameter: int
+    uniform_report: UniformityReport
+
+
+def _power_diameter(dm_pow: np.ndarray) -> int:
+    return int(dm_pow.max())
+
+
+def theorem13_transform(
+    graph: CSRGraph,
+    beta: float = 0.125,
+    p: float | None = None,
+) -> Theorem13Result:
+    """Run both branches of the Theorem 13 construction on ``graph``.
+
+    Parameters
+    ----------
+    beta:
+        The trimming fraction of the proof's second claim; the resulting
+        uniformity parameter is ε = 6β.
+    p:
+        The skew-threshold constant; defaults to :func:`suggested_p`.
+
+    Returns the powers used, the diameters of the power graphs, and their
+    measured (almost-)uniformity reports — the quantities EXPERIMENTS.md
+    tabulates against ``Θ(ε d / lg n)`` and ``Θ(ε d / lg² n)``.
+    """
+    n = graph.n
+    if n < 2:
+        raise GraphError("Theorem 13 transform needs n >= 2")
+    dm = distance_matrix(graph)
+    if (dm == UNREACHABLE).any():
+        raise DisconnectedGraphError("Theorem 13 transform needs connectivity")
+    if p is None:
+        p = suggested_p(beta)
+    lg = math.log2(n)
+    d = int(dm.max())
+    meets_premise = n >= 24 and d > 2 * lg
+
+    # Branch 1: almost-uniform via x = 2 p lg n + 1.
+    x_almost = max(1, int(round(2 * p * lg + 1)))
+    dm_almost = power_distance_matrix(graph, x_almost, dm)
+    # Measure uniformity on the *power graph* distances.
+    almost_report = _report_from_power(dm_almost, almost=True)
+
+    # Branch 2: uniform via a multiple-free modulus around the distance
+    # interval D ± 2 p lg n, where D is the median middle distance.
+    center = _central_distance(dm)
+    half_width = int(math.ceil(2 * p * lg))
+    lo = max(1, center - half_width)
+    hi = max(lo, center + half_width)
+    bound = interval_avoidance_bound(n)
+    try:
+        x_uniform = multiple_free_modulus(lo, hi, limit=max(bound, hi + 1))
+    except ValueError:  # pragma: no cover - cap is always sufficient
+        x_uniform = hi + 1
+    dm_uniform = power_distance_matrix(graph, x_uniform, dm)
+    uniform_report = _report_from_power(dm_uniform, almost=False)
+
+    return Theorem13Result(
+        n=n,
+        input_diameter=d,
+        meets_diameter_premise=meets_premise,
+        almost_power=x_almost,
+        almost_diameter=_power_diameter(dm_almost),
+        almost_report=almost_report,
+        uniform_power=x_uniform,
+        uniform_power_within_bound=x_uniform <= bound,
+        uniform_diameter=_power_diameter(dm_uniform),
+        uniform_report=uniform_report,
+    )
+
+
+def _central_distance(dm: np.ndarray) -> int:
+    """Median off-diagonal distance — the interval center ``D`` of the proof."""
+    n = dm.shape[0]
+    off = dm[~np.eye(n, dtype=bool)]
+    return int(np.median(off))
+
+
+def _report_from_power(dm_pow: np.ndarray, almost: bool) -> UniformityReport:
+    """Uniformity report computed directly from power-graph distances."""
+    n = dm_pow.shape[0]
+    diam = int(dm_pow.max()) if n else 0
+    width = diam + 1
+    offsets = (np.arange(n, dtype=np.int64) * width)[:, None]
+    counts = np.bincount(
+        (dm_pow.astype(np.int64) + offsets).ravel(), minlength=n * width
+    ).reshape(n, width)
+    if width == 1:
+        return UniformityReport(0.0, 0, 0, almost=almost)
+    if almost:
+        padded = np.concatenate(
+            [counts, np.zeros((n, 1), dtype=counts.dtype)], axis=1
+        )
+        window = padded[:, 1:-1] + padded[:, 2:]
+        if window.shape[1] == 0:
+            window = counts[:, 1:2]
+        per_radius_min = window.min(axis=0)
+        best_r = int(np.argmax(per_radius_min)) + 1
+        worst = int(np.argmin(window[:, best_r - 1]))
+        eps = 1.0 - per_radius_min[best_r - 1] / n
+        return UniformityReport(float(eps), best_r, worst, almost=True)
+    per_radius_min = counts[:, 1:].min(axis=0)
+    best_r = int(np.argmax(per_radius_min)) + 1
+    worst = int(np.argmin(counts[:, best_r]))
+    eps = 1.0 - per_radius_min[best_r - 1] / n
+    return UniformityReport(float(eps), best_r, worst, almost=False)

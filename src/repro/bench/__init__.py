@@ -1,0 +1,12 @@
+"""Experiment harness: the registry behind ``benchmarks/`` and the CLI."""
+
+from .experiments import EXPERIMENTS, experiment_ids, run_experiment
+from .reporting import Table, format_value
+
+__all__ = [
+    "EXPERIMENTS",
+    "Table",
+    "experiment_ids",
+    "format_value",
+    "run_experiment",
+]

@@ -1,0 +1,103 @@
+"""Table rendering and persistence for the experiment harness.
+
+Experiments produce a :class:`Table` — named columns over uniform rows —
+which renders as fixed-width ASCII (what the benches print and
+EXPERIMENTS.md quotes), as Markdown, and as CSV (persisted under
+``results/`` so runs are diffable).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["Table", "format_value"]
+
+
+def format_value(x: Any) -> str:
+    """Render one cell: floats get 4 significant digits, inf stays inf."""
+    if isinstance(x, bool):
+        return "yes" if x else "no"
+    if isinstance(x, float):
+        if math.isinf(x):
+            return "inf"
+        if x == int(x) and abs(x) < 1e15:
+            return str(int(x))
+        return f"{x:.4g}"
+    return str(x)
+
+
+@dataclass
+class Table:
+    """A titled column table with uniform rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    @classmethod
+    def from_records(
+        cls, title: str, records: Sequence[Mapping[str, Any]], columns: Sequence[str]
+    ) -> "Table":
+        t = cls(title, list(columns))
+        for r in records:
+            t.add_row(*(r.get(c) for c in columns))
+        return t
+
+    # ------------------------------------------------------------------
+    def to_ascii(self) -> str:
+        cells = [[format_value(x) for x in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(format_value(x) for x in row) + " |"
+            )
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def write_csv(self, path: "str | Path") -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow([format_value(x) for x in row])
+
+    def column(self, name: str) -> list[Any]:
+        """Values of one column (for assertions in benches/tests)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any experiment table.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig4-torus
+    python -m repro.cli run thm9-diameter-census --scale full --csv results/
+    python -m repro.cli all --scale quick --csv results/
+
+``run`` prints the tables as ASCII; ``--csv DIR`` additionally writes one
+CSV per table under DIR.  ``all`` runs every experiment in DESIGN.md order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .bench import experiment_ids, run_experiment
+
+__all__ = ["main"]
+
+
+def _slug(title: str) -> str:
+    out = []
+    for ch in title.lower():
+        if ch.isalnum():
+            out.append(ch)
+        elif out and out[-1] != "-":
+            out.append("-")
+    return "".join(out).strip("-")[:80]
+
+
+def _run_one(exp_id: str, scale: str, csv_dir: "Path | None") -> None:
+    start = time.perf_counter()
+    tables = run_experiment(exp_id, scale)  # type: ignore[arg-type]
+    elapsed = time.perf_counter() - start
+    for table in tables:
+        print(table.to_ascii())
+        print()
+        if csv_dir is not None:
+            path = csv_dir / f"{exp_id}--{_slug(table.title)}.csv"
+            table.write_csv(path)
+            print(f"  [csv written: {path}]")
+            print()
+    print(f"[{exp_id} completed in {elapsed:.2f}s at scale={scale}]")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the experiments of 'Basic Network Creation Games' "
+            "(SPAA 2010)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=experiment_ids())
+    run_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    run_p.add_argument("--csv", type=Path, default=None, metavar="DIR")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
+    all_p.add_argument("--csv", type=Path, default=None, metavar="DIR")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in experiment_ids():
+            print(exp_id)
+        return 0
+    if args.command == "run":
+        _run_one(args.experiment, args.scale, args.csv)
+        return 0
+    if args.command == "all":
+        for exp_id in experiment_ids():
+            _run_one(exp_id, args.scale, args.csv)
+            print()
+        return 0
+    return 2  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

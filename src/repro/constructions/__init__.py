@@ -1,0 +1,91 @@
+"""Every explicit construction appearing in the paper, plus contrast graphs.
+
+* :mod:`~repro.constructions.trees` — stars / double stars (Figures 1–2);
+* :mod:`~repro.constructions.figure3` — the diameter-3 sum equilibrium;
+* :mod:`~repro.constructions.torus` — the Θ(√n) max equilibrium and its
+  d-dimensional generalization (Figure 4 / Theorem 12);
+* :mod:`~repro.constructions.projective` — PG(2, q) and polarity graphs
+  (the Albers et al. diameter-2 equilibrium lineage);
+* :mod:`~repro.constructions.cayley` — Abelian Cayley graphs (Theorem 15);
+* :mod:`~repro.constructions.spider` — the Conjecture 14 counterexample.
+"""
+
+from .cayley import (
+    AbelianGroup,
+    cayley_graph,
+    circulant_graph,
+    even_sum_subgroup_cayley,
+    hypercube_graph,
+    random_connection_set,
+)
+from .figure3 import (
+    figure3_all_straight_variant,
+    figure3_graph,
+    figure3_improving_swap,
+    figure3_vertex_names,
+    minimal_diameter3_witness,
+    repaired_diameter3_witness,
+)
+from .projective import (
+    absolute_points,
+    incidence_graph,
+    is_prime,
+    polarity_graph,
+    projective_plane_lines,
+    projective_plane_points,
+)
+from .spider import SpiderShape, spider_for_epsilon, spider_graph
+from .torus import (
+    circular_distance,
+    diagonal_torus,
+    diagonal_torus_distance,
+    diagonal_torus_vertices,
+    rotated_torus,
+    rotated_torus_distance,
+    rotated_torus_index,
+    rotated_torus_vertices,
+    standard_torus,
+)
+from .trees import (
+    InsertionEffect,
+    double_star,
+    figure2_insertion_effects,
+    figure2_tree,
+)
+
+__all__ = [
+    "AbelianGroup",
+    "InsertionEffect",
+    "SpiderShape",
+    "absolute_points",
+    "cayley_graph",
+    "circulant_graph",
+    "circular_distance",
+    "diagonal_torus",
+    "diagonal_torus_distance",
+    "diagonal_torus_vertices",
+    "double_star",
+    "even_sum_subgroup_cayley",
+    "figure2_insertion_effects",
+    "figure2_tree",
+    "figure3_all_straight_variant",
+    "figure3_graph",
+    "figure3_improving_swap",
+    "figure3_vertex_names",
+    "repaired_diameter3_witness",
+    "hypercube_graph",
+    "incidence_graph",
+    "is_prime",
+    "minimal_diameter3_witness",
+    "polarity_graph",
+    "projective_plane_lines",
+    "projective_plane_points",
+    "random_connection_set",
+    "rotated_torus",
+    "rotated_torus_distance",
+    "rotated_torus_index",
+    "rotated_torus_vertices",
+    "spider_for_epsilon",
+    "spider_graph",
+    "standard_torus",
+]

@@ -1,0 +1,219 @@
+"""Cayley graphs of Abelian groups — the Theorem 15 setting.
+
+A Cayley graph of an Abelian group ``A`` with respect to a symmetric
+connection set ``S ⊂ A`` (``S = -S``, ``0 ∉ S``) joins ``a ~ a + s``.  The
+paper proves that ε-distance-uniform Abelian Cayley graphs (ε < 1/4) have
+diameter ``O(lg n / lg(1/ε))`` via iterated-sumset growth; the sumset side
+lives in :mod:`repro.analysis.sumsets`, the graphs live here.
+
+Groups are products ``Z_{m1} × … × Z_{mk}``, elements encoded as integer
+tuples and indexed in mixed-radix order, so group arithmetic vectorizes into
+modular adds on an ``(n, k)`` int array.
+
+The paper's own bridge between its two constructions is included:
+Figure 4's rotated torus *is* the Cayley graph of the even-coordinate-sum
+subgroup of ``Z_{2k}²`` with ``S = {(±1, ±1)}``
+(:func:`even_sum_subgroup_cayley`), and the test suite checks it is
+isomorphic to :func:`repro.constructions.torus.rotated_torus` via the
+explicit coordinate bijection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs import CSRGraph
+from ..rng import make_rng
+
+__all__ = [
+    "AbelianGroup",
+    "cayley_graph",
+    "circulant_graph",
+    "hypercube_graph",
+    "random_connection_set",
+    "even_sum_subgroup_cayley",
+]
+
+
+class AbelianGroup:
+    """The group ``Z_{m1} × … × Z_{mk}`` with vectorized element arithmetic.
+
+    Elements are tuples; :meth:`index` and :meth:`element` convert between
+    tuples and the mixed-radix vertex ids used by the Cayley graphs.
+    """
+
+    def __init__(self, moduli: Sequence[int]):
+        moduli = tuple(int(m) for m in moduli)
+        if not moduli or any(m < 1 for m in moduli):
+            raise GraphError(f"moduli must be positive, got {moduli}")
+        self.moduli = moduli
+        self.k = len(moduli)
+        self.order = int(np.prod([np.int64(m) for m in moduli]))
+        # Mixed-radix place values: index = sum(coord[i] * place[i]).
+        self._places = np.ones(self.k, dtype=np.int64)
+        for i in range(self.k - 2, -1, -1):
+            self._places[i] = self._places[i + 1] * moduli[i + 1]
+
+    def elements(self) -> np.ndarray:
+        """All elements as an ``(order, k)`` int64 array in index order."""
+        grids = np.indices(self.moduli).reshape(self.k, -1).T
+        return grids.astype(np.int64)
+
+    def index(self, element: Sequence[int]) -> int:
+        """Vertex id of an element tuple."""
+        e = self.reduce(element)
+        return int((np.asarray(e, dtype=np.int64) * self._places).sum())
+
+    def element(self, index: int) -> tuple[int, ...]:
+        """Element tuple of a vertex id."""
+        if not 0 <= index < self.order:
+            raise GraphError(f"index {index} out of range for order {self.order}")
+        out = []
+        for i in range(self.k):
+            out.append(int(index // self._places[i]) % self.moduli[i])
+        return tuple(out)
+
+    def reduce(self, element: Sequence[int]) -> tuple[int, ...]:
+        """Canonical representative (coordinates reduced mod m_i)."""
+        if len(element) != self.k:
+            raise GraphError(
+                f"element has {len(element)} coordinates, expected {self.k}"
+            )
+        return tuple(int(x) % m for x, m in zip(element, self.moduli))
+
+    def negate(self, element: Sequence[int]) -> tuple[int, ...]:
+        """``-element``."""
+        return tuple((-int(x)) % m for x, m in zip(element, self.moduli))
+
+    def add(self, a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+        """``a + b``."""
+        return tuple(
+            (int(x) + int(y)) % m for x, y, m in zip(a, b, self.moduli)
+        )
+
+    def is_symmetric_connection_set(
+        self, connection: Iterable[Sequence[int]]
+    ) -> bool:
+        """Whether ``S = -S`` and ``0 ∉ S`` (after canonical reduction)."""
+        s = {self.reduce(x) for x in connection}
+        zero = (0,) * self.k
+        if zero in s:
+            return False
+        return all(self.negate(x) in s for x in s)
+
+
+def cayley_graph(
+    moduli: Sequence[int], connection: Iterable[Sequence[int]]
+) -> CSRGraph:
+    """The Cayley graph of ``Z_{m1}×…×Z_{mk}`` w.r.t. symmetric ``connection``.
+
+    Vertices are element indices (see :class:`AbelianGroup`).  Edges are
+    computed by one vectorized modular add per generator.
+    """
+    group = AbelianGroup(moduli)
+    conn = {group.reduce(s) for s in connection}
+    if not group.is_symmetric_connection_set(conn):
+        raise GraphError("connection set must satisfy S = -S and 0 not in S")
+    elems = group.elements()  # (n, k)
+    n = group.order
+    ids = (elems * group._places[None, :]).sum(axis=1)
+    edges: set[tuple[int, int]] = set()
+    mods = np.asarray(group.moduli, dtype=np.int64)
+    for s in conn:
+        shifted = (elems + np.asarray(s, dtype=np.int64)[None, :]) % mods
+        targets = (shifted * group._places[None, :]).sum(axis=1)
+        for u, v in zip(ids.tolist(), targets.tolist()):
+            if u != v:
+                edges.add((u, v) if u < v else (v, u))
+    return CSRGraph(n, edges)
+
+
+def circulant_graph(n: int, offsets: Iterable[int]) -> CSRGraph:
+    """Cayley graph of ``Z_n`` with ``S = {±o : o in offsets}``."""
+    conn = set()
+    for o in offsets:
+        o = int(o) % n
+        if o == 0:
+            raise GraphError("circulant offsets must be nonzero mod n")
+        conn.add((o,))
+        conn.add((n - o,))
+    return cayley_graph((n,), conn)
+
+
+def hypercube_graph(d: int) -> CSRGraph:
+    """Cayley graph of ``Z_2^d`` with the unit vectors (the d-cube)."""
+    if d < 1:
+        raise GraphError(f"hypercube needs d >= 1, got {d}")
+    conn = []
+    for i in range(d):
+        e = [0] * d
+        e[i] = 1
+        conn.append(tuple(e))
+    return cayley_graph((2,) * d, conn)
+
+
+def random_connection_set(
+    moduli: Sequence[int], size: int, seed=None
+) -> set[tuple[int, ...]]:
+    """A random symmetric connection set with ``size`` generator pairs.
+
+    Picks ``size`` distinct non-zero elements and closes under negation, so
+    the result has between ``size`` and ``2·size`` elements (involutions
+    contribute one each).
+    """
+    group = AbelianGroup(moduli)
+    if size < 1:
+        raise GraphError(f"size must be >= 1, got {size}")
+    max_pairs = (group.order - 1 + 1) // 2
+    if size > max_pairs:
+        raise GraphError(
+            f"requested {size} generator pairs but only {max_pairs} exist"
+        )
+    rng = make_rng(seed)
+    conn: set[tuple[int, ...]] = set()
+    pairs = 0
+    while pairs < size:
+        idx = int(rng.integers(1, group.order))
+        e = group.element(idx)
+        if e in conn:
+            continue
+        conn.add(e)
+        conn.add(group.negate(e))
+        pairs += 1
+    return conn
+
+
+def even_sum_subgroup_cayley(k: int) -> tuple[CSRGraph, list[tuple[int, int]]]:
+    """Figure 4's torus as the paper describes it group-theoretically.
+
+    "The graph described in Section 4 is the Cayley graph of the group of
+    all elements of Z_{2k}² with an even sum of coordinates, with respect to
+    S = {(1,1), (1,−1), (−1,1), (−1,−1)}."
+
+    Returns the graph (vertices = sorted even-sum pairs) and the coordinate
+    list, so the isomorphism with
+    :func:`repro.constructions.torus.rotated_torus` is the identity on
+    coordinates.
+    """
+    if k < 2:
+        raise GraphError(f"even-sum Cayley torus needs k >= 2, got {k}")
+    side = 2 * k
+    coords = [
+        (i, j)
+        for i in range(side)
+        for j in range(side)
+        if (i + j) % 2 == 0
+    ]
+    index = {c: t for t, c in enumerate(coords)}
+    gens = [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+    edges = set()
+    for (i, j) in coords:
+        u = index[(i, j)]
+        for gi, gj in gens:
+            v = index[((i + gi) % side, (j + gj) % side)]
+            if u != v:
+                edges.add((u, v) if u < v else (v, u))
+    return CSRGraph(len(coords), edges), coords

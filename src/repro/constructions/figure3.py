@@ -1,0 +1,175 @@
+"""The Figure 3 graph — and a machine-verified repair of Theorem 5.
+
+Theorem 5 claims a diameter-3 sum equilibrium exists; before this paper every
+known sum equilibrium had diameter 2.  Figure 3 is the paper's witness: a
+13-vertex, 21-edge graph of diameter 3 and girth 4.
+
+**Reproduction finding.**  The graph as literally described is *not* a sum
+equilibrium: vertex ``d1`` improves its sum of distances from 27 to 26 by
+swapping edge ``d1–c1,1`` to ``d1–c2,1`` (the straight-matched partner of the
+dropped vertex).  The gain is 3 (``c2,1``: 2→1, ``b2``: 3→2, ``d2``: 3→2)
+against a loss of 2 (``c1,1``: 1→2, ``c3,2``: 2→3).  The paper's omitted
+case analysis applies Lemma 8's generic "+2" loss to this swap, but the
+lemma's own carve-out — "*unless w′ is a neighbor of w*, in which case it
+increases by at least 1" — fires precisely when the swap targets a matched
+partner, and then only the +1 loss is available.  The gap is intrinsic to the
+architecture: ``d_j`` and ``b_j`` always sit at distance 3 from ``d_i``, so a
+swap onto any matched partner in group ``j`` buys all three gains at once.
+This was confirmed by two independent implementations (the library's
+vectorized auditor and a plain networkx recomputation).
+
+**Theorem 5 itself survives**: :func:`repaired_diameter3_witness` is a
+10-vertex, 20-edge graph of diameter 3 in sum equilibrium, found by simulated
+annealing over connected diameter-3 graphs (minimizing the library's
+equilibrium gap) and verified exhaustively — all 320 legal swaps evaluated
+independently in copy mode are non-improving.  So the paper's *statement*
+stands with a replacement witness; only the printed construction is faulty.
+
+Construction of the literal Figure 3 (verbatim from the paper):
+
+* one vertex ``a`` with three neighbours ``b1, b2, b3``;
+* each ``bi`` has two further private neighbours ``C_i = {c_{i,1}, c_{i,2}}``;
+* each ``d_i`` is adjacent to all of ``C_i``;
+* perfect matchings between the ``C`` groups: the *straight* matching
+  (``c_{i,1}c_{j,1}``, ``c_{i,2}c_{j,2}``) between C1–C2 and C2–C3, and the
+  *twisted* matching (``c_{1,1}c_{3,2}``, ``c_{1,2}c_{3,1}``) between C1–C3.
+
+The twist still matters for what the paper *can* prove: with three straight
+matchings the ``c`` layer decomposes into two triangles (girth 3), killing
+the Lemma-8 machinery entirely.
+"""
+
+from __future__ import annotations
+
+from ..graphs import CSRGraph
+
+__all__ = [
+    "figure3_graph",
+    "figure3_vertex_names",
+    "figure3_all_straight_variant",
+    "figure3_improving_swap",
+    "minimal_diameter3_witness",
+    "repaired_diameter3_witness",
+    "A",
+    "B",
+    "C",
+    "D",
+]
+
+#: Vertex indices of the construction, exported for tests and docs.
+A: int = 0
+B: tuple[int, int, int] = (1, 2, 3)
+#: ``C[i][k]`` is c_{i+1, k+1} in the paper's 1-based notation.
+C: tuple[tuple[int, int], ...] = ((4, 5), (6, 7), (8, 9))
+D: tuple[int, int, int] = (10, 11, 12)
+
+
+def figure3_vertex_names() -> dict[int, str]:
+    """Human-readable names matching the paper's labels."""
+    names = {A: "a"}
+    for i, b in enumerate(B, start=1):
+        names[b] = f"b{i}"
+    for i, pair in enumerate(C, start=1):
+        for k, c in enumerate(pair, start=1):
+            names[c] = f"c{i},{k}"
+    for i, d in enumerate(D, start=1):
+        names[d] = f"d{i}"
+    return names
+
+
+def _base_edges() -> list[tuple[int, int]]:
+    edges: list[tuple[int, int]] = []
+    for i in range(3):
+        edges.append((A, B[i]))
+        edges.append((B[i], C[i][0]))
+        edges.append((B[i], C[i][1]))
+        edges.append((D[i], C[i][0]))
+        edges.append((D[i], C[i][1]))
+    return edges
+
+
+def figure3_graph() -> CSRGraph:
+    """The exact Theorem 5 graph (13 vertices, 21 edges, diameter 3, girth 4)."""
+    edges = _base_edges()
+    # Straight matchings C1-C2 and C2-C3.
+    for i, j in ((0, 1), (1, 2)):
+        edges.append((C[i][0], C[j][0]))
+        edges.append((C[i][1], C[j][1]))
+    # Twisted matching C1-C3.
+    edges.append((C[0][0], C[2][1]))
+    edges.append((C[0][1], C[2][0]))
+    return CSRGraph(13, edges)
+
+
+def figure3_all_straight_variant() -> CSRGraph:
+    """The *wrong* variant with three straight matchings.
+
+    Used by tests and the bench to demonstrate that the twisted C1–C3
+    matching is load-bearing: this variant has girth 3 (the c_{·,k} layers
+    become triangles) so the paper's Lemma-8-based audit does not cover it.
+    """
+    edges = _base_edges()
+    for i, j in ((0, 1), (1, 2), (0, 2)):
+        edges.append((C[i][0], C[j][0]))
+        edges.append((C[i][1], C[j][1]))
+    return CSRGraph(13, edges)
+
+
+def figure3_improving_swap() -> tuple[int, int, int]:
+    """The counterexample swap ``(vertex, drop, add) = (d1, c1,1, c2,1)``.
+
+    Applying it lowers ``d1``'s sum of distances from 27 to 26 in
+    :func:`figure3_graph` — the machine-found refutation of the paper's
+    claim that Figure 3 is in sum equilibrium.  The test suite re-derives
+    the per-vertex gain/loss ledger documented in the module docstring.
+    """
+    return (D[0], C[0][0], C[1][0])
+
+
+#: Canonical edge list of the repaired Theorem 5 witness (see module docs).
+_REPAIRED_WITNESS_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 3), (0, 4), (1, 4), (1, 5), (1, 7), (1, 8), (2, 7), (2, 9),
+    (3, 5), (3, 6), (3, 7), (3, 8), (3, 9), (4, 8), (4, 9), (5, 6),
+    (5, 9), (6, 9), (7, 8), (8, 9),
+)
+
+
+def repaired_diameter3_witness() -> CSRGraph:
+    """A 10-vertex diameter-3 **sum equilibrium** (Theorem 5, repaired).
+
+    Diameter 3 is realized by the single pair ``(0, 2)``; every one of the
+    320 legal swaps weakly increases its mover's sum of distances (verified
+    exhaustively by the test suite with the copy-mode evaluator, i.e.
+    independently of the vectorized auditor that also certifies it).
+
+    This was the first replacement witness found; the smaller
+    :func:`minimal_diameter3_witness` (n = 8) supersedes it as the extremal
+    example but both are kept — two independent witnesses make Theorem 5's
+    repaired status easier to trust.
+    """
+    return CSRGraph(10, _REPAIRED_WITNESS_EDGES)
+
+
+#: Canonical edge list of the minimal (n = 8) witness.
+_MINIMAL_WITNESS_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 3), (0, 5), (0, 6), (1, 2), (1, 4), (1, 6), (2, 3), (3, 4),
+    (3, 7), (4, 5), (4, 7), (6, 7),
+)
+
+
+def minimal_diameter3_witness() -> CSRGraph:
+    """The smallest known diameter-3 sum equilibrium: ``n = 8``, ``m = 12``.
+
+    Found by the same annealing search (``scripts/witness_search.py``) and
+    verified three independent ways (vectorized auditor, exhaustive
+    copy-mode audit of all 144 swaps, plain-networkx recomputation).
+    Diameter 3 is realized by the single pair ``(2, 5)``.
+
+    **Provably minimal**: the exhaustive census (``repro.core.exhaustive``
+    inline for n ≤ 6, ``scripts/census_n7.py`` sharded for n = 7) audited
+    every connected labelled graph with n ≤ 7 — 1 893 726 graphs, of which
+    1 205 952 have diameter ≥ 3 — and found **zero** diameter-≥3 sum
+    equilibria.  Hence 8 vertices is exactly the minimum order at which
+    Theorem 5's phenomenon exists (EXPERIMENTS.md, `small-census`).
+    """
+    return CSRGraph(8, _MINIMAL_WITNESS_EDGES)

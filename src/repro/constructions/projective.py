@@ -1,0 +1,116 @@
+"""Finite projective planes and the Erdős–Rényi polarity graph.
+
+The disproof of the tree conjecture (Albers et al., cited as the paper's [2])
+exhibited a *cyclic* sum equilibrium "arising from finite projective planes"
+of diameter 2.  This module supplies that substrate:
+
+* :func:`projective_plane_points` — the points of PG(2, q) over a prime
+  field GF(q), in normalized homogeneous coordinates;
+* :func:`incidence_graph` — the bipartite point–line (Levi) graph: girth 6,
+  diameter 3, ``2(q²+q+1)`` vertices;
+* :func:`polarity_graph` — the Erdős–Rényi graph ER_q: vertices are points,
+  with ``u ~ v`` iff ``u · v ≡ 0 (mod q)``.  It has ``q² + q + 1`` vertices,
+  diameter 2, girth ≥ 4 minus self-polar adjacencies, and ``q + 1``
+  *absolute* points of degree ``q`` (the rest have degree ``q + 1``).
+
+Because **every** connected graph of diameter ≤ 2 is a sum swap equilibrium
+(Lemma 6 plus the fact that eccentricity-1 vertices have no legal improving
+swap — see :func:`repro.theory.lemmas.lemma6_holds_at`), the polarity graph
+is a natural non-tree, cyclic equilibrium family; the audit in the test
+suite confirms it with the generic checker rather than the lemma.
+
+Only prime orders are implemented: GF(p^e) arithmetic for e > 1 would add a
+field-extension layer the experiments do not need (the family {ER_p} is
+already infinite).  Requesting a prime power raises, with a pointer here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs import CSRGraph
+
+__all__ = [
+    "is_prime",
+    "projective_plane_points",
+    "projective_plane_lines",
+    "incidence_graph",
+    "polarity_graph",
+    "absolute_points",
+]
+
+
+def is_prime(q: int) -> bool:
+    """Trial-division primality (inputs here are small plane orders)."""
+    if q < 2:
+        return False
+    if q % 2 == 0:
+        return q == 2
+    f = 3
+    while f * f <= q:
+        if q % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def _require_prime(q: int) -> None:
+    if not is_prime(q):
+        raise GraphError(
+            f"projective constructions require a prime order, got {q} "
+            "(prime powers would need GF(p^e) arithmetic; see module docs)"
+        )
+
+
+def projective_plane_points(q: int) -> np.ndarray:
+    """Normalized points of PG(2, q): an ``(q²+q+1, 3)`` int array.
+
+    Each projective point is represented by its unique scalar multiple whose
+    first nonzero coordinate equals 1, enumerated in lexicographic order:
+    ``(1, y, z)``, then ``(0, 1, z)``, then ``(0, 0, 1)``.
+    """
+    _require_prime(q)
+    pts = [(1, y, z) for y in range(q) for z in range(q)]
+    pts += [(0, 1, z) for z in range(q)]
+    pts.append((0, 0, 1))
+    return np.asarray(pts, dtype=np.int64)
+
+
+def projective_plane_lines(q: int) -> np.ndarray:
+    """Lines of PG(2, q) in the same normalized coordinates (duality)."""
+    return projective_plane_points(q)
+
+
+def incidence_graph(q: int) -> CSRGraph:
+    """The bipartite Levi graph of PG(2, q).
+
+    Vertices ``0 .. N-1`` are points and ``N .. 2N-1`` are lines
+    (``N = q²+q+1``); point ``p`` lies on line ``L`` iff ``p · L ≡ 0``.
+    Every vertex has degree ``q + 1``; the graph has girth 6 and diameter 3.
+    """
+    pts = projective_plane_points(q)
+    lines = projective_plane_lines(q)
+    N = pts.shape[0]
+    dots = (pts @ lines.T) % q
+    pi, li = np.nonzero(dots == 0)
+    return CSRGraph(2 * N, zip(pi.tolist(), (li + N).tolist()))
+
+
+def polarity_graph(q: int) -> CSRGraph:
+    """The Erdős–Rényi polarity graph ER_q (diameter 2 for q ≥ 2)."""
+    pts = projective_plane_points(q)
+    dots = (pts @ pts.T) % q
+    iu, iv = np.nonzero(np.triu(dots == 0, k=1))
+    return CSRGraph(pts.shape[0], zip(iu.tolist(), iv.tolist()))
+
+
+def absolute_points(q: int) -> np.ndarray:
+    """Indices of self-orthogonal points (``p · p ≡ 0``); exactly ``q + 1``.
+
+    These lose their would-be self-loop in :func:`polarity_graph` and have
+    degree ``q`` instead of ``q + 1``.
+    """
+    pts = projective_plane_points(q)
+    norms = (pts * pts).sum(axis=1) % q
+    return np.nonzero(norms == 0)[0]

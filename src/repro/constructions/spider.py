@@ -1,0 +1,102 @@
+"""The Conjecture 14 counterexample ("spider") graph.
+
+After stating Conjecture 14 (distance-almost-uniform graphs have diameter
+O(lg n)) the paper warns that the *per-vertex* quantifier is crucial:
+
+    "Otherwise, a large-diameter example would be a node of degree Θ(1/ε)
+    attached to paths of length (d−2)/2, with Θ(εn) vertices attached to
+    the end of each path."
+
+That graph — a hub with ``L`` legs, each a path ending in a blob of leaves —
+has almost all *pairs* of vertices at one common distance ``≈ d`` (blob-to-
+blob across the hub), yet is wildly non-uniform *per vertex* (the hub sees
+everything within ``d/2 + 1``) and has diameter ``d + 2``.  It separates the
+pairwise and per-vertex notions of distance uniformity, which is what the
+``conj14-counterexample`` experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..graphs import CSRGraph
+
+__all__ = ["spider_graph", "SpiderShape", "spider_for_epsilon"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpiderShape:
+    """Parameters of a spider instance.
+
+    ``legs`` paths of ``path_len`` inner vertices each leave the hub; each
+    path's far end carries ``blob`` extra leaves.  Total
+    ``n = 1 + legs * (path_len + blob)``.
+    """
+
+    legs: int
+    path_len: int
+    blob: int
+
+    @property
+    def n(self) -> int:
+        return 1 + self.legs * (self.path_len + self.blob)
+
+    @property
+    def diameter(self) -> int:
+        """Blob leaf → blob leaf across the hub: ``2 (path_len + 1)``."""
+        return 2 * (self.path_len + 1)
+
+    @property
+    def modal_pair_distance(self) -> int:
+        """The distance shared by blob-to-blob pairs on different legs."""
+        return 2 * (self.path_len + 1)
+
+
+def spider_graph(shape: SpiderShape) -> CSRGraph:
+    """Build the spider.  Vertex 0 is the hub; legs are laid out consecutively.
+
+    Leg ``t`` occupies vertices ``1 + t*(path_len+blob) .. ``: first its
+    ``path_len`` path vertices (hub-adjacent first), then its ``blob``
+    leaves hanging off the last path vertex.
+    """
+    if shape.legs < 2:
+        raise GraphError(f"spider needs >= 2 legs, got {shape.legs}")
+    if shape.path_len < 1 or shape.blob < 1:
+        raise GraphError(
+            f"spider needs path_len, blob >= 1, got {shape.path_len}, {shape.blob}"
+        )
+    edges = []
+    per_leg = shape.path_len + shape.blob
+    for t in range(shape.legs):
+        base = 1 + t * per_leg
+        edges.append((0, base))
+        for i in range(shape.path_len - 1):
+            edges.append((base + i, base + i + 1))
+        tip = base + shape.path_len - 1
+        for b in range(shape.blob):
+            edges.append((tip, base + shape.path_len + b))
+    return CSRGraph(shape.n, edges)
+
+
+def spider_for_epsilon(epsilon: float, target_diameter: int) -> SpiderShape:
+    """The paper's parameterization: degree Θ(1/ε), paths of length (d−2)/2.
+
+    Chooses ``legs = ⌈1/ε⌉`` and sizes blobs so each holds about an ε
+    fraction of the graph (the smallest blob size that dominates the path
+    vertices), giving a graph where all but an O(ε) fraction of *pairs*
+    realize one common distance while per-vertex uniformity fails.
+    """
+    if not 0 < epsilon <= 0.5:
+        raise GraphError(f"epsilon must be in (0, 0.5], got {epsilon}")
+    if target_diameter < 4 or target_diameter % 2 != 0:
+        raise GraphError(
+            f"target diameter must be an even integer >= 4, got {target_diameter}"
+        )
+    legs = max(2, int(round(1.0 / epsilon)))
+    path_len = (target_diameter - 2) // 2
+    # Blobs must dominate path interiors for the pairwise mass to concentrate
+    # (cross-leg blob pairs approach the 1 - 1/legs ceiling as blobs grow);
+    # a 4x multiplier keeps instances small while getting within ~85% of it.
+    blob = max(1, 4 * path_len * legs)
+    return SpiderShape(legs=legs, path_len=path_len, blob=blob)

@@ -1,0 +1,170 @@
+"""The Theorem 12 family: max equilibria of diameter Θ(√n) — and Θ(n^{1/d}).
+
+Figure 4's graph is "a 2D torus rotated 45°": vertices are integer pairs
+``(i, j)`` with ``0 ≤ i, j < 2k`` and ``i + j`` even (so ``n = 2k²``), and
+every vertex is adjacent to its four diagonal neighbours
+``(i±1, j±1) mod 2k``.  The paper proves its distance law
+
+    d((i,j), (i',j')) = max( d_circ(i, i'), d_circ(j, j') )
+
+(each step moves *both* coordinates by ±1), giving local diameter exactly
+``k`` everywhere, and shows the graph is deletion-critical and
+insertion-stable — hence a max equilibrium of diameter Θ(√n).  A standard
+(axis-aligned) torus is **not** in max equilibrium; the rotation is
+load-bearing, and :func:`standard_torus` exists so the benches can exhibit
+the difference.
+
+The d-dimensional generalization puts a vertex at every
+``(i_1, …, i_d) ∈ [0, 2k)^d`` with all coordinates of equal parity
+(``n = 2k^d``) and joins all ``2^d`` sign patterns ``(i_1±1, …, i_d±1)``.
+It has diameter ``k = Θ(n^{1/d})`` and is stable under up to ``d − 1``
+simultaneous insertions at one vertex — the diameter-vs-computational-power
+trade-off Ω(n^{1/(k+1)}).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..errors import GraphError
+from ..graphs import CSRGraph
+
+__all__ = [
+    "rotated_torus",
+    "rotated_torus_vertices",
+    "rotated_torus_index",
+    "rotated_torus_distance",
+    "diagonal_torus",
+    "diagonal_torus_vertices",
+    "diagonal_torus_distance",
+    "standard_torus",
+    "circular_distance",
+]
+
+
+def circular_distance(a: int, b: int, modulus: int) -> int:
+    """1D distance on the modulo-``modulus`` circle (the paper's ``d(i, i')``)."""
+    diff = abs(int(a) - int(b)) % modulus
+    return min(diff, modulus - diff)
+
+
+# ---------------------------------------------------------------------------
+# 2D rotated torus (Figure 4)
+# ---------------------------------------------------------------------------
+
+def rotated_torus_vertices(k: int) -> list[tuple[int, int]]:
+    """The ``2k²`` coordinate pairs ``(i, j)``, ``i + j`` even, sorted."""
+    if k < 2:
+        raise GraphError(f"rotated torus needs k >= 2, got {k}")
+    side = 2 * k
+    return [
+        (i, j) for i in range(side) for j in range(side) if (i + j) % 2 == 0
+    ]
+
+
+def rotated_torus_index(k: int) -> dict[tuple[int, int], int]:
+    """Coordinate → vertex-id map consistent with :func:`rotated_torus`."""
+    return {c: idx for idx, c in enumerate(rotated_torus_vertices(k))}
+
+
+def rotated_torus(k: int) -> CSRGraph:
+    """Figure 4's graph on ``n = 2k²`` vertices (``k ≥ 2``)."""
+    side = 2 * k
+    coords = rotated_torus_vertices(k)
+    index = {c: idx for idx, c in enumerate(coords)}
+    edges = set()
+    for (i, j) in coords:
+        u = index[(i, j)]
+        for di, dj in ((1, 1), (1, -1), (-1, 1), (-1, -1)):
+            v = index[((i + di) % side, (j + dj) % side)]
+            if u != v:
+                edges.add((u, v) if u < v else (v, u))
+    return CSRGraph(len(coords), edges)
+
+
+def rotated_torus_distance(
+    k: int, a: tuple[int, int], b: tuple[int, int]
+) -> int:
+    """The closed-form distance ``max(d_circ(i,i'), d_circ(j,j'))``.
+
+    Verified against BFS by the property tests — this is the identity the
+    whole Theorem 12 proof rests on.
+    """
+    side = 2 * k
+    return max(
+        circular_distance(a[0], b[0], side),
+        circular_distance(a[1], b[1], side),
+    )
+
+
+def standard_torus(rows: int, cols: int) -> CSRGraph:
+    """The ordinary 4-neighbour (axis-aligned) torus grid.
+
+    The paper notes it is *not* in max equilibrium — the contrast graph for
+    the Figure 4 bench.  Vertex ``(r, c)`` is ``r * cols + c``.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError(
+            f"standard torus needs rows, cols >= 3, got {rows}x{cols}"
+        )
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            for v in (r * cols + (c + 1) % cols, ((r + 1) % rows) * cols + c):
+                if u != v:
+                    edges.add((u, v) if u < v else (v, u))
+    return CSRGraph(rows * cols, edges)
+
+
+# ---------------------------------------------------------------------------
+# d-dimensional generalization
+# ---------------------------------------------------------------------------
+
+def diagonal_torus_vertices(k: int, d: int) -> list[tuple[int, ...]]:
+    """All points of ``[0, 2k)^d`` whose coordinates share one parity.
+
+    ``n = 2 k^d``: the even-coordinate class and the odd-coordinate class,
+    each of size ``k^d``.
+    """
+    if k < 2:
+        raise GraphError(f"diagonal torus needs k >= 2, got {k}")
+    if d < 1:
+        raise GraphError(f"diagonal torus needs d >= 1, got {d}")
+    evens = range(0, 2 * k, 2)
+    odds = range(1, 2 * k, 2)
+    verts = [tuple(p) for p in itertools.product(evens, repeat=d)]
+    verts += [tuple(p) for p in itertools.product(odds, repeat=d)]
+    return sorted(verts)
+
+
+def diagonal_torus(k: int, d: int) -> CSRGraph:
+    """The d-dimensional Theorem 12 construction (``n = 2k^d``, degree ``2^d``)."""
+    side = 2 * k
+    coords = diagonal_torus_vertices(k, d)
+    index = {c: idx for idx, c in enumerate(coords)}
+    edges = set()
+    signs = list(itertools.product((1, -1), repeat=d))
+    for c in coords:
+        u = index[c]
+        for sign in signs:
+            target = tuple((c[t] + sign[t]) % side for t in range(d))
+            v = index[target]
+            if u != v:
+                edges.add((u, v) if u < v else (v, u))
+    return CSRGraph(len(coords), edges)
+
+
+def diagonal_torus_distance(
+    k: int, a: tuple[int, ...], b: tuple[int, ...]
+) -> int:
+    """Closed-form distance ``max_t d_circ(a_t, b_t)`` for same-parity points.
+
+    Exact because every step shifts *every* coordinate by ±1 and all the
+    per-coordinate circular distances share one parity (``2k`` is even), so
+    ``t = max_t d_circ`` steps realize all displacements simultaneously.
+    """
+    side = 2 * k
+    if len(a) != len(b):
+        raise GraphError("dimension mismatch")
+    return max(circular_distance(x, y, side) for x, y in zip(a, b))

@@ -1,0 +1,108 @@
+"""Equilibrium trees: stars and double stars (Section 2, Figures 1–2).
+
+Theorem 1: the only sum-equilibrium tree is the star (diameter 2).
+Theorem 4 + Figure 2: max-equilibrium trees have diameter at most 3, and
+diameter 3 is achieved by **double stars** — two adjacent roots each carrying
+at least two leaves.  ("To be in max equilibrium, the latter type must have
+at least two leaves attached to each star root.")
+
+:func:`figure2_insertion_effects` scripts the caption of Figure 2: of the
+three dashed candidate insertions (leaf→cousin-leaf, leaf→sibling-leaf,
+leaf→far root), only the far-root edge ``aw`` lowers the local diameter of
+its leaf endpoint — and any *swap* at that leaf must drop ``av``, restoring
+the original local diameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..graphs import CSRGraph, bfs_aggregates
+from ..graphs.distances import eccentricities
+
+__all__ = [
+    "double_star",
+    "figure2_tree",
+    "InsertionEffect",
+    "figure2_insertion_effects",
+]
+
+
+def double_star(p: int, q: int) -> CSRGraph:
+    """The double star: roots ``0`` (with ``p`` leaves) and ``1`` (with ``q``).
+
+    Vertices: ``0``, ``1`` are the adjacent roots; ``2..p+1`` are root-0
+    leaves; ``p+2..p+q+1`` are root-1 leaves.  Diameter 3 when both sides
+    have a leaf.  Max equilibrium requires ``p, q >= 2`` (with a single leaf,
+    the leaf's swap onto the far root strictly improves it).
+    """
+    if p < 1 or q < 1:
+        raise GraphError(f"double star needs p, q >= 1, got {p}, {q}")
+    edges = [(0, 1)]
+    edges += [(0, 2 + i) for i in range(p)]
+    edges += [(1, 2 + p + j) for j in range(q)]
+    return CSRGraph(2 + p + q, edges)
+
+
+def figure2_tree() -> CSRGraph:
+    """The exact tree drawn in Figure 2: roots ``v, w`` with two leaves each.
+
+    Layout (matching the figure's labels): ``v=0``, ``w=1``, leaves ``a=2``
+    and ``a'=3`` on ``v``, leaves ``b=4`` and ``5`` on ``w``.
+    """
+    return double_star(2, 2)
+
+
+@dataclass(frozen=True, slots=True)
+class InsertionEffect:
+    """Effect of inserting one edge on the endpoints' local diameters."""
+
+    label: str
+    edge: tuple[int, int]
+    ecc_before: tuple[int, int]
+    ecc_after: tuple[int, int]
+
+    @property
+    def helps_someone(self) -> bool:
+        return (
+            self.ecc_after[0] < self.ecc_before[0]
+            or self.ecc_after[1] < self.ecc_before[1]
+        )
+
+
+def _ecc_pair_after_insertion(g: CSRGraph, u: int, v: int) -> tuple[int, int]:
+    added = g.with_edges(add=[(u, v)])
+    _, ecc_u, _ = bfs_aggregates(added, u)
+    _, ecc_v, _ = bfs_aggregates(added, v)
+    return int(ecc_u), int(ecc_v)
+
+
+def figure2_insertion_effects() -> list[InsertionEffect]:
+    """The three dashed insertions of Figure 2, measured.
+
+    Returns effects for ``a–a'`` (cousin leaf), ``a–b`` (leaf across), and
+    ``a–w`` (far root), with vertex numbering from :func:`figure2_tree`.
+    The caption's claim — only ``a–w`` decreases an endpoint's local
+    diameter, and only for ``a`` — is asserted by the test suite against
+    this function's output.
+    """
+    g = figure2_tree()
+    ecc = eccentricities(g)
+    a, a_prime, b, w = 2, 3, 4, 1
+    effects = []
+    for label, (x, y) in (
+        ("a-a' (cousin leaf)", (a, a_prime)),
+        ("a-b (far leaf)", (a, b)),
+        ("a-w (far root)", (a, w)),
+    ):
+        after = _ecc_pair_after_insertion(g, x, y)
+        effects.append(
+            InsertionEffect(
+                label=label,
+                edge=(x, y),
+                ecc_before=(int(ecc[x]), int(ecc[y])),
+                ecc_after=after,
+            )
+        )
+    return effects

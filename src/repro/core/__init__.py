@@ -1,0 +1,80 @@
+"""Core of the basic network creation game.
+
+Everything the paper defines about the game itself lives here: usage costs,
+the swap move, equilibrium notions (sum / max / deletion-critical /
+insertion-stable / k-insertion), best responses, and the dynamics engine
+that discovers equilibria empirically.
+"""
+
+from .best_response import BestResponse, best_swap, first_improving_swap
+from .census import CensusRecord, census_to_rows, run_census, seed_graph
+from .costs import (
+    INT_INF,
+    lift_distances,
+    local_diameter,
+    local_diameter_vector,
+    sum_cost,
+    sum_cost_vector,
+)
+from .dynamics import DynamicsResult, SwapDynamics
+from .equilibrium import (
+    Violation,
+    find_deletion_criticality_violation,
+    find_insertion_violation,
+    find_max_swap_violation,
+    find_sum_violation,
+    is_deletion_critical,
+    is_insertion_stable,
+    is_k_insertion_stable,
+    is_max_equilibrium,
+    is_sum_equilibrium,
+    k_insertion_witness,
+    sum_equilibrium_gap,
+)
+from .kswap import is_k_swap_stable, k_swap_witness
+from .moves import Swap, apply_swap, swapped_graph
+from .swap_eval import (
+    all_swap_costs_for_drop,
+    removal_distance_matrix,
+    swap_cost_after,
+    swap_delta,
+)
+
+__all__ = [
+    "BestResponse",
+    "CensusRecord",
+    "DynamicsResult",
+    "INT_INF",
+    "Swap",
+    "SwapDynamics",
+    "Violation",
+    "all_swap_costs_for_drop",
+    "apply_swap",
+    "best_swap",
+    "census_to_rows",
+    "find_deletion_criticality_violation",
+    "find_insertion_violation",
+    "find_max_swap_violation",
+    "find_sum_violation",
+    "first_improving_swap",
+    "is_deletion_critical",
+    "is_insertion_stable",
+    "is_k_insertion_stable",
+    "is_k_swap_stable",
+    "is_max_equilibrium",
+    "is_sum_equilibrium",
+    "k_insertion_witness",
+    "k_swap_witness",
+    "lift_distances",
+    "local_diameter",
+    "local_diameter_vector",
+    "removal_distance_matrix",
+    "run_census",
+    "seed_graph",
+    "sum_cost",
+    "sum_cost_vector",
+    "sum_equilibrium_gap",
+    "swap_cost_after",
+    "swap_delta",
+    "swapped_graph",
+]

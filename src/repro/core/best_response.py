@@ -1,0 +1,166 @@
+"""Best-response computation for a single agent.
+
+The paper's agents are computationally bounded: they weigh one incident edge
+against another.  :func:`best_swap` computes the *exact* best improving swap
+for a vertex (the agent's greedy move), and :func:`first_improving_swap`
+implements the cheaper "better-response" agent that scans candidates in
+random order and takes the first win — both are exercised by the dynamics
+engine and ablated in the census bench.
+
+For the max objective the comparison is lexicographic ``(local diameter,
+degree)``: the paper's max equilibrium requires deletion-criticality, which
+means an agent strictly prefers deleting an edge whose removal leaves its
+local diameter unchanged.  Sum agents never face this tie (removing an edge
+strictly increases the mover's sum through the lost unit-distance endpoint).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from ..graphs import CSRGraph, bfs_aggregates
+from ..rng import make_rng
+from .costs import INT_INF
+from .moves import Swap
+from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
+
+__all__ = ["BestResponse", "best_swap", "first_improving_swap"]
+
+Objective = Literal["sum", "max"]
+
+
+class BestResponse:
+    """The outcome of a best-response computation.
+
+    Attributes
+    ----------
+    swap:
+        The chosen move, or ``None`` when the vertex has no improving move.
+    before / after:
+        The mover's cost before and after (``after == before`` is possible
+        only for max-objective tie-breaking deletions).
+    is_deletion:
+        Whether the chosen move deletes the dropped edge rather than
+        relocating it.
+    """
+
+    __slots__ = ("swap", "before", "after", "is_deletion")
+
+    def __init__(self, swap: Swap | None, before: float, after: float, is_deletion: bool):
+        self.swap = swap
+        self.before = before
+        self.after = after
+        self.is_deletion = is_deletion
+
+    @property
+    def improvement(self) -> float:
+        return self.before - self.after
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BestResponse(swap={self.swap}, before={self.before}, "
+            f"after={self.after})"
+        )
+
+
+def _base_cost(graph: CSRGraph, v: int, objective: Objective) -> float:
+    total, ecc, reached = bfs_aggregates(graph, v)
+    if reached < graph.n:
+        return math.inf
+    return float(total if objective == "sum" else ecc)
+
+
+def best_swap(
+    graph: CSRGraph,
+    v: int,
+    objective: Objective = "sum",
+    *,
+    prefer_deletions_on_tie: bool | None = None,
+) -> BestResponse:
+    """Exact best swap for vertex ``v`` (or no-op when none improves).
+
+    Semantics:
+
+    1. among all legal swaps (deletions included), find the minimum
+       post-swap cost; if it beats the current cost, move there;
+    2. otherwise, when ``prefer_deletions_on_tie`` (default for the max
+       objective), take a deletion that leaves the cost unchanged — the
+       lexicographic ``(cost, degree)`` improvement that drives graphs
+       toward deletion-criticality;
+    3. otherwise, no move.
+    """
+    if prefer_deletions_on_tie is None:
+        prefer_deletions_on_tie = objective == "max"
+    before = _base_cost(graph, v, objective)
+    best_cost = math.inf
+    best_move: Swap | None = None
+    best_is_deletion = False
+    neutral_deletion: Swap | None = None
+    neighbor_set = set(int(x) for x in graph.neighbors(v))
+    for w in sorted(neighbor_set):
+        removal_dm = removal_distance_matrix(graph, (v, w))
+        costs = all_swap_costs_for_drop(graph, v, w, objective, removal_dm)
+        costs[w] = math.inf  # identity
+        top = int(np.argmin(costs))
+        cost = float(costs[top])
+        if cost < best_cost:
+            best_cost = cost
+            best_move = Swap(v, w, top)
+            best_is_deletion = top in neighbor_set and top != w
+        if prefer_deletions_on_tie and neutral_deletion is None:
+            # Pure-deletion cost of edge vw is v's aggregate in G - vw.
+            row = removal_dm[v]
+            if (row < INT_INF).all():
+                del_cost = float(
+                    row.sum() if objective == "sum" else row.max()
+                )
+                if del_cost <= before:
+                    rep = next(iter(neighbor_set - {w}), None)
+                    if rep is not None:
+                        neutral_deletion = Swap(v, w, rep)
+    if best_move is not None and best_cost < before:
+        return BestResponse(best_move, before, best_cost, best_is_deletion)
+    if neutral_deletion is not None:
+        return BestResponse(neutral_deletion, before, before, True)
+    return BestResponse(None, before, before, False)
+
+
+def first_improving_swap(
+    graph: CSRGraph,
+    v: int,
+    objective: Objective = "sum",
+    seed=None,
+) -> BestResponse:
+    """First improving swap for ``v`` in a random candidate order.
+
+    The better-response agent: one patched BFS per candidate, stopping at the
+    first strict improvement.  Cheaper per activation than :func:`best_swap`
+    when improving moves are plentiful (early dynamics), slower near
+    equilibrium — the census bench quantifies the trade.
+    """
+    rng = make_rng(seed)
+    before = _base_cost(graph, v, objective)
+    neighbors = [int(x) for x in graph.neighbors(v)]
+    rng.shuffle(neighbors)
+    targets = np.arange(graph.n)
+    for w in neighbors:
+        rng.shuffle(targets)
+        for w2 in targets:
+            w2 = int(w2)
+            if w2 == v or w2 == w:
+                continue
+            extra = [] if graph.has_edge(v, w2) else [(v, w2)]
+            total, ecc, reached = bfs_aggregates(
+                graph, v, exclude=(v, w), extra=extra
+            )
+            if reached < graph.n:
+                continue
+            after = float(total if objective == "sum" else ecc)
+            if after < before:
+                return BestResponse(
+                    Swap(v, w, w2), before, after, graph.has_edge(v, w2)
+                )
+    return BestResponse(None, before, before, False)

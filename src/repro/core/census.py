@@ -1,0 +1,152 @@
+"""Equilibrium census: the empirical side of Theorem 9.
+
+The paper bounds the diameter of *every* sum equilibrium by 2^O(√lg n) and
+conjectures polylog; no equilibrium with diameter > 3 is known.  The census
+runs swap dynamics from diverse random seeds (trees, sparse and dense
+connected G(n, m)) and records what the reachable equilibria look like —
+their diameters, their social costs, whether trees collapsed to stars
+(Theorem 1), and how the whole population compares to the bound curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, asdict
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from ..graphs import (
+    CSRGraph,
+    degree_sequence,
+    diameter_or_inf,
+    random_connected_gnm,
+    random_tree,
+    total_pairwise_distance,
+)
+from ..rng import derive_seed
+from .dynamics import SwapDynamics
+from .equilibrium import is_max_equilibrium, is_sum_equilibrium
+
+__all__ = ["CensusRecord", "run_census", "census_to_rows", "seed_graph"]
+
+InitialFamily = Literal["tree", "sparse", "dense"]
+
+
+@dataclass
+class CensusRecord:
+    """One dynamics run, fully described."""
+
+    n: int
+    family: str
+    seed: int
+    objective: str
+    schedule: str
+    responder: str
+    m_initial: int
+    m_final: int
+    converged: bool
+    cycle_detected: bool
+    steps: int
+    activations: int
+    diameter_initial: float
+    diameter_final: float
+    social_cost_final: float
+    is_star: bool
+    verified_equilibrium: bool | None
+
+
+def seed_graph(family: InitialFamily, n: int, seed) -> CSRGraph:
+    """An initial condition from one of the census families.
+
+    * ``tree`` — uniform random labelled tree;
+    * ``sparse`` — connected G(n, m) with m = ⌈1.5 (n−1)⌉;
+    * ``dense`` — connected G(n, m) with m = ⌈n lg n / 2⌉ (capped at C(n,2)).
+    """
+    if family == "tree":
+        return random_tree(n, seed)
+    if family == "sparse":
+        m = min(n * (n - 1) // 2, max(n - 1, int(math.ceil(1.5 * (n - 1)))))
+        return random_connected_gnm(n, m, seed)
+    if family == "dense":
+        m = min(
+            n * (n - 1) // 2,
+            max(n - 1, int(math.ceil(n * math.log2(max(n, 2)) / 2))),
+        )
+        return random_connected_gnm(n, m, seed)
+    raise ValueError(f"unknown census family {family!r}")
+
+
+def _is_star(graph: CSRGraph) -> bool:
+    if graph.n <= 2:
+        return True
+    degs = degree_sequence(graph)
+    return degs[0] == graph.n - 1 and all(d == 1 for d in degs[1:])
+
+
+def run_census(
+    n_values: Sequence[int],
+    families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
+    replicates: int = 3,
+    objective: Literal["sum", "max"] = "sum",
+    schedule: Literal["round_robin", "random", "greedy"] = "round_robin",
+    responder: Literal["best", "first"] = "best",
+    root_seed: int = 0,
+    max_steps: int = 20_000,
+    verify: bool = True,
+) -> list[CensusRecord]:
+    """Run the dynamics census and return one record per (n, family, replicate).
+
+    ``verify`` re-checks every converged terminal graph with the exact
+    equilibrium auditor — the census is only evidence if the endpoints
+    really are equilibria.
+    """
+    records: list[CensusRecord] = []
+    for ni, n in enumerate(n_values):
+        for fi, family in enumerate(families):
+            for rep in range(replicates):
+                seed = derive_seed(root_seed, ni, fi, rep)
+                initial = seed_graph(family, n, seed)
+                dyn = SwapDynamics(
+                    objective=objective,
+                    schedule=schedule,
+                    responder=responder,
+                    max_steps=max_steps,
+                    seed=derive_seed(seed, 1),
+                )
+                result = dyn.run(initial)
+                final = result.graph
+                verified: bool | None = None
+                if verify and result.converged:
+                    verified = (
+                        is_sum_equilibrium(final)
+                        if objective == "sum"
+                        else is_max_equilibrium(final)
+                    )
+                records.append(
+                    CensusRecord(
+                        n=n,
+                        family=family,
+                        seed=seed,
+                        objective=objective,
+                        schedule=schedule,
+                        responder=responder,
+                        m_initial=initial.m,
+                        m_final=final.m,
+                        converged=result.converged,
+                        cycle_detected=result.cycle_detected,
+                        steps=result.steps,
+                        activations=result.activations,
+                        diameter_initial=diameter_or_inf(initial),
+                        diameter_final=diameter_or_inf(final),
+                        social_cost_final=total_pairwise_distance(final),
+                        is_star=_is_star(final),
+                        verified_equilibrium=verified,
+                    )
+                )
+    return records
+
+
+def census_to_rows(records: Iterable[CensusRecord]) -> list[dict]:
+    """Records as plain dicts (for the reporting layer / CSV writers)."""
+    return [asdict(r) for r in records]

@@ -1,0 +1,255 @@
+"""Asynchronous swap dynamics — how equilibria are *reached*.
+
+The paper defines equilibria statically; to populate an empirical census
+(Theorem 9's experiment) we need a process that finds them.  This engine
+runs better/best-response dynamics: repeatedly activate a vertex, let it
+perform its chosen improving swap, until no vertex can improve.
+
+Design notes
+------------
+* **Schedules** — ``round_robin`` (deterministic sweeps; convergence =
+  one full sweep without a move), ``random`` (uniform activations; a full
+  verification sweep confirms convergence after a quiet streak), and
+  ``greedy`` (activate the vertex with the globally best improvement —
+  expensive but canonical).
+* **Termination** — sum dynamics have no known potential (a swap lowers the
+  mover's cost but can raise others'), so cycles are possible in principle;
+  the engine hashes every visited edge set and reports ``cycle_detected``
+  instead of looping.  Deletions strictly reduce the edge count, so only
+  pure-swap cycles can occur.
+* **Instrumentation** — optional trajectory recording (applied swaps,
+  per-step diameter and social cost) feeds the convergence examples and the
+  census diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..errors import ConfigurationError, DisconnectedGraphError
+from ..graphs import (
+    AdjacencyGraph,
+    CSRGraph,
+    diameter_or_inf,
+    is_connected,
+    total_pairwise_distance,
+)
+from ..rng import make_rng
+from .best_response import BestResponse, best_swap, first_improving_swap
+from .moves import Swap
+
+__all__ = ["DynamicsResult", "SwapDynamics"]
+
+Objective = Literal["sum", "max"]
+Schedule = Literal["round_robin", "random", "greedy"]
+Responder = Literal["best", "first"]
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a dynamics run.
+
+    Attributes
+    ----------
+    graph:
+        Final graph (an equilibrium iff ``converged``).
+    converged:
+        No vertex had an improving move at the end.
+    cycle_detected:
+        The run revisited a previously seen graph (terminated to avoid
+        looping); ``converged`` is ``False`` in that case.
+    steps:
+        Number of improving moves applied.
+    activations:
+        Number of best-response computations performed.
+    moves:
+        The applied swaps, in order (empty unless recording was enabled).
+    diameter_trace / social_cost_trace:
+        Per-applied-move snapshots (recording only).
+    """
+
+    graph: CSRGraph
+    converged: bool
+    cycle_detected: bool
+    steps: int
+    activations: int
+    moves: list[Swap] = field(default_factory=list)
+    diameter_trace: list[float] = field(default_factory=list)
+    social_cost_trace: list[float] = field(default_factory=list)
+
+
+class SwapDynamics:
+    """Configurable asynchronous swap dynamics.
+
+    Parameters
+    ----------
+    objective:
+        ``"sum"`` or ``"max"`` (the paper's two versions).
+    schedule:
+        Activation order (see module docstring).
+    responder:
+        ``"best"`` — exact best swap per activation; ``"first"`` — first
+        improving swap in random order (better-response).
+    max_steps:
+        Budget of applied moves before giving up (the result then has
+        ``converged=False``).
+    record:
+        Record moves and per-move diameter / social-cost traces.
+    seed:
+        Seeds activation order and the better-response candidate order.
+    """
+
+    def __init__(
+        self,
+        objective: Objective = "sum",
+        schedule: Schedule = "round_robin",
+        responder: Responder = "best",
+        max_steps: int = 10_000,
+        record: bool = False,
+        seed=None,
+    ):
+        if objective not in ("sum", "max"):
+            raise ConfigurationError(f"unknown objective {objective!r}")
+        if schedule not in ("round_robin", "random", "greedy"):
+            raise ConfigurationError(f"unknown schedule {schedule!r}")
+        if responder not in ("best", "first"):
+            raise ConfigurationError(f"unknown responder {responder!r}")
+        if max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
+        self.objective: Objective = objective
+        self.schedule: Schedule = schedule
+        self.responder: Responder = responder
+        self.max_steps = max_steps
+        self.record = record
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _respond(self, graph: CSRGraph, v: int) -> BestResponse:
+        if self.responder == "best":
+            return best_swap(graph, v, self.objective)
+        return first_improving_swap(graph, v, self.objective, self._rng)
+
+    def run(self, initial: CSRGraph) -> DynamicsResult:
+        """Run the dynamics from ``initial`` (must be connected)."""
+        if not is_connected(initial):
+            raise DisconnectedGraphError("dynamics require a connected start")
+        state = AdjacencyGraph.from_csr(initial)
+        n = state.n
+        seen: set[frozenset[tuple[int, int]]] = {state.edge_set()}
+        steps = 0
+        activations = 0
+        moves: list[Swap] = []
+        diam_trace: list[float] = []
+        cost_trace: list[float] = []
+
+        def snapshot() -> CSRGraph:
+            return state.to_csr()
+
+        def record_state() -> None:
+            if self.record:
+                g = snapshot()
+                diam_trace.append(diameter_or_inf(g))
+                cost_trace.append(total_pairwise_distance(g))
+
+        def apply(br: BestResponse) -> bool:
+            """Apply a move; returns False when it closes a cycle."""
+            nonlocal steps
+            assert br.swap is not None
+            state.swap_edge(br.swap.vertex, br.swap.drop, br.swap.add)
+            steps += 1
+            if self.record:
+                moves.append(br.swap)
+                record_state()
+            key = state.edge_set()
+            if key in seen:
+                return False
+            seen.add(key)
+            return True
+
+        cycle = False
+        converged = False
+        record_state()
+
+        if self.schedule == "greedy":
+            while steps < self.max_steps:
+                best: BestResponse | None = None
+                g = snapshot()
+                for v in range(n):
+                    activations += 1
+                    br = self._respond(g, v)
+                    if br.swap is not None and (
+                        best is None or br.improvement > best.improvement
+                    ):
+                        best = br
+                if best is None:
+                    converged = True
+                    break
+                if not apply(best):
+                    cycle = True
+                    break
+            return DynamicsResult(
+                snapshot(), converged, cycle, steps, activations,
+                moves, diam_trace, cost_trace,
+            )
+
+        if self.schedule == "round_robin":
+            quiet = 0  # consecutive activations without a move
+            order = list(range(n))
+            idx = 0
+            while steps < self.max_steps and quiet < n:
+                v = order[idx % n]
+                idx += 1
+                activations += 1
+                br = self._respond(snapshot(), v)
+                if br.swap is None:
+                    quiet += 1
+                    continue
+                quiet = 0
+                if not apply(br):
+                    cycle = True
+                    break
+            converged = (not cycle) and quiet >= n
+            return DynamicsResult(
+                snapshot(), converged, cycle, steps, activations,
+                moves, diam_trace, cost_trace,
+            )
+
+        # random schedule: quiet streak of 2n activations triggers a full
+        # deterministic verification sweep before declaring convergence.
+        quiet = 0
+        while steps < self.max_steps:
+            if quiet >= 2 * n:
+                g = snapshot()
+                verified = True
+                pending: BestResponse | None = None
+                for v in range(n):
+                    activations += 1
+                    br = self._respond(g, v)
+                    if br.swap is not None:
+                        verified = False
+                        pending = br
+                        break
+                if verified:
+                    converged = True
+                    break
+                quiet = 0
+                assert pending is not None
+                if not apply(pending):
+                    cycle = True
+                    break
+                continue
+            v = int(self._rng.integers(0, n))
+            activations += 1
+            br = self._respond(snapshot(), v)
+            if br.swap is None:
+                quiet += 1
+                continue
+            quiet = 0
+            if not apply(br):
+                cycle = True
+                break
+        return DynamicsResult(
+            snapshot(), converged, cycle, steps, activations,
+            moves, diam_trace, cost_trace,
+        )

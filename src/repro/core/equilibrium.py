@@ -1,0 +1,325 @@
+"""Equilibrium checkers — the paper's definitions, executable.
+
+The paper stresses that, unlike Nash equilibria of the α-games (NP-complete
+to verify), *swap equilibria can be checked in polynomial time, even locally
+by each agent: simply try every possible edge swap and deletion*.  This
+module is that procedure, vectorized:
+
+* **sum equilibrium** — no swap decreases the mover's sum of distances;
+* **max equilibrium** — no swap decreases the mover's local diameter, *and*
+  the graph is deletion-critical (deleting any edge strictly increases the
+  local diameter of both endpoints);
+* **insertion-stable** — no single-edge insertion decreases the local
+  diameter of either endpoint;
+* **k-insertion stability** — no set of ≤ k insertions at one vertex
+  decreases its local diameter (Theorem 12's trade-off notion).  By
+  monotonicity of distances under edge removal this also implies stability
+  under ≤ k swaps, the form the paper states.
+
+All audits run in O(m · APSP) via the min-plus closure of
+:func:`repro.core.swap_eval.all_swap_costs_for_drop`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..graphs import CSRGraph, distance_matrix, is_connected
+from .costs import INT_INF, lift_distances
+from .moves import Swap
+from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
+
+__all__ = [
+    "Violation",
+    "find_sum_violation",
+    "is_sum_equilibrium",
+    "sum_equilibrium_gap",
+    "find_max_swap_violation",
+    "find_deletion_criticality_violation",
+    "is_deletion_critical",
+    "is_max_equilibrium",
+    "find_insertion_violation",
+    "is_insertion_stable",
+    "k_insertion_witness",
+    "is_k_insertion_stable",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A certified counterexample to an equilibrium/stability property.
+
+    ``kind`` is one of ``"sum-swap"``, ``"max-swap"``, ``"deletion"``,
+    ``"insertion"``, ``"k-insertion"``.  ``before``/``after`` are the mover's
+    costs; for ``deletion`` the violation is that the cost did *not* strictly
+    increase, so ``after <= before``.
+    """
+
+    kind: str
+    vertex: int
+    drop: int | None
+    add: "int | tuple[int, ...] | None"
+    before: float
+    after: float
+
+    @property
+    def improvement(self) -> float:
+        """How much the mover gains (positive for swap/insertion violations)."""
+        return self.before - self.after
+
+    def as_swap(self) -> Swap:
+        """The violating move as a :class:`Swap` (swap violations only)."""
+        if self.kind not in ("sum-swap", "max-swap") or self.drop is None:
+            raise ValueError(f"{self.kind} violation is not a swap")
+        assert isinstance(self.add, int)
+        return Swap(self.vertex, self.drop, self.add)
+
+
+def _prepare(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distance matrix + per-vertex base sum/ecc; requires connectivity."""
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            "equilibrium audits are defined on connected graphs"
+        )
+    dm = distance_matrix(graph)
+    lifted = lift_distances(dm)
+    return lifted, lifted.sum(axis=1), lifted.max(axis=1)
+
+
+def _iter_drop_contexts(graph: CSRGraph):
+    """Yield ``(v, w, removal_dm)`` for every directed edge, sharing APSP per edge."""
+    for a, b in graph.iter_edges():
+        removal_dm = removal_distance_matrix(graph, (a, b))
+        yield a, b, removal_dm
+        yield b, a, removal_dm
+
+
+# ---------------------------------------------------------------------------
+# Sum version
+# ---------------------------------------------------------------------------
+
+def find_sum_violation(graph: CSRGraph) -> Violation | None:
+    """First improving sum-swap found, or ``None`` if in sum equilibrium."""
+    if graph.n <= 2:
+        if not is_connected(graph):
+            raise DisconnectedGraphError(
+                "equilibrium audits are defined on connected graphs"
+            )
+        return None
+    _, base_sum, _ = _prepare(graph)
+    for v, w, removal_dm in _iter_drop_contexts(graph):
+        costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
+        costs[w] = math.inf  # identity move is not a violation
+        best = int(np.argmin(costs))
+        if costs[best] < base_sum[v]:
+            return Violation(
+                "sum-swap", v, w, best, float(base_sum[v]), float(costs[best])
+            )
+    return None
+
+
+def is_sum_equilibrium(graph: CSRGraph) -> bool:
+    """Whether ``graph`` is a sum (swap) equilibrium."""
+    return find_sum_violation(graph) is None
+
+
+def sum_equilibrium_gap(graph: CSRGraph) -> float:
+    """The largest improvement any single swap offers (0.0 at equilibrium).
+
+    A quantitative "distance from equilibrium" used by dynamics diagnostics;
+    ``inf`` never occurs because disconnecting swaps cost ``inf``.
+    """
+    if graph.n <= 2:
+        return 0.0
+    _, base_sum, _ = _prepare(graph)
+    gap = 0.0
+    for v, w, removal_dm in _iter_drop_contexts(graph):
+        costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
+        costs[w] = math.inf
+        best = float(np.min(costs))
+        if best < base_sum[v]:
+            gap = max(gap, float(base_sum[v]) - best)
+    return gap
+
+
+# ---------------------------------------------------------------------------
+# Max version
+# ---------------------------------------------------------------------------
+
+def find_max_swap_violation(graph: CSRGraph) -> Violation | None:
+    """First swap strictly decreasing the mover's local diameter, or ``None``."""
+    if graph.n <= 2:
+        if not is_connected(graph):
+            raise DisconnectedGraphError(
+                "equilibrium audits are defined on connected graphs"
+            )
+        return None
+    _, _, base_ecc = _prepare(graph)
+    for v, w, removal_dm in _iter_drop_contexts(graph):
+        costs = all_swap_costs_for_drop(graph, v, w, "max", removal_dm)
+        costs[w] = math.inf
+        best = int(np.argmin(costs))
+        if costs[best] < base_ecc[v]:
+            return Violation(
+                "max-swap", v, w, best, float(base_ecc[v]), float(costs[best])
+            )
+    return None
+
+
+def find_deletion_criticality_violation(graph: CSRGraph) -> Violation | None:
+    """First edge whose deletion does **not** strictly raise an endpoint's ecc.
+
+    Deletion-criticality is part of the paper's max-equilibrium definition
+    and of the lower-bound constructions.
+    """
+    _, _, base_ecc = _prepare(graph)
+    for a, b in graph.iter_edges():
+        removal_dm = removal_distance_matrix(graph, (a, b))
+        ecc_after = removal_dm.max(axis=1)
+        for v in (a, b):
+            after = math.inf if ecc_after[v] >= INT_INF else float(ecc_after[v])
+            if not after > float(base_ecc[v]):
+                other = b if v == a else a
+                return Violation(
+                    "deletion", v, other, None, float(base_ecc[v]), after
+                )
+    return None
+
+
+def is_deletion_critical(graph: CSRGraph) -> bool:
+    """Whether deleting any edge strictly increases both endpoints' ecc."""
+    return find_deletion_criticality_violation(graph) is None
+
+
+def is_max_equilibrium(graph: CSRGraph) -> bool:
+    """The paper's max equilibrium: swap-stable (max) **and** deletion-critical."""
+    if find_max_swap_violation(graph) is not None:
+        return False
+    return find_deletion_criticality_violation(graph) is None
+
+
+# ---------------------------------------------------------------------------
+# Insertion stability
+# ---------------------------------------------------------------------------
+
+def find_insertion_violation(graph: CSRGraph) -> Violation | None:
+    """First single-edge insertion decreasing an endpoint's local diameter.
+
+    Uses the exact closure ``d_{G+uv}(u, x) = min(d(u,x), 1 + d(v,x))`` — an
+    inserted edge incident to ``u`` can only be used as the first step of a
+    shortest path from ``u``.
+    """
+    lifted, _, base_ecc = _prepare(graph)
+    n = graph.n
+    adjacency = [set(int(x) for x in graph.neighbors(u)) for u in range(n)]
+    for u in range(n):
+        # Row v of `candidate` is the distance vector of u in G + uv.
+        candidate = np.minimum(lifted[u][None, :], lifted + 1)
+        new_ecc = candidate.max(axis=1)
+        for v in np.nonzero(new_ecc < base_ecc[u])[0]:
+            v = int(v)
+            if v != u and v not in adjacency[u]:
+                return Violation(
+                    "insertion", u, None, v, float(base_ecc[u]), float(new_ecc[v])
+                )
+    return None
+
+
+def is_insertion_stable(graph: CSRGraph) -> bool:
+    """Whether no single-edge insertion helps either endpoint's local diameter."""
+    return find_insertion_violation(graph) is None
+
+
+# ---------------------------------------------------------------------------
+# k-insertion stability (Theorem 12 trade-off)
+# ---------------------------------------------------------------------------
+
+def k_insertion_witness(
+    graph: CSRGraph,
+    v: int,
+    k: int,
+    dm: np.ndarray | None = None,
+) -> tuple[int, ...] | None:
+    """A set of ≤ k insertions at ``v`` lowering its local diameter, or ``None``.
+
+    Exact: reduces to covering the far set ``F = {x : d(v,x) = ecc(v)}`` with
+    balls ``{x : d(a,x) ≤ ecc(v) − 2}`` over candidate endpoints ``a``; a
+    cover of size ≤ k exists iff ``v`` is k-insertion *unstable*.  The search
+    enumerates candidate combinations after pruning dominated candidates, so
+    it is exact for the small ``k`` (≤ 3) the paper's constructions use.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if dm is None:
+        if not is_connected(graph):
+            raise DisconnectedGraphError(
+                "k-insertion stability is defined on connected graphs"
+            )
+        dm = distance_matrix(graph)
+    n = graph.n
+    ecc = int(dm[v].max())
+    if ecc <= 1:
+        return None  # cannot go below 1 by inserting edges
+    far = np.nonzero(dm[v] == ecc)[0]
+    neighbors = set(int(x) for x in graph.neighbors(v))
+    candidates = [
+        a for a in range(n) if a != v and a not in neighbors
+    ]
+    if not candidates:
+        return None
+    cover = dm[np.asarray(candidates)][:, far] <= ecc - 2  # (cands, |far|)
+    useful = cover.any(axis=1)
+    cand_arr = np.asarray(candidates)[useful]
+    cover = cover[useful]
+    if cover.size == 0:
+        return None
+    # Prune dominated rows (covering a subset of another row's far set).
+    keep: list[int] = []
+    for i in range(cover.shape[0]):
+        dominated = False
+        for j in range(cover.shape[0]):
+            if i == j:
+                continue
+            if (cover[i] <= cover[j]).all() and (
+                (cover[i] != cover[j]).any() or j < i
+            ):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    cover = cover[keep]
+    cand_arr = cand_arr[keep]
+    for size in range(1, min(k, len(cand_arr)) + 1):
+        for combo in itertools.combinations(range(len(cand_arr)), size):
+            if cover[list(combo)].any(axis=0).all():
+                return tuple(int(cand_arr[i]) for i in combo)
+    return None
+
+
+def is_k_insertion_stable(
+    graph: CSRGraph,
+    k: int,
+    vertices: Iterable[int] | None = None,
+) -> bool:
+    """Whether no vertex can lower its local diameter with ≤ k insertions.
+
+    ``vertices`` restricts the audit (vertex-transitive constructions only
+    need one representative).  By distance monotonicity under deletions this
+    also certifies stability under ≤ k *swaps* at one vertex.
+    """
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            "k-insertion stability is defined on connected graphs"
+        )
+    dm = distance_matrix(graph)
+    vs = range(graph.n) if vertices is None else vertices
+    for v in vs:
+        if k_insertion_witness(graph, int(v), k, dm) is not None:
+            return False
+    return True

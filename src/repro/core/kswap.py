@@ -1,0 +1,109 @@
+"""Exact k-swap stability — the brute-force cross-check.
+
+Theorem 12's trade-off statement speaks of agents that may *swap* up to
+``k`` incident edges at once.  The library's fast path certifies the
+stronger **k-insertion** stability and invokes monotonicity (removing edges
+never shrinks distances, so if ``k`` insertions cannot lower an agent's
+local diameter, neither can any combination of ≤ k insertions plus
+deletions).  This module implements the literal definition — enumerate every
+(drop-set, add-set) pair — so the implication itself is testable on finite
+instances rather than trusted.
+
+Exponential in ``k`` and the degree; intended for audits at ``k ≤ 2`` on
+graphs of a few dozen vertices.  The exact closure used per candidate:
+
+    d_new(v, x) = min over surviving/added incident edges (v, a) of
+                  1 + d_{G - v}(a, x),  and 0 for x = v
+
+where ``d_{G - v}`` is the distance in the graph with *all* of ``v``'s
+edges removed — correct because every path from ``v`` starts with one
+incident edge and never returns to ``v``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import DisconnectedGraphError
+from ..graphs import CSRGraph, distance_matrix, is_connected
+from .costs import INT_INF, lift_distances
+
+__all__ = ["k_swap_witness", "is_k_swap_stable"]
+
+
+def _distances_without_vertex(graph: CSRGraph, v: int) -> np.ndarray:
+    """Lifted APSP of ``graph`` with all edges at ``v`` removed."""
+    incident = [(v, int(w)) for w in graph.neighbors(v)]
+    reduced = graph.with_edges(remove=incident)
+    return lift_distances(distance_matrix(reduced))
+
+
+def k_swap_witness(
+    graph: CSRGraph,
+    v: int,
+    k: int,
+    *,
+    candidate_adds: Iterable[int] | None = None,
+) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
+    """A (drop-set, add-set) pair of size ≤ k lowering ``v``'s ecc, or ``None``.
+
+    Enumerates all subsets ``D ⊆ N(v)`` and ``A ⊆ V∖({v} ∪ N(v))`` with
+    ``|D| ≤ k``, ``|A| ≤ k`` (the basic game's multi-swap keeps
+    ``|A| ≤ |D|`` optional — a pure insertion is at least as strong, so
+    covering ``|A| ≤ k`` audits the paper's "insertion (or swapping)"
+    phrasing in full).
+
+    ``candidate_adds`` restricts the add-endpoint pool (vertex-transitive
+    callers can prune by distance).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not is_connected(graph):
+        raise DisconnectedGraphError("k-swap stability needs connectivity")
+    n = graph.n
+    base = lift_distances(distance_matrix(graph))
+    ecc_before = int(base[v].max())
+    if ecc_before <= 1:
+        return None
+    hollow = _distances_without_vertex(graph, v)
+    neighbors = sorted(int(x) for x in graph.neighbors(v))
+    if candidate_adds is None:
+        pool = [a for a in range(n) if a != v and a not in set(neighbors)]
+    else:
+        pool = [
+            int(a)
+            for a in candidate_adds
+            if int(a) != v and int(a) not in set(neighbors)
+        ]
+
+    def ecc_after(kept: list[int]) -> float:
+        """Ecc of v when its incident set becomes ``kept``."""
+        if not kept:
+            return math.inf
+        rows = hollow[np.asarray(kept)]
+        dist = rows.min(axis=0) + 1
+        dist = dist.copy()
+        dist[v] = 0
+        worst = int(dist.max())
+        return math.inf if worst >= INT_INF else float(worst)
+
+    for d_size in range(0, min(k, len(neighbors)) + 1):
+        for drops in itertools.combinations(neighbors, d_size):
+            surviving = [w for w in neighbors if w not in drops]
+            for a_size in range(0, min(k, len(pool)) + 1):
+                if d_size == 0 and a_size == 0:
+                    continue
+                for adds in itertools.combinations(pool, a_size):
+                    if ecc_after(surviving + list(adds)) < ecc_before:
+                        return drops, adds
+    return None
+
+
+def is_k_swap_stable(graph: CSRGraph, k: int, vertices: Iterable[int] | None = None) -> bool:
+    """Whether no vertex lowers its local diameter with ≤ k drops + ≤ k adds."""
+    vs = range(graph.n) if vertices is None else vertices
+    return all(k_swap_witness(graph, int(v), k) is None for v in vs)

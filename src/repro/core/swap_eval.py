@@ -1,0 +1,140 @@
+"""Swap evaluation: what does a candidate swap do to the mover's cost?
+
+Two evaluation strategies, ablated in ``bench_checker_scaling``:
+
+* ``patched`` — one BFS over the base graph with the dropped edge masked and
+  the added edge injected (:func:`repro.graphs.bfs.bfs_aggregates` with a
+  patch).  O(m) per candidate, zero graph copies.  Best for evaluating a
+  *single* swap.
+* ``copy`` — materialize the swapped graph and BFS it.  Baseline used for
+  cross-validation.
+
+For evaluating *all* swap targets of one dropped edge at once, use
+:func:`all_swap_costs_for_drop`, which computes APSP of ``G − vw`` once and
+then closes over every candidate ``w'`` with the exact min-plus identity
+
+    d_{G-vw+vw'}(v, u) = min( d_{G-vw}(v, u),  1 + d_{G-vw}(w', u) )
+
+valid because any shortest path from ``v`` using the new edge must use it
+first (revisiting ``v`` never shortens a path).  This identity is what makes
+full equilibrium audits O(m) APSP calls instead of O(n·m) BFS calls.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from ..graphs import CSRGraph, bfs_aggregates, distance_matrix
+from .costs import INT_INF, lift_distances
+from .moves import Swap, swapped_graph
+
+__all__ = [
+    "swap_cost_after",
+    "swap_delta",
+    "all_swap_costs_for_drop",
+    "removal_distance_matrix",
+]
+
+Objective = Literal["sum", "max"]
+EvalMode = Literal["patched", "copy"]
+
+
+def _aggregate(total: int, ecc: int, reached: int, n: int, objective: Objective) -> float:
+    if reached < n:
+        return math.inf
+    return float(total if objective == "sum" else ecc)
+
+
+def swap_cost_after(
+    graph: CSRGraph,
+    swap: Swap,
+    objective: Objective = "sum",
+    mode: EvalMode = "patched",
+) -> float:
+    """The mover's cost in the swapped graph (``inf`` if it disconnects them)."""
+    swap.validate(graph)
+    if mode == "copy":
+        g2 = swapped_graph(graph, swap)
+        total, ecc, reached = bfs_aggregates(g2, swap.vertex)
+        return _aggregate(total, ecc, reached, g2.n, objective)
+    if mode != "patched":
+        raise ValueError(f"unknown eval mode {mode!r}")
+    extra = []
+    if not graph.has_edge(swap.vertex, swap.add):
+        extra = [(swap.vertex, swap.add)]
+    total, ecc, reached = bfs_aggregates(
+        graph,
+        swap.vertex,
+        exclude=(swap.vertex, swap.drop),
+        extra=extra,
+    )
+    return _aggregate(total, ecc, reached, graph.n, objective)
+
+
+def swap_delta(
+    graph: CSRGraph,
+    swap: Swap,
+    objective: Objective = "sum",
+    mode: EvalMode = "patched",
+) -> float:
+    """``cost_after - cost_before`` for the mover; negative means improving."""
+    total, ecc, reached = bfs_aggregates(graph, swap.vertex)
+    before = _aggregate(total, ecc, reached, graph.n, objective)
+    after = swap_cost_after(graph, swap, objective, mode)
+    return after - before
+
+
+def removal_distance_matrix(graph: CSRGraph, edge: tuple[int, int]) -> np.ndarray:
+    """Lifted (int64, INT_INF) APSP matrix of ``graph`` minus one edge."""
+    a, b = int(edge[0]), int(edge[1])
+    reduced = graph.with_edges(remove=[(a, b)])
+    return lift_distances(distance_matrix(reduced))
+
+
+def all_swap_costs_for_drop(
+    graph: CSRGraph,
+    v: int,
+    w: int,
+    objective: Objective = "sum",
+    removal_dm: np.ndarray | None = None,
+) -> np.ndarray:
+    """Cost of ``v`` after swapping edge ``v–w`` to ``v–w'``, for **every** w'.
+
+    Returns a float array ``costs`` of length ``n`` where ``costs[w']`` is
+    the mover's post-swap cost (``inf`` encodes disconnection).  Entries for
+    ``w' == v`` (illegal) and ``w' == w`` (identity) are set to ``inf`` and
+    the base cost respectively so callers can take a plain argmin.
+
+    Deletion-as-swap falls out automatically: when ``w'`` is an existing
+    neighbour of ``v`` in ``G − vw``, the min-plus closure with ``w'``'s row
+    cannot beat ``v``'s own row, so ``costs[w']`` equals the deletion cost.
+
+    Parameters
+    ----------
+    removal_dm:
+        Optional precomputed :func:`removal_distance_matrix` for ``(v, w)``
+        (shared by the two endpoints of an edge during a full audit).
+    """
+    n = graph.n
+    if removal_dm is None:
+        removal_dm = removal_distance_matrix(graph, (v, w))
+    dv = removal_dm[v]  # distances from v in G - vw
+    # candidate[w', u] = min(dv[u], 1 + removal_dm[w', u])
+    candidate = np.minimum(dv[None, :], removal_dm + 1)
+    if objective == "sum":
+        raw = candidate.sum(axis=1)
+    elif objective == "max":
+        raw = candidate.max(axis=1)
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
+    costs = raw.astype(np.float64)
+    costs[raw >= INT_INF] = math.inf
+
+    # w' == w re-adds the dropped edge: identity. Recover the base cost
+    # directly from the same min-plus closure (row w is exact for it).
+    # w' == v is illegal.
+    costs[v] = math.inf
+    return costs

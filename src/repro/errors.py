@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without also catching programming errors.  The
+subclasses mirror the layers of the system: graph construction, game moves,
+and experiment configuration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "InvalidEdgeError",
+    "DisconnectedGraphError",
+    "MoveError",
+    "IllegalSwapError",
+    "ConfigurationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A graph was malformed or an operation received an unsuitable graph."""
+
+
+class InvalidEdgeError(GraphError):
+    """An edge is out of range, a self-loop, a duplicate, or otherwise illegal."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires connectivity received a disconnected graph."""
+
+
+class MoveError(ReproError):
+    """A game move (swap / add / delete) could not be interpreted."""
+
+
+class IllegalSwapError(MoveError):
+    """A swap referenced a non-existent edge or produced an illegal graph."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or sweep was configured inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """Best-response dynamics exceeded its step budget without converging.
+
+    The partially converged state is attached so callers can inspect how far
+    the dynamics got before the budget ran out.
+    """
+
+    def __init__(self, message: str, state=None, steps: int | None = None):
+        super().__init__(message)
+        self.state = state
+        self.steps = steps

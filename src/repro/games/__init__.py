@@ -1,0 +1,55 @@
+"""The α-parameterized network creation games the paper generalizes."""
+
+from .fabrikant import (
+    FabrikantGame,
+    StrategyProfile,
+    profile_from_graph,
+    random_profile,
+)
+from .nash import (
+    EXACT_NASH_MAX_N,
+    GreedyDynamicsResult,
+    exact_best_response,
+    greedy_best_move,
+    greedy_dynamics,
+    is_greedy_equilibrium,
+    is_nash_equilibrium,
+)
+from .social import (
+    alpha_social_cost,
+    alpha_social_optimum,
+    clique_social_cost,
+    poa_diameter_ratio,
+    price_of_anarchy_alpha,
+    star_plus_matching_graph,
+    star_social_cost,
+    usage_optimum_same_budget,
+    usage_social_cost,
+)
+from .transfer import TransferRecord, owner_swap_stable, transfer_sweep
+
+__all__ = [
+    "EXACT_NASH_MAX_N",
+    "FabrikantGame",
+    "GreedyDynamicsResult",
+    "StrategyProfile",
+    "TransferRecord",
+    "alpha_social_cost",
+    "alpha_social_optimum",
+    "clique_social_cost",
+    "exact_best_response",
+    "greedy_best_move",
+    "greedy_dynamics",
+    "is_greedy_equilibrium",
+    "is_nash_equilibrium",
+    "owner_swap_stable",
+    "poa_diameter_ratio",
+    "price_of_anarchy_alpha",
+    "profile_from_graph",
+    "random_profile",
+    "star_plus_matching_graph",
+    "star_social_cost",
+    "transfer_sweep",
+    "usage_optimum_same_budget",
+    "usage_social_cost",
+]

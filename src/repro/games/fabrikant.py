@@ -1,0 +1,148 @@
+"""The classical α-parameterized network creation game (Fabrikant et al.).
+
+The paper's foil: each player ``v`` chooses a set of *bought* edges to other
+vertices and pays ``α`` per bought edge plus its usage cost (sum of
+distances) in the union graph.  All the behaviour the paper criticizes lives
+here — the α-dependence of equilibria, and the NP-completeness of best
+response (our exact checker enumerates strategies, exponential by necessity;
+the *greedy* restricted moves in :mod:`repro.games.nash` are the
+computationally-bounded alternative the paper argues for).
+
+A strategy profile is a tuple of frozensets ``bought[v] ⊆ V \\ {v}``; the
+induced graph is the union of all bought edges (both directions collapse to
+one undirected edge; a doubly-bought edge costs each buyer separately, which
+follows the standard model and never survives best response).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, GraphError
+from ..graphs import CSRGraph, bfs_aggregates
+from ..rng import make_rng
+
+__all__ = ["StrategyProfile", "FabrikantGame", "random_profile", "profile_from_graph"]
+
+StrategyProfile = tuple[frozenset[int], ...]
+
+
+def _validate_profile(n: int, profile: Sequence[Iterable[int]]) -> StrategyProfile:
+    if len(profile) != n:
+        raise ConfigurationError(
+            f"profile has {len(profile)} strategies for n={n} players"
+        )
+    out = []
+    for v, bought in enumerate(profile):
+        s = frozenset(int(x) for x in bought)
+        if v in s:
+            raise ConfigurationError(f"player {v} buys a self-loop")
+        if any(not 0 <= x < n for x in s):
+            raise ConfigurationError(f"player {v} buys an out-of-range edge")
+        out.append(s)
+    return tuple(out)
+
+
+class FabrikantGame:
+    """The sum-version α-game on ``n`` players.
+
+    Parameters
+    ----------
+    n:
+        Number of players/vertices.
+    alpha:
+        Per-edge creation cost (the parameter the basic game removes).
+    """
+
+    def __init__(self, n: int, alpha: float):
+        if n < 1:
+            raise ConfigurationError(f"need n >= 1 players, got {n}")
+        if alpha < 0:
+            raise ConfigurationError(f"alpha must be non-negative, got {alpha}")
+        self.n = int(n)
+        self.alpha = float(alpha)
+
+    # ------------------------------------------------------------------
+    def normalize(self, profile: Sequence[Iterable[int]]) -> StrategyProfile:
+        """Validate and freeze a profile."""
+        return _validate_profile(self.n, profile)
+
+    def graph_of(self, profile: StrategyProfile) -> CSRGraph:
+        """The undirected union graph of all bought edges."""
+        edges = set()
+        for v, bought in enumerate(profile):
+            for w in bought:
+                edges.add((v, w) if v < w else (w, v))
+        return CSRGraph(self.n, edges)
+
+    def player_cost(
+        self,
+        profile: StrategyProfile,
+        v: int,
+        graph: CSRGraph | None = None,
+    ) -> float:
+        """``α · |bought_v| + Σ_u d(v, u)`` (``inf`` when ``v`` is cut off)."""
+        if graph is None:
+            graph = self.graph_of(profile)
+        total, _, reached = bfs_aggregates(graph, v)
+        if reached < self.n:
+            return math.inf
+        return self.alpha * len(profile[v]) + float(total)
+
+    def total_cost(self, profile: StrategyProfile) -> float:
+        """Sum of all player costs — the α-game's social cost.
+
+        Equals ``α · (#bought edges, with multiplicity) + Σ_{u,v} d(u,v)``.
+        """
+        graph = self.graph_of(profile)
+        return sum(
+            self.player_cost(profile, v, graph) for v in range(self.n)
+        )
+
+    def with_strategy(
+        self, profile: StrategyProfile, v: int, strategy: Iterable[int]
+    ) -> StrategyProfile:
+        """Profile with player ``v``'s strategy replaced (validated)."""
+        updated = list(profile)
+        updated[v] = frozenset(int(x) for x in strategy)
+        return self.normalize(updated)
+
+
+def profile_from_graph(graph: CSRGraph, owners: dict[tuple[int, int], int] | None = None) -> StrategyProfile:
+    """A profile realizing ``graph`` with each edge bought by one endpoint.
+
+    ``owners`` maps canonical edges to the buying endpoint; by default the
+    smaller endpoint buys (deterministic, good enough for cost accounting
+    since ownership does not affect the union graph).
+    """
+    n = graph.n
+    bought: list[set[int]] = [set() for _ in range(n)]
+    for u, v in graph.iter_edges():
+        owner = u
+        if owners is not None:
+            owner = owners.get((u, v), u)
+            if owner not in (u, v):
+                raise GraphError(
+                    f"owner {owner} of edge ({u},{v}) is not an endpoint"
+                )
+        other = v if owner == u else u
+        bought[owner].add(other)
+    return tuple(frozenset(s) for s in bought)
+
+
+def random_profile(n: int, edges_per_player: int, seed=None) -> StrategyProfile:
+    """Random initial profile: each player buys ``edges_per_player`` targets."""
+    if edges_per_player < 0 or edges_per_player > n - 1:
+        raise ConfigurationError(
+            f"edges_per_player must be in [0, {n - 1}], got {edges_per_player}"
+        )
+    rng = make_rng(seed)
+    profile = []
+    for v in range(n):
+        others = np.asarray([u for u in range(n) if u != v])
+        pick = rng.choice(others, size=edges_per_player, replace=False)
+        profile.append(frozenset(int(x) for x in pick))
+    return tuple(profile)

@@ -1,0 +1,156 @@
+"""Equilibrium notions for the α-game: exact Nash and greedy-restricted.
+
+The paper's motivation cuts through here: *"computationally bounded agents
+cannot even tell if they are in a Nash equilibrium (the problem is
+NP-complete)"*.  Accordingly:
+
+* :func:`is_nash_equilibrium` / :func:`exact_best_response` enumerate all
+  ``2^{n-1}`` strategies of a player — exact, exponential, capped at a small
+  ``n`` (the brute force that NP-completeness forces);
+* :func:`is_greedy_equilibrium` / :func:`greedy_best_move` restrict
+  deviations to **add one / drop one / swap one** bought edge — the
+  polynomial move set matching the basic game's "weigh one edge against
+  another" agents;
+* :func:`greedy_dynamics` runs better-response over the greedy moves to
+  *find* equilibria for the transfer experiment.
+
+Every Nash equilibrium is a greedy equilibrium (greedy deviations are a
+subset), so diameters of graphs surviving the greedy audit upper-bound the
+diameters of Nash graphs our sweeps could produce — mirroring the paper's
+"bounds on swap equilibria transfer to Nash equilibria" logic one level down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..rng import make_rng
+from .fabrikant import FabrikantGame, StrategyProfile
+
+__all__ = [
+    "EXACT_NASH_MAX_N",
+    "exact_best_response",
+    "is_nash_equilibrium",
+    "greedy_best_move",
+    "is_greedy_equilibrium",
+    "greedy_dynamics",
+    "GreedyDynamicsResult",
+]
+
+#: Hard cap for the exponential exact-Nash enumeration.
+EXACT_NASH_MAX_N: int = 12
+
+
+def exact_best_response(
+    game: FabrikantGame, profile: StrategyProfile, v: int
+) -> tuple[frozenset[int], float]:
+    """Player ``v``'s exact best strategy against the rest of ``profile``.
+
+    Enumerates all subsets of ``V \\ {v}`` — ``Θ(2^{n-1})`` cost evaluations,
+    guarded by :data:`EXACT_NASH_MAX_N`.  Returns ``(strategy, cost)``.
+    """
+    n = game.n
+    if n > EXACT_NASH_MAX_N:
+        raise ConfigurationError(
+            f"exact best response capped at n <= {EXACT_NASH_MAX_N}, got {n} "
+            "(this is the NP-complete computation; use the greedy moves)"
+        )
+    others = [u for u in range(n) if u != v]
+    best_strategy = profile[v]
+    best_cost = game.player_cost(profile, v)
+    for r in range(len(others) + 1):
+        for combo in itertools.combinations(others, r):
+            candidate = frozenset(combo)
+            if candidate == profile[v]:
+                continue
+            cost = game.player_cost(game.with_strategy(profile, v, candidate), v)
+            if cost < best_cost:
+                best_cost = cost
+                best_strategy = candidate
+    return best_strategy, best_cost
+
+
+def is_nash_equilibrium(game: FabrikantGame, profile: StrategyProfile) -> bool:
+    """Whether no player can lower its cost with *any* strategy change."""
+    for v in range(game.n):
+        current = game.player_cost(profile, v)
+        _, best = exact_best_response(game, profile, v)
+        if best < current:
+            return False
+    return True
+
+
+def _greedy_deviations(game: FabrikantGame, profile: StrategyProfile, v: int):
+    """Yield the add-one / drop-one / swap-one strategies of player ``v``."""
+    n = game.n
+    mine = profile[v]
+    non_targets = [u for u in range(n) if u != v and u not in mine]
+    for w in mine:  # drop one
+        yield mine - {w}
+    for w in non_targets:  # add one
+        yield mine | {w}
+    for w in mine:  # swap one
+        for w2 in non_targets:
+            yield (mine - {w}) | {w2}
+
+
+def greedy_best_move(
+    game: FabrikantGame, profile: StrategyProfile, v: int
+) -> tuple[frozenset[int], float] | None:
+    """Best greedy deviation of player ``v``, or ``None`` when none improves."""
+    current = game.player_cost(profile, v)
+    best: tuple[frozenset[int], float] | None = None
+    for candidate in _greedy_deviations(game, profile, v):
+        cost = game.player_cost(game.with_strategy(profile, v, candidate), v)
+        if cost < current and (best is None or cost < best[1]):
+            best = (candidate, cost)
+    return best
+
+
+def is_greedy_equilibrium(game: FabrikantGame, profile: StrategyProfile) -> bool:
+    """Whether no add-one/drop-one/swap-one deviation improves any player."""
+    return all(
+        greedy_best_move(game, profile, v) is None for v in range(game.n)
+    )
+
+
+@dataclass
+class GreedyDynamicsResult:
+    """Outcome of greedy better-response dynamics in the α-game."""
+
+    profile: StrategyProfile
+    converged: bool
+    steps: int
+
+
+def greedy_dynamics(
+    game: FabrikantGame,
+    initial: StrategyProfile,
+    max_steps: int = 5_000,
+    seed=None,
+) -> GreedyDynamicsResult:
+    """Round-robin greedy better-response until no player moves.
+
+    Deterministic given the seed (used only to randomize the round-robin
+    starting offset, decorrelating replicate runs).
+    """
+    rng = make_rng(seed)
+    profile = game.normalize(initial)
+    n = game.n
+    offset = int(rng.integers(0, n))
+    steps = 0
+    quiet = 0
+    idx = 0
+    while steps < max_steps and quiet < n:
+        v = (offset + idx) % n
+        idx += 1
+        move = greedy_best_move(game, profile, v)
+        if move is None:
+            quiet += 1
+            continue
+        quiet = 0
+        profile = game.with_strategy(profile, v, move[0])
+        steps += 1
+    return GreedyDynamicsResult(profile, quiet >= n, steps)

@@ -1,0 +1,146 @@
+"""Social cost, social optimum, and price of anarchy.
+
+Two cost conventions appear in this literature and both are implemented:
+
+* **α-game social cost** — ``α·m + Σ_{u,v} d(u, v)`` (ordered pairs), the sum
+  of player costs in :class:`~repro.games.fabrikant.FabrikantGame`;
+* **basic-game usage cost** — just ``Σ_{u,v} d(u, v)``, since the basic game
+  fixes the edge budget (swaps preserve ``m``) and cost is usage only.
+
+For the α-game optimum we use the classical fact (Fabrikant et al.) that the
+social optimum is the complete graph for ``α ≤ 2`` and the star for
+``α ≥ 2`` — :func:`alpha_social_optimum` returns the exact minimum of the
+two closed forms, and the test suite brute-forces tiny ``n`` to confirm.
+
+The paper's headline relation — price of anarchy within a constant factor of
+the maximum equilibrium diameter ([7]) — is measured by
+:func:`poa_diameter_ratio`: for a graph ``G`` with fixed edge budget, the
+usage-cost PoA against the same-``m`` star-plus-extras baseline, divided by
+``diam(G)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graphs import (
+    CSRGraph,
+    diameter,
+    star_graph,
+    total_pairwise_distance,
+)
+
+__all__ = [
+    "alpha_social_cost",
+    "star_social_cost",
+    "clique_social_cost",
+    "alpha_social_optimum",
+    "usage_social_cost",
+    "usage_optimum_same_budget",
+    "price_of_anarchy_alpha",
+    "poa_diameter_ratio",
+    "star_plus_matching_graph",
+]
+
+
+def alpha_social_cost(graph: CSRGraph, alpha: float) -> float:
+    """``α·m + Σ_{ordered pairs} d(u, v)`` (``inf`` when disconnected)."""
+    usage = total_pairwise_distance(graph)
+    return alpha * graph.m + usage
+
+
+def star_social_cost(n: int, alpha: float) -> float:
+    """Closed-form α-social cost of the star on ``n`` vertices.
+
+    ``m = n−1``; usage: center ``n−1``, each leaf ``1 + 2(n−2)``, so the
+    ordered-pair total is ``2(n−1) + 2(n−1)(n−2)``.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    usage = 2 * (n - 1) + 2 * (n - 1) * (n - 2)
+    return alpha * (n - 1) + usage
+
+
+def clique_social_cost(n: int, alpha: float) -> float:
+    """Closed-form α-social cost of ``K_n``: ``α·C(n,2) + n(n−1)``."""
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    return alpha * (n * (n - 1) // 2) + n * (n - 1)
+
+
+def alpha_social_optimum(n: int, alpha: float) -> float:
+    """The α-game social optimum: ``min(star, clique)`` (exact for all α).
+
+    Classical result: for ``α ≤ 2`` the clique is optimal, for ``α ≥ 2`` the
+    star; at ``α = 2`` they tie together with everything between.
+    """
+    return min(star_social_cost(n, alpha), clique_social_cost(n, alpha))
+
+
+def usage_social_cost(graph: CSRGraph) -> float:
+    """Basic-game social cost: total ordered-pair distance."""
+    return total_pairwise_distance(graph)
+
+
+def star_plus_matching_graph(n: int, m: int) -> CSRGraph:
+    """A near-optimal usage-cost graph with exactly ``m`` edges.
+
+    Star plus ``m − (n−1)`` extra leaf–leaf edges (greedily paired).  Its
+    usage cost lower-bounds nothing but upper-bounds the optimum, which is
+    all the PoA denominator needs (a smaller optimum would only *increase*
+    measured PoA, so the reported ratios are conservative lower bounds).
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got {n}")
+    max_m = n * (n - 1) // 2
+    if not (min(n - 1, max_m)) <= m <= max_m:
+        raise GraphError(f"need n-1 <= m <= {max_m}, got m={m}")
+    edges = set(star_graph(n).edge_set())
+    extra = m - len(edges)
+    leaves = [v for v in range(1, n)]
+    for i in range(len(leaves)):
+        if extra <= 0:
+            break
+        for j in range(i + 1, len(leaves)):
+            if extra <= 0:
+                break
+            e = (leaves[i], leaves[j])
+            if e not in edges:
+                edges.add(e)
+                extra -= 1
+    return CSRGraph(n, edges)
+
+
+def usage_optimum_same_budget(n: int, m: int) -> float:
+    """Upper bound on the minimum usage cost among connected (n, m) graphs."""
+    return usage_social_cost(star_plus_matching_graph(n, m))
+
+
+def price_of_anarchy_alpha(
+    equilibrium_graphs: "list[CSRGraph]", alpha: float
+) -> float:
+    """Worst α-social cost among equilibria divided by the social optimum."""
+    if not equilibrium_graphs:
+        raise GraphError("need at least one equilibrium graph")
+    n = equilibrium_graphs[0].n
+    if any(g.n != n for g in equilibrium_graphs):
+        raise GraphError("equilibria must share a vertex count")
+    worst = max(alpha_social_cost(g, alpha) for g in equilibrium_graphs)
+    return worst / alpha_social_optimum(n, alpha)
+
+
+def poa_diameter_ratio(graph: CSRGraph) -> tuple[float, int, float]:
+    """``(PoA_usage, diameter, PoA_usage / diameter)`` for one equilibrium.
+
+    ``PoA_usage`` compares the graph's usage cost to the same-edge-budget
+    star-plus-extras baseline.  The final component is the constant the
+    paper says is bounded — the bench tabulates it across every equilibrium
+    family to exhibit the constant-factor relation empirically.
+    """
+    n, m = graph.n, graph.m
+    usage = usage_social_cost(graph)
+    opt = usage_optimum_same_budget(n, m)
+    d = diameter(graph)
+    poa = usage / opt if opt > 0 else 1.0
+    return poa, d, (poa / d if d > 0 else poa)

@@ -1,0 +1,130 @@
+"""The transfer principle, measured: swap bounds apply to α-equilibria.
+
+The paper's Section 1 argument: a Nash equilibrium of the α-game is stable
+against each owner relocating one of its *own* edges (same creation cost,
+so the move is judged purely on usage) — an **owner-restricted swap
+stability**.  Since the paper's diameter upper bounds only ever invoke swaps
+available to some endpoint, they hold for every α simultaneously.
+
+This module makes the two halves measurable:
+
+* :func:`owner_swap_stable` — the owner-restricted swap audit on a strategy
+  profile (a *necessary* condition for Nash, checkable in polynomial time);
+* :func:`transfer_sweep` — for a grid of α and random seeds, run greedy
+  α-dynamics to (greedy-)equilibrium, audit owner-swap stability, and record
+  the equilibrium diameters next to the swap-equilibrium bound curves.
+
+The expected picture (EXPERIMENTS.md tabulates it): every converged α-game
+equilibrium passes the owner-swap audit, and the diameters stay far below
+the Theorem 9 curve for *every* α — the uniform treatment the basic game
+buys without knowing α.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.bounds import theorem9_diameter_bound
+from ..graphs import diameter_or_inf, is_connected
+from ..rng import derive_seed
+from .fabrikant import FabrikantGame, StrategyProfile, random_profile
+from .nash import greedy_dynamics, is_greedy_equilibrium
+
+__all__ = ["owner_swap_stable", "TransferRecord", "transfer_sweep"]
+
+
+def owner_swap_stable(game: FabrikantGame, profile: StrategyProfile) -> bool:
+    """No owner can improve usage by relocating one of its bought edges.
+
+    This is exactly the basic game's swap move restricted to edge owners;
+    creation cost is unchanged by a relocation, so the comparison is on
+    player cost directly.
+    """
+    n = game.n
+    for v in range(n):
+        current = game.player_cost(profile, v)
+        mine = profile[v]
+        for w in mine:
+            for w2 in range(n):
+                if w2 == v or w2 in mine:
+                    continue
+                candidate = (mine - {w}) | {w2}
+                cost = game.player_cost(
+                    game.with_strategy(profile, v, candidate), v
+                )
+                if cost < current:
+                    return False
+    return True
+
+
+@dataclass
+class TransferRecord:
+    """One α-dynamics run and its transfer audit."""
+
+    n: int
+    alpha: float
+    seed: int
+    converged: bool
+    steps: int
+    connected: bool
+    is_greedy_eq: bool
+    owner_swap_stable: bool
+    diameter: float
+    theorem9_bound: float
+    within_bound: bool
+    m_edges: int
+
+
+def transfer_sweep(
+    n: int,
+    alphas: Sequence[float],
+    replicates: int = 3,
+    root_seed: int = 0,
+    edges_per_player: int = 2,
+    max_steps: int = 5_000,
+) -> list[TransferRecord]:
+    """Greedy α-dynamics across an α grid; audit and record each endpoint."""
+    records: list[TransferRecord] = []
+    for ai, alpha in enumerate(alphas):
+        game = FabrikantGame(n, alpha)
+        for rep in range(replicates):
+            seed = derive_seed(root_seed, ai, rep)
+            initial = random_profile(n, edges_per_player, seed)
+            result = greedy_dynamics(
+                game, initial, max_steps=max_steps, seed=derive_seed(seed, 1)
+            )
+            graph = game.graph_of(result.profile)
+            connected = is_connected(graph)
+            diam = diameter_or_inf(graph)
+            bound = theorem9_diameter_bound(n)
+            greedy_eq = (
+                is_greedy_equilibrium(game, result.profile)
+                if result.converged
+                else False
+            )
+            stable = (
+                owner_swap_stable(game, result.profile)
+                if connected
+                else False
+            )
+            records.append(
+                TransferRecord(
+                    n=n,
+                    alpha=float(alpha),
+                    seed=seed,
+                    converged=result.converged,
+                    steps=result.steps,
+                    connected=connected,
+                    is_greedy_eq=greedy_eq,
+                    owner_swap_stable=stable,
+                    diameter=diam,
+                    theorem9_bound=bound,
+                    within_bound=(
+                        math.isfinite(diam) and diam <= bound
+                    ),
+                    m_edges=graph.m,
+                )
+            )
+    return records

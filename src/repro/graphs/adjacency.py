@@ -1,0 +1,174 @@
+"""Mutable adjacency-set graphs for best-response dynamics.
+
+:class:`AdjacencyGraph` trades the cache-friendly layout of
+:class:`~repro.graphs.csr.CSRGraph` for O(1) edge mutation, which is what the
+swap-dynamics inner loop needs: a dynamics run applies thousands of single
+edge swaps, and rebuilding CSR arrays per swap would dominate the runtime.
+The dynamics engine mutates an :class:`AdjacencyGraph` and snapshots to CSR
+only when a distance kernel needs one (the snapshot is cached and invalidated
+on mutation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import GraphError, InvalidEdgeError
+from .csr import CSRGraph
+
+__all__ = ["AdjacencyGraph"]
+
+
+class AdjacencyGraph:
+    """A mutable simple undirected graph backed by per-vertex sets.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Initial edges; duplicates/self-loops raise :class:`InvalidEdgeError`.
+    """
+
+    __slots__ = ("n", "_adj", "_m", "_csr_cache")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self.n = int(n)
+        self._adj: list[set[int]] = [set() for _ in range(self.n)]
+        self._m = 0
+        self._csr_cache: CSRGraph | None = None
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, g: CSRGraph) -> "AdjacencyGraph":
+        """Build a mutable copy of ``g``."""
+        out = cls(g.n)
+        for u, v in g.iter_edges():
+            out.add_edge(u, v)
+        return out
+
+    def copy(self) -> "AdjacencyGraph":
+        """Deep copy (adjacency sets are duplicated)."""
+        out = AdjacencyGraph(self.n)
+        out._adj = [set(s) for s in self._adj]
+        out._m = self._m
+        return out
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self._m
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> set[int]:
+        """The neighbour set of ``v`` (a live reference; do not mutate)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate canonical ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        """Frozen canonical edge set (dynamics cycle-detection key)."""
+        return frozenset(self.iter_edges())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``{u, v}``; raises if it exists or is a self-loop."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise InvalidEdgeError(f"self-loop ({u}, {v}) not allowed")
+        if v in self._adj[u]:
+            raise InvalidEdgeError(f"edge ({u}, {v}) already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._m += 1
+        self._csr_cache = None
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``{u, v}``; raises if missing."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise InvalidEdgeError(f"edge ({u}, {v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._m -= 1
+        self._csr_cache = None
+
+    def swap_edge(self, v: int, drop: int, add: int) -> None:
+        """Apply the basic-game move at ``v``: replace ``v–drop`` by ``v–add``.
+
+        Following the paper, swapping onto an existing neighbour (or onto
+        ``drop`` itself … a no-op) encodes *deletion* of the dropped edge:
+        the result is always a simple graph.
+        """
+        self._check_vertex(v)
+        self._check_vertex(drop)
+        self._check_vertex(add)
+        if drop not in self._adj[v]:
+            raise InvalidEdgeError(f"swap drops missing edge ({v}, {drop})")
+        if add == v:
+            raise InvalidEdgeError(f"swap cannot add self-loop at {v}")
+        self.remove_edge(v, drop)
+        if add != drop and add not in self._adj[v]:
+            self.add_edge(v, add)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRGraph:
+        """Immutable CSR snapshot (cached until the next mutation)."""
+        if self._csr_cache is None:
+            self._csr_cache = CSRGraph(self.n, self.iter_edges())
+        return self._csr_cache
+
+    def neighbors_array(self, v: int) -> np.ndarray:
+        """Sorted ``int32`` array of neighbours of ``v`` (a fresh copy)."""
+        self._check_vertex(v)
+        return np.fromiter(
+            sorted(self._adj[v]), dtype=np.int32, count=len(self._adj[v])
+        )
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= int(v) < self.n:
+            raise GraphError(f"vertex {v} out of range for n={self.n}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AdjacencyGraph):
+            return NotImplemented
+        return self.n == other.n and self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdjacencyGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,206 @@
+"""Vectorized breadth-first search kernels.
+
+These are the hot loops of the whole library: every equilibrium check and
+every dynamics step reduces to BFS from one vertex, possibly under a *patch*
+(one incident edge removed, one added) describing a candidate swap.
+
+The implementation follows the frontier-at-a-time formulation recommended by
+the hpc-parallel guides: each BFS level performs a single batched gather of
+all neighbours of the frontier (``indices[idx]`` with a computed flat index),
+one mask against the distance array, and one :func:`numpy.unique`.  No Python
+loop runs per-vertex — only per *level*, of which there are at most
+``diameter`` many.
+
+Patched BFS evaluates ``G - {a,b} + extra`` without building the modified
+graph: the excluded edge is masked out of each gathered (source, neighbour)
+pair batch, and the few extra edges are appended whenever one of their
+endpoints enters the frontier.  A swap evaluation therefore costs one O(m)
+BFS with no allocation proportional to the graph beyond the distance array.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "bfs_distances",
+    "bfs_aggregates",
+    "bfs_tree_parents",
+    "UNREACHABLE",
+]
+
+#: Sentinel distance for unreachable vertices (kept negative so masks are cheap).
+UNREACHABLE: int = -1
+
+
+def _frontier_neighbors(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    frontier: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather all (source, neighbour) pairs for a frontier in one batch.
+
+    Returns ``(srcs, nbrs)`` aligned arrays; both empty when the frontier has
+    no outgoing half-edges.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=indices.dtype)
+        return empty, empty
+    cum = np.cumsum(counts)
+    # idx[t] = starts[j] + (t - cum_prev[j]) for the frontier slot j owning t.
+    idx = np.arange(total, dtype=np.int64) + np.repeat(starts - (cum - counts), counts)
+    nbrs = indices[idx]
+    srcs = np.repeat(frontier, counts)
+    return srcs, nbrs
+
+
+def bfs_distances(
+    graph: CSRGraph,
+    source: int,
+    *,
+    exclude: tuple[int, int] | None = None,
+    extra: Sequence[tuple[int, int]] = (),
+) -> np.ndarray:
+    """Distances from ``source`` in ``graph`` (optionally patched), as int32.
+
+    Parameters
+    ----------
+    graph:
+        The base graph.
+    source:
+        Start vertex.
+    exclude:
+        An undirected edge ``(a, b)`` to treat as absent.  It need not exist
+        in ``graph`` (the mask simply never fires).
+    extra:
+        Undirected edges to treat as present in addition to ``graph``'s.
+        Intended for O(1)-sized patches (a swap adds one edge); the cost per
+        level is O(len(extra)).
+
+    Returns
+    -------
+    numpy.ndarray
+        Length-``n`` int32 array; unreachable vertices hold ``UNREACHABLE``.
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for n={n}")
+    indptr, indices = graph.indptr, graph.indices
+
+    dist = np.full(n, UNREACHABLE, dtype=np.int32)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int32)
+
+    if exclude is not None:
+        ea, eb = int(exclude[0]), int(exclude[1])
+    else:
+        ea = eb = -1
+
+    # Map endpoint -> extra neighbours, both directions.
+    extra_map: dict[int, np.ndarray] = {}
+    if extra:
+        tmp: dict[int, list[int]] = {}
+        for a, b in extra:
+            a, b = int(a), int(b)
+            if a == b:
+                raise GraphError(f"extra self-loop ({a}, {b}) not allowed")
+            tmp.setdefault(a, []).append(b)
+            tmp.setdefault(b, []).append(a)
+        extra_map = {
+            u: np.asarray(vs, dtype=np.int32) for u, vs in tmp.items()
+        }
+
+    level = 0
+    while frontier.size:
+        srcs, nbrs = _frontier_neighbors(indptr, indices, frontier)
+        if ea >= 0 and nbrs.size:
+            keep = ~(
+                ((srcs == ea) & (nbrs == eb)) | ((srcs == eb) & (nbrs == ea))
+            )
+            nbrs = nbrs[keep]
+        if extra_map:
+            appended = [nbrs]
+            for u, extra_nbrs in extra_map.items():
+                if 0 <= u < n and dist[u] == level:
+                    appended.append(extra_nbrs)
+            if len(appended) > 1:
+                nbrs = np.concatenate(appended)
+        if nbrs.size == 0:
+            break
+        fresh = nbrs[dist[nbrs] == UNREACHABLE]
+        if fresh.size == 0:
+            break
+        frontier = np.unique(fresh)
+        level += 1
+        dist[frontier] = level
+    return dist
+
+
+def bfs_aggregates(
+    graph: CSRGraph,
+    source: int,
+    *,
+    exclude: tuple[int, int] | None = None,
+    extra: Sequence[tuple[int, int]] = (),
+) -> tuple[int, int, int]:
+    """BFS returning ``(sum_of_distances, eccentricity, reached)``.
+
+    ``reached`` counts vertices at finite distance *including* the source.
+    When the patched graph is disconnected from ``source``'s side,
+    ``reached < n`` and callers should treat both aggregates as infinite.
+    The sum and eccentricity are over reached vertices only.
+    """
+    dist = bfs_distances(graph, source, exclude=exclude, extra=extra)
+    reached_mask = dist != UNREACHABLE
+    reached = int(reached_mask.sum())
+    if reached <= 1:
+        return 0, 0, reached
+    finite = dist[reached_mask]
+    return int(finite.sum(dtype=np.int64)), int(finite.max()), reached
+
+
+def bfs_tree_parents(graph: CSRGraph, source: int) -> np.ndarray:
+    """Parents of a BFS tree rooted at ``source``.
+
+    ``parents[source] == source``; unreachable vertices hold ``UNREACHABLE``.
+    Among equal-distance parents the smallest-index neighbour wins, making
+    the tree deterministic (Lemma 10's argument walks such a tree).
+    """
+    n = graph.n
+    if not 0 <= source < n:
+        raise GraphError(f"source {source} out of range for n={n}")
+    indptr, indices = graph.indptr, graph.indices
+    dist = np.full(n, UNREACHABLE, dtype=np.int32)
+    parent = np.full(n, UNREACHABLE, dtype=np.int32)
+    dist[source] = 0
+    parent[source] = source
+    frontier = np.asarray([source], dtype=np.int32)
+    level = 0
+    while frontier.size:
+        srcs, nbrs = _frontier_neighbors(indptr, indices, frontier)
+        if nbrs.size == 0:
+            break
+        mask = dist[nbrs] == UNREACHABLE
+        srcs, nbrs = srcs[mask], nbrs[mask]
+        if nbrs.size == 0:
+            break
+        # For each discovered vertex keep the smallest parent index:
+        # sort by (child, parent) and keep the first occurrence per child.
+        order = np.lexsort((srcs, nbrs))
+        nbrs, srcs = nbrs[order], srcs[order]
+        first = np.ones(nbrs.size, dtype=bool)
+        first[1:] = nbrs[1:] != nbrs[:-1]
+        children = nbrs[first]
+        parent[children] = srcs[first]
+        level += 1
+        dist[children] = level
+        frontier = children
+    return parent

@@ -1,0 +1,109 @@
+"""Bridges between :class:`~repro.graphs.csr.CSRGraph` and the outside world.
+
+networkx conversion (for cross-validation in tests and for users who want to
+plot), edge-list text I/O (for archiving experiment outputs), and
+deterministic relabeling (canonicalizing vertex names from constructions that
+naturally produce tuple-labelled vertices, like the torus).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Hashable, Iterable
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "relabel_to_integers",
+    "write_edge_list",
+    "read_edge_list",
+]
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to :class:`networkx.Graph` (isolated vertices preserved)."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    g.add_edges_from(graph.iter_edges())
+    return g
+
+
+def from_networkx(g) -> CSRGraph:
+    """Convert a :class:`networkx.Graph` with integer nodes ``0..n-1``.
+
+    Non-integer or non-contiguous labels should go through
+    :func:`relabel_to_integers` first; we refuse to guess an ordering.
+    """
+    nodes = list(g.nodes())
+    n = len(nodes)
+    if sorted(nodes) != list(range(n)):
+        raise GraphError(
+            "networkx graph must be labelled 0..n-1; use relabel_to_integers"
+        )
+    return CSRGraph(n, ((int(u), int(v)) for u, v in g.edges()))
+
+
+def relabel_to_integers(
+    nodes: Iterable[Hashable], edges: Iterable[tuple[Hashable, Hashable]]
+) -> tuple[CSRGraph, dict[Hashable, int]]:
+    """Relabel arbitrary hashable vertices to ``0..n-1`` deterministically.
+
+    Vertices are numbered in sorted order when sortable, falling back to
+    first-seen order otherwise.  Returns the graph and the label -> index map
+    so callers (e.g. the torus construction) can translate coordinates.
+    """
+    node_list = list(nodes)
+    try:
+        node_list = sorted(node_list)
+    except TypeError:
+        seen: dict[Hashable, None] = {}
+        for x in node_list:
+            seen.setdefault(x, None)
+        node_list = list(seen)
+    index: dict[Hashable, int] = {x: i for i, x in enumerate(node_list)}
+    if len(index) != len(node_list):
+        raise GraphError("duplicate vertex labels")
+    edge_pairs = []
+    for u, v in edges:
+        if u not in index or v not in index:
+            raise GraphError(f"edge ({u!r}, {v!r}) references unknown vertex")
+        edge_pairs.append((index[u], index[v]))
+    return CSRGraph(len(node_list), edge_pairs), index
+
+
+def write_edge_list(graph: CSRGraph, path: "str | Path") -> None:
+    """Write ``n m`` header plus one ``u v`` line per canonical edge."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"{graph.n} {graph.m}\n")
+        for u, v in graph.iter_edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: "str | Path") -> CSRGraph:
+    """Inverse of :func:`write_edge_list` (validates the edge count)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().split()
+        if len(header) != 2:
+            raise GraphError(f"malformed edge-list header in {path}")
+        n, m = int(header[0]), int(header[1])
+        edges = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphError(f"malformed edge line {line!r} in {path}")
+            edges.append((int(parts[0]), int(parts[1])))
+    if len(edges) != m:
+        raise GraphError(
+            f"edge-list {path} declares m={m} but contains {len(edges)} edges"
+        )
+    return CSRGraph(n, edges)

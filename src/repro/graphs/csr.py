@@ -1,0 +1,204 @@
+"""Immutable CSR (compressed sparse row) graphs.
+
+:class:`CSRGraph` is the read-mostly representation all distance kernels run
+on.  Adjacency is stored as two contiguous ``int32`` arrays — ``indptr`` of
+length ``n+1`` and ``indices`` of length ``2m`` — exactly the layout
+scipy.sparse uses, so conversion to :class:`scipy.sparse.csr_array` is free.
+Per the hpc-parallel guides the layout is chosen for cache-friendly frontier
+expansion: the neighbours of a vertex are a contiguous slice, and batch
+neighbour gathers are single fancy-indexing operations.
+
+Graphs are simple (no self-loops, no parallel edges) and undirected; every
+edge ``{u, v}`` is stored twice (as ``u -> v`` and ``v -> u``).  Mutation goes
+through :class:`repro.graphs.adjacency.AdjacencyGraph`; CSR graphs are frozen
+and hashable by canonical edge set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import GraphError, InvalidEdgeError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable simple undirected graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are ``0 .. n-1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Order and orientation are irrelevant;
+        duplicates and self-loops raise :class:`InvalidEdgeError`.
+
+    Notes
+    -----
+    Construction sorts each adjacency slice, so neighbour arrays are ordered
+    and membership tests can use :func:`numpy.searchsorted`.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "_edge_array", "_hash")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        self.n = int(n)
+
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        m = len(edge_list)
+        if m == 0:
+            arr = np.empty((0, 2), dtype=np.int32)
+        else:
+            arr = np.asarray(edge_list, dtype=np.int64)
+            if arr.min(initial=0) < 0 or (m and arr.max(initial=-1) >= n):
+                bad = arr[(arr < 0).any(axis=1) | (arr >= n).any(axis=1)][0]
+                raise InvalidEdgeError(
+                    f"edge {tuple(bad)} out of range for n={n}"
+                )
+            if (arr[:, 0] == arr[:, 1]).any():
+                bad = arr[arr[:, 0] == arr[:, 1]][0]
+                raise InvalidEdgeError(f"self-loop {tuple(bad)} not allowed")
+            lo = np.minimum(arr[:, 0], arr[:, 1])
+            hi = np.maximum(arr[:, 0], arr[:, 1])
+            keys = lo * np.int64(n) + hi
+            if np.unique(keys).size != m:
+                raise InvalidEdgeError("duplicate edges not allowed")
+            order = np.argsort(keys, kind="stable")
+            arr = np.stack([lo[order], hi[order]], axis=1).astype(np.int32)
+
+        self._edge_array = arr
+        self._edge_array.setflags(write=False)
+
+        # Build CSR from the doubled (directed) edge list.
+        if m:
+            src = np.concatenate([arr[:, 0], arr[:, 1]])
+            dst = np.concatenate([arr[:, 1], arr[:, 0]])
+            order = np.argsort(src * np.int64(n) + dst, kind="stable")
+            src = src[order]
+            dst = dst[order]
+            counts = np.bincount(src, minlength=n)
+            self.indptr = np.concatenate(
+                [[0], np.cumsum(counts)]
+            ).astype(np.int32)
+            self.indices = dst.astype(np.int32)
+        else:
+            self.indptr = np.zeros(n + 1, dtype=np.int32)
+            self.indices = np.empty(0, dtype=np.int32)
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self._edge_array.shape[0]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees (``int32``, length ``n``)."""
+        return (self.indptr[1:] - self.indptr[:-1]).astype(np.int32)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted ``int32`` array of neighbours of ``v`` (a read-only view)."""
+        self._check_vertex(v)
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``{u, v}`` exists.  O(log deg) via binary search."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            return False
+        nbrs = self.indices[self.indptr[u] : self.indptr[u + 1]]
+        i = int(np.searchsorted(nbrs, v))
+        return i < nbrs.size and int(nbrs[i]) == v
+
+    def edges(self) -> np.ndarray:
+        """Canonical ``(m, 2)`` array of edges with ``u < v``, sorted."""
+        return self._edge_array
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over canonical edges as Python int pairs."""
+        for u, v in self._edge_array:
+            yield int(u), int(v)
+
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        """Frozen set of canonical edges, usable as a dynamics-state key."""
+        return frozenset((int(u), int(v)) for u, v in self._edge_array)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def with_edges(
+        self,
+        add: Iterable[tuple[int, int]] = (),
+        remove: Iterable[tuple[int, int]] = (),
+    ) -> "CSRGraph":
+        """Return a new graph with ``remove`` dropped and ``add`` inserted.
+
+        Raises :class:`InvalidEdgeError` when a removed edge does not exist or
+        an added edge already does (after removals were applied).
+        """
+        current = set(self.edge_set())
+        for u, v in remove:
+            e = self._canon(u, v)
+            if e not in current:
+                raise InvalidEdgeError(f"cannot remove missing edge {e}")
+            current.discard(e)
+        for u, v in add:
+            e = self._canon(u, v)
+            if e in current:
+                raise InvalidEdgeError(f"cannot add existing edge {e}")
+            current.add(e)
+        return CSRGraph(self.n, current)
+
+    def _canon(self, u: int, v: int) -> tuple[int, int]:
+        u, v = int(u), int(v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise InvalidEdgeError(f"self-loop ({u}, {v}) not allowed")
+        return (u, v) if u < v else (v, u)
+
+    def to_scipy(self):
+        """Return the adjacency as a :class:`scipy.sparse.csr_array` of 1s."""
+        import scipy.sparse as sp
+
+        data = np.ones(self.indices.size, dtype=np.int8)
+        return sp.csr_array(
+            (data, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= int(v) < self.n:
+            raise GraphError(f"vertex {v} out of range for n={self.n}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return self.n == other.n and np.array_equal(
+            self._edge_array, other._edge_array
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.n, self._edge_array.tobytes()))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n}, m={self.m})"

@@ -1,0 +1,210 @@
+"""Seeded graph generators for experiments and tests.
+
+Everything is deterministic given a seed (see :mod:`repro.rng`).  The random
+families are the initial conditions of the dynamics experiments: random trees
+(via Prüfer sequences), connected ``G(n, m)`` graphs (random spanning tree
+plus uniform extra edges), and ring-based graphs.  The deterministic families
+(paths, cycles, stars, complete graphs, grids) anchor the unit tests because
+their distance structure is known in closed form.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..rng import make_rng
+from .csr import CSRGraph
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "grid_graph",
+    "random_tree",
+    "random_connected_gnm",
+    "prufer_to_tree",
+    "all_trees",
+]
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """``n`` isolated vertices."""
+    return CSRGraph(n, [])
+
+
+def path_graph(n: int) -> CSRGraph:
+    """The path ``0 - 1 - … - (n-1)``; diameter ``n - 1``."""
+    return CSRGraph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """The cycle on ``n ≥ 3`` vertices; diameter ``⌊n/2⌋``."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return CSRGraph(n, edges)
+
+
+def star_graph(n: int, center: int = 0) -> CSRGraph:
+    """The star on ``n`` vertices with the given center; diameter 2 for n ≥ 3.
+
+    Theorem 1: the unique sum-equilibrium tree family.
+    """
+    if n < 1:
+        raise GraphError(f"star needs n >= 1, got {n}")
+    if not 0 <= center < n:
+        raise GraphError(f"center {center} out of range for n={n}")
+    return CSRGraph(n, [(center, v) for v in range(n) if v != center])
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """``K_n``; diameter 1 for n ≥ 2."""
+    return CSRGraph(n, [(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+def complete_bipartite_graph(a: int, b: int) -> CSRGraph:
+    """``K_{a,b}`` with sides ``0..a-1`` and ``a..a+b-1``."""
+    if a < 1 or b < 1:
+        raise GraphError(f"bipartite sides must be positive, got {a}, {b}")
+    return CSRGraph(a + b, [(u, a + v) for u in range(a) for v in range(b)])
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """The ``rows × cols`` 4-neighbour grid; vertex ``(r, c)`` is ``r*cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs positive dimensions, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return CSRGraph(rows * cols, edges)
+
+
+def prufer_to_tree(prufer: "list[int] | np.ndarray", n: int) -> CSRGraph:
+    """Decode a Prüfer sequence of length ``n - 2`` into the labelled tree.
+
+    The decoding is the standard linear-time algorithm; every labelled tree on
+    ``n`` vertices corresponds to exactly one sequence, which is what lets
+    :func:`all_trees` enumerate trees exhaustively and :func:`random_tree`
+    sample them uniformly.
+    """
+    import heapq
+
+    seq = [int(x) for x in prufer]
+    if n < 2:
+        raise GraphError(f"prufer trees need n >= 2, got {n}")
+    if len(seq) != n - 2:
+        raise GraphError(
+            f"prufer sequence for n={n} must have length {n - 2}, got {len(seq)}"
+        )
+    if any(not 0 <= x < n for x in seq):
+        raise GraphError("prufer sequence labels out of range")
+    degree = [1] * n
+    for x in seq:
+        degree[x] += 1
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    edges: list[tuple[int, int]] = []
+    for x in seq:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return CSRGraph(n, edges)
+
+
+def random_tree(n: int, seed=None) -> CSRGraph:
+    """A uniformly random labelled tree on ``n`` vertices (Prüfer sampling)."""
+    if n < 1:
+        raise GraphError(f"tree needs n >= 1, got {n}")
+    if n == 1:
+        return empty_graph(1)
+    if n == 2:
+        return CSRGraph(2, [(0, 1)])
+    rng = make_rng(seed)
+    seq = rng.integers(0, n, size=n - 2)
+    return prufer_to_tree(seq, n)
+
+
+def random_connected_gnm(n: int, m: int, seed=None) -> CSRGraph:
+    """A random connected graph with exactly ``m`` edges.
+
+    Built as a uniform random spanning tree (Prüfer) plus ``m - (n-1)``
+    additional edges sampled uniformly from the non-tree pairs.  This is not
+    the uniform distribution over connected G(n, m) graphs, but it is a
+    standard, cheap ensemble for dynamics initial conditions; its bias is
+    irrelevant because dynamics only need *diverse connected seeds*.
+    """
+    if n < 1:
+        raise GraphError(f"graph needs n >= 1, got {n}")
+    max_m = n * (n - 1) // 2
+    if not (n - 1) <= m <= max_m:
+        raise GraphError(
+            f"connected graph on n={n} needs n-1 <= m <= {max_m}, got {m}"
+        )
+    rng = make_rng(seed)
+    tree = random_tree(n, rng)
+    existing = set(tree.edge_set())
+    extra_needed = m - (n - 1)
+    if extra_needed == 0:
+        return tree
+    edges = set(existing)
+    # Rejection-sample non-edges; when the graph is dense, switch to explicit
+    # enumeration of the complement to avoid long rejection streaks.
+    if m > 0.75 * max_m:
+        complement = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in existing
+        ]
+        pick = rng.choice(len(complement), size=extra_needed, replace=False)
+        for i in pick:
+            edges.add(complement[int(i)])
+    else:
+        while len(edges) < m:
+            u = int(rng.integers(0, n))
+            v = int(rng.integers(0, n))
+            if u == v:
+                continue
+            e = (u, v) if u < v else (v, u)
+            edges.add(e)
+    return CSRGraph(n, edges)
+
+
+def all_trees(n: int):
+    """Yield every labelled tree on ``n`` vertices exactly once.
+
+    Enumerates all ``n^(n-2)`` Prüfer sequences; practical for ``n ≤ 9``
+    (9^7 ≈ 4.8M is the ceiling used by the exhaustive theorem tests at n ≤ 7,
+    benches go a little higher).
+    """
+    if n < 1:
+        raise GraphError(f"tree needs n >= 1, got {n}")
+    if n == 1:
+        yield empty_graph(1)
+        return
+    if n == 2:
+        yield CSRGraph(2, [(0, 1)])
+        return
+    seq = [0] * (n - 2)
+    while True:
+        yield prufer_to_tree(seq, n)
+        # Odometer increment over base-n digits.
+        i = n - 3
+        while i >= 0 and seq[i] == n - 1:
+            seq[i] = 0
+            i -= 1
+        if i < 0:
+            return
+        seq[i] += 1

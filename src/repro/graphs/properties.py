@@ -1,0 +1,258 @@
+"""Structural graph properties used by the paper's proofs.
+
+* **girth** — Lemma 8 applies to girth-4 graphs (Theorem 5's verification);
+* **cut vertices** — Lemma 3 constrains components hanging off a cut vertex
+  of a max equilibrium (Tarjan's articulation-point algorithm, iterative);
+* **vertex transitivity** — Theorem 12's torus proofs lean on transitivity;
+  we provide an exact check (small n, via automorphism search on distance
+  profiles) and a cheap necessary condition (identical sorted distance
+  vectors), which suffices for large instances;
+* **neighborhood independence** — the paper proves Figure 3 has girth 4 "by
+  checking that the neighbor set of each vertex is an independent set"; we
+  expose that exact test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+from .distances import distance_matrix
+
+__all__ = [
+    "girth",
+    "cut_vertices",
+    "connected_components",
+    "is_bipartite",
+    "neighborhoods_are_independent",
+    "distance_profiles_identical",
+    "is_vertex_transitive",
+    "degree_sequence",
+]
+
+
+def girth(graph: CSRGraph) -> float:
+    """Length of the shortest cycle; ``inf`` for forests.
+
+    BFS from every vertex; a non-tree edge closing at depth ``d`` witnesses a
+    cycle of length ``2d + 1`` (cross edge within a level) or ``2d`` (edge to
+    the previous level's sibling).  O(n·m) total — fine for the instance sizes
+    the equilibrium audits handle.
+    """
+    n = graph.n
+    best = float("inf")
+    for root in range(n):
+        dist = np.full(n, -1, dtype=np.int32)
+        parent = np.full(n, -1, dtype=np.int32)
+        dist[root] = 0
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            if dist[u] * 2 >= best:
+                break
+            for v in graph.neighbors(u):
+                v = int(v)
+                if dist[v] == -1:
+                    dist[v] = dist[u] + 1
+                    parent[v] = u
+                    queue.append(v)
+                elif parent[u] != v:
+                    # Non-tree edge: cycle through root of length <= d(u)+d(v)+1.
+                    cycle = int(dist[u]) + int(dist[v]) + 1
+                    if cycle < best:
+                        best = cycle
+    return best
+
+
+def connected_components(graph: CSRGraph) -> list[list[int]]:
+    """Connected components as sorted vertex lists, ordered by minimum vertex."""
+    n = graph.n
+    seen = np.zeros(n, dtype=bool)
+    comps: list[list[int]] = []
+    for s in range(n):
+        if seen[s]:
+            continue
+        stack = [s]
+        seen[s] = True
+        comp = []
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in graph.neighbors(u):
+                v = int(v)
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        comps.append(sorted(comp))
+    return comps
+
+
+def cut_vertices(graph: CSRGraph) -> set[int]:
+    """Articulation points, via iterative Tarjan lowlink DFS."""
+    n = graph.n
+    disc = np.full(n, -1, dtype=np.int64)
+    low = np.full(n, -1, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    result: set[int] = set()
+    timer = 0
+    for root in range(n):
+        if disc[root] != -1:
+            continue
+        root_children = 0
+        # Each frame: (vertex, iterator over neighbours).
+        stack = [(root, iter(graph.neighbors(root)))]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                v = int(v)
+                if disc[v] == -1:
+                    parent[v] = u
+                    if u == root:
+                        root_children += 1
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append((v, iter(graph.neighbors(v))))
+                    advanced = True
+                    break
+                elif v != parent[u]:
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[u])
+                    if p != root and low[u] >= disc[p]:
+                        result.add(int(p))
+        if root_children >= 2:
+            result.add(root)
+    return result
+
+
+def is_bipartite(graph: CSRGraph) -> bool:
+    """2-colourability via BFS layering."""
+    n = graph.n
+    color = np.full(n, -1, dtype=np.int8)
+    for s in range(n):
+        if color[s] != -1:
+            continue
+        color[s] = 0
+        queue = [s]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for v in graph.neighbors(u):
+                v = int(v)
+                if color[v] == -1:
+                    color[v] = 1 - color[u]
+                    queue.append(v)
+                elif color[v] == color[u]:
+                    return False
+    return True
+
+
+def neighborhoods_are_independent(graph: CSRGraph) -> bool:
+    """Whether every vertex's neighbour set is independent (no triangles).
+
+    The paper's girth-4 certificate for Figure 3: neighbourhood independence
+    is exactly triangle-freeness, so (for a graph containing a cycle) it
+    certifies girth ≥ 4.
+    """
+    for u in range(graph.n):
+        nbrs = graph.neighbors(u)
+        nbr_set = set(int(x) for x in nbrs)
+        for v in nbrs:
+            if nbr_set & set(int(x) for x in graph.neighbors(int(v))):
+                return False
+    return True
+
+
+def degree_sequence(graph: CSRGraph) -> tuple[int, ...]:
+    """Sorted (descending) degree sequence."""
+    return tuple(sorted((int(d) for d in graph.degrees()), reverse=True))
+
+
+def distance_profiles_identical(
+    graph: CSRGraph, dm: np.ndarray | None = None
+) -> bool:
+    """Necessary condition for vertex transitivity.
+
+    Every vertex of a vertex-transitive graph has the same multiset of
+    distances to the other vertices.  This is cheap (one sort of the distance
+    matrix rows) and is what the large-instance torus audits use.
+    """
+    if graph.n <= 1:
+        return True
+    if dm is None:
+        dm = distance_matrix(graph)
+    rows = np.sort(dm, axis=1)
+    return bool((rows == rows[0]).all())
+
+
+def is_vertex_transitive(graph: CSRGraph, max_n: int = 64) -> bool:
+    """Exact vertex-transitivity check by automorphism search.
+
+    For every target vertex ``t`` we search for an automorphism mapping
+    vertex 0 to ``t`` with a backtracking search over candidate images,
+    pruned by degree and distance-profile invariants.  Exponential in the
+    worst case, hence guarded by ``max_n``; the paper's constructions are
+    highly symmetric and resolve quickly.
+    """
+    n = graph.n
+    if n > max_n:
+        raise GraphError(
+            f"exact transitivity check limited to n <= {max_n}, got {n}"
+        )
+    if n <= 1:
+        return True
+    dm = distance_matrix(graph)
+    if not distance_profiles_identical(graph, dm):
+        return False
+    profiles = [tuple(np.sort(dm[v]).tolist()) for v in range(n)]
+    degs = graph.degrees()
+    adj = [set(int(x) for x in graph.neighbors(v)) for v in range(n)]
+
+    def extend(mapping: dict[int, int], used: set[int]) -> bool:
+        if len(mapping) == n:
+            return True
+        # Pick the unmapped vertex with the most mapped neighbours (most
+        # constrained first).
+        v = max(
+            (x for x in range(n) if x not in mapping),
+            key=lambda x: sum(1 for y in adj[x] if y in mapping),
+        )
+        mapped_nbrs = [(y, mapping[y]) for y in adj[v] if y in mapping]
+        for img in range(n):
+            if img in used:
+                continue
+            if degs[img] != degs[v] or profiles[img] != profiles[v]:
+                continue
+            if any(img not in adj[iy] for _, iy in mapped_nbrs):
+                continue
+            # Non-neighbours must also map to non-neighbours; enforced lazily:
+            # since we only check edges, verify non-adjacency violations too.
+            ok = True
+            for y, iy in mapping.items():
+                if (y in adj[v]) != (iy in adj[img]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping[v] = img
+            used.add(img)
+            if extend(mapping, used):
+                return True
+            del mapping[v]
+            used.discard(img)
+        return False
+
+    for target in range(1, n):
+        if not extend({0: target}, {target}):
+            return False
+    return True

@@ -1,0 +1,96 @@
+"""Parameter sweeps: cartesian grids × replicates → record tables.
+
+A sweep point is a dict of parameter values plus a derived seed; the runner
+maps a (picklable) point function over the grid, serially or in processes,
+and gathers the per-point record dicts into a column table the reporting
+layer can render.  Seeds derive from ``(root_seed, point_index, replicate)``
+so the table is reproducible regardless of execution order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..rng import derive_seed
+from .pool import parallel_map
+
+__all__ = ["SweepPoint", "Sweep", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One task of a sweep: parameter values, replicate index, seed."""
+
+    params: tuple[tuple[str, Any], ...]
+    replicate: int
+    seed: int
+
+    def as_dict(self) -> dict[str, Any]:
+        out = dict(self.params)
+        out["replicate"] = self.replicate
+        out["seed"] = self.seed
+        return out
+
+    def __getitem__(self, key: str) -> Any:
+        for k, v in self.params:
+            if k == key:
+                return v
+        raise KeyError(key)
+
+
+@dataclass
+class Sweep:
+    """A cartesian grid of parameters with replicates.
+
+    ``grid`` maps parameter names to value lists; points enumerate the
+    product in the declared order (first parameter slowest).
+    """
+
+    grid: Mapping[str, Sequence[Any]]
+    replicates: int = 1
+    root_seed: int = 0
+
+    def points(self) -> list[SweepPoint]:
+        if self.replicates < 1:
+            raise ConfigurationError(
+                f"replicates must be >= 1, got {self.replicates}"
+            )
+        names = list(self.grid.keys())
+        values = [list(self.grid[k]) for k in names]
+        if any(len(v) == 0 for v in values):
+            raise ConfigurationError("every grid dimension needs >= 1 value")
+        pts: list[SweepPoint] = []
+        for pi, combo in enumerate(itertools.product(*values)):
+            for rep in range(self.replicates):
+                pts.append(
+                    SweepPoint(
+                        params=tuple(zip(names, combo)),
+                        replicate=rep,
+                        seed=derive_seed(self.root_seed, pi, rep),
+                    )
+                )
+        return pts
+
+
+def run_sweep(
+    point_fn: Callable[[SweepPoint], dict],
+    sweep: Sweep,
+    workers: int = 1,
+) -> list[dict]:
+    """Evaluate ``point_fn`` on every sweep point; returns merged records.
+
+    Each record is the point's parameter dict updated with the function's
+    outputs (the function's keys win on collision, so points can override
+    derived columns deliberately).
+    """
+    points = sweep.points()
+    results = parallel_map(point_fn, points, workers=workers)
+    records = []
+    for pt, res in zip(points, results):
+        row = pt.as_dict()
+        row.update(res)
+        records.append(row)
+    return records

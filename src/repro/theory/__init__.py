@@ -1,0 +1,55 @@
+"""Executable theory: lemma/theorem checks and the Theorem 13 prime tooling."""
+
+from .lemmas import (
+    Lemma10Outcome,
+    corollary11_holds,
+    lemma10_holds,
+    lemma2_holds,
+    lemma3_holds,
+    lemma6_holds,
+    lemma6_holds_at,
+    lemma7_holds_at,
+    lemma8_holds,
+)
+from .primes import (
+    interval_avoidance_bound,
+    is_prime,
+    multiple_free_modulus,
+    primes_up_to,
+)
+from .theorems import (
+    Theorem1Witness,
+    is_double_star,
+    is_star,
+    is_tree,
+    theorem1_check,
+    theorem1_witness,
+    theorem4_check,
+    theorem12_check,
+    theorem15_check,
+)
+
+__all__ = [
+    "Lemma10Outcome",
+    "Theorem1Witness",
+    "corollary11_holds",
+    "interval_avoidance_bound",
+    "is_double_star",
+    "is_prime",
+    "is_star",
+    "is_tree",
+    "lemma10_holds",
+    "lemma2_holds",
+    "lemma3_holds",
+    "lemma6_holds",
+    "lemma6_holds_at",
+    "lemma7_holds_at",
+    "lemma8_holds",
+    "multiple_free_modulus",
+    "primes_up_to",
+    "theorem1_check",
+    "theorem1_witness",
+    "theorem4_check",
+    "theorem12_check",
+    "theorem15_check",
+]

@@ -1,0 +1,93 @@
+"""Bound curve tests: formulas, monotonicity, exact constants."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    conjectured_polylog_bound,
+    corollary11_gain_bound,
+    lemma10_removal_bound,
+    theorem12_lower_bound,
+    theorem12_tradeoff_bound,
+    theorem13_almost_uniform_diameter,
+    theorem13_uniform_diameter,
+    theorem15_diameter_bound,
+    theorem9_diameter_bound,
+)
+
+
+class TestTheorem9Curve:
+    def test_subpolynomial(self):
+        # 2^(c sqrt(lg n)) grows slower than any n^eps: in log space,
+        # c*sqrt(L) < eps*L once L > (c/eps)^2. Compare exponents directly
+        # (the graphs themselves never get this large; this is about the
+        # curve used in the tables).
+        c = 2.0
+        for eps in (0.5, 0.25, 0.1):
+            L = 2 * (c / eps) ** 2  # comfortably past the crossover
+            assert c * math.sqrt(L) < eps * L
+
+    def test_superpolylog(self):
+        # ... and faster than any lg^k n, eventually.
+        n = 2**64
+        assert theorem9_diameter_bound(n) > math.log2(n) ** 2
+
+    def test_monotone(self):
+        values = [theorem9_diameter_bound(n) for n in (4, 16, 256, 65536)]
+        assert values == sorted(values)
+
+    def test_exact_value(self):
+        assert theorem9_diameter_bound(16, c=2.0) == pytest.approx(2.0 ** 4)
+
+
+class TestTheorem12Curves:
+    def test_lower_bound_exact_for_construction(self):
+        # n = 2k^2 => bound = k exactly.
+        for k in (2, 4, 8):
+            assert theorem12_lower_bound(2 * k * k) == pytest.approx(k)
+
+    def test_tradeoff_interpolates(self):
+        n = 4096
+        assert theorem12_tradeoff_bound(n, 1) == pytest.approx(
+            math.sqrt(n / 2)
+        )
+        assert theorem12_tradeoff_bound(n, 3) < theorem12_tradeoff_bound(n, 1)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            theorem12_tradeoff_bound(100, 0)
+
+
+class TestTheorem13Curves:
+    def test_uniform_smaller_than_almost(self):
+        assert theorem13_uniform_diameter(0.25, 1000, 256) < (
+            theorem13_almost_uniform_diameter(0.25, 1000, 256)
+        )
+
+    def test_linear_in_d(self):
+        a = theorem13_almost_uniform_diameter(0.25, 100, 256)
+        b = theorem13_almost_uniform_diameter(0.25, 200, 256)
+        assert b == pytest.approx(2 * a)
+
+
+class TestTheorem15Curve:
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            theorem15_diameter_bound(100, 0.5)
+
+    def test_tightens_with_uniformity(self):
+        assert theorem15_diameter_bound(4096, 0.01) < theorem15_diameter_bound(
+            4096, 0.2
+        )
+
+
+class TestLemmaBounds:
+    def test_corollary11(self):
+        assert corollary11_gain_bound(16) == pytest.approx(5 * 16 * 4)
+
+    def test_lemma10(self):
+        assert lemma10_removal_bound(16) == pytest.approx(2 * 16 * 5)
+
+    def test_polylog_conjecture_default_power(self):
+        assert conjectured_polylog_bound(256) == pytest.approx(8.0**2)

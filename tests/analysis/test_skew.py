@@ -1,0 +1,85 @@
+"""Skew triple machinery tests (Theorem 13 first/second claims)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    interval_widths,
+    middle_distance_interval,
+    sample_skew_fraction,
+    skew_threshold,
+    skew_triple_fraction,
+)
+from repro.constructions import rotated_torus
+from repro.graphs import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestSkewFraction:
+    def test_zero_on_small_diameter(self):
+        # Complete graph: all distances 1, threshold > 0 => no skew triples.
+        assert skew_triple_fraction(complete_graph(8), p=1.0) == 0.0
+
+    def test_star_zero_for_modest_p(self):
+        assert skew_triple_fraction(star_graph(16), p=1.0) == 0.0
+
+    def test_positive_on_long_paths(self):
+        frac = skew_triple_fraction(path_graph(64), p=0.5)
+        assert frac > 0
+
+    def test_decreasing_in_p(self):
+        g = cycle_graph(64)
+        f1 = skew_triple_fraction(g, p=0.25)
+        f2 = skew_triple_fraction(g, p=0.5)
+        f3 = skew_triple_fraction(g, p=1.0)
+        assert f1 >= f2 >= f3
+
+    def test_exact_matches_brute_force(self):
+        g = cycle_graph(12)
+        p = 0.5
+        thresh = skew_threshold(g.n, p)
+        from repro.graphs import distance_matrix
+
+        dm = distance_matrix(g)
+        n = g.n
+        brute = sum(
+            1
+            for a in range(n)
+            for b in range(n)
+            for c in range(n)
+            if a != b and b != c and a != c and dm[a, c] > thresh + dm[a, b]
+        )
+        assert skew_triple_fraction(g, p) == pytest.approx(
+            brute / (n * (n - 1) * (n - 2))
+        )
+
+    def test_sampler_close_to_exact(self):
+        g = cycle_graph(48)
+        exact = skew_triple_fraction(g, p=0.5)
+        est = sample_skew_fraction(g, p=0.5, samples=40_000, seed=0)
+        assert est == pytest.approx(exact, abs=0.02)
+
+
+class TestIntervals:
+    def test_middle_interval_trims(self):
+        g = path_graph(10)
+        lo_full, hi_full = middle_distance_interval(g, 0, beta=0.0)
+        lo_trim, hi_trim = middle_distance_interval(g, 0, beta=0.2)
+        assert lo_full == 1 and hi_full == 9
+        assert lo_trim >= lo_full and hi_trim <= hi_full
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            middle_distance_interval(path_graph(5), 0, beta=0.5)
+
+    def test_interval_widths_vector(self):
+        g = rotated_torus(4)
+        widths = interval_widths(g, beta=0.1)
+        assert widths.shape == (g.n,)
+        assert (widths >= 0).all()
+        # Vertex transitivity: all widths identical.
+        assert len(set(widths.tolist())) == 1
+
+    def test_threshold_formula(self):
+        assert skew_threshold(16, 2.0) == pytest.approx(8.0)
+        assert skew_threshold(1, 2.0) == 0.0

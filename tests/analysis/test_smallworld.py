@@ -1,0 +1,71 @@
+"""Small-world metric tests."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DisconnectedGraphError
+from repro.analysis import clustering_coefficient, small_world_report
+from repro.constructions import rotated_torus
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+from ..conftest import connected_graphs
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        assert clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_triangle_free_is_zero(self):
+        assert clustering_coefficient(cycle_graph(6)) == 0.0
+        assert clustering_coefficient(star_graph(8)) == 0.0
+        assert clustering_coefficient(rotated_torus(3)) == 0.0
+
+    def test_known_value(self):
+        # Triangle with one pendant: v0,v1,v2 form a triangle, v3 hangs off
+        # v2. C(v0)=C(v1)=1, C(v2)=1/3, C(v3)=0 -> mean 7/12.
+        g = CSRGraph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert clustering_coefficient(g) == pytest.approx(7 / 12)
+
+    @given(connected_graphs(max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx(self, g):
+        ours = clustering_coefficient(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+
+class TestReport:
+    def test_fields(self):
+        r = small_world_report(complete_graph(8))
+        assert r.n == 8
+        assert r.mean_degree == 7.0
+        assert r.path_length == 1.0
+        assert r.clustering == pytest.approx(1.0)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            small_world_report(CSRGraph(3, [(0, 1)]))
+
+    def test_sigma_degenerate_on_trees(self):
+        # Mean degree < 2 on paths gives defined baselines, but clustering 0
+        # zeroes sigma; a bare 2-path (kbar = 1) yields nan baselines.
+        r = small_world_report(path_graph(2))
+        assert math.isnan(r.random_path_length)
+
+    def test_equilibria_are_not_clustered(self):
+        # Library finding: the paper's equilibria achieve small diameter
+        # with zero clustering (stars, tori) — small L without the high C
+        # of Watts-Strogatz small worlds.
+        for g in (star_graph(16), rotated_torus(4)):
+            r = small_world_report(g)
+            assert r.clustering == 0.0

@@ -1,0 +1,89 @@
+"""Iterated sumset tests (Theorem 15's engine)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.analysis import (
+    iterated_sumset_masks,
+    iterated_sumset_sizes,
+    plunnecke_violations,
+    theorem15_radius_bound,
+)
+from repro.constructions import AbelianGroup, cayley_graph
+from repro.graphs import bfs_distances
+
+
+class TestSumsetSizes:
+    def test_cycle_group_growth(self):
+        # Z_n with S = {±1}: iS = {-i..i} \ maybe 0... walks of length i
+        # reach exactly the residues with |r| <= i and r ≡ i (mod 2)?
+        # No: S + S = {-2, 0, 2}; sizes grow 2, 3, 4, 5, ... capped at n.
+        group = AbelianGroup((9,))
+        sizes = iterated_sumset_sizes(group, [(1,), (8,)], 10)
+        assert sizes.tolist() == [2, 3, 4, 5, 6, 7, 8, 9, 9, 9]
+
+    def test_masks_match_walk_reachability(self):
+        # iS = endpoints of length-i walks from 0. Two sound directions:
+        # (a) membership implies distance <= i;
+        # (b) distance <= i with even slack implies membership (waste the
+        #     extra steps bouncing across one incident edge).
+        # (Odd slack may or may not be realizable — odd cycles decide — so
+        # it is deliberately not asserted.)
+        moduli = (5, 4)
+        conn = [(1, 0), (4, 0), (0, 1), (0, 3)]
+        group = AbelianGroup(moduli)
+        masks = iterated_sumset_masks(group, conn, 6)
+        g = cayley_graph(moduli, conn)
+        dist = bfs_distances(g, group.index((0, 0)))
+        for i, mask in enumerate(masks, start=1):
+            for idx in range(group.order):
+                d = int(dist[idx])
+                if mask[idx]:
+                    assert d <= i
+                if d <= i and (i - d) % 2 == 0:
+                    assert mask[idx], (i, idx, d)
+
+    def test_zero_in_connection_rejected(self):
+        group = AbelianGroup((6,))
+        with pytest.raises(GraphError):
+            iterated_sumset_sizes(group, [(0,), (1,), (5,)], 3)
+
+    def test_invalid_depth(self):
+        group = AbelianGroup((6,))
+        with pytest.raises(GraphError):
+            iterated_sumset_sizes(group, [(1,), (5,)], 0)
+
+
+class TestPlunnecke:
+    def test_holds_on_random_instances(self):
+        from repro.constructions import random_connection_set
+
+        for seed in range(5):
+            moduli = (16, 16)
+            conn = random_connection_set(moduli, 3, seed)
+            group = AbelianGroup(moduli)
+            sizes = iterated_sumset_sizes(group, conn, 12)
+            assert plunnecke_violations(sizes) == []
+
+    def test_detects_fabricated_violation(self):
+        # |2S| > |1S|^2 is impossible for real sumsets; fabricate it.
+        fake = np.asarray([2, 5], dtype=np.int64)
+        assert plunnecke_violations(fake) == [(1, 2)]
+
+
+class TestRadiusBound:
+    def test_monotone_in_epsilon(self):
+        # Smaller epsilon (more uniform) => tighter radius bound.
+        assert theorem15_radius_bound(1024, 0.05) < theorem15_radius_bound(
+            1024, 0.2
+        )
+
+    def test_grows_logarithmically(self):
+        b1 = theorem15_radius_bound(2**10, 0.1)
+        b2 = theorem15_radius_bound(2**20, 0.1)
+        assert b2 == pytest.approx(2 * b1 - 1, rel=0.01)
+
+    def test_epsilon_domain(self):
+        with pytest.raises(ValueError):
+            theorem15_radius_bound(100, 0.5)

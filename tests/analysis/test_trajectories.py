@@ -1,0 +1,61 @@
+"""Trajectory analysis tests — the non-potential nature of sum dynamics."""
+
+import pytest
+
+from repro.analysis import summarize_trajectory
+from repro.core import SwapDynamics
+from repro.errors import ConfigurationError
+from repro.graphs import path_graph, random_connected_gnm, random_tree
+
+
+class TestSummaries:
+    def test_requires_recording(self):
+        res = SwapDynamics(objective="sum", record=False, seed=0).run(
+            path_graph(6)
+        )
+        with pytest.raises(ConfigurationError):
+            summarize_trajectory(res)
+
+    def test_fields_consistent(self):
+        res = SwapDynamics(objective="sum", record=True, seed=0).run(
+            random_tree(16, seed=1)
+        )
+        s = summarize_trajectory(res)
+        assert s.steps == res.steps
+        assert s.diameter_final == 2.0  # star, per Theorem 1
+        assert s.diameter_peak >= s.diameter_final
+        assert s.social_cost_final <= s.social_cost_initial or not s.socially_monotone
+
+    def test_monotone_iff_no_regressions(self):
+        res = SwapDynamics(objective="sum", record=True, seed=3).run(
+            random_tree(12, seed=3)
+        )
+        s = summarize_trajectory(res)
+        assert s.socially_monotone == (s.selfish_regressions == 0)
+        if s.socially_monotone:
+            assert s.max_social_cost_increase == 0.0
+
+    def test_regressions_exist_somewhere(self):
+        # The sum game is not a potential game: across a handful of dense
+        # seeds, at least one improving swap must raise the social cost.
+        found = False
+        for seed in range(6):
+            g0 = random_connected_gnm(14, 26, seed=seed)
+            res = SwapDynamics(objective="sum", record=True, seed=seed).run(g0)
+            s = summarize_trajectory(res)
+            if s.selfish_regressions > 0:
+                found = True
+                assert s.max_social_cost_increase > 0
+                break
+        assert found, "expected at least one socially-regressive improving swap"
+
+    def test_zero_step_run(self):
+        from repro.graphs import star_graph
+
+        res = SwapDynamics(objective="sum", record=True, seed=0).run(
+            star_graph(8)
+        )
+        s = summarize_trajectory(res)
+        assert s.steps == 0
+        assert s.socially_monotone
+        assert s.social_cost_initial == s.social_cost_final

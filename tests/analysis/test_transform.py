@@ -1,0 +1,84 @@
+"""Theorem 13 pipeline tests."""
+
+import math
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.analysis import suggested_p, theorem13_transform
+from repro.constructions import rotated_torus
+from repro.graphs import CSRGraph, cycle_graph, path_graph
+
+
+class TestParameters:
+    def test_suggested_p(self):
+        assert suggested_p(0.125) == 64.0
+        with pytest.raises(ValueError):
+            suggested_p(0.5)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphError):
+            theorem13_transform(CSRGraph(1, []))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            theorem13_transform(CSRGraph(3, [(0, 1)]))
+
+
+class TestPipeline:
+    def test_premise_detection(self):
+        # C256 has diameter 128 > 2 lg 256 = 16: premise met.
+        res = theorem13_transform(cycle_graph(256), p=0.5)
+        assert res.meets_diameter_premise
+        # Torus k=8 has diameter 8 < 2 lg 128 = 14: premise not met.
+        res2 = theorem13_transform(rotated_torus(8), p=0.5)
+        assert not res2.meets_diameter_premise
+
+    def test_power_diameters_scale_as_d_over_x(self):
+        g = cycle_graph(256)
+        res = theorem13_transform(g, p=0.5)
+        assert res.input_diameter == 128
+        assert res.almost_diameter == math.ceil(128 / res.almost_power)
+        assert res.uniform_diameter == math.ceil(128 / res.uniform_power)
+
+    def test_uniform_modulus_avoids_interval(self):
+        g = cycle_graph(200)
+        res = theorem13_transform(g, beta=0.125, p=0.5)
+        # Reconstruct the interval the modulus was required to avoid.
+        lg = math.log2(g.n)
+        import numpy as np
+        from repro.graphs import distance_matrix
+
+        dm = distance_matrix(g)
+        off = dm[~np.eye(g.n, dtype=bool)]
+        center = int(np.median(off))
+        half = int(math.ceil(2 * 0.5 * lg))
+        lo, hi = max(1, center - half), max(1, center + half)
+        x = res.uniform_power
+        first_multiple = ((lo + x - 1) // x) * x
+        assert first_multiple > hi
+
+    def test_cycle_epsilon_follows_exact_coverage_law(self):
+        # A cycle has exactly 2 vertices per distance, so in C_n^x each
+        # power-distance r collects 2x vertices: best coverage is ~2x/n and
+        # epsilon = 1 - 2x/n. Cycles are NOT sum equilibria, so Theorem 13
+        # promises nothing here — but the measurement must obey the law.
+        n = 256
+        res = theorem13_transform(cycle_graph(n), p=0.5)
+        x = res.uniform_power
+        expected = 1 - (2 * x) / n
+        assert res.uniform_report.epsilon == pytest.approx(expected, abs=0.05)
+        # Same law for the almost branch at its own (smaller) power, with a
+        # two-distance window: coverage ~4x/n.
+        xa = res.almost_power
+        assert res.almost_report.epsilon == pytest.approx(
+            1 - (4 * xa) / n, abs=0.07
+        )
+
+    def test_result_fields_consistent(self):
+        res = theorem13_transform(path_graph(64), p=0.5)
+        assert res.n == 64
+        assert res.almost_power >= 1
+        assert res.uniform_power >= 2
+        assert res.almost_report.almost
+        assert not res.uniform_report.almost

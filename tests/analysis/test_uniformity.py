@@ -1,0 +1,89 @@
+"""Distance uniformity measurement tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.analysis import (
+    distance_almost_uniformity,
+    distance_uniformity,
+    pairwise_concentration,
+    per_vertex_distance_counts,
+)
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+class TestCounts:
+    def test_counts_partition_vertices(self):
+        g = cycle_graph(9)
+        counts = per_vertex_distance_counts(g)
+        assert (counts.sum(axis=1) == g.n).all()
+        assert (counts[:, 0] == 1).all()
+
+    def test_known_counts_star(self):
+        counts = per_vertex_distance_counts(star_graph(6))
+        assert counts[0].tolist() == [1, 5, 0]
+        assert counts[1].tolist() == [1, 1, 4]
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            per_vertex_distance_counts(CSRGraph(3, [(0, 1)]))
+
+
+class TestUniformity:
+    def test_complete_graph_perfectly_uniform(self):
+        report = distance_uniformity(complete_graph(8))
+        assert report.epsilon == pytest.approx(1 / 8)  # only self excluded
+        assert report.radius == 1
+
+    def test_cycle_best_radius(self):
+        # On C_n every vertex has exactly 2 vertices per distance r < n/2:
+        # coverage 2/n at any radius, so epsilon = 1 - 2/n.
+        report = distance_uniformity(cycle_graph(10))
+        assert report.epsilon == pytest.approx(1 - 2 / 10)
+
+    def test_almost_uniformity_beats_uniformity(self):
+        g = cycle_graph(11)
+        u = distance_uniformity(g)
+        au = distance_almost_uniformity(g)
+        assert au.epsilon <= u.epsilon
+        assert au.almost and not u.almost
+
+    def test_star_uniformity(self):
+        # Radius 2 covers n-2 vertices for leaves but only 0 for the hub;
+        # radius 1 covers 1 for leaves, n-1 for hub. Best min-coverage: r=1.
+        report = distance_uniformity(star_graph(8))
+        assert report.radius in (1, 2)
+        assert 0 < report.epsilon < 1
+
+    def test_worst_vertex_is_reported(self):
+        g = path_graph(6)
+        report = distance_uniformity(g)
+        counts = per_vertex_distance_counts(g)
+        assert counts[report.worst_vertex, report.radius] == counts[
+            :, report.radius
+        ].min()
+
+    def test_single_vertex(self):
+        report = distance_uniformity(CSRGraph(1, []))
+        assert report.epsilon == 0.0
+
+
+class TestPairwiseConcentration:
+    def test_complete(self):
+        r, frac = pairwise_concentration(complete_graph(5))
+        assert (r, frac) == (1, 1.0)
+
+    def test_path_modal_distance(self):
+        r, frac = pairwise_concentration(path_graph(5))
+        assert r == 1  # 4 ordered pairs per distance-1 edge dominate
+        assert 0 < frac < 1
+
+    def test_trivial_graphs(self):
+        assert pairwise_concentration(CSRGraph(1, []))[1] == 1.0

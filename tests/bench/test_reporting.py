@@ -1,0 +1,74 @@
+"""Reporting layer tests."""
+
+import math
+
+import pytest
+
+from repro.bench import Table, format_value
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_float_forms(self):
+        assert format_value(2.0) == "2"
+        assert format_value(2.5) == "2.5"
+        assert format_value(math.inf) == "inf"
+        assert format_value(1 / 3) == "0.3333"
+
+    def test_passthrough(self):
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+
+class TestTable:
+    def make(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, True)
+        t.add_note("a note")
+        return t
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_ascii_contains_everything(self):
+        text = self.make().to_ascii()
+        assert "== demo ==" in text
+        assert "a note" in text
+        assert "2.5" in text
+
+    def test_markdown_shape(self):
+        md = self.make().to_markdown()
+        assert md.count("|") >= 12
+        assert "**demo**" in md
+
+    def test_csv_round_trip(self, tmp_path):
+        import csv
+
+        path = tmp_path / "t.csv"
+        self.make().write_csv(path)
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("a") == [1, 3]
+        with pytest.raises(ValueError):
+            t.column("zzz")
+
+    def test_from_records(self):
+        t = Table.from_records(
+            "r", [{"x": 1, "y": 2}, {"x": 3}], columns=["x", "y"]
+        )
+        assert t.rows == [[1, 2], [3, None]]
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["only"])
+        assert "only" in t.to_ascii()

@@ -1,0 +1,60 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs import CSRGraph, random_connected_gnm, random_tree
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+@st.composite
+def connected_graphs(draw, min_n: int = 2, max_n: int = 16):
+    """A random connected graph with a deterministic Hypothesis-driven seed."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=n - 1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_connected_gnm(n, m, seed)
+
+
+@st.composite
+def trees(draw, min_n: int = 2, max_n: int = 20):
+    """A uniform random labelled tree."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_tree(n, seed)
+
+
+@st.composite
+def edge_lists(draw, max_n: int = 12):
+    """A (possibly disconnected) simple graph as (n, edges)."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        if pairs
+        else st.just([])
+    )
+    return n, chosen
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def medium_graph() -> CSRGraph:
+    """A fixed 40-vertex connected graph reused by integration tests."""
+    return random_connected_gnm(40, 90, seed=12345)
+
+
+@pytest.fixture(scope="session")
+def small_tree() -> CSRGraph:
+    """A fixed 12-vertex random tree."""
+    return random_tree(12, seed=999)

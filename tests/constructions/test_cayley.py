@@ -1,0 +1,118 @@
+"""Abelian Cayley graph tests (Theorem 15's objects)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.constructions import (
+    AbelianGroup,
+    cayley_graph,
+    circulant_graph,
+    even_sum_subgroup_cayley,
+    hypercube_graph,
+    random_connection_set,
+    rotated_torus,
+)
+from repro.graphs import cycle_graph, diameter, distance_profiles_identical, is_connected
+
+
+class TestAbelianGroup:
+    def test_order(self):
+        assert AbelianGroup((4, 3)).order == 12
+        assert AbelianGroup((2, 2, 2)).order == 8
+
+    def test_index_element_round_trip(self):
+        g = AbelianGroup((3, 4, 5))
+        for idx in range(0, g.order, 7):
+            assert g.index(g.element(idx)) == idx
+
+    def test_arithmetic(self):
+        g = AbelianGroup((5, 5))
+        assert g.add((3, 4), (4, 3)) == (2, 2)
+        assert g.negate((1, 0)) == (4, 0)
+        assert g.reduce((-1, 7)) == (4, 2)
+
+    def test_symmetric_connection_check(self):
+        g = AbelianGroup((6,))
+        assert g.is_symmetric_connection_set([(1,), (5,)])
+        assert not g.is_symmetric_connection_set([(1,)])
+        assert not g.is_symmetric_connection_set([(0,)])
+
+    def test_invalid_moduli(self):
+        with pytest.raises(GraphError):
+            AbelianGroup(())
+        with pytest.raises(GraphError):
+            AbelianGroup((0, 3))
+
+
+class TestCayleyGraphs:
+    def test_circulant_pm1_is_cycle(self):
+        assert circulant_graph(8, [1]) == cycle_graph(8)
+
+    def test_circulant_regularity(self):
+        g = circulant_graph(12, [1, 5])
+        assert set(g.degrees().tolist()) == {4}
+        assert distance_profiles_identical(g)
+
+    def test_circulant_zero_offset_rejected(self):
+        with pytest.raises(GraphError):
+            circulant_graph(6, [6])
+
+    def test_asymmetric_connection_rejected(self):
+        with pytest.raises(GraphError):
+            cayley_graph((7,), [(1,)])
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.m == 32
+        assert diameter(g) == 4
+
+    def test_hypercube_invalid(self):
+        with pytest.raises(GraphError):
+            hypercube_graph(0)
+
+    def test_involution_generator(self):
+        # Z_4 with S = {2} (its own inverse): a perfect matching structure.
+        g = cayley_graph((4,), [(2,)])
+        assert g.m == 2
+        assert not is_connected(g)
+
+    @given(st.integers(4, 16), st.integers(1, 3), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_cayley_graphs_are_profile_regular(self, m, gens, seed):
+        gens = min(gens, m // 2)  # groups only have floor(m/2) generator pairs
+        conn = random_connection_set((m,), gens, seed)
+        g = cayley_graph((m,), conn)
+        if is_connected(g):
+            # Vertex transitivity implies identical distance profiles.
+            assert distance_profiles_identical(g)
+
+
+class TestRandomConnectionSets:
+    def test_symmetric_and_zero_free(self):
+        group = AbelianGroup((5, 5))
+        conn = random_connection_set((5, 5), 4, seed=1)
+        assert group.is_symmetric_connection_set(conn)
+
+    def test_size_bound_enforced(self):
+        with pytest.raises(GraphError):
+            random_connection_set((3,), 5, seed=0)
+
+    def test_deterministic(self):
+        a = random_connection_set((8, 8), 3, seed=9)
+        b = random_connection_set((8, 8), 3, seed=9)
+        assert a == b
+
+
+class TestPaperBridge:
+    def test_even_sum_cayley_equals_rotated_torus(self):
+        # "the graph described in Section 4 is the Cayley graph of the
+        # group of elements of Z_2k^2 with even coordinate sum w.r.t.
+        # S = {(±1, ±1)}" — identical vertex order makes this exact.
+        for k in (2, 3, 4):
+            gc, coords = even_sum_subgroup_cayley(k)
+            gt = rotated_torus(k)
+            assert gc.edge_set() == gt.edge_set()
+            assert len(coords) == 2 * k * k

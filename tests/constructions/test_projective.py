@@ -1,0 +1,91 @@
+"""Projective plane / polarity graph tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.constructions import (
+    absolute_points,
+    incidence_graph,
+    is_prime,
+    polarity_graph,
+    projective_plane_points,
+)
+from repro.core import is_sum_equilibrium
+from repro.graphs import diameter, girth, is_bipartite, is_connected
+
+
+class TestPoints:
+    @pytest.mark.parametrize("q", [2, 3, 5, 7])
+    def test_point_count(self, q):
+        pts = projective_plane_points(q)
+        assert pts.shape == (q * q + q + 1, 3)
+
+    def test_points_distinct(self):
+        pts = projective_plane_points(5)
+        assert len({tuple(p) for p in pts}) == pts.shape[0]
+
+    def test_normalization(self):
+        # First nonzero coordinate of every representative equals 1.
+        for p in projective_plane_points(3):
+            nz = [x for x in p if x != 0]
+            assert nz[0] == 1
+
+    def test_prime_required(self):
+        with pytest.raises(GraphError):
+            projective_plane_points(4)  # 2^2: prime power, unsupported
+        with pytest.raises(GraphError):
+            projective_plane_points(6)
+
+    def test_is_prime(self):
+        assert [q for q in range(14) if is_prime(q)] == [2, 3, 5, 7, 11, 13]
+
+
+class TestIncidenceGraph:
+    @pytest.mark.parametrize("q", [2, 3])
+    def test_levi_graph_properties(self, q):
+        g = incidence_graph(q)
+        N = q * q + q + 1
+        assert g.n == 2 * N
+        assert set(g.degrees().tolist()) == {q + 1}
+        assert is_bipartite(g)
+        assert girth(g) == 6
+        assert diameter(g) == 3
+
+    def test_heawood_graph(self):
+        # PG(2,2)'s Levi graph is the Heawood graph: 14 vertices, 21 edges.
+        g = incidence_graph(2)
+        assert (g.n, g.m) == (14, 21)
+
+
+class TestPolarityGraph:
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_basic_shape(self, q):
+        g = polarity_graph(q)
+        N = q * q + q + 1
+        assert g.n == N
+        assert is_connected(g)
+        assert diameter(g) == 2
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_degrees_and_absolute_points(self, q):
+        g = polarity_graph(q)
+        absolutes = absolute_points(q)
+        assert absolutes.size == q + 1
+        degs = g.degrees()
+        for v in range(g.n):
+            expected = q if v in absolutes else q + 1
+            assert degs[v] == expected
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_sum_equilibrium(self, q):
+        # The diameter-2 cyclic equilibrium family (Albers et al. lineage).
+        assert is_sum_equilibrium(polarity_graph(q))
+
+    def test_edge_count_formula(self):
+        # m = (N(q+1) - (q+1)) / 2: every point has q+1 orthogonal points,
+        # absolute points exclude themselves.
+        q = 5
+        g = polarity_graph(q)
+        N = q * q + q + 1
+        assert g.m == (N * (q + 1) - (q + 1)) // 2

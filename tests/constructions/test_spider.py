@@ -1,0 +1,68 @@
+"""Spider (Conjecture 14 counterexample) tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.analysis import distance_uniformity, pairwise_concentration
+from repro.constructions import SpiderShape, spider_for_epsilon, spider_graph
+from repro.graphs import diameter, is_connected
+
+
+class TestShape:
+    def test_counts(self):
+        s = SpiderShape(legs=3, path_len=2, blob=4)
+        assert s.n == 1 + 3 * 6
+        assert s.diameter == 6
+        g = spider_graph(s)
+        assert g.n == s.n
+        assert is_connected(g)
+        assert diameter(g) == s.diameter
+
+    def test_hub_degree_is_legs(self):
+        s = SpiderShape(legs=5, path_len=1, blob=2)
+        assert spider_graph(s).degree(0) == 5
+
+    def test_invalid_shapes(self):
+        with pytest.raises(GraphError):
+            spider_graph(SpiderShape(legs=1, path_len=2, blob=2))
+        with pytest.raises(GraphError):
+            spider_graph(SpiderShape(legs=2, path_len=0, blob=2))
+
+
+class TestEpsilonParameterization:
+    def test_legs_scale_inverse_epsilon(self):
+        assert spider_for_epsilon(0.25, 8).legs == 4
+        assert spider_for_epsilon(0.125, 8).legs == 8
+
+    def test_diameter_hits_target(self):
+        for eps, d in ((0.25, 6), (0.2, 10)):
+            shape = spider_for_epsilon(eps, d)
+            assert diameter(spider_graph(shape)) == d
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            spider_for_epsilon(0.0, 8)
+        with pytest.raises(GraphError):
+            spider_for_epsilon(0.25, 7)  # odd diameter
+
+
+class TestSeparation:
+    def test_pairwise_concentrates_but_per_vertex_does_not(self):
+        # The paper's point: almost all PAIRS at one distance does not give
+        # per-vertex distance uniformity.
+        shape = spider_for_epsilon(0.125, 8)
+        g = spider_graph(shape)
+        r, frac = pairwise_concentration(g)
+        assert r == shape.modal_pair_distance
+        assert frac > 0.6  # a solid majority of pairs at the modal distance
+        report = distance_uniformity(g)
+        assert report.epsilon > 0.9  # per-vertex uniformity fails badly
+
+    def test_hub_is_the_obstruction(self):
+        # The hub sees everything within path_len + 2 < diameter.
+        shape = spider_for_epsilon(0.25, 8)
+        g = spider_graph(shape)
+        from repro.graphs import bfs_distances
+
+        hub = bfs_distances(g, 0)
+        assert hub.max() == shape.path_len + 1  # path tip + blob leaf

@@ -1,0 +1,148 @@
+"""Torus family tests (Figure 4 / Theorem 12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.constructions import (
+    circular_distance,
+    diagonal_torus,
+    diagonal_torus_distance,
+    diagonal_torus_vertices,
+    rotated_torus,
+    rotated_torus_distance,
+    rotated_torus_index,
+    rotated_torus_vertices,
+    standard_torus,
+)
+from repro.core import is_max_equilibrium
+from repro.graphs import (
+    diameter,
+    distance_matrix,
+    distance_profiles_identical,
+    eccentricities,
+    is_connected,
+)
+from repro.theory import theorem12_check
+
+
+class TestCircularDistance:
+    def test_basic(self):
+        assert circular_distance(0, 3, 8) == 3
+        assert circular_distance(0, 5, 8) == 3
+        assert circular_distance(2, 2, 8) == 0
+
+    @given(st.integers(0, 99), st.integers(0, 99), st.integers(2, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_metric_properties(self, a, b, m):
+        a, b = a % m, b % m
+        d = circular_distance(a, b, m)
+        assert 0 <= d <= m // 2
+        assert d == circular_distance(b, a, m)
+        assert (d == 0) == (a == b)
+
+
+class TestRotatedTorus:
+    def test_vertex_count(self):
+        for k in (2, 3, 5):
+            assert rotated_torus(k).n == 2 * k * k
+
+    def test_four_regular(self):
+        g = rotated_torus(3)
+        assert set(g.degrees().tolist()) == {4}
+
+    def test_connected_and_transitive_profiles(self):
+        g = rotated_torus(4)
+        assert is_connected(g)
+        assert distance_profiles_identical(g)
+
+    def test_local_diameter_is_exactly_k(self):
+        for k in (2, 3, 4, 6):
+            ecc = eccentricities(rotated_torus(k))
+            assert set(ecc.tolist()) == {k}
+
+    def test_k_too_small(self):
+        with pytest.raises(GraphError):
+            rotated_torus(1)
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_distance_law(self, k, data):
+        # d((i,j),(i',j')) = max(d_circ(i,i'), d_circ(j,j')) — the identity
+        # all of Theorem 12 rests on.
+        coords = rotated_torus_vertices(k)
+        g = rotated_torus(k)
+        dm = distance_matrix(g)
+        u = data.draw(st.integers(0, g.n - 1))
+        v = data.draw(st.integers(0, g.n - 1))
+        assert dm[u, v] == rotated_torus_distance(k, coords[u], coords[v])
+
+    def test_theorem12_full_check(self):
+        for k in (2, 3, 4):
+            assert theorem12_check(rotated_torus(k), k)
+
+    def test_index_map_consistent(self):
+        k = 3
+        coords = rotated_torus_vertices(k)
+        index = rotated_torus_index(k)
+        assert all(index[c] == i for i, c in enumerate(coords))
+
+
+class TestStandardTorusContrast:
+    def test_not_max_equilibrium(self):
+        # "a standard torus is not in max equilibrium, so the precise
+        # definition is critical."
+        assert not is_max_equilibrium(standard_torus(6, 6))
+
+    def test_size_guard(self):
+        with pytest.raises(GraphError):
+            standard_torus(2, 5)
+
+
+class TestDiagonalTorus:
+    def test_vertex_count(self):
+        # n = 2 k^d.
+        assert diagonal_torus(2, 3).n == 16
+        assert diagonal_torus(3, 2).n == 18
+        assert diagonal_torus(2, 4).n == 32
+
+    def test_degree_is_2_to_d(self):
+        for k, d in ((2, 3), (3, 2), (2, 4)):
+            g = diagonal_torus(k, d)
+            assert set(g.degrees().tolist()) == {2**d}
+
+    def test_reduces_to_rotated_torus_at_d2(self):
+        assert diagonal_torus(3, 2).edge_set() == rotated_torus(3).edge_set()
+
+    def test_diameter_is_k(self):
+        for k, d in ((2, 3), (3, 3), (2, 4)):
+            assert diameter(diagonal_torus(k, d)) == k
+
+    @given(st.sampled_from([(2, 3), (3, 3), (2, 4)]), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_law_d_dim(self, kd, data):
+        k, d = kd
+        coords = diagonal_torus_vertices(k, d)
+        g = diagonal_torus(k, d)
+        dm = distance_matrix(g)
+        u = data.draw(st.integers(0, g.n - 1))
+        v = data.draw(st.integers(0, g.n - 1))
+        assert dm[u, v] == diagonal_torus_distance(k, coords[u], coords[v])
+
+    def test_parity_classes(self):
+        verts = diagonal_torus_vertices(2, 3)
+        for c in verts:
+            parities = {x % 2 for x in c}
+            assert len(parities) == 1
+
+    def test_deletion_critical(self):
+        from repro.core import is_deletion_critical
+
+        assert is_deletion_critical(diagonal_torus(2, 3))
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            diagonal_torus(1, 3)
+        with pytest.raises(GraphError):
+            diagonal_torus(3, 0)

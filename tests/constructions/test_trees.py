@@ -1,0 +1,72 @@
+"""Tests for stars/double stars (Section 2, Figure 2)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.constructions import double_star, figure2_insertion_effects, figure2_tree
+from repro.core import is_max_equilibrium, is_sum_equilibrium
+from repro.graphs import diameter
+from repro.theory import is_double_star, is_star
+
+
+class TestDoubleStar:
+    def test_structure(self):
+        g = double_star(2, 3)
+        assert g.n == 7
+        assert g.has_edge(0, 1)
+        assert g.degree(0) == 3  # root + 2 leaves
+        assert g.degree(1) == 4
+        assert diameter(g) == 3
+
+    def test_is_double_star_predicate(self):
+        from repro.graphs import path_graph, star_graph
+
+        assert is_double_star(double_star(2, 2))
+        assert not is_double_star(path_graph(5))  # three internal vertices
+        assert not is_double_star(star_graph(5))  # one internal vertex
+
+    def test_invalid_sizes(self):
+        with pytest.raises(GraphError):
+            double_star(0, 2)
+
+    def test_max_equilibrium_iff_two_leaves_per_root(self):
+        # The paper: "the latter type must have at least two leaves attached
+        # to each star root".
+        assert is_max_equilibrium(double_star(2, 2))
+        assert is_max_equilibrium(double_star(2, 4))
+        assert not is_max_equilibrium(double_star(1, 1))
+        assert not is_max_equilibrium(double_star(1, 4))
+
+    def test_never_sum_equilibrium(self):
+        # Theorem 1: no diameter-3 tree is a sum equilibrium.
+        assert not is_sum_equilibrium(double_star(2, 2))
+        assert not is_sum_equilibrium(double_star(3, 3))
+
+
+class TestFigure2Caption:
+    def test_exact_tree(self):
+        g = figure2_tree()
+        assert g.n == 6
+        assert diameter(g) == 3
+        assert is_double_star(g)
+
+    def test_insertion_effects_match_caption(self):
+        effects = {e.label: e for e in figure2_insertion_effects()}
+        # Cousin-leaf and far-leaf insertions help no endpoint.
+        assert not effects["a-a' (cousin leaf)"].helps_someone
+        assert not effects["a-b (far leaf)"].helps_someone
+        # Only a-w decreases a's local diameter (3 -> 2), not w's.
+        aw = effects["a-w (far root)"]
+        assert aw.helps_someone
+        assert aw.ecc_before[0] == 3 and aw.ecc_after[0] == 2
+        assert aw.ecc_after[1] == aw.ecc_before[1]
+
+    def test_but_the_swap_restores_the_diameter(self):
+        # "In any swap around a, this addition must be combined with the
+        # deletion of edge av, which restores the original local diameter."
+        from repro.core import Swap, swap_cost_after
+
+        g = figure2_tree()
+        a, v, w = 2, 0, 1
+        after = swap_cost_after(g, Swap(a, v, w), "max")
+        assert after == 3  # unchanged

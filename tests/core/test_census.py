@@ -1,0 +1,66 @@
+"""Census runner tests."""
+
+import math
+
+import pytest
+
+from repro.core import run_census
+from repro.core.census import census_to_rows, seed_graph
+from repro.graphs import is_connected
+
+
+class TestSeedGraphs:
+    def test_families(self):
+        t = seed_graph("tree", 20, 1)
+        s = seed_graph("sparse", 20, 1)
+        d = seed_graph("dense", 20, 1)
+        assert t.m == 19
+        assert s.m > t.m
+        assert d.m >= s.m
+        for g in (t, s, d):
+            assert is_connected(g)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            seed_graph("clique", 10, 0)
+
+    def test_deterministic(self):
+        assert seed_graph("sparse", 16, 5) == seed_graph("sparse", 16, 5)
+
+
+class TestCensus:
+    def test_records_shape_and_verification(self):
+        records = run_census(
+            [8, 12], families=("tree",), replicates=2, root_seed=1
+        )
+        assert len(records) == 4
+        for r in records:
+            assert r.objective == "sum"
+            assert r.m_initial == r.n - 1
+            if r.converged:
+                assert r.verified_equilibrium is True
+                assert math.isfinite(r.diameter_final)
+                # Trees under sum dynamics end as stars (Theorem 1).
+                assert r.is_star
+                assert r.diameter_final <= 2
+
+    def test_deterministic_across_runs(self):
+        a = run_census([10], families=("sparse",), replicates=2, root_seed=3)
+        b = run_census([10], families=("sparse",), replicates=2, root_seed=3)
+        assert [r.diameter_final for r in a] == [r.diameter_final for r in b]
+        assert [r.steps for r in a] == [r.steps for r in b]
+
+    def test_rows_conversion(self):
+        records = run_census([8], families=("tree",), replicates=1, root_seed=0)
+        rows = census_to_rows(records)
+        assert isinstance(rows[0], dict)
+        assert rows[0]["n"] == 8
+
+    def test_max_objective_census(self):
+        records = run_census(
+            [8], families=("sparse",), replicates=1,
+            objective="max", root_seed=2,
+        )
+        (r,) = records
+        if r.converged:
+            assert r.verified_equilibrium is True

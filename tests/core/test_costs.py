@@ -1,0 +1,76 @@
+"""Usage cost tests."""
+
+import math
+
+import numpy as np
+
+from repro.core import INT_INF, lift_distances, local_diameter, sum_cost
+from repro.core.costs import local_diameter_vector, sum_cost_vector
+from repro.graphs import (
+    CSRGraph,
+    UNREACHABLE,
+    cycle_graph,
+    distance_matrix,
+    path_graph,
+    star_graph,
+)
+
+
+class TestScalarCosts:
+    def test_star_center_and_leaf(self):
+        g = star_graph(6)
+        assert sum_cost(g, 0) == 5
+        assert sum_cost(g, 1) == 1 + 2 * 4
+        assert local_diameter(g, 0) == 1
+        assert local_diameter(g, 3) == 2
+
+    def test_path_end(self):
+        g = path_graph(5)
+        assert sum_cost(g, 0) == 1 + 2 + 3 + 4
+        assert local_diameter(g, 0) == 4
+        assert local_diameter(g, 2) == 2
+
+    def test_disconnected_is_inf(self):
+        g = CSRGraph(4, [(0, 1)])
+        assert sum_cost(g, 0) == math.inf
+        assert local_diameter(g, 0) == math.inf
+
+
+class TestVectorCosts:
+    def test_matches_scalars(self):
+        g = cycle_graph(7)
+        sums = sum_cost_vector(g)
+        eccs = local_diameter_vector(g)
+        for v in range(g.n):
+            assert sums[v] == sum_cost(g, v)
+            assert eccs[v] == local_diameter(g, v)
+
+    def test_disconnected_vector(self):
+        g = CSRGraph(3, [(0, 1)])
+        assert all(math.isinf(x) for x in sum_cost_vector(g))
+        assert all(math.isinf(x) for x in local_diameter_vector(g))
+
+    def test_empty_graph(self):
+        g = CSRGraph(0, [])
+        assert sum_cost_vector(g).size == 0
+
+
+class TestLiftDistances:
+    def test_unreachable_becomes_int_inf(self):
+        g = CSRGraph(3, [(0, 1)])
+        dm = distance_matrix(g)
+        lifted = lift_distances(dm)
+        assert lifted[0, 2] == INT_INF
+        assert lifted[0, 1] == 1
+
+    def test_headroom(self):
+        # INT_INF + 1 summed n times must stay below int64 overflow for the
+        # largest n the library targets.
+        n = 1 << 20
+        assert (INT_INF + 1) * n < np.iinfo(np.int64).max
+
+    def test_original_untouched(self):
+        g = CSRGraph(3, [(0, 1)])
+        dm = distance_matrix(g)
+        lift_distances(dm)
+        assert dm[0, 2] == UNREACHABLE

@@ -1,0 +1,129 @@
+"""Dynamics engine tests: convergence, schedules, instrumentation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DisconnectedGraphError
+from repro.core import (
+    SwapDynamics,
+    is_max_equilibrium,
+    is_sum_equilibrium,
+)
+from repro.graphs import CSRGraph, cycle_graph, path_graph, random_tree
+from repro.theory import is_star
+
+
+class TestConfiguration:
+    def test_bad_objective(self):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics(objective="median")
+
+    def test_bad_schedule(self):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics(schedule="chaotic")
+
+    def test_bad_responder(self):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics(responder="psychic")
+
+    def test_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics(max_steps=0)
+
+    def test_disconnected_start_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            SwapDynamics().run(CSRGraph(3, [(0, 1)]))
+
+
+class TestSumConvergence:
+    def test_tree_converges_to_star(self):
+        # Theorem 1 in motion: swaps preserve the edge count and cannot
+        # disconnect, so trees stay trees and must end at the star.
+        res = SwapDynamics(objective="sum", seed=0).run(random_tree(14, seed=2))
+        assert res.converged
+        assert is_star(res.graph)
+        assert is_sum_equilibrium(res.graph)
+
+    def test_path_converges(self):
+        res = SwapDynamics(objective="sum", seed=1).run(path_graph(10))
+        assert res.converged
+        assert is_sum_equilibrium(res.graph)
+
+    def test_equilibrium_input_is_fixed_point(self):
+        from repro.graphs import star_graph
+
+        g = star_graph(8)
+        res = SwapDynamics(objective="sum", seed=0).run(g)
+        assert res.converged
+        assert res.steps == 0
+        assert res.graph == g
+
+    @pytest.mark.parametrize("schedule", ["round_robin", "random", "greedy"])
+    def test_all_schedules_converge_on_small_tree(self, schedule):
+        res = SwapDynamics(
+            objective="sum", schedule=schedule, seed=7
+        ).run(random_tree(10, seed=3))
+        assert res.converged
+        assert is_sum_equilibrium(res.graph)
+
+    @pytest.mark.parametrize("responder", ["best", "first"])
+    def test_both_responders_converge(self, responder):
+        res = SwapDynamics(
+            objective="sum", responder=responder, seed=9, max_steps=5000
+        ).run(cycle_graph(8))
+        assert res.converged
+        assert is_sum_equilibrium(res.graph)
+
+
+class TestMaxConvergence:
+    def test_max_dynamics_reach_max_equilibrium(self):
+        res = SwapDynamics(objective="max", seed=4).run(random_tree(10, seed=6))
+        assert res.converged
+        # Best-responder max dynamics apply neutral deletions, so the
+        # terminal graph satisfies the full definition incl. criticality.
+        assert is_max_equilibrium(res.graph)
+
+    def test_extraneous_chord_gets_deleted(self):
+        g = cycle_graph(6).with_edges(add=[(0, 2)])
+        res = SwapDynamics(objective="max", seed=0).run(g)
+        assert res.converged
+        assert is_max_equilibrium(res.graph)
+        assert res.graph.m < g.m  # something extraneous was dropped
+
+
+class TestInstrumentation:
+    def test_traces_recorded(self):
+        res = SwapDynamics(objective="sum", record=True, seed=0).run(
+            path_graph(8)
+        )
+        assert len(res.moves) == res.steps
+        # One snapshot at start plus one per applied move.
+        assert len(res.diameter_trace) == res.steps + 1
+        assert len(res.social_cost_trace) == res.steps + 1
+
+    def test_traces_absent_without_recording(self):
+        res = SwapDynamics(objective="sum", record=False, seed=0).run(
+            path_graph(8)
+        )
+        assert res.moves == []
+
+    def test_budget_exhaustion_reported(self):
+        res = SwapDynamics(objective="sum", max_steps=1, seed=0).run(
+            path_graph(12)
+        )
+        assert not res.converged
+        assert res.steps == 1
+
+    def test_determinism(self):
+        a = SwapDynamics(objective="sum", schedule="random", seed=11).run(
+            cycle_graph(9)
+        )
+        b = SwapDynamics(objective="sum", schedule="random", seed=11).run(
+            cycle_graph(9)
+        )
+        assert a.graph == b.graph
+        assert a.steps == b.steps
+
+    def test_edge_count_preserved_by_sum_dynamics(self):
+        g = cycle_graph(10)
+        res = SwapDynamics(objective="sum", seed=2).run(g)
+        assert res.graph.m == g.m  # sum agents never delete

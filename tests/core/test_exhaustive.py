@@ -1,0 +1,100 @@
+"""Exhaustive census tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.exhaustive import (
+    CensusCell,
+    exhaustive_equilibrium_census,
+    merge_censuses,
+    smallest_diameter3_sum_equilibria,
+)
+from repro.graphs import CSRGraph
+from repro.core import find_sum_violation
+
+
+class TestCensusCounts:
+    def test_n4_connected_count(self):
+        # Known: 38 connected labelled graphs on 4 vertices.
+        census = exhaustive_equilibrium_census(4, "sum")
+        assert census.connected_graphs == 38
+
+    def test_n5_connected_count(self):
+        # Known: 728 connected labelled graphs on 5 vertices.
+        census = exhaustive_equilibrium_census(5, "sum")
+        assert census.connected_graphs == 728
+
+    def test_no_diameter3_sum_equilibria_small(self):
+        # The census result the Figure 3 finding leans on: the smallest
+        # possible Theorem 5 witness has n >= 7 — verified exhaustively.
+        for n in (4, 5):
+            census = exhaustive_equilibrium_census(n, "sum")
+            for d, cell in census.by_diameter.items():
+                if d >= 3:
+                    assert cell.equilibria == 0
+
+    def test_all_diameter_le2_are_equilibria(self):
+        # The Lemma-6 shortcut the sum census uses, spot-audited: every
+        # diameter-<=2 cell counts all of its graphs as equilibria, and a
+        # sample of them passes the real auditor.
+        census = exhaustive_equilibrium_census(4, "sum")
+        for d in (1, 2):
+            cell = census.by_diameter[d]
+            assert cell.graphs == cell.equilibria
+            assert cell.example is not None
+            g = CSRGraph(4, cell.example)
+            assert find_sum_violation(g) is None
+
+    def test_max_census_has_fewer_equilibria(self):
+        sum_census = exhaustive_equilibrium_census(4, "sum")
+        max_census = exhaustive_equilibrium_census(4, "max")
+        total_sum = sum(c.equilibria for c in sum_census.by_diameter.values())
+        total_max = sum(c.equilibria for c in max_census.by_diameter.values())
+        assert total_max < total_sum  # deletion-criticality prunes hard
+
+    def test_helper_wrapper(self):
+        counts = smallest_diameter3_sum_equilibria(5)
+        assert counts == {4: 0, 5: 0}
+
+
+class TestSharding:
+    def test_shards_merge_to_full_census(self):
+        full = exhaustive_equilibrium_census(4, "sum")
+        total = 1 << 6
+        parts = [
+            exhaustive_equilibrium_census(4, "sum", mask_range=(0, total // 3)),
+            exhaustive_equilibrium_census(
+                4, "sum", mask_range=(total // 3, 2 * total // 3)
+            ),
+            exhaustive_equilibrium_census(
+                4, "sum", mask_range=(2 * total // 3, total)
+            ),
+        ]
+        merged = merge_censuses(parts)
+        assert merged.connected_graphs == full.connected_graphs
+        assert merged.audited == full.audited
+        for d, cell in full.by_diameter.items():
+            assert merged.by_diameter[d].graphs == cell.graphs
+            assert merged.by_diameter[d].equilibria == cell.equilibria
+
+    def test_merge_validation(self):
+        with pytest.raises(ConfigurationError):
+            merge_censuses([])
+        a = exhaustive_equilibrium_census(4, "sum", mask_range=(0, 8))
+        b = exhaustive_equilibrium_census(5, "sum", mask_range=(0, 8))
+        with pytest.raises(ConfigurationError):
+            merge_censuses([a, b])
+
+
+class TestValidation:
+    def test_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_equilibrium_census(8, "sum")
+
+    def test_objective_guard(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_equilibrium_census(4, "median")
+
+    def test_bad_mask_range(self):
+        with pytest.raises(ConfigurationError):
+            exhaustive_equilibrium_census(4, "sum", mask_range=(0, 1 << 10))

@@ -1,0 +1,81 @@
+"""Exact k-swap stability tests — validating the monotonicity shortcut."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.core import (
+    is_k_insertion_stable,
+    is_k_swap_stable,
+    k_insertion_witness,
+    k_swap_witness,
+)
+from repro.constructions import rotated_torus
+from repro.graphs import CSRGraph, cycle_graph, path_graph, star_graph
+
+
+class TestKSwapWitness:
+    def test_path_end_has_single_swap_witness(self):
+        g = path_graph(6)
+        w = k_swap_witness(g, 0, 1)
+        assert w is not None
+        drops, adds = w
+        assert len(drops) <= 1 and len(adds) <= 1
+
+    def test_star_leaves_stable(self):
+        g = star_graph(6)
+        for v in range(1, 6):
+            assert k_swap_witness(g, v, 2) is None
+
+    def test_witness_actually_lowers_ecc(self):
+        from repro.core import local_diameter
+
+        g = cycle_graph(10)
+        w = k_swap_witness(g, 0, 2)
+        assert w is not None
+        drops, adds = w
+        g2 = g.with_edges(
+            remove=[(0, d) for d in drops], add=[(0, a) for a in adds]
+        )
+        assert local_diameter(g2, 0) < local_diameter(g, 0)
+
+    def test_requires_connectivity(self):
+        with pytest.raises(DisconnectedGraphError):
+            k_swap_witness(CSRGraph(3, [(0, 1)]), 0, 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_swap_witness(path_graph(4), 0, 0)
+
+
+class TestMonotonicityImplication:
+    """k-insertion stability must imply k-swap stability (the shortcut the
+    fast auditor uses); verify both directions' behaviour on knowns."""
+
+    def test_torus_k1_agreement(self):
+        g = rotated_torus(3)
+        assert is_k_insertion_stable(g, 1, vertices=[0])
+        assert is_k_swap_stable(g, 1, vertices=[0])
+
+    def test_torus_k2_agreement(self):
+        # rotated_torus(4) is 2-insertion UNstable; the exact k-swap search
+        # must also find a witness (a pure insertion is a legal multi-move).
+        g = rotated_torus(4)
+        assert k_insertion_witness(g, 0, 2) is not None
+        assert k_swap_witness(g, 0, 2) is not None
+
+    def test_insertion_witness_is_also_swap_witness(self):
+        g = rotated_torus(4)
+        ins = k_insertion_witness(g, 0, 2)
+        assert ins is not None
+        sw = k_swap_witness(g, 0, 2, candidate_adds=ins)
+        assert sw is not None
+        drops, adds = sw
+        assert set(adds).issubset(set(ins))
+
+    def test_no_swap_witness_on_insertion_stable_small(self):
+        # Exhaustive agreement on a small vertex-transitive instance.
+        g = rotated_torus(2)
+        for k in (1, 2):
+            assert is_k_insertion_stable(g, k, vertices=[0]) == (
+                k_swap_witness(g, 0, k) is None
+            )

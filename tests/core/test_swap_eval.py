@@ -1,0 +1,126 @@
+"""Swap evaluation tests: patched == copy == vectorized min-plus closure."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Swap,
+    all_swap_costs_for_drop,
+    removal_distance_matrix,
+    swap_cost_after,
+    swap_delta,
+)
+from repro.core.costs import INT_INF
+from repro.graphs import CSRGraph, cycle_graph, path_graph, star_graph
+
+from ..conftest import connected_graphs
+
+
+class TestSwapCostAfter:
+    def test_known_improvement_on_path(self):
+        # End vertex of P4 swaps its edge to the far end: 0-1-2-3 becomes
+        # 1-2-3 with 0 attached to 3.
+        g = path_graph(4)
+        after = swap_cost_after(g, Swap(0, 1, 3), "sum")
+        assert after == 1 + 2 + 3  # distances to 3,2,1
+
+    def test_disconnecting_swap_is_inf(self):
+        g = path_graph(4)
+        # Vertex 1 drops its edge to 2 and "adds" an edge back to 0's side:
+        # component {0,1} splits off.
+        assert swap_cost_after(g, Swap(1, 2, 0), "sum") == math.inf
+
+    def test_max_objective(self):
+        g = path_graph(5)
+        # End vertex hooks onto the center: ecc 4 -> 3 (0-2-3-4 is longest).
+        assert swap_cost_after(g, Swap(0, 1, 2), "max") == 3
+
+    @given(connected_graphs(max_n=12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_patched_equals_copy(self, g, data):
+        v = data.draw(st.integers(0, g.n - 1))
+        nbrs = [int(x) for x in g.neighbors(v)]
+        if not nbrs:
+            return
+        w = data.draw(st.sampled_from(nbrs))
+        w2 = data.draw(st.integers(0, g.n - 1))
+        if w2 in (v, w):
+            return
+        swap = Swap(v, w, w2)
+        for objective in ("sum", "max"):
+            assert swap_cost_after(g, swap, objective, "patched") == (
+                swap_cost_after(g, swap, objective, "copy")
+            )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            swap_cost_after(path_graph(3), Swap(0, 1, 2), "sum", "telepathy")
+
+
+class TestSwapDelta:
+    def test_improving_negative(self):
+        g = path_graph(5)
+        assert swap_delta(g, Swap(0, 1, 2), "sum") < 0
+
+    def test_star_leaf_swap_nonnegative(self):
+        g = star_graph(6)
+        # Leaf 1 relocating its only edge to another leaf: strictly worse.
+        assert swap_delta(g, Swap(1, 0, 2), "sum") > 0
+
+
+class TestVectorizedClosure:
+    @given(connected_graphs(min_n=3, max_n=12), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_matches_direct_eval_for_all_targets(self, g, data):
+        v = data.draw(st.integers(0, g.n - 1))
+        nbrs = [int(x) for x in g.neighbors(v)]
+        if not nbrs:
+            return
+        w = data.draw(st.sampled_from(nbrs))
+        for objective in ("sum", "max"):
+            costs = all_swap_costs_for_drop(g, v, w, objective)
+            for w2 in range(g.n):
+                if w2 == v:
+                    assert costs[w2] == math.inf
+                    continue
+                if w2 == w:
+                    continue  # identity slot: value is the base cost
+                direct = swap_cost_after(g, Swap(v, w, w2), objective, "copy")
+                assert costs[w2] == direct
+
+    def test_identity_slot_holds_base_cost(self):
+        g = cycle_graph(6)
+        from repro.core import sum_cost
+
+        costs = all_swap_costs_for_drop(g, 0, 1, "sum")
+        assert costs[1] == sum_cost(g, 0)
+
+    def test_deletion_slots_equal_removal_cost(self):
+        # Swapping onto another existing neighbour = deleting the edge.
+        g = cycle_graph(5)
+        costs = all_swap_costs_for_drop(g, 0, 1, "sum")
+        removal = removal_distance_matrix(g, (0, 1))
+        expected = float(removal[0].sum())
+        assert costs[4] == expected  # 4 is 0's other neighbour
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            all_swap_costs_for_drop(path_graph(3), 0, 1, "median")
+
+
+class TestRemovalMatrix:
+    def test_bridge_removal_inf_blocks(self):
+        g = path_graph(4)
+        dm = removal_distance_matrix(g, (1, 2))
+        assert dm[0, 3] >= INT_INF
+        assert dm[0, 1] == 1
+
+    def test_cycle_removal_finite(self):
+        g = cycle_graph(6)
+        dm = removal_distance_matrix(g, (0, 1))
+        assert dm.max() < INT_INF
+        assert dm[0, 1] == 5  # the long way around

@@ -1,0 +1,86 @@
+"""α-game model tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.games import FabrikantGame, profile_from_graph, random_profile
+from repro.graphs import path_graph, star_graph
+
+
+class TestProfiles:
+    def test_normalize_validates(self):
+        game = FabrikantGame(3, 1.0)
+        with pytest.raises(ConfigurationError):
+            game.normalize([{0}, set(), set()])  # self-loop by player 0
+        with pytest.raises(ConfigurationError):
+            game.normalize([{5}, set(), set()])  # out of range
+        with pytest.raises(ConfigurationError):
+            game.normalize([set(), set()])  # wrong length
+
+    def test_profile_from_graph_default_owner(self):
+        prof = profile_from_graph(path_graph(3))
+        assert prof[0] == frozenset({1})
+        assert prof[1] == frozenset({2})
+        assert prof[2] == frozenset()
+
+    def test_profile_from_graph_custom_owner(self):
+        prof = profile_from_graph(path_graph(3), owners={(0, 1): 1, (1, 2): 1})
+        assert prof[1] == frozenset({0, 2})
+
+    def test_profile_bad_owner_rejected(self):
+        with pytest.raises(GraphError):
+            profile_from_graph(path_graph(3), owners={(0, 1): 2})
+
+    def test_random_profile_shape(self):
+        prof = random_profile(6, 2, seed=1)
+        assert len(prof) == 6
+        assert all(len(s) == 2 for s in prof)
+
+    def test_random_profile_bounds(self):
+        with pytest.raises(ConfigurationError):
+            random_profile(4, 4, seed=0)
+
+
+class TestCosts:
+    def test_star_center_cost(self):
+        game = FabrikantGame(5, 2.0)
+        prof = profile_from_graph(star_graph(5))  # center 0 buys all
+        # Center: 4 edges * alpha + sum of distances (4).
+        assert game.player_cost(prof, 0) == 2.0 * 4 + 4
+        # Leaf: buys nothing, usage 1 + 2*3.
+        assert game.player_cost(prof, 1) == 7
+
+    def test_disconnected_cost_inf(self):
+        game = FabrikantGame(3, 1.0)
+        prof = game.normalize([{1}, set(), set()])
+        assert game.player_cost(prof, 0) == math.inf
+
+    def test_total_cost_decomposition(self):
+        from repro.graphs import total_pairwise_distance
+
+        game = FabrikantGame(5, 3.0)
+        prof = profile_from_graph(star_graph(5))
+        g = game.graph_of(prof)
+        assert game.total_cost(prof) == 3.0 * g.m + total_pairwise_distance(g)
+
+    def test_double_buying_costs_twice(self):
+        game = FabrikantGame(2, 5.0)
+        prof = game.normalize([{1}, {0}])
+        # One undirected edge, both players paid for it.
+        assert game.graph_of(prof).m == 1
+        assert game.total_cost(prof) == 2 * 5.0 + 2
+
+    def test_with_strategy_replaces(self):
+        game = FabrikantGame(4, 1.0)
+        prof = profile_from_graph(star_graph(4))
+        prof2 = game.with_strategy(prof, 1, {2, 3})
+        assert prof2[1] == frozenset({2, 3})
+        assert prof2[0] == prof[0]
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            FabrikantGame(4, -1.0)
+        with pytest.raises(ConfigurationError):
+            FabrikantGame(0, 1.0)

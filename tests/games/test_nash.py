@@ -1,0 +1,113 @@
+"""Nash / greedy equilibrium tests for the α-game."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.games import (
+    EXACT_NASH_MAX_N,
+    FabrikantGame,
+    exact_best_response,
+    greedy_best_move,
+    greedy_dynamics,
+    is_greedy_equilibrium,
+    is_nash_equilibrium,
+    profile_from_graph,
+    random_profile,
+)
+from repro.graphs import path_graph, star_graph
+
+
+class TestExactNash:
+    def test_star_nash_for_moderate_alpha(self):
+        # Classical: the star (bought by the center) is Nash for alpha >= 1.
+        for alpha in (1.0, 2.0, 10.0):
+            game = FabrikantGame(5, alpha)
+            prof = profile_from_graph(star_graph(5))
+            assert is_nash_equilibrium(game, prof)
+
+    def test_star_not_nash_for_tiny_alpha(self):
+        # alpha < 1: a leaf buys an edge to another leaf (cost alpha,
+        # saves 1 distance unit).
+        game = FabrikantGame(5, 0.5)
+        prof = profile_from_graph(star_graph(5))
+        assert not is_nash_equilibrium(game, prof)
+
+    def test_exact_best_response_brute_force_agreement(self):
+        # Cross-check the enumeration against a literal subset loop.
+        game = FabrikantGame(5, 1.5)
+        prof = profile_from_graph(path_graph(5))
+        v = 0
+        strategy, cost = exact_best_response(game, prof, v)
+        others = [u for u in range(5) if u != v]
+        best = min(
+            game.player_cost(
+                game.with_strategy(prof, v, frozenset(combo)), v
+            )
+            for r in range(len(others) + 1)
+            for combo in itertools.combinations(others, r)
+        )
+        assert cost == best
+
+    def test_size_cap_enforced(self):
+        game = FabrikantGame(EXACT_NASH_MAX_N + 1, 1.0)
+        prof = tuple(frozenset() for _ in range(game.n))
+        with pytest.raises(ConfigurationError):
+            exact_best_response(game, prof, 0)
+
+
+class TestGreedyEquilibrium:
+    def test_nash_implies_greedy(self):
+        game = FabrikantGame(6, 2.0)
+        prof = profile_from_graph(star_graph(6))
+        assert is_nash_equilibrium(game, prof)
+        assert is_greedy_equilibrium(game, prof)
+
+    def test_greedy_move_improves(self):
+        game = FabrikantGame(6, 1.0)
+        prof = profile_from_graph(path_graph(6))
+        move = greedy_best_move(game, prof, 0)
+        assert move is not None
+        new_strategy, cost = move
+        assert cost < game.player_cost(prof, 0)
+
+    def test_no_move_at_equilibrium(self):
+        game = FabrikantGame(6, 2.0)
+        prof = profile_from_graph(star_graph(6))
+        assert all(
+            greedy_best_move(game, prof, v) is None for v in range(6)
+        )
+
+
+class TestGreedyDynamics:
+    def test_converges_to_greedy_equilibrium(self):
+        game = FabrikantGame(8, 2.0)
+        result = greedy_dynamics(game, random_profile(8, 2, seed=4), seed=1)
+        assert result.converged
+        assert is_greedy_equilibrium(game, result.profile)
+
+    def test_deterministic(self):
+        game = FabrikantGame(7, 1.5)
+        init = random_profile(7, 2, seed=9)
+        a = greedy_dynamics(game, init, seed=2)
+        b = greedy_dynamics(game, init, seed=2)
+        assert a.profile == b.profile
+        assert a.steps == b.steps
+
+    def test_small_alpha_builds_clique(self):
+        game = FabrikantGame(6, 0.5)
+        result = greedy_dynamics(game, random_profile(6, 1, seed=3), seed=5)
+        assert result.converged
+        g = game.graph_of(result.profile)
+        from repro.graphs import diameter
+
+        assert diameter(g) == 1  # alpha < 1: direct edges always pay
+
+    def test_large_alpha_stays_sparse(self):
+        game = FabrikantGame(8, 50.0)
+        result = greedy_dynamics(game, random_profile(8, 2, seed=6), seed=7)
+        assert result.converged
+        g = game.graph_of(result.profile)
+        # Edges are expensive: the equilibrium graph is tree-like.
+        assert g.m <= 12

@@ -1,0 +1,109 @@
+"""Social cost / optimum / PoA tests."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.games import (
+    alpha_social_cost,
+    alpha_social_optimum,
+    clique_social_cost,
+    poa_diameter_ratio,
+    price_of_anarchy_alpha,
+    star_plus_matching_graph,
+    star_social_cost,
+    usage_optimum_same_budget,
+    usage_social_cost,
+)
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    is_connected,
+    path_graph,
+    star_graph,
+    total_pairwise_distance,
+)
+
+
+class TestClosedForms:
+    def test_star_formula_matches_direct(self):
+        for n in (3, 5, 8):
+            g = star_graph(n)
+            for alpha in (0.5, 2.0, 7.0):
+                assert star_social_cost(n, alpha) == alpha_social_cost(g, alpha)
+
+    def test_clique_formula_matches_direct(self):
+        for n in (3, 5, 7):
+            g = complete_graph(n)
+            for alpha in (0.5, 2.0):
+                assert clique_social_cost(n, alpha) == alpha_social_cost(
+                    g, alpha
+                )
+
+    def test_crossover_at_alpha_2(self):
+        n = 6
+        assert clique_social_cost(n, 1.0) < star_social_cost(n, 1.0)
+        assert clique_social_cost(n, 2.0) == star_social_cost(n, 2.0)
+        assert clique_social_cost(n, 3.0) > star_social_cost(n, 3.0)
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 3.0, 10.0])
+    def test_optimum_verified_by_brute_force_n5(self, alpha):
+        n = 5
+        pairs = list(itertools.combinations(range(n), 2))
+        best = math.inf
+        for r in range(n - 1, len(pairs) + 1):
+            for es in itertools.combinations(pairs, r):
+                g = CSRGraph(n, es)
+                if is_connected(g):
+                    best = min(best, alpha_social_cost(g, alpha))
+        assert alpha_social_optimum(n, alpha) == pytest.approx(best)
+
+
+class TestUsageCost:
+    def test_usage_is_ordered_pair_total(self):
+        g = path_graph(5)
+        assert usage_social_cost(g) == total_pairwise_distance(g)
+
+    def test_star_plus_matching_budget(self):
+        g = star_plus_matching_graph(8, 10)
+        assert g.n == 8 and g.m == 10
+        assert is_connected(g)
+
+    def test_star_plus_matching_validates(self):
+        with pytest.raises(GraphError):
+            star_plus_matching_graph(5, 3)
+
+    def test_baseline_improves_with_budget(self):
+        # More edges => weakly smaller usage optimum.
+        costs = [usage_optimum_same_budget(10, m) for m in (9, 15, 25, 45)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestPoA:
+    def test_poa_one_for_optimal_equilibria(self):
+        # The star is the usage optimum at its own budget.
+        poa, d, ratio = poa_diameter_ratio(star_graph(12))
+        assert poa == pytest.approx(1.0)
+        assert d == 2
+
+    def test_alpha_poa_requires_graphs(self):
+        with pytest.raises(GraphError):
+            price_of_anarchy_alpha([], 2.0)
+
+    def test_alpha_poa_of_star_is_one_at_alpha_2(self):
+        assert price_of_anarchy_alpha([star_graph(8)], 2.0) == pytest.approx(
+            1.0
+        )
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            price_of_anarchy_alpha([star_graph(5), star_graph(6)], 1.0)
+
+    def test_poa_at_least_one(self):
+        from repro.constructions import rotated_torus
+
+        poa, d, ratio = poa_diameter_ratio(rotated_torus(4))
+        assert poa >= 1.0
+        assert ratio > 0

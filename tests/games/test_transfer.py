@@ -1,0 +1,52 @@
+"""Transfer principle tests: owner-restricted swap stability."""
+
+from repro.games import (
+    FabrikantGame,
+    owner_swap_stable,
+    profile_from_graph,
+    transfer_sweep,
+)
+from repro.graphs import path_graph, star_graph
+
+
+class TestOwnerSwapStability:
+    def test_star_profile_stable(self):
+        game = FabrikantGame(6, 1.0)
+        prof = profile_from_graph(star_graph(6))
+        assert owner_swap_stable(game, prof)
+
+    def test_path_profile_unstable(self):
+        # The first player relocating its edge toward the path's middle
+        # strictly improves its usage.
+        game = FabrikantGame(6, 1.0)
+        prof = profile_from_graph(path_graph(6))
+        assert not owner_swap_stable(game, prof)
+
+    def test_nash_implies_owner_swap_stable(self):
+        from repro.games import is_nash_equilibrium
+
+        game = FabrikantGame(6, 2.0)
+        prof = profile_from_graph(star_graph(6))
+        assert is_nash_equilibrium(game, prof)
+        assert owner_swap_stable(game, prof)
+
+
+class TestTransferSweep:
+    def test_records_and_bound(self):
+        records = transfer_sweep(
+            8, alphas=[1.0, 4.0], replicates=2, root_seed=5
+        )
+        assert len(records) == 4
+        for r in records:
+            assert r.n == 8
+            if r.converged:
+                # The paper's transfer: every alpha-equilibrium we reach is
+                # owner-swap stable and within the alpha-free bound.
+                assert r.connected
+                assert r.owner_swap_stable
+                assert r.within_bound
+
+    def test_deterministic(self):
+        a = transfer_sweep(7, alphas=[2.0], replicates=2, root_seed=1)
+        b = transfer_sweep(7, alphas=[2.0], replicates=2, root_seed=1)
+        assert [r.diameter for r in a] == [r.diameter for r in b]

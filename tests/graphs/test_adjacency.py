@@ -1,0 +1,107 @@
+"""Unit tests for the mutable adjacency graph used by dynamics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidEdgeError
+from repro.graphs import AdjacencyGraph, CSRGraph
+
+from ..conftest import connected_graphs
+
+
+class TestMutation:
+    def test_add_and_remove(self):
+        g = AdjacencyGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.m == 2
+        g.remove_edge(0, 1)
+        assert g.m == 1
+        assert not g.has_edge(0, 1)
+
+    def test_add_duplicate_raises(self):
+        g = AdjacencyGraph(3, [(0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            g.add_edge(1, 0)
+
+    def test_remove_missing_raises(self):
+        g = AdjacencyGraph(3)
+        with pytest.raises(InvalidEdgeError):
+            g.remove_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = AdjacencyGraph(3)
+        with pytest.raises(InvalidEdgeError):
+            g.add_edge(2, 2)
+
+
+class TestSwapSemantics:
+    def test_plain_swap(self):
+        g = AdjacencyGraph(4, [(0, 1), (1, 2)])
+        g.swap_edge(1, 0, 3)
+        assert not g.has_edge(1, 0)
+        assert g.has_edge(1, 3)
+        assert g.m == 2
+
+    def test_swap_onto_existing_neighbor_is_deletion(self):
+        # Paper convention: swapping vw to an existing edge deletes vw.
+        g = AdjacencyGraph(4, [(0, 1), (0, 2)])
+        g.swap_edge(0, 1, 2)
+        assert g.m == 1
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_swap_onto_dropped_neighbor_is_deletion(self):
+        g = AdjacencyGraph(3, [(0, 1), (0, 2)])
+        g.swap_edge(0, 1, 1)
+        assert g.m == 1
+        assert not g.has_edge(0, 1)
+
+    def test_swap_missing_edge_raises(self):
+        g = AdjacencyGraph(4, [(0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            g.swap_edge(0, 2, 3)
+
+    def test_swap_to_self_raises(self):
+        g = AdjacencyGraph(3, [(0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            g.swap_edge(0, 1, 0)
+
+
+class TestSnapshots:
+    def test_csr_round_trip(self):
+        csr = CSRGraph(5, [(0, 1), (1, 2), (3, 4)])
+        adj = AdjacencyGraph.from_csr(csr)
+        assert adj.to_csr() == csr
+
+    def test_csr_cache_invalidated_on_mutation(self):
+        adj = AdjacencyGraph(3, [(0, 1)])
+        first = adj.to_csr()
+        adj.add_edge(1, 2)
+        second = adj.to_csr()
+        assert first.m == 1
+        assert second.m == 2
+
+    def test_csr_cache_reused_when_clean(self):
+        adj = AdjacencyGraph(3, [(0, 1)])
+        assert adj.to_csr() is adj.to_csr()
+
+    def test_copy_is_independent(self):
+        a = AdjacencyGraph(3, [(0, 1)])
+        b = a.copy()
+        b.add_edge(1, 2)
+        assert a.m == 1
+        assert b.m == 2
+
+    def test_neighbors_array_sorted(self):
+        adj = AdjacencyGraph(5, [(2, 4), (2, 0)])
+        assert adj.neighbors_array(2).tolist() == [0, 4]
+
+    @given(connected_graphs(max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_preserves_everything(self, csr):
+        adj = AdjacencyGraph.from_csr(csr)
+        assert adj.n == csr.n
+        assert adj.m == csr.m
+        assert adj.edge_set() == csr.edge_set()
+        assert adj.to_csr() == csr

@@ -1,0 +1,143 @@
+"""BFS kernel tests: cross-validation against networkx and patch semantics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    UNREACHABLE,
+    bfs_aggregates,
+    bfs_distances,
+    bfs_tree_parents,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+from ..conftest import connected_graphs, edge_lists
+
+
+class TestBFSBasics:
+    def test_path_distances(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+        assert bfs_distances(g, 2).tolist() == [2, 1, 0, 1, 2]
+
+    def test_star_distances(self):
+        g = star_graph(6)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 1, 1, 1, 1]
+        d = bfs_distances(g, 3)
+        assert d[0] == 1 and d[3] == 0
+        assert all(d[v] == 2 for v in (1, 2, 4, 5))
+
+    def test_unreachable_marked(self):
+        g = CSRGraph(4, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert d[2] == UNREACHABLE and d[3] == UNREACHABLE
+
+    def test_source_out_of_range(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 5)
+
+    @given(edge_lists(max_n=14), st.integers(min_value=0, max_value=13))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx(self, nl, src):
+        n, edges = nl
+        src = src % n
+        g = CSRGraph(n, edges)
+        ours = bfs_distances(g, src)
+        ref = nx.single_source_shortest_path_length(to_networkx(g), src)
+        for v in range(n):
+            expected = ref.get(v, UNREACHABLE)
+            assert int(ours[v]) == expected
+
+
+class TestPatchedBFS:
+    def test_exclude_edge(self):
+        g = path_graph(4)
+        d = bfs_distances(g, 0, exclude=(1, 2))
+        assert d.tolist() == [0, 1, UNREACHABLE, UNREACHABLE]
+
+    def test_exclude_missing_edge_is_noop(self):
+        g = path_graph(4)
+        assert bfs_distances(g, 0, exclude=(0, 3)).tolist() == [0, 1, 2, 3]
+
+    def test_extra_edge(self):
+        g = path_graph(5)
+        d = bfs_distances(g, 0, extra=[(0, 4)])
+        assert d.tolist() == [0, 1, 2, 2, 1]
+
+    def test_extra_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            bfs_distances(path_graph(3), 0, extra=[(1, 1)])
+
+    def test_swap_patch_equals_materialized_graph(self):
+        g = CSRGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 2)])
+        patched = bfs_distances(g, 0, exclude=(0, 1), extra=[(0, 4)])
+        explicit = g.with_edges(add=[(0, 4)], remove=[(0, 1)])
+        assert patched.tolist() == bfs_distances(explicit, 0).tolist()
+
+    @given(connected_graphs(max_n=12), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_patch_property(self, g, data):
+        # Random swap-shaped patch, compared to the materialized graph.
+        v = data.draw(st.integers(0, g.n - 1))
+        nbrs = [int(x) for x in g.neighbors(v)]
+        if not nbrs:
+            return
+        w = data.draw(st.sampled_from(nbrs))
+        w2 = data.draw(st.integers(0, g.n - 1))
+        if w2 == v:
+            return
+        extra = [] if g.has_edge(v, w2) or w2 == w else [(v, w2)]
+        patched = bfs_distances(g, v, exclude=(v, w), extra=extra)
+        explicit = g.with_edges(remove=[(v, w)], add=extra)
+        assert patched.tolist() == bfs_distances(explicit, v).tolist()
+
+
+class TestAggregates:
+    def test_connected_aggregates(self):
+        g = path_graph(4)
+        total, ecc, reached = bfs_aggregates(g, 0)
+        assert (total, ecc, reached) == (6, 3, 4)
+
+    def test_disconnected_aggregates(self):
+        g = CSRGraph(4, [(0, 1)])
+        total, ecc, reached = bfs_aggregates(g, 0)
+        assert reached == 2
+        assert (total, ecc) == (1, 1)
+
+    def test_singleton(self):
+        g = CSRGraph(1, [])
+        assert bfs_aggregates(g, 0) == (0, 0, 1)
+
+
+class TestBFSTreeParents:
+    def test_path_parents(self):
+        g = path_graph(4)
+        p = bfs_tree_parents(g, 0)
+        assert p.tolist() == [0, 0, 1, 2]
+
+    def test_smallest_parent_wins(self):
+        # Vertex 3 reachable from both 1 and 2 at the same level.
+        g = CSRGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        p = bfs_tree_parents(g, 0)
+        assert p[3] == 1
+
+    def test_unreachable_parent(self):
+        g = CSRGraph(3, [(0, 1)])
+        p = bfs_tree_parents(g, 0)
+        assert p[2] == UNREACHABLE
+
+    @given(connected_graphs(max_n=14))
+    @settings(max_examples=40, deadline=None)
+    def test_parents_consistent_with_distances(self, g):
+        d = bfs_distances(g, 0)
+        p = bfs_tree_parents(g, 0)
+        for v in range(1, g.n):
+            assert d[int(p[v])] == d[v] - 1
+            assert g.has_edge(v, int(p[v]))

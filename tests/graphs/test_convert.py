@@ -1,0 +1,89 @@
+"""Conversion and I/O tests."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    from_networkx,
+    path_graph,
+    read_edge_list,
+    relabel_to_integers,
+    to_networkx,
+    write_edge_list,
+)
+
+from ..conftest import edge_lists
+
+
+class TestNetworkxBridge:
+    @given(edge_lists(max_n=12))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_isolated_vertices_preserved(self):
+        g = CSRGraph(5, [(0, 1)])
+        assert to_networkx(g).number_of_nodes() == 5
+
+    def test_non_contiguous_labels_rejected(self):
+        h = nx.Graph()
+        h.add_edge("a", "b")
+        with pytest.raises(GraphError):
+            from_networkx(h)
+
+
+class TestRelabel:
+    def test_sorted_order(self):
+        g, index = relabel_to_integers(
+            ["c", "a", "b"], [("a", "b"), ("b", "c")]
+        )
+        assert index == {"a": 0, "b": 1, "c": 2}
+        assert g.edge_set() == frozenset({(0, 1), (1, 2)})
+
+    def test_unsortable_labels_first_seen(self):
+        labels = [(0, 1), "x"]  # tuple vs str: unsortable together
+        g, index = relabel_to_integers(labels, [((0, 1), "x")])
+        assert g.m == 1
+        assert set(index.values()) == {0, 1}
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            relabel_to_integers(["a"], [("a", "z")])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(GraphError):
+            relabel_to_integers(["a", "a"], [])
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        g = path_graph(6)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_header_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 2\n0 1\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_malformed_line_detected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("3 1\n0 1 2\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    @given(edge_lists(max_n=10))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_property(self, tmp_path_factory, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        path = tmp_path_factory.mktemp("el") / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g

@@ -1,0 +1,171 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError, InvalidEdgeError
+from repro.graphs import CSRGraph
+
+from ..conftest import edge_lists
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph(0, [])
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_isolated_vertices(self):
+        g = CSRGraph(5, [])
+        assert g.n == 5
+        assert g.m == 0
+        assert g.degrees().tolist() == [0] * 5
+
+    def test_single_edge(self):
+        g = CSRGraph(2, [(0, 1)])
+        assert g.m == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_edge_orientation_is_irrelevant(self):
+        a = CSRGraph(3, [(0, 1), (1, 2)])
+        b = CSRGraph(3, [(1, 0), (2, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_edges_are_canonical_and_sorted(self):
+        g = CSRGraph(4, [(3, 1), (2, 0), (1, 0)])
+        assert g.edges().tolist() == [[0, 1], [0, 2], [1, 3]]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(-1, [])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            CSRGraph(3, [(1, 1)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            CSRGraph(3, [(0, 1), (1, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(InvalidEdgeError):
+            CSRGraph(3, [(0, 3)])
+        with pytest.raises(InvalidEdgeError):
+            CSRGraph(3, [(-1, 0)])
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = CSRGraph(5, [(2, 4), (2, 0), (2, 3)])
+        assert g.neighbors(2).tolist() == [0, 3, 4]
+
+    def test_degree_matches_neighbors(self):
+        g = CSRGraph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_degrees_vector(self):
+        g = CSRGraph(4, [(0, 1), (2, 3)])
+        assert g.degrees().tolist() == [1, 1, 1, 1]
+
+    def test_has_edge_false_for_self(self):
+        g = CSRGraph(3, [(0, 1)])
+        assert not g.has_edge(1, 1)
+
+    def test_vertex_range_checked(self):
+        g = CSRGraph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            g.degree(3)
+        with pytest.raises(GraphError):
+            g.neighbors(-1)
+
+    def test_edge_set_round_trip(self):
+        edges = {(0, 1), (1, 2), (0, 3)}
+        g = CSRGraph(4, edges)
+        assert g.edge_set() == frozenset(edges)
+
+    def test_iter_edges_yields_python_ints(self):
+        g = CSRGraph(3, [(0, 2)])
+        (edge,) = list(g.iter_edges())
+        assert edge == (0, 2)
+        assert all(type(x) is int for x in edge)
+
+
+class TestWithEdges:
+    def test_add_edge(self):
+        g = CSRGraph(3, [(0, 1)])
+        g2 = g.with_edges(add=[(1, 2)])
+        assert g2.m == 2
+        assert g.m == 1  # immutability
+
+    def test_remove_edge(self):
+        g = CSRGraph(3, [(0, 1), (1, 2)])
+        g2 = g.with_edges(remove=[(1, 2)])
+        assert g2.m == 1
+        assert not g2.has_edge(1, 2)
+
+    def test_swap_via_with_edges(self):
+        g = CSRGraph(4, [(0, 1), (1, 2)])
+        g2 = g.with_edges(add=[(0, 3)], remove=[(0, 1)])
+        assert g2.has_edge(0, 3) and not g2.has_edge(0, 1)
+
+    def test_remove_missing_raises(self):
+        g = CSRGraph(3, [(0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            g.with_edges(remove=[(1, 2)])
+
+    def test_add_existing_raises(self):
+        g = CSRGraph(3, [(0, 1)])
+        with pytest.raises(InvalidEdgeError):
+            g.with_edges(add=[(1, 0)])
+
+    def test_remove_then_add_same_edge(self):
+        g = CSRGraph(3, [(0, 1)])
+        g2 = g.with_edges(add=[(0, 1)], remove=[(0, 1)])
+        assert g2 == g
+
+
+class TestScipyBridge:
+    def test_to_scipy_shape_and_symmetry(self):
+        g = CSRGraph(4, [(0, 1), (1, 2), (2, 3)])
+        mat = g.to_scipy()
+        assert mat.shape == (4, 4)
+        dense = mat.toarray()
+        assert (dense == dense.T).all()
+        assert dense.sum() == 2 * g.m
+
+
+class TestCSRInvariants:
+    @given(edge_lists())
+    @settings(max_examples=80, deadline=None)
+    def test_indptr_indices_consistency(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert g.indptr.shape == (n + 1,)
+        assert g.indptr[0] == 0
+        assert g.indptr[-1] == 2 * g.m
+        assert (np.diff(g.indptr) >= 0).all()
+        # Adjacency symmetric: u in N(v) iff v in N(u).
+        for u, v in g.iter_edges():
+            assert v in g.neighbors(u)
+            assert u in g.neighbors(v)
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sum_is_twice_edges(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert int(g.degrees().sum()) == 2 * g.m
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_equality_independent_of_edge_order(self, nl):
+        n, edges = nl
+        g1 = CSRGraph(n, edges)
+        g2 = CSRGraph(n, list(reversed([(v, u) for u, v in edges])))
+        assert g1 == g2
+        assert hash(g1) == hash(g2)

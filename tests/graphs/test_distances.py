@@ -1,0 +1,147 @@
+"""Distance engine tests: engines agree; closed forms hold."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs import (
+    CSRGraph,
+    average_distance,
+    ball_sizes,
+    cycle_graph,
+    diameter,
+    diameter_or_inf,
+    distance_histogram,
+    distance_matrix,
+    eccentricities,
+    grid_graph,
+    is_connected,
+    path_graph,
+    radius,
+    sphere_sizes,
+    star_graph,
+    sum_distances_from,
+    total_pairwise_distance,
+)
+
+from ..conftest import connected_graphs, edge_lists
+
+
+class TestEnginesAgree:
+    @given(edge_lists(max_n=14))
+    @settings(max_examples=60, deadline=None)
+    def test_scipy_equals_numpy(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert np.array_equal(
+            distance_matrix(g, "scipy"), distance_matrix(g, "numpy")
+        )
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(Exception):
+            distance_matrix(path_graph(3), "quantum")
+
+
+class TestClosedForms:
+    def test_path(self):
+        g = path_graph(6)
+        assert diameter(g) == 5
+        assert radius(g) == 3  # center vertices 2, 3 have ecc 3
+        assert eccentricities(g).tolist() == [5, 4, 3, 3, 4, 5]
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert diameter(g) == 4
+        assert radius(g) == 4
+        assert set(eccentricities(g).tolist()) == {4}
+
+    def test_star(self):
+        g = star_graph(7)
+        assert diameter(g) == 2
+        assert radius(g) == 1
+        assert sum_distances_from(g, 0) == 6
+        assert sum_distances_from(g, 1) == 1 + 2 * 5
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert diameter(g) == (3 - 1) + (4 - 1)
+
+    def test_total_pairwise_distance_path(self):
+        # Wiener index of P_n is C(n+1, 3); ordered total is twice that.
+        n = 7
+        g = path_graph(n)
+        wiener = math.comb(n + 1, 3)
+        assert total_pairwise_distance(g) == 2 * wiener
+
+    def test_average_distance_complete(self):
+        from repro.graphs import complete_graph
+
+        assert average_distance(complete_graph(5)) == 1.0
+
+
+class TestDisconnectedBehavior:
+    def test_diameter_raises(self):
+        g = CSRGraph(4, [(0, 1)])
+        with pytest.raises(DisconnectedGraphError):
+            diameter(g)
+
+    def test_diameter_or_inf(self):
+        g = CSRGraph(4, [(0, 1)])
+        assert diameter_or_inf(g) == math.inf
+        assert diameter_or_inf(path_graph(4)) == 3.0
+
+    def test_eccentricities_all_unreachable(self):
+        from repro.graphs import UNREACHABLE
+
+        g = CSRGraph(3, [(0, 1)])
+        assert set(eccentricities(g).tolist()) == {UNREACHABLE}
+
+    def test_sum_distances_inf(self):
+        g = CSRGraph(3, [(0, 1)])
+        assert sum_distances_from(g, 0) == math.inf
+
+    def test_total_pairwise_inf(self):
+        g = CSRGraph(3, [(0, 1)])
+        assert total_pairwise_distance(g) == math.inf
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(CSRGraph(3, [(0, 1)]))
+        assert is_connected(CSRGraph(1, []))
+        assert is_connected(CSRGraph(0, []))
+
+
+class TestHistogramsAndSpheres:
+    def test_histogram_cycle(self):
+        g = cycle_graph(6)
+        hist = distance_histogram(g)
+        # Per vertex: one at distance 0, two each at 1 and 2, one at 3.
+        assert hist.tolist() == [6, 12, 12, 6]
+
+    def test_sphere_sizes_path_end(self):
+        g = path_graph(5)
+        assert sphere_sizes(g, 0).tolist() == [1, 1, 1, 1, 1]
+
+    def test_ball_sizes_cumulative(self):
+        g = cycle_graph(6)
+        assert ball_sizes(g, 0).tolist() == [1, 3, 5, 6]
+
+    def test_sphere_sizes_disconnected_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            sphere_sizes(CSRGraph(3, [(0, 1)]), 0)
+
+    @given(connected_graphs(max_n=14))
+    @settings(max_examples=40, deadline=None)
+    def test_spheres_partition_vertices(self, g):
+        for v in (0, g.n - 1):
+            assert int(sphere_sizes(g, v).sum()) == g.n
+
+    @given(connected_graphs(max_n=14))
+    @settings(max_examples=40, deadline=None)
+    def test_diameter_radius_sandwich(self, g):
+        # radius <= diameter <= 2 * radius, a metric-space basic.
+        r, d = radius(g), diameter(g)
+        assert r <= d <= 2 * r

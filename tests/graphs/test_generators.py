@@ -1,0 +1,141 @@
+"""Generator tests: structure of deterministic families, sampling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graphs import (
+    all_trees,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    grid_graph,
+    is_connected,
+    path_graph,
+    prufer_to_tree,
+    random_connected_gnm,
+    random_tree,
+    star_graph,
+)
+from repro.theory import is_tree
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.degrees().tolist() == [1, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert set(g.degrees().tolist()) == {2}
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star_center_choice(self):
+        g = star_graph(5, center=2)
+        assert g.degree(2) == 4
+        assert g.degree(0) == 1
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+        assert set(g.degrees().tolist()) == {5}
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.m == 6
+        assert sorted(g.degrees().tolist()) == [2, 2, 2, 3, 3]
+
+    def test_grid(self):
+        g = grid_graph(2, 3)
+        assert g.n == 6
+        assert g.m == 7  # 2*2 vertical + 3*1... rows*(cols-1) + cols*(rows-1)
+
+    def test_empty(self):
+        g = empty_graph(4)
+        assert g.m == 0
+
+
+class TestPrufer:
+    def test_known_decoding(self):
+        # Sequence (3, 3) on n=4: edges (0,3), (1,3), (2,3) — the star at 3.
+        g = prufer_to_tree([3, 3], 4)
+        assert g.edge_set() == frozenset({(0, 3), (1, 3), (2, 3)})
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(GraphError):
+            prufer_to_tree([0], 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            prufer_to_tree([4, 0], 4)
+
+    @given(st.integers(3, 10), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_decoding_always_yields_tree(self, n, data):
+        seq = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=n - 2, max_size=n - 2)
+        )
+        g = prufer_to_tree(seq, n)
+        assert is_tree(g)
+
+    def test_cayley_formula(self):
+        # all_trees enumerates n^(n-2) distinct labelled trees.
+        for n, expected in ((2, 1), (3, 3), (4, 16), (5, 125)):
+            seen = set()
+            for t in all_trees(n):
+                assert is_tree(t)
+                seen.add(t.edge_set())
+            assert len(seen) == expected
+
+    def test_degree_law(self):
+        # A label appearing k times in the sequence has degree k+1.
+        g = prufer_to_tree([2, 2, 0], 5)
+        assert g.degree(2) == 3
+        assert g.degree(0) == 2
+
+
+class TestRandomFamilies:
+    @given(st.integers(2, 40), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_random_tree_is_tree(self, n, seed):
+        assert is_tree(random_tree(n, seed))
+
+    def test_random_tree_deterministic(self):
+        a = random_tree(15, seed=7)
+        b = random_tree(15, seed=7)
+        assert a == b
+
+    def test_random_tree_seed_variation(self):
+        assert random_tree(15, seed=1) != random_tree(15, seed=2)
+
+    @given(st.integers(3, 20), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_gnm_connected_with_exact_m(self, n, data):
+        max_m = n * (n - 1) // 2
+        m = data.draw(st.integers(n - 1, max_m))
+        seed = data.draw(st.integers(0, 2**31 - 1))
+        g = random_connected_gnm(n, m, seed)
+        assert g.m == m
+        assert is_connected(g)
+
+    def test_gnm_dense_path(self):
+        # Exercises the complement-enumeration branch (m > 0.75 * max).
+        n = 8
+        max_m = n * (n - 1) // 2
+        g = random_connected_gnm(n, max_m - 1, seed=5)
+        assert g.m == max_m - 1
+        assert is_connected(g)
+
+    def test_gnm_bounds_checked(self):
+        with pytest.raises(GraphError):
+            random_connected_gnm(5, 3, seed=0)  # below n-1
+        with pytest.raises(GraphError):
+            random_connected_gnm(5, 11, seed=0)  # above C(5,2)

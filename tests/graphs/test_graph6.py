@@ -1,0 +1,92 @@
+"""graph6 codec tests (cross-validated against networkx's implementation)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    from_graph6,
+    path_graph,
+    star_graph,
+    to_graph6,
+    to_networkx,
+)
+
+from ..conftest import edge_lists
+
+
+class TestKnownEncodings:
+    def test_trivial_graphs(self):
+        # Reference strings from the format specification.
+        assert to_graph6(empty_graph(0)) == "?"
+        assert to_graph6(empty_graph(1)) == "@"
+        assert to_graph6(CSRGraph(2, [(0, 1)])) == "A_"
+
+    def test_k4(self):
+        assert to_graph6(complete_graph(4)) == "C~"
+
+    def test_p4(self):
+        # Path 0-1-2-3: the spec's worked example encodes as 'Ch'... verify
+        # against networkx instead of hardcoding.
+        g = path_graph(4)
+        assert to_graph6(g) == nx.to_graph6_bytes(
+            to_networkx(g), header=False
+        ).decode().strip()
+
+
+class TestRoundTrip:
+    @given(edge_lists(max_n=12))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert from_graph6(to_graph6(g)) == g
+
+    @given(edge_lists(max_n=10))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_networkx_encoder(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        ref = nx.to_graph6_bytes(to_networkx(g), header=False).decode().strip()
+        assert to_graph6(g) == ref
+
+    @given(edge_lists(max_n=10))
+    @settings(max_examples=50, deadline=None)
+    def test_decodes_networkx_output(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        ref = nx.to_graph6_bytes(to_networkx(g), header=False).decode()
+        assert from_graph6(ref) == g
+
+    def test_large_n_prefix(self):
+        # n = 100 > 62 exercises the 4-byte size prefix.
+        g = star_graph(100)
+        assert from_graph6(to_graph6(g)) == g
+
+    def test_header_tolerated(self):
+        s = ">>graph6<<" + to_graph6(cycle_graph(5))
+        assert from_graph6(s) == cycle_graph(5)
+
+
+class TestErrors:
+    def test_empty_string(self):
+        with pytest.raises(GraphError):
+            from_graph6("")
+
+    def test_truncated_body(self):
+        s = to_graph6(complete_graph(6))
+        with pytest.raises(GraphError):
+            from_graph6(s[:-1])
+
+    def test_invalid_byte(self):
+        with pytest.raises(GraphError):
+            from_graph6("\x01")
+
+    def test_eight_byte_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            from_graph6("~~" + "?" * 10)

@@ -1,0 +1,64 @@
+"""Graph power tests: the exact ceil-distance law of Theorem 13."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graphs import (
+    CSRGraph,
+    cycle_graph,
+    distance_matrix,
+    path_graph,
+    power_distance_matrix,
+    power_graph,
+)
+
+from ..conftest import connected_graphs
+
+
+class TestPowerGraph:
+    def test_power_one_is_identity(self):
+        g = cycle_graph(7)
+        assert power_graph(g, 1) == g
+
+    def test_power_at_diameter_is_complete(self):
+        g = path_graph(5)
+        p = power_graph(g, 4)
+        assert p.m == 5 * 4 // 2
+
+    def test_square_of_path(self):
+        g = path_graph(4)
+        p = power_graph(g, 2)
+        assert p.edge_set() == frozenset(
+            {(0, 1), (1, 2), (2, 3), (0, 2), (1, 3)}
+        )
+
+    def test_invalid_exponent(self):
+        with pytest.raises(GraphError):
+            power_graph(path_graph(3), 0)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(DisconnectedGraphError):
+            power_graph(CSRGraph(3, [(0, 1)]), 2)
+
+
+class TestCeilLaw:
+    @given(connected_graphs(max_n=12), st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_power_distances_match_explicit_bfs(self, g, x):
+        # The paper's law: d_{G^x}(u,v) = ceil(d_G(u,v) / x).
+        direct = power_distance_matrix(g, x)
+        explicit = distance_matrix(power_graph(g, x))
+        assert np.array_equal(direct, explicit)
+
+    def test_ceil_values(self):
+        g = path_graph(7)  # distances 0..6 from vertex 0
+        dm3 = power_distance_matrix(g, 3)
+        assert dm3[0].tolist() == [0, 1, 1, 1, 2, 2, 2]
+
+    def test_diameter_shrinks_by_factor_x(self):
+        g = cycle_graph(24)  # diameter 12
+        for x in (2, 3, 4, 6):
+            assert power_distance_matrix(g, x).max() == -(-12 // x)

@@ -1,0 +1,152 @@
+"""Structural property tests: girth, cut vertices, transitivity, etc."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    connected_components,
+    cut_vertices,
+    cycle_graph,
+    degree_sequence,
+    distance_profiles_identical,
+    girth,
+    grid_graph,
+    is_bipartite,
+    is_vertex_transitive,
+    neighborhoods_are_independent,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+from repro.constructions import rotated_torus
+
+from ..conftest import edge_lists
+
+
+class TestGirth:
+    def test_forest_has_infinite_girth(self):
+        assert girth(path_graph(6)) == math.inf
+        assert girth(star_graph(5)) == math.inf
+
+    def test_cycles(self):
+        for n in (3, 4, 5, 8):
+            assert girth(cycle_graph(n)) == n
+
+    def test_complete(self):
+        assert girth(complete_graph(5)) == 3
+
+    def test_grid(self):
+        assert girth(grid_graph(3, 3)) == 4
+
+    @given(edge_lists(max_n=10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        ours = girth(g)
+        try:
+            ref = nx.girth(to_networkx(g))
+        except Exception:  # older networkx without nx.girth
+            pytest.skip("networkx girth unavailable")
+        assert ours == ref
+
+
+class TestCutVertices:
+    def test_path_interior(self):
+        assert cut_vertices(path_graph(5)) == {1, 2, 3}
+
+    def test_star_center(self):
+        assert cut_vertices(star_graph(5)) == {0}
+
+    def test_cycle_has_none(self):
+        assert cut_vertices(cycle_graph(6)) == set()
+
+    def test_two_triangles_sharing_a_vertex(self):
+        g = CSRGraph(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+        assert cut_vertices(g) == {2}
+
+    @given(edge_lists(max_n=12))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_networkx(self, nl):
+        n, edges = nl
+        g = CSRGraph(n, edges)
+        assert cut_vertices(g) == set(nx.articulation_points(to_networkx(g)))
+
+
+class TestComponents:
+    def test_split_graph(self):
+        g = CSRGraph(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_connected(self):
+        assert connected_components(path_graph(4)) == [[0, 1, 2, 3]]
+
+
+class TestBipartite:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(6))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(5))
+
+    def test_tree(self):
+        assert is_bipartite(star_graph(7))
+
+
+class TestNeighborhoodIndependence:
+    def test_triangle_free(self):
+        assert neighborhoods_are_independent(cycle_graph(5))
+        assert neighborhoods_are_independent(grid_graph(3, 3))
+
+    def test_triangle(self):
+        assert not neighborhoods_are_independent(complete_graph(3))
+
+
+class TestDegreeSequence:
+    def test_star(self):
+        assert degree_sequence(star_graph(5)) == (4, 1, 1, 1, 1)
+
+
+class TestTransitivity:
+    def test_cycle_transitive(self):
+        assert is_vertex_transitive(cycle_graph(7))
+
+    def test_complete_transitive(self):
+        assert is_vertex_transitive(complete_graph(5))
+
+    def test_path_not_transitive(self):
+        assert not is_vertex_transitive(path_graph(4))
+
+    def test_torus_transitive(self):
+        assert is_vertex_transitive(rotated_torus(3))
+
+    def test_profiles_necessary_condition(self):
+        assert distance_profiles_identical(cycle_graph(8))
+        assert not distance_profiles_identical(path_graph(4))
+
+    def test_size_guard(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            is_vertex_transitive(cycle_graph(100), max_n=64)
+
+    def test_degree_regular_but_not_transitive(self):
+        # Two triangles joined by a perfect matching vs prism... use the
+        # smallest regular non-vertex-transitive graph: the 3-regular
+        # "twisted" example on 8 vertices. Simpler: K4 minus perfect
+        # matching union ... fall back to a known case: the graph formed by
+        # a 6-cycle plus one chord is degree-irregular, so instead check a
+        # regular graph with differing distance profiles: two disjoint
+        # cycles C3+C5 are regular but (being disconnected) have differing
+        # profiles -> not transitive.
+        g = CSRGraph(
+            8,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 7), (7, 3)],
+        )
+        assert not distance_profiles_identical(g)

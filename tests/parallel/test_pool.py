@@ -1,0 +1,54 @@
+"""Process-pool map tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import default_workers, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def seeded_record(task: tuple[int, int]) -> dict:
+    # A toy deterministic "experiment": result depends only on the task.
+    idx, seed = task
+    from repro.rng import make_rng
+
+    rng = make_rng(seed)
+    return {"idx": idx, "value": int(rng.integers(0, 1_000_000))}
+
+
+class TestParallelMap:
+    def test_empty(self):
+        assert parallel_map(square, [], workers=1) == []
+
+    def test_serial_matches_parallel(self):
+        tasks = list(range(20))
+        serial = parallel_map(square, tasks, workers=1)
+        parallel = parallel_map(square, tasks, workers=2)
+        assert serial == parallel == [x * x for x in tasks]
+
+    def test_order_preserved(self):
+        tasks = list(range(31, 0, -1))
+        assert parallel_map(square, tasks, workers=2) == [x * x for x in tasks]
+
+    def test_seeded_results_worker_independent(self):
+        tasks = [(i, 1000 + i) for i in range(12)]
+        one = parallel_map(seeded_record, tasks, workers=1)
+        two = parallel_map(seeded_record, tasks, workers=2)
+        assert one == two
+
+    def test_lambda_rejected_for_multiprocess(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(lambda x: x, [1, 2, 3], workers=2)
+
+    def test_lambda_fine_serially(self):
+        assert parallel_map(lambda x: x + 1, [1, 2], workers=1) == [2, 3]
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [1], workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

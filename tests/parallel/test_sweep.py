@@ -1,0 +1,58 @@
+"""Parameter sweep tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import Sweep, run_sweep
+
+
+def point_fn(point) -> dict:
+    return {"double_n": point["n"] * 2, "seen_seed": point.seed}
+
+
+class TestSweep:
+    def test_point_enumeration(self):
+        sweep = Sweep({"n": [4, 8], "family": ["a", "b", "c"]}, replicates=2)
+        pts = sweep.points()
+        assert len(pts) == 12
+        # First parameter varies slowest.
+        assert pts[0]["n"] == 4 and pts[-1]["n"] == 8
+
+    def test_seeds_unique_and_deterministic(self):
+        sweep = Sweep({"n": [4, 8]}, replicates=3, root_seed=5)
+        seeds_a = [p.seed for p in sweep.points()]
+        seeds_b = [p.seed for p in Sweep({"n": [4, 8]}, replicates=3, root_seed=5).points()]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)
+
+    def test_root_seed_changes_everything(self):
+        a = [p.seed for p in Sweep({"n": [4]}, replicates=2, root_seed=1).points()]
+        b = [p.seed for p in Sweep({"n": [4]}, replicates=2, root_seed=2).points()]
+        assert set(a).isdisjoint(b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Sweep({"n": [1]}, replicates=0).points()
+        with pytest.raises(ConfigurationError):
+            Sweep({"n": []}).points()
+
+    def test_point_getitem_missing(self):
+        sweep = Sweep({"n": [4]})
+        with pytest.raises(KeyError):
+            sweep.points()[0]["missing"]
+
+
+class TestRunSweep:
+    def test_records_merge_params_and_results(self):
+        sweep = Sweep({"n": [2, 3]}, replicates=2, root_seed=0)
+        records = run_sweep(point_fn, sweep, workers=1)
+        assert len(records) == 4
+        for r in records:
+            assert r["double_n"] == r["n"] * 2
+            assert r["seen_seed"] == r["seed"]
+
+    def test_parallel_equals_serial(self):
+        sweep = Sweep({"n": [2, 3, 5]}, replicates=2, root_seed=3)
+        assert run_sweep(point_fn, sweep, workers=1) == run_sweep(
+            point_fn, sweep, workers=2
+        )

@@ -1,0 +1,60 @@
+"""The claims registry: every registered check must pass.
+
+This is the repository's "verify the whole paper" test — one assertion per
+numbered claim, including the Figure 3 refutation (whose check passes by
+*finding* the improving swap).
+"""
+
+import pytest
+
+from repro.paper import CLAIMS, verify_all, verify_claim
+
+
+def test_registry_covers_the_paper():
+    ids = {c.claim_id for c in CLAIMS}
+    # One entry per numbered result plus the model-level claims.
+    expected = {
+        "theorem-1",
+        "lemma-2",
+        "lemma-3",
+        "theorem-4",
+        "theorem-5-figure-3",
+        "theorem-5-statement",
+        "lemma-6",
+        "lemma-7",
+        "lemma-8",
+        "lemma-10",
+        "corollary-11",
+        "theorem-9",
+        "theorem-12",
+        "theorem-12-tradeoff",
+        "theorem-13",
+        "conjecture-14-quantifier",
+        "theorem-15",
+        "transfer-principle",
+        "poly-time-checking",
+    }
+    assert ids == expected
+
+
+def test_statuses_are_known():
+    assert all(
+        c.expected_status in ("confirmed", "refuted-witness", "evidence")
+        for c in CLAIMS
+    )
+
+
+def test_exactly_one_refuted_witness():
+    refuted = [c for c in CLAIMS if c.expected_status == "refuted-witness"]
+    assert [c.claim_id for c in refuted] == ["theorem-5-figure-3"]
+
+
+@pytest.mark.parametrize("claim", CLAIMS, ids=lambda c: c.claim_id)
+def test_claim_check_passes(claim):
+    assert verify_claim(claim).passed, claim.statement
+
+
+def test_verify_all_order_matches_registry():
+    results = verify_all()
+    assert [r.claim_id for r in results] == [c.claim_id for c in CLAIMS]
+    assert all(r.passed for r in results)

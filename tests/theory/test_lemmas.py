@@ -1,0 +1,172 @@
+"""Executable lemma tests: the paper's inequalities on concrete graphs."""
+
+import math
+
+import pytest
+
+from repro.constructions import (
+    double_star,
+    figure3_graph,
+    polarity_graph,
+    repaired_diameter3_witness,
+    rotated_torus,
+)
+from repro.graphs import (
+    CSRGraph,
+    cycle_graph,
+    eccentricities,
+    path_graph,
+    star_graph,
+)
+from repro.theory import (
+    corollary11_holds,
+    lemma10_holds,
+    lemma2_holds,
+    lemma3_holds,
+    lemma6_holds,
+    lemma6_holds_at,
+    lemma7_holds_at,
+    lemma8_holds,
+)
+
+
+class TestLemma2:
+    def test_max_equilibria_satisfy_it(self):
+        # Torus: all eccs equal; double star: eccs {2, 3}; star: {1, 2}.
+        assert lemma2_holds(rotated_torus(3))
+        assert lemma2_holds(double_star(2, 2))
+        assert lemma2_holds(star_graph(6))
+
+    def test_non_equilibria_can_violate(self):
+        # The path P6 has eccs 3..5: spread 2 — and indeed is not a max
+        # equilibrium (the lemma's contrapositive).
+        assert not lemma2_holds(path_graph(6))
+
+    def test_disconnected_fails(self):
+        assert not lemma2_holds(CSRGraph(3, [(0, 1)]))
+
+
+class TestLemma3:
+    def test_max_equilibria_satisfy_it(self):
+        assert lemma3_holds(double_star(3, 3))
+        assert lemma3_holds(star_graph(7))
+        assert lemma3_holds(rotated_torus(3))  # vacuous: no cut vertices
+
+    def test_violating_graph(self):
+        # Two long paths sharing a middle vertex: the cut vertex has two
+        # deep components — consistent with it not being a max equilibrium.
+        g = path_graph(7)  # vertex 3 cuts into two depth-3 components
+        assert not lemma3_holds(g)
+
+
+class TestLemma6:
+    def test_figure3_c_vertices(self):
+        g = figure3_graph()
+        ecc = eccentricities(g)
+        for v in range(g.n):
+            if int(ecc[v]) == 2:
+                assert lemma6_holds_at(g, v)
+
+    def test_all_diameter2_graphs(self):
+        for g in (star_graph(7), polarity_graph(3), cycle_graph(5)):
+            assert lemma6_holds(g)
+
+    def test_requires_ecc_2(self):
+        with pytest.raises(ValueError):
+            lemma6_holds_at(path_graph(6), 0)  # ecc 5, not 2
+
+    def test_requires_connected(self):
+        with pytest.raises(ValueError):
+            lemma6_holds_at(CSRGraph(4, [(0, 1), (2, 3)]), 0)
+
+
+class TestLemma7:
+    def test_on_figure3_ecc3_vertices(self):
+        g = figure3_graph()
+        ecc = eccentricities(g)
+        for v in range(g.n):
+            if int(ecc[v]) != 3:
+                continue
+            for w in range(g.n):
+                if w != v and not g.has_edge(v, w):
+                    assert lemma7_holds_at(g, v, w), (v, w)
+
+    def test_on_double_star(self):
+        g = double_star(2, 2)
+        # Leaf 2 has ecc 3; adding an edge to the far root or leaves.
+        for w in (1, 4, 5):
+            assert lemma7_holds_at(g, 2, w)
+
+    def test_requires_ecc_3(self):
+        with pytest.raises(ValueError):
+            lemma7_holds_at(star_graph(5), 1, 2)
+
+
+class TestLemma8:
+    def test_on_figure3(self):
+        assert lemma8_holds(figure3_graph())
+
+    def test_on_girth4_graphs(self):
+        from repro.graphs import complete_bipartite_graph, grid_graph
+
+        assert lemma8_holds(complete_bipartite_graph(3, 3))
+        assert lemma8_holds(grid_graph(3, 3))
+        assert lemma8_holds(cycle_graph(6))
+
+    def test_rejects_triangles(self):
+        from repro.graphs import complete_graph
+
+        with pytest.raises(ValueError):
+            lemma8_holds(complete_graph(4))
+
+
+class TestLemma10:
+    def test_small_diameter_branch(self):
+        out = lemma10_holds(star_graph(16), 0)
+        assert out is not None and out.small_diameter
+
+    def test_removable_edge_branch(self):
+        # A long path (diameter 63 > 2 lg 64) with one cheap chord near the
+        # anchor: removing the chord re-routes through the path at +1 per
+        # endpoint, well under the 2n(1 + lg n) allowance.
+        g = path_graph(64).with_edges(add=[(0, 2)])
+        out = lemma10_holds(g, 0)
+        assert out is not None
+        assert not out.small_diameter
+        assert out.edge is not None
+        from repro.analysis import lemma10_removal_bound
+
+        assert out.removal_cost <= lemma10_removal_bound(64)
+
+    def test_no_branch_on_long_cycles(self):
+        # C64 is not a sum equilibrium, and indeed neither branch of
+        # Lemma 10's conclusion holds for it: removing any edge re-routes
+        # half the cycle the long way (cost > 2n(1 + lg n)) and the
+        # diameter exceeds 2 lg n. The lemma's hypothesis matters.
+        assert lemma10_holds(cycle_graph(64), 0) is None
+
+    def test_equilibria_always_satisfy_some_branch(self):
+        for g in (
+            star_graph(12),
+            polarity_graph(3),
+            repaired_diameter3_witness(),
+            rotated_torus(4),
+        ):
+            assert lemma10_holds(g, 0) is not None
+
+
+class TestCorollary11:
+    def test_on_sum_equilibria(self):
+        # The corollary's hypothesis is sum equilibrium.
+        for g in (
+            star_graph(16),
+            polarity_graph(3),
+            repaired_diameter3_witness(),
+        ):
+            assert corollary11_holds(g)
+
+    def test_on_anything_small(self):
+        # On small graphs the 5 n lg n allowance dwarfs any possible gain,
+        # so even non-equilibria pass — the test documents that the check
+        # is about the *bound*, not equilibrium detection.
+        assert corollary11_holds(path_graph(12))

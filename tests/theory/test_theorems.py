@@ -1,0 +1,114 @@
+"""Theorem-level check tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.constructions import double_star, rotated_torus
+from repro.graphs import (
+    CSRGraph,
+    cycle_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.theory import (
+    is_double_star,
+    is_star,
+    is_tree,
+    theorem1_check,
+    theorem1_witness,
+    theorem4_check,
+    theorem12_check,
+    theorem15_check,
+)
+
+from ..conftest import trees
+
+
+class TestPredicates:
+    def test_is_tree(self):
+        assert is_tree(path_graph(5))
+        assert is_tree(star_graph(7))
+        assert not is_tree(cycle_graph(5))
+        assert not is_tree(CSRGraph(4, [(0, 1), (2, 3), (1, 2), (0, 3)]))
+
+    def test_is_star(self):
+        assert is_star(star_graph(9))
+        assert is_star(star_graph(5, center=3))
+        assert is_star(CSRGraph(2, [(0, 1)]))
+        assert not is_star(path_graph(4))
+
+    def test_is_double_star(self):
+        assert is_double_star(double_star(2, 2))
+        assert not is_double_star(star_graph(6))
+
+
+class TestTheorem1:
+    def test_witness_on_path(self):
+        w = theorem1_witness(path_graph(4))
+        assert w is not None
+        assert w.path == (0, 1, 2, 3)
+        assert w.sizes == (1, 1, 1, 1)
+        # s_b + s_w <= s_a fails (2 > 1): vertex v's swap improves.
+        assert not w.consistent_with_equilibrium
+
+    def test_no_witness_on_star(self):
+        assert theorem1_witness(star_graph(6)) is None
+
+    def test_witness_subtree_sizes_sum_to_n(self):
+        g = random_tree(15, seed=8)
+        w = theorem1_witness(g)
+        if w is not None:
+            assert sum(w.sizes) <= g.n  # path interior may carry side trees
+            assert all(s >= 1 for s in w.sizes)
+
+    @given(trees(max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_check_on_random_trees(self, t):
+        assert theorem1_check(t)
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(ValueError):
+            theorem1_check(cycle_graph(5))
+
+    @given(trees(min_n=4, max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_diameter3_trees_break_an_inequality(self, t):
+        w = theorem1_witness(t)
+        if w is not None:
+            # The proof's contradiction: both inequalities cannot hold.
+            assert not w.consistent_with_equilibrium
+
+
+class TestTheorem4:
+    @given(trees(max_n=10))
+    @settings(max_examples=40, deadline=None)
+    def test_on_random_trees(self, t):
+        assert theorem4_check(t)
+
+    def test_non_tree_rejected(self):
+        with pytest.raises(ValueError):
+            theorem4_check(cycle_graph(4))
+
+
+class TestTheorem12:
+    def test_torus_passes(self):
+        assert theorem12_check(rotated_torus(3), 3)
+
+    def test_wrong_diameter_fails(self):
+        assert not theorem12_check(rotated_torus(3), 4)
+
+    def test_non_equilibrium_fails(self):
+        assert not theorem12_check(path_graph(4), 3)
+
+
+class TestTheorem15:
+    def test_vacuous_above_quarter(self):
+        assert theorem15_check(100, 0.3, 10**6)
+
+    def test_binding_below_quarter(self):
+        assert theorem15_check(1024, 0.1, 5)
+        assert not theorem15_check(1024, 0.1, 10**6)
+
+    def test_perfect_uniformity_floor(self):
+        assert theorem15_check(64, 0.0, 3)
