@@ -17,6 +17,7 @@ from .costs import (
     sum_cost_vector,
 )
 from .dynamics import DynamicsResult, SwapDynamics
+from .engine import DistanceEngine
 from .equilibrium import (
     Violation,
     find_deletion_criticality_violation,
@@ -43,6 +44,7 @@ from .swap_eval import (
 __all__ = [
     "BestResponse",
     "CensusRecord",
+    "DistanceEngine",
     "DynamicsResult",
     "INT_INF",
     "Swap",

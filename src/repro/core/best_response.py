@@ -12,24 +12,34 @@ degree)``: the paper's max equilibrium requires deletion-criticality, which
 means an agent strictly prefers deleting an edge whose removal leaves its
 local diameter unchanged.  Sum agents never face this tie (removing an edge
 strictly increases the mover's sum through the lost unit-distance endpoint).
+
+:func:`best_swap` is engine-aware: by default it derives every per-neighbour
+removal matrix from one cached base APSP (``mode="repair"``), or reuses a
+long-lived :class:`~repro.core.engine.DistanceEngine` maintained by the
+dynamics loop (``engine=...``).  ``mode="oracle"`` keeps the seed behaviour —
+a fresh APSP per incident edge — for cross-validation; all three produce
+bit-identical responses, tie-breaking included.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Literal
+from typing import Callable, Literal
 
 import numpy as np
 
-from ..graphs import CSRGraph, bfs_aggregates
+from ..errors import ConfigurationError
+from ..graphs import CSRGraph, bfs_aggregates, distance_matrix
+from ..graphs.repair import removal_matrix_repair
 from ..rng import make_rng
-from .costs import INT_INF
+from .costs import INT_INF, lift_distances
 from .moves import Swap
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
 
 __all__ = ["BestResponse", "best_swap", "first_improving_swap"]
 
 Objective = Literal["sum", "max"]
+BestSwapMode = Literal["repair", "oracle"]
 
 
 class BestResponse:
@@ -73,12 +83,19 @@ def _base_cost(graph: CSRGraph, v: int, objective: Objective) -> float:
     return float(total if objective == "sum" else ecc)
 
 
+def _row_cost(row: np.ndarray, objective: Objective) -> float:
+    agg = row.sum() if objective == "sum" else row.max()
+    return math.inf if agg >= INT_INF else float(agg)
+
+
 def best_swap(
     graph: CSRGraph,
     v: int,
     objective: Objective = "sum",
     *,
     prefer_deletions_on_tie: bool | None = None,
+    engine=None,
+    mode: BestSwapMode = "repair",
 ) -> BestResponse:
     """Exact best swap for vertex ``v`` (or no-op when none improves).
 
@@ -91,17 +108,36 @@ def best_swap(
        lexicographic ``(cost, degree)`` improvement that drives graphs
        toward deletion-criticality;
     3. otherwise, no move.
+
+    ``engine`` (a :class:`~repro.core.engine.DistanceEngine` for ``graph``)
+    reuses its cached matrix; otherwise ``mode`` picks between one base APSP
+    shared across incident edges (``"repair"``) and the seed oracle path of a
+    fresh APSP per incident edge (``"oracle"``).
     """
     if prefer_deletions_on_tie is None:
         prefer_deletions_on_tie = objective == "max"
-    before = _base_cost(graph, v, objective)
+    removal: Callable[[int], np.ndarray]
+    if engine is not None:
+        before = _row_cost(engine.dm[v], objective)
+        removal = lambda w: engine.removal_matrix(v, w)  # noqa: E731
+    elif mode == "repair":
+        base = lift_distances(distance_matrix(graph))
+        before = _row_cost(base[v], objective)
+        removal = lambda w: removal_matrix_repair(graph, base, (v, w))  # noqa: E731
+    elif mode == "oracle":
+        before = _base_cost(graph, v, objective)
+        removal = lambda w: removal_distance_matrix(  # noqa: E731
+            graph, (v, w), mode="rebuild"
+        )
+    else:
+        raise ConfigurationError(f"unknown best_swap mode {mode!r}")
     best_cost = math.inf
     best_move: Swap | None = None
     best_is_deletion = False
     neutral_deletion: Swap | None = None
     neighbor_set = set(int(x) for x in graph.neighbors(v))
     for w in sorted(neighbor_set):
-        removal_dm = removal_distance_matrix(graph, (v, w))
+        removal_dm = removal(w)
         costs = all_swap_costs_for_drop(graph, v, w, objective, removal_dm)
         costs[w] = math.inf  # identity
         top = int(np.argmin(costs))

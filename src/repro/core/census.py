@@ -94,12 +94,14 @@ def run_census(
     root_seed: int = 0,
     max_steps: int = 20_000,
     verify: bool = True,
+    verify_workers: int = 1,
 ) -> list[CensusRecord]:
     """Run the dynamics census and return one record per (n, family, replicate).
 
     ``verify`` re-checks every converged terminal graph with the exact
     equilibrium auditor — the census is only evidence if the endpoints
-    really are equilibria.
+    really are equilibria.  ``verify_workers`` chunks each audit's edge loop
+    across processes (see :func:`repro.core.equilibrium.find_sum_violation`).
     """
     records: list[CensusRecord] = []
     for ni, n in enumerate(n_values):
@@ -119,9 +121,9 @@ def run_census(
                 verified: bool | None = None
                 if verify and result.converged:
                     verified = (
-                        is_sum_equilibrium(final)
+                        is_sum_equilibrium(final, workers=verify_workers)
                         if objective == "sum"
-                        else is_max_equilibrium(final)
+                        else is_max_equilibrium(final, workers=verify_workers)
                     )
                 records.append(
                     CensusRecord(

@@ -7,11 +7,26 @@ perform its chosen improving swap, until no vertex can improve.
 
 Design notes
 ------------
-* **Schedules** — ``round_robin`` (deterministic sweeps; convergence =
-  one full sweep without a move), ``random`` (uniform activations; a full
-  verification sweep confirms convergence after a quiet streak), and
-  ``greedy`` (activate the vertex with the globally best improvement —
-  expensive but canonical).
+* **Schedules** — ``round_robin`` (deterministic sweeps), ``random``
+  (uniform activations), and ``greedy`` (activate the vertex with the
+  globally best improvement — expensive but canonical).
+* **Incremental state** — the default ``engine_mode="incremental"`` routes
+  every activation through a :class:`~repro.core.engine.DistanceEngine`:
+  the distance matrix is maintained across applied swaps by BFS row repair
+  plus the insertion closure (never recomputed from scratch), and a
+  **dirty-vertex set** lets the ``round_robin`` and ``random`` schedules
+  skip vertices that were observed move-free and whose relevant state has
+  not been touched since (``greedy`` always scans every vertex — its argmax
+  is global by definition, and the full scan doubles as the convergence
+  certificate).  The dirty
+  rule (re-dirty the move's endpoints and every vertex whose distance row
+  changed) is a heuristic, so convergence is *never* declared from it alone:
+  once the dirty set drains, a full verification sweep activates every
+  vertex, and only a clean sweep certifies the equilibrium.  Near
+  convergence this turns each quiet sweep from O(n · deg · APSP) into a set
+  lookup, with one exact sweep at the end.  ``engine_mode="oracle"`` keeps
+  the seed implementation (fresh best responses against copied graphs) for
+  cross-validation and benchmarking.
 * **Termination** — sum dynamics have no known potential (a swap lowers the
   mover's cost but can raise others'), so cycles are possible in principle;
   the engine hashes every visited edge set and reports ``cycle_detected``
@@ -24,8 +39,11 @@ Design notes
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Literal
+
+import numpy as np
 
 from ..errors import ConfigurationError, DisconnectedGraphError
 from ..graphs import (
@@ -37,6 +55,8 @@ from ..graphs import (
 )
 from ..rng import make_rng
 from .best_response import BestResponse, best_swap, first_improving_swap
+from .costs import INT_INF
+from .engine import DistanceEngine
 from .moves import Swap
 
 __all__ = ["DynamicsResult", "SwapDynamics"]
@@ -44,6 +64,7 @@ __all__ = ["DynamicsResult", "SwapDynamics"]
 Objective = Literal["sum", "max"]
 Schedule = Literal["round_robin", "random", "greedy"]
 Responder = Literal["best", "first"]
+EngineMode = Literal["incremental", "oracle"]
 
 
 @dataclass
@@ -55,14 +76,17 @@ class DynamicsResult:
     graph:
         Final graph (an equilibrium iff ``converged``).
     converged:
-        No vertex had an improving move at the end.
+        No vertex had an improving move at the end (for the incremental
+        engine this is certified by a full verification sweep, independent
+        of the dirty-set bookkeeping).
     cycle_detected:
         The run revisited a previously seen graph (terminated to avoid
         looping); ``converged`` is ``False`` in that case.
     steps:
         Number of improving moves applied.
     activations:
-        Number of best-response computations performed.
+        Number of best-response computations performed (dirty-set skips are
+        not activations).
     moves:
         The applied swaps, in order (empty unless recording was enabled).
     diameter_trace / social_cost_trace:
@@ -98,6 +122,9 @@ class SwapDynamics:
         Record moves and per-move diameter / social-cost traces.
     seed:
         Seeds activation order and the better-response candidate order.
+    engine_mode:
+        ``"incremental"`` (default) — cached-APSP engine with dirty-set
+        skipping; ``"oracle"`` — the seed path, kept for cross-validation.
     """
 
     def __init__(
@@ -108,6 +135,7 @@ class SwapDynamics:
         max_steps: int = 10_000,
         record: bool = False,
         seed=None,
+        engine_mode: EngineMode = "incremental",
     ):
         if objective not in ("sum", "max"):
             raise ConfigurationError(f"unknown objective {objective!r}")
@@ -117,23 +145,180 @@ class SwapDynamics:
             raise ConfigurationError(f"unknown responder {responder!r}")
         if max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
+        if engine_mode not in ("incremental", "oracle"):
+            raise ConfigurationError(f"unknown engine_mode {engine_mode!r}")
         self.objective: Objective = objective
         self.schedule: Schedule = schedule
         self.responder: Responder = responder
         self.max_steps = max_steps
         self.record = record
+        self.engine_mode: EngineMode = engine_mode
         self._rng = make_rng(seed)
 
     # ------------------------------------------------------------------
-    def _respond(self, graph: CSRGraph, v: int) -> BestResponse:
-        if self.responder == "best":
-            return best_swap(graph, v, self.objective)
-        return first_improving_swap(graph, v, self.objective, self._rng)
-
     def run(self, initial: CSRGraph) -> DynamicsResult:
         """Run the dynamics from ``initial`` (must be connected)."""
         if not is_connected(initial):
             raise DisconnectedGraphError("dynamics require a connected start")
+        if self.engine_mode == "oracle":
+            return self._run_oracle(initial)
+        return self._run_incremental(initial)
+
+    # ------------------------------------------------------------------
+    # Incremental engine + dirty-set path (the default)
+    # ------------------------------------------------------------------
+    def _run_incremental(self, initial: CSRGraph) -> DynamicsResult:
+        engine = DistanceEngine(initial)
+        n = engine.n
+        seen: set[frozenset[tuple[int, int]]] = {engine.adjacency.edge_set()}
+        steps = 0
+        activations = 0
+        moves: list[Swap] = []
+        diam_trace: list[float] = []
+        cost_trace: list[float] = []
+        dirty = np.ones(n, dtype=bool)
+
+        def record_state() -> None:
+            if self.record:
+                dm = engine.dm
+                if dm.size == 0:
+                    diam_trace.append(0.0)
+                    cost_trace.append(0.0)
+                    return
+                diam = int(dm.max())
+                total = int(dm.sum(dtype=np.int64))
+                diam_trace.append(
+                    math.inf if diam >= INT_INF else float(diam)
+                )
+                cost_trace.append(
+                    math.inf if total >= INT_INF else float(total)
+                )
+
+        def respond(v: int) -> BestResponse:
+            nonlocal activations
+            activations += 1
+            if self.responder == "best":
+                return engine.best_swap(v, self.objective)
+            return first_improving_swap(
+                engine.graph, v, self.objective, self._rng
+            )
+
+        def apply(br: BestResponse) -> bool:
+            """Apply a move; returns False when it closes a cycle."""
+            nonlocal steps
+            assert br.swap is not None
+            changed = engine.apply_swap(br.swap)
+            steps += 1
+            dirty[changed] = True
+            dirty[[br.swap.vertex, br.swap.drop, br.swap.add]] = True
+            if self.record:
+                moves.append(br.swap)
+                record_state()
+            key = engine.adjacency.edge_set()
+            if key in seen:
+                return False
+            seen.add(key)
+            return True
+
+        def verification_sweep() -> BestResponse | None:
+            """Activate every vertex; the exactness guard over the dirty rule."""
+            for v in range(n):
+                br = respond(v)
+                if br.swap is not None:
+                    return br
+                dirty[v] = False
+            return None
+
+        cycle = False
+        converged = False
+        record_state()
+
+        if self.schedule == "greedy":
+            # Greedy is canonical: every step compares ALL vertices, so the
+            # dirty heuristic must not narrow the argmax — a clean vertex may
+            # still hold the globally best improvement.  The engine makes each
+            # activation cheap; the full scan doubling as the convergence
+            # certificate means no separate verification sweep is needed.
+            while steps < self.max_steps:
+                best: BestResponse | None = None
+                for v in range(n):
+                    br = respond(v)
+                    if br.swap is not None and (
+                        best is None or br.improvement > best.improvement
+                    ):
+                        best = br
+                if best is None:
+                    converged = True
+                    break
+                if not apply(best):
+                    cycle = True
+                    break
+
+        elif self.schedule == "round_robin":
+            idx = 0
+            while steps < self.max_steps:
+                if not dirty.any():
+                    pending = verification_sweep()
+                    if pending is None:
+                        converged = True
+                        break
+                    if not apply(pending):
+                        cycle = True
+                        break
+                    continue
+                v = idx % n
+                idx += 1
+                if not dirty[v]:
+                    continue  # provably quiet since its last no-op
+                br = respond(v)
+                if br.swap is None:
+                    dirty[v] = False
+                    continue
+                if not apply(br):
+                    cycle = True
+                    break
+
+        else:  # random schedule
+            quiet = 0
+            while steps < self.max_steps:
+                if not dirty.any() or quiet >= 2 * n:
+                    pending = verification_sweep()
+                    if pending is None:
+                        converged = True
+                        break
+                    quiet = 0
+                    if not apply(pending):
+                        cycle = True
+                        break
+                    continue
+                v = int(self._rng.integers(0, n))
+                if not dirty[v]:
+                    quiet += 1
+                    continue
+                br = respond(v)
+                if br.swap is None:
+                    dirty[v] = False
+                    quiet += 1
+                    continue
+                quiet = 0
+                if not apply(br):
+                    cycle = True
+                    break
+
+        return DynamicsResult(
+            engine.graph, converged, cycle, steps, activations,
+            moves, diam_trace, cost_trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Seed path: copied graphs, fresh best responses (cross-validation oracle)
+    # ------------------------------------------------------------------
+    def _respond_oracle(self, graph: CSRGraph, v: int) -> BestResponse:
+        if self.responder == "best":
+            return best_swap(graph, v, self.objective, mode="oracle")
+        return first_improving_swap(graph, v, self.objective, self._rng)
+
+    def _run_oracle(self, initial: CSRGraph) -> DynamicsResult:
         state = AdjacencyGraph.from_csr(initial)
         n = state.n
         seen: set[frozenset[tuple[int, int]]] = {state.edge_set()}
@@ -177,7 +362,7 @@ class SwapDynamics:
                 g = snapshot()
                 for v in range(n):
                     activations += 1
-                    br = self._respond(g, v)
+                    br = self._respond_oracle(g, v)
                     if br.swap is not None and (
                         best is None or br.improvement > best.improvement
                     ):
@@ -201,7 +386,7 @@ class SwapDynamics:
                 v = order[idx % n]
                 idx += 1
                 activations += 1
-                br = self._respond(snapshot(), v)
+                br = self._respond_oracle(snapshot(), v)
                 if br.swap is None:
                     quiet += 1
                     continue
@@ -225,7 +410,7 @@ class SwapDynamics:
                 pending: BestResponse | None = None
                 for v in range(n):
                     activations += 1
-                    br = self._respond(g, v)
+                    br = self._respond_oracle(g, v)
                     if br.swap is not None:
                         verified = False
                         pending = br
@@ -241,7 +426,7 @@ class SwapDynamics:
                 continue
             v = int(self._rng.integers(0, n))
             activations += 1
-            br = self._respond(snapshot(), v)
+            br = self._respond_oracle(snapshot(), v)
             if br.swap is None:
                 quiet += 1
                 continue

@@ -1,0 +1,190 @@
+"""The incremental distance engine — one APSP, everything else derived.
+
+Every audit and every dynamics activation in this library ultimately asks
+distance questions about graphs that differ from a known base graph by one or
+two edges.  The seed implementation answered each question from scratch (a
+rebuilt CSR graph plus a fresh scipy APSP per candidate edge); the
+:class:`DistanceEngine` answers them from a cached base matrix:
+
+* **removal rows** — :meth:`removal_matrix` derives the APSP of ``G − e`` via
+  :func:`repro.graphs.removal_matrix_repair`: exact affected-source detection
+  plus a seeded partial BFS per affected row, no graph rebuild, no scipy;
+* **applied swaps** — :meth:`apply_swap` keeps the matrix current across
+  dynamics moves: the dropped edge is handled by row repair, the added edge
+  by the exact single-insertion min-plus closure
+  ``d'(x, y) = min(d(x, y), d(x, v) + 1 + d(v', y), d(x, v') + 1 + d(v, y))``
+  (an inserted edge appears at most once on any shortest path), so a move
+  costs O(affected + n²) instead of a full APSP;
+* **best responses** — :meth:`best_swap` evaluates an agent against the
+  cached matrix, sharing all of the above.
+
+The engine reports which matrix rows each applied swap changed; the dynamics
+layer uses that as its dirty-vertex signal.  Matrices use the lifted int64
+convention (:data:`repro.core.costs.INT_INF` for unreachable pairs)
+throughout, and the old rebuild/copy paths remain available as
+cross-validation oracles (``mode="rebuild"`` / ``mode="oracle"`` in
+:mod:`repro.core.swap_eval` and :mod:`repro.core.best_response`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs import AdjacencyGraph, CSRGraph, distance_matrix
+from ..graphs.repair import removal_affected_sources, removal_matrix_repair
+from .costs import INT_INF, lift_distances
+from .moves import Swap
+
+__all__ = ["DistanceEngine"]
+
+Objective = Literal["sum", "max"]
+
+
+class DistanceEngine:
+    """Cached-APSP view of a mutable graph, updated incrementally.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph (CSR or adjacency form; copied either way).
+    dm:
+        Optional precomputed distance matrix of ``graph`` — raw int32 with
+        ``UNREACHABLE`` or already lifted — to skip the base APSP.
+    """
+
+    __slots__ = ("_adj", "_dm")
+
+    def __init__(
+        self,
+        graph: CSRGraph | AdjacencyGraph,
+        dm: np.ndarray | None = None,
+    ):
+        if isinstance(graph, AdjacencyGraph):
+            self._adj = graph.copy()
+        elif isinstance(graph, CSRGraph):
+            self._adj = AdjacencyGraph.from_csr(graph)
+        else:
+            raise GraphError(
+                f"DistanceEngine needs a CSRGraph or AdjacencyGraph, "
+                f"got {type(graph).__name__}"
+            )
+        if dm is None:
+            dm = distance_matrix(self.graph)
+        self._dm = lift_distances(np.asarray(dm))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._adj.n
+
+    @property
+    def graph(self) -> CSRGraph:
+        """Current CSR snapshot (cached by the underlying adjacency graph)."""
+        return self._adj.to_csr()
+
+    @property
+    def adjacency(self) -> AdjacencyGraph:
+        """The live mutable graph.  Mutate only through :meth:`apply_swap`."""
+        return self._adj
+
+    @property
+    def dm(self) -> np.ndarray:
+        """Current lifted (int64, :data:`INT_INF`) distance matrix."""
+        return self._dm
+
+    def is_connected(self) -> bool:
+        if self.n <= 1:
+            return True
+        return bool((self._dm[0] < INT_INF).all())
+
+    def cost(self, v: int, objective: Objective = "sum") -> float:
+        """The agent cost of ``v`` in the current graph (``inf`` if disconnected)."""
+        row = self._dm[v]
+        agg = row.sum() if objective == "sum" else row.max()
+        return math.inf if agg >= INT_INF else float(agg)
+
+    def sum_costs(self) -> np.ndarray:
+        """Lifted int64 vector of per-vertex sum costs."""
+        return self._dm.sum(axis=1)
+
+    def eccentricities(self) -> np.ndarray:
+        """Lifted int64 vector of per-vertex eccentricities."""
+        return self._dm.max(axis=1)
+
+    # ------------------------------------------------------------------
+    # Derived matrices
+    # ------------------------------------------------------------------
+    def removal_matrix(self, a: int, b: int) -> np.ndarray:
+        """Lifted APSP of the current graph minus edge ``{a, b}``.
+
+        Copy-on-write against the base matrix: only rows the deletion can
+        change are recomputed (by seeded partial BFS).
+        """
+        return removal_matrix_repair(self.graph, self._dm, (a, b))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply_swap(self, swap: Swap) -> np.ndarray:
+        """Apply ``swap`` and repair the matrix; returns the changed-row mask.
+
+        The mask is sound: every row that differs between the old and new
+        graphs is marked.  It may over-report a row whose removal-time change
+        is exactly undone by the insertion closure — harmless for the dirty
+        bookkeeping it feeds.
+        """
+        swap.validate(self._adj)
+        v, w, add = swap.vertex, swap.drop, swap.add
+        csr = self.graph  # snapshot of the pre-move graph
+        changed = removal_affected_sources(csr, self._dm, (v, w))
+        new_dm = removal_matrix_repair(csr, self._dm, (v, w), affected=changed)
+        self._adj.remove_edge(v, w)
+        if add != w and not self._adj.has_edge(v, add):
+            self._adj.add_edge(v, add)
+            dv = new_dm[v]
+            da = new_dm[add]
+            closure = np.minimum(
+                dv[:, None] + 1 + da[None, :],
+                da[:, None] + 1 + dv[None, :],
+            )
+            improved = (closure < new_dm).any(axis=1)
+            changed |= improved
+            # The min against new_dm (whose entries are <= INT_INF) also
+            # discards any closure sums that overflowed past the sentinel.
+            np.minimum(new_dm, closure, out=new_dm)
+        self._dm = new_dm
+        return changed
+
+    # ------------------------------------------------------------------
+    # Best response
+    # ------------------------------------------------------------------
+    def best_swap(
+        self,
+        v: int,
+        objective: Objective = "sum",
+        *,
+        prefer_deletions_on_tie: bool | None = None,
+    ):
+        """Exact best response of ``v``, computed against the cached matrix.
+
+        Identical in outcome (including tie-breaking) to the oracle
+        :func:`repro.core.best_response.best_swap`.
+        """
+        from .best_response import best_swap
+
+        return best_swap(
+            self.graph,
+            v,
+            objective,
+            prefer_deletions_on_tie=prefer_deletions_on_tie,
+            engine=self,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceEngine(n={self.n}, m={self._adj.m})"

@@ -16,8 +16,15 @@ module is that procedure, vectorized:
   monotonicity of distances under edge removal this also implies stability
   under ≤ k swaps, the form the paper states.
 
-All audits run in O(m · APSP) via the min-plus closure of
-:func:`repro.core.swap_eval.all_swap_costs_for_drop`.
+The audits share one base APSP and derive every per-edge removal matrix from
+it by affected-row BFS repair (DESIGN.md §2); ``mode="rebuild"`` restores the
+seed behaviour (a fresh APSP per edge) as the cross-validation oracle.  The
+directed-edge loop can additionally be chunked across
+:func:`repro.parallel.parallel_map` workers (``workers=``), each chunk
+sharing the pickled base matrix; results are deterministic and identical to
+the serial order regardless of worker count.  ``workers`` applies to the
+repair mode only — the ``mode="rebuild"`` oracle always runs serially, so
+cross-validation exercises the exact seed code path.
 """
 
 from __future__ import annotations
@@ -25,12 +32,14 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Literal
 
 import numpy as np
 
 from ..errors import DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
+from ..graphs.repair import removal_matrix_repair
+from ..parallel import chunk_evenly, parallel_map
 from .costs import INT_INF, lift_distances
 from .moves import Swap
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
@@ -92,28 +101,139 @@ def _prepare(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     return lifted, lifted.sum(axis=1), lifted.max(axis=1)
 
 
-def _iter_drop_contexts(graph: CSRGraph):
-    """Yield ``(v, w, removal_dm)`` for every directed edge, sharing APSP per edge."""
+AuditMode = Literal["repair", "rebuild"]
+
+
+def _removal_for(
+    graph: CSRGraph,
+    lifted: np.ndarray,
+    edge: tuple[int, int],
+    mode: AuditMode,
+) -> np.ndarray:
+    if mode == "repair":
+        return removal_matrix_repair(graph, lifted, edge)
+    return removal_distance_matrix(graph, edge, mode="rebuild")
+
+
+def _iter_drop_contexts(
+    graph: CSRGraph,
+    lifted: np.ndarray | None = None,
+    mode: AuditMode = "repair",
+):
+    """Yield ``(v, w, removal_dm)`` for every directed edge, one matrix per edge.
+
+    ``mode="repair"`` derives each removal matrix from the shared base matrix
+    ``lifted``; ``mode="rebuild"`` is the seed oracle (fresh APSP per edge).
+    """
+    if lifted is None and mode == "repair":
+        lifted = lift_distances(distance_matrix(graph))
     for a, b in graph.iter_edges():
-        removal_dm = removal_distance_matrix(graph, (a, b))
+        removal_dm = _removal_for(graph, lifted, (a, b), mode)
         yield a, b, removal_dm
         yield b, a, removal_dm
+
+
+# ---------------------------------------------------------------------------
+# Parallel audit plumbing (chunked directed-edge loops, shared base matrix)
+# ---------------------------------------------------------------------------
+
+def _swap_violation_chunk(payload):
+    """First swap violation in one edge chunk, tagged by directed-edge index."""
+    graph, lifted, base, edges, start, objective, kind = payload
+    for i, (a, b) in enumerate(edges):
+        removal_dm = removal_matrix_repair(graph, lifted, (a, b))
+        for j, (v, w) in enumerate(((a, b), (b, a))):
+            costs = all_swap_costs_for_drop(graph, v, w, objective, removal_dm)
+            costs[w] = math.inf
+            best = int(np.argmin(costs))
+            if costs[best] < base[v]:
+                return (
+                    2 * (start + i) + j,
+                    Violation(
+                        kind, v, w, best, float(base[v]), float(costs[best])
+                    ),
+                )
+    return None
+
+
+def _gap_chunk(payload):
+    """Largest sum-swap improvement within one edge chunk."""
+    graph, lifted, base_sum, edges = payload
+    gap = 0.0
+    for a, b in edges:
+        removal_dm = removal_matrix_repair(graph, lifted, (a, b))
+        for v, w in ((a, b), (b, a)):
+            costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
+            costs[w] = math.inf
+            best = float(np.min(costs))
+            if best < base_sum[v]:
+                gap = max(gap, float(base_sum[v]) - best)
+    return gap
+
+
+def _deletion_chunk(payload):
+    """First deletion-criticality violation in one edge chunk."""
+    graph, lifted, base_ecc, edges, start = payload
+    for i, (a, b) in enumerate(edges):
+        removal_dm = removal_matrix_repair(graph, lifted, (a, b))
+        ecc_after = removal_dm.max(axis=1)
+        for j, v in enumerate((a, b)):
+            after = math.inf if ecc_after[v] >= INT_INF else float(ecc_after[v])
+            if not after > float(base_ecc[v]):
+                other = b if v == a else a
+                return (
+                    2 * (start + i) + j,
+                    Violation(
+                        "deletion", v, other, None, float(base_ecc[v]), after
+                    ),
+                )
+    return None
+
+
+def _first_violation_parallel(graph, lifted, base, objective, kind, workers):
+    chunks = chunk_evenly(list(graph.iter_edges()), workers)
+    payloads = [
+        (graph, lifted, base, chunk, start, objective, kind)
+        for start, chunk in chunks
+    ]
+    results = parallel_map(
+        _swap_violation_chunk,
+        payloads,
+        workers=min(workers, len(payloads)),
+        chunk_size=1,
+    )
+    hits = [r for r in results if r is not None]
+    return min(hits)[1] if hits else None
 
 
 # ---------------------------------------------------------------------------
 # Sum version
 # ---------------------------------------------------------------------------
 
-def find_sum_violation(graph: CSRGraph) -> Violation | None:
-    """First improving sum-swap found, or ``None`` if in sum equilibrium."""
+def find_sum_violation(
+    graph: CSRGraph,
+    *,
+    workers: int = 1,
+    mode: AuditMode = "repair",
+) -> Violation | None:
+    """First improving sum-swap found, or ``None`` if in sum equilibrium.
+
+    ``workers > 1`` chunks the directed-edge loop across processes; the
+    returned violation is the same one the serial scan finds.  Chunking
+    applies only to ``mode="repair"`` — the rebuild oracle stays serial.
+    """
     if graph.n <= 2:
         if not is_connected(graph):
             raise DisconnectedGraphError(
                 "equilibrium audits are defined on connected graphs"
             )
         return None
-    _, base_sum, _ = _prepare(graph)
-    for v, w, removal_dm in _iter_drop_contexts(graph):
+    lifted, base_sum, _ = _prepare(graph)
+    if workers > 1 and mode == "repair":
+        return _first_violation_parallel(
+            graph, lifted, base_sum, "sum", "sum-swap", workers
+        )
+    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
         costs[w] = math.inf  # identity move is not a violation
         best = int(np.argmin(costs))
@@ -124,12 +244,16 @@ def find_sum_violation(graph: CSRGraph) -> Violation | None:
     return None
 
 
-def is_sum_equilibrium(graph: CSRGraph) -> bool:
+def is_sum_equilibrium(
+    graph: CSRGraph, *, workers: int = 1, mode: AuditMode = "repair"
+) -> bool:
     """Whether ``graph`` is a sum (swap) equilibrium."""
-    return find_sum_violation(graph) is None
+    return find_sum_violation(graph, workers=workers, mode=mode) is None
 
 
-def sum_equilibrium_gap(graph: CSRGraph) -> float:
+def sum_equilibrium_gap(
+    graph: CSRGraph, *, workers: int = 1, mode: AuditMode = "repair"
+) -> float:
     """The largest improvement any single swap offers (0.0 at equilibrium).
 
     A quantitative "distance from equilibrium" used by dynamics diagnostics;
@@ -137,9 +261,21 @@ def sum_equilibrium_gap(graph: CSRGraph) -> float:
     """
     if graph.n <= 2:
         return 0.0
-    _, base_sum, _ = _prepare(graph)
+    lifted, base_sum, _ = _prepare(graph)
+    if workers > 1 and mode == "repair":
+        chunks = chunk_evenly(list(graph.iter_edges()), workers)
+        payloads = [
+            (graph, lifted, base_sum, chunk) for _, chunk in chunks
+        ]
+        gaps = parallel_map(
+            _gap_chunk,
+            payloads,
+            workers=min(workers, len(payloads)),
+            chunk_size=1,
+        )
+        return max(gaps, default=0.0)
     gap = 0.0
-    for v, w, removal_dm in _iter_drop_contexts(graph):
+    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
         costs[w] = math.inf
         best = float(np.min(costs))
@@ -152,7 +288,12 @@ def sum_equilibrium_gap(graph: CSRGraph) -> float:
 # Max version
 # ---------------------------------------------------------------------------
 
-def find_max_swap_violation(graph: CSRGraph) -> Violation | None:
+def find_max_swap_violation(
+    graph: CSRGraph,
+    *,
+    workers: int = 1,
+    mode: AuditMode = "repair",
+) -> Violation | None:
     """First swap strictly decreasing the mover's local diameter, or ``None``."""
     if graph.n <= 2:
         if not is_connected(graph):
@@ -160,8 +301,12 @@ def find_max_swap_violation(graph: CSRGraph) -> Violation | None:
                 "equilibrium audits are defined on connected graphs"
             )
         return None
-    _, _, base_ecc = _prepare(graph)
-    for v, w, removal_dm in _iter_drop_contexts(graph):
+    lifted, _, base_ecc = _prepare(graph)
+    if workers > 1 and mode == "repair":
+        return _first_violation_parallel(
+            graph, lifted, base_ecc, "max", "max-swap", workers
+        )
+    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "max", removal_dm)
         costs[w] = math.inf
         best = int(np.argmin(costs))
@@ -172,15 +317,33 @@ def find_max_swap_violation(graph: CSRGraph) -> Violation | None:
     return None
 
 
-def find_deletion_criticality_violation(graph: CSRGraph) -> Violation | None:
+def find_deletion_criticality_violation(
+    graph: CSRGraph,
+    *,
+    workers: int = 1,
+    mode: AuditMode = "repair",
+) -> Violation | None:
     """First edge whose deletion does **not** strictly raise an endpoint's ecc.
 
     Deletion-criticality is part of the paper's max-equilibrium definition
     and of the lower-bound constructions.
     """
-    _, _, base_ecc = _prepare(graph)
+    lifted, _, base_ecc = _prepare(graph)
+    if workers > 1 and mode == "repair":
+        chunks = chunk_evenly(list(graph.iter_edges()), workers)
+        payloads = [
+            (graph, lifted, base_ecc, chunk, start) for start, chunk in chunks
+        ]
+        results = parallel_map(
+            _deletion_chunk,
+            payloads,
+            workers=min(workers, len(payloads)),
+            chunk_size=1,
+        )
+        hits = [r for r in results if r is not None]
+        return min(hits)[1] if hits else None
     for a, b in graph.iter_edges():
-        removal_dm = removal_distance_matrix(graph, (a, b))
+        removal_dm = _removal_for(graph, lifted, (a, b), mode)
         ecc_after = removal_dm.max(axis=1)
         for v in (a, b):
             after = math.inf if ecc_after[v] >= INT_INF else float(ecc_after[v])
@@ -192,16 +355,26 @@ def find_deletion_criticality_violation(graph: CSRGraph) -> Violation | None:
     return None
 
 
-def is_deletion_critical(graph: CSRGraph) -> bool:
+def is_deletion_critical(
+    graph: CSRGraph, *, workers: int = 1, mode: AuditMode = "repair"
+) -> bool:
     """Whether deleting any edge strictly increases both endpoints' ecc."""
-    return find_deletion_criticality_violation(graph) is None
+    return (
+        find_deletion_criticality_violation(graph, workers=workers, mode=mode)
+        is None
+    )
 
 
-def is_max_equilibrium(graph: CSRGraph) -> bool:
+def is_max_equilibrium(
+    graph: CSRGraph, *, workers: int = 1, mode: AuditMode = "repair"
+) -> bool:
     """The paper's max equilibrium: swap-stable (max) **and** deletion-critical."""
-    if find_max_swap_violation(graph) is not None:
+    if find_max_swap_violation(graph, workers=workers, mode=mode) is not None:
         return False
-    return find_deletion_criticality_violation(graph) is None
+    return (
+        find_deletion_criticality_violation(graph, workers=workers, mode=mode)
+        is None
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,12 @@ then closes over every candidate ``w'`` with the exact min-plus identity
 valid because any shortest path from ``v`` using the new edge must use it
 first (revisiting ``v`` never shortens a path).  This identity is what makes
 full equilibrium audits O(m) APSP calls instead of O(n·m) BFS calls.
+
+Since the incremental distance engine (DESIGN.md §2), the removal APSP itself
+is no longer recomputed per edge: :func:`removal_distance_matrix` defaults to
+``mode="repair"``, deriving ``G − e`` from a cached base matrix by repairing
+only the rows the deletion can change.  ``mode="rebuild"`` keeps the seed
+path (fresh scipy APSP on a rebuilt graph) as the cross-validation oracle.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Literal
 import numpy as np
 
 from ..graphs import CSRGraph, bfs_aggregates, distance_matrix
+from ..graphs.repair import removal_matrix_repair
 from .costs import INT_INF, lift_distances
 from .moves import Swap, swapped_graph
 
@@ -40,6 +47,7 @@ __all__ = [
 
 Objective = Literal["sum", "max"]
 EvalMode = Literal["patched", "copy"]
+RemovalMode = Literal["repair", "rebuild"]
 
 
 def _aggregate(total: int, ecc: int, reached: int, n: int, objective: Objective) -> float:
@@ -87,11 +95,37 @@ def swap_delta(
     return after - before
 
 
-def removal_distance_matrix(graph: CSRGraph, edge: tuple[int, int]) -> np.ndarray:
-    """Lifted (int64, INT_INF) APSP matrix of ``graph`` minus one edge."""
+def removal_distance_matrix(
+    graph: CSRGraph,
+    edge: tuple[int, int],
+    *,
+    base_dm: np.ndarray | None = None,
+    mode: RemovalMode = "repair",
+) -> np.ndarray:
+    """Lifted (int64, INT_INF) APSP matrix of ``graph`` minus one edge.
+
+    Parameters
+    ----------
+    base_dm:
+        Optional precomputed distance matrix of ``graph`` (raw int32 or
+        already lifted).  With ``mode="repair"`` it is the matrix the removal
+        rows are derived from; amortize it across edges when auditing.
+    mode:
+        ``"repair"`` (default) — affected-row detection plus seeded partial
+        BFS against the base matrix; ``"rebuild"`` — the seed oracle path, a
+        fresh APSP on a rebuilt graph.
+    """
     a, b = int(edge[0]), int(edge[1])
-    reduced = graph.with_edges(remove=[(a, b)])
-    return lift_distances(distance_matrix(reduced))
+    if mode == "rebuild":
+        reduced = graph.with_edges(remove=[(a, b)])
+        return lift_distances(distance_matrix(reduced))
+    if mode != "repair":
+        raise ValueError(f"unknown removal mode {mode!r}")
+    if base_dm is None:
+        base_dm = distance_matrix(graph)
+    return removal_matrix_repair(
+        graph, lift_distances(np.asarray(base_dm)), (a, b)
+    )
 
 
 def all_swap_costs_for_drop(

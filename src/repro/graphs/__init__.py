@@ -44,6 +44,12 @@ from .generators import (
     star_graph,
 )
 from .power import power_distance_matrix, power_graph
+from .repair import (
+    INT_INF_DISTANCE,
+    removal_affected_sources,
+    removal_matrix_repair,
+    repair_row_after_removal,
+)
 from .properties import (
     connected_components,
     cut_vertices,
@@ -58,6 +64,7 @@ from .properties import (
 __all__ = [
     "AdjacencyGraph",
     "CSRGraph",
+    "INT_INF_DISTANCE",
     "UNREACHABLE",
     "all_trees",
     "average_distance",
@@ -95,6 +102,9 @@ __all__ = [
     "random_tree",
     "read_edge_list",
     "relabel_to_integers",
+    "removal_affected_sources",
+    "removal_matrix_repair",
+    "repair_row_after_removal",
     "sphere_sizes",
     "star_graph",
     "sum_distances_from",

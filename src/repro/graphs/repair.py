@@ -1,0 +1,296 @@
+"""Incremental single-edge-removal repair of cached distance rows.
+
+The audit and dynamics hot paths evaluate ``G − e`` for every edge ``e`` of a
+graph whose full APSP matrix is already known.  Recomputing APSP from scratch
+per edge — the seed implementation — throws that knowledge away.  This module
+keeps it:
+
+* :func:`removal_affected_sources` — the **exact** set of BFS sources whose
+  distance row changes when ``e = {a, b}`` is deleted.  Soundness rests on two
+  level facts: a shortest path only uses edges between consecutive BFS levels,
+  so a source ``s`` with ``|d(s,a) − d(s,b)| ≠ 1`` never routes through ``e``;
+  and when ``d(s,b) = d(s,a) + 1`` but ``b`` retains another predecessor at
+  level ``d(s,a)``, every path through ``e`` can be rerouted at ``b`` without
+  a detour, so the whole row survives.  What remains — sources for which ``a``
+  is ``b``'s *only* predecessor — is exactly the affected set.
+* :func:`repair_row_after_removal` — a **seeded partial BFS** fixing one
+  affected row in place of a fresh BFS: it walks the shortest-path DAG from
+  the orphaned endpoint to find the *invalid* vertices (those whose every
+  shortest path used ``e``), keeps all other distances, and re-settles the
+  invalid region by a multi-source unit-weight Dijkstra seeded from the valid
+  boundary.  Cost is proportional to the invalid region, not the graph.
+* :func:`removal_matrix_repair` — the matrix-level wrapper: copy the base
+  matrix, repair only affected rows.
+
+All inputs and outputs here use the *lifted* int64 convention (unreachable =
+:data:`INT_INF_DISTANCE`), matching :func:`repro.core.costs.lift_distances`,
+because the repair arithmetic needs infinities that compare large rather than
+the raw :data:`~repro.graphs.bfs.UNREACHABLE` sentinel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .bfs import UNREACHABLE, _frontier_neighbors, bfs_distances
+from .csr import CSRGraph
+
+__all__ = [
+    "INT_INF_DISTANCE",
+    "removal_affected_sources",
+    "repair_row_after_removal",
+    "removal_matrix_repair",
+]
+
+#: Lifted "infinite distance" sentinel; identical to repro.core.costs.INT_INF
+#: (duplicated here so the game-agnostic graphs layer stays dependency-free).
+INT_INF_DISTANCE: int = 1 << 40
+
+
+def _check_edge(graph: CSRGraph, a: int, b: int) -> tuple[int, int]:
+    a, b = int(a), int(b)
+    if not graph.has_edge(a, b):
+        raise GraphError(f"edge ({a}, {b}) not in graph")
+    return a, b
+
+
+def removal_affected_sources(
+    graph: CSRGraph, dm: np.ndarray, edge: tuple[int, int]
+) -> np.ndarray:
+    """Boolean mask of sources whose distance row changes in ``G − edge``.
+
+    ``dm`` is the lifted APSP matrix of ``graph``.  The mask is exact: row
+    ``s`` of ``G − edge``'s APSP differs from ``dm[s]`` iff ``mask[s]``.
+    """
+    a, b = _check_edge(graph, *edge)
+    da = dm[a]
+    db = dm[b]
+    finite = (da < INT_INF_DISTANCE) & (db < INT_INF_DISTANCE)
+    affected = np.zeros(graph.n, dtype=bool)
+    for hi, lo in ((b, a), (a, b)):
+        # Sources that see the edge as lo -> hi (hi one level further away).
+        d_hi, d_lo = (db, da) if hi == b else (da, db)
+        cand = finite & (d_hi == d_lo + 1)
+        if not cand.any():
+            continue
+        others = graph.neighbors(hi)
+        others = others[others != lo]
+        if others.size:
+            # hi keeps a predecessor besides lo => the row survives.
+            has_alt = (dm[others] == d_hi[None, :] - 1).any(axis=0)
+            cand = cand & ~has_alt
+        affected |= cand
+    return affected
+
+
+def _invalid_set(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    old: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Vertices whose distance from the row's source strictly increases.
+
+    ``old`` is the pre-removal row; ``hi`` is the far endpoint of the removed
+    edge (already known to have lost its only predecessor ``lo``).  A vertex
+    at level ``L+1`` is invalid iff *all* of its level-``L`` predecessors are
+    invalid; propagation is level-synchronous starting from ``hi``.
+    """
+    n = old.shape[0]
+    invalid = np.zeros(n, dtype=bool)
+    invalid[hi] = True
+    frontier = np.asarray([hi], dtype=np.int32)
+    level = int(old[hi])
+    while frontier.size:
+        srcs, nbrs = _frontier_neighbors(indptr, indices, frontier)
+        if nbrs.size == 0:
+            break
+        cand = np.unique(nbrs[(old[nbrs] == level + 1) & ~invalid[nbrs]])
+        if cand.size == 0:
+            break
+        csrcs, cnbrs = _frontier_neighbors(indptr, indices, cand.astype(np.int32))
+        valid_pred = (old[cnbrs] == level) & ~invalid[cnbrs]
+        has_valid = np.zeros(n, dtype=bool)
+        has_valid[csrcs[valid_pred]] = True
+        newly = cand[~has_valid[cand]]
+        if newly.size == 0:
+            break
+        invalid[newly] = True
+        frontier = newly.astype(np.int32)
+        level += 1
+    return invalid
+
+
+def repair_row_after_removal(
+    graph: CSRGraph,
+    edge: tuple[int, int],
+    old_row: np.ndarray,
+) -> np.ndarray:
+    """Repair one lifted distance row of ``graph`` for the deletion of ``edge``.
+
+    ``old_row`` is the row *before* removal (lifted int64); the source is
+    implicit (the unique vertex at distance 0).  Returns a fresh row equal to
+    a from-scratch BFS in ``G − edge`` — including :data:`INT_INF_DISTANCE`
+    entries when the removal disconnects part of the graph from the source.
+
+    The repair is a seeded partial BFS: distances outside the invalid region
+    are kept verbatim; the invalid region is re-settled by unit-weight
+    multi-source Dijkstra seeded from its valid boundary.  Rows that the
+    removal provably cannot change are returned as a plain copy.
+    """
+    a, b = _check_edge(graph, *edge)
+    old = np.asarray(old_row, dtype=np.int64)
+    da, db = int(old[a]), int(old[b])
+    if da >= INT_INF_DISTANCE or db >= INT_INF_DISTANCE or abs(da - db) != 1:
+        return old.copy()
+    lo, hi = (a, b) if da < db else (b, a)
+    indptr, indices = graph.indptr, graph.indices
+
+    # If hi keeps another predecessor the row is provably unchanged.
+    others = graph.neighbors(hi)
+    others = others[others != lo]
+    if others.size and (old[others] == old[hi] - 1).any():
+        return old.copy()
+
+    invalid = _invalid_set(indptr, indices, old, lo, hi)
+    inv = np.nonzero(invalid)[0].astype(np.int32)
+    new = old.copy()
+    new[inv] = INT_INF_DISTANCE
+
+    # Adjacency of the invalid region, with the removed edge masked out.
+    isrcs, inbrs = _frontier_neighbors(indptr, indices, inv)
+    if isrcs.size:
+        keep = ~(
+            ((isrcs == a) & (inbrs == b)) | ((isrcs == b) & (inbrs == a))
+        )
+        isrcs, inbrs = isrcs[keep], inbrs[keep]
+
+    unresolved = invalid.copy()
+    while isrcs.size:
+        open_pairs = unresolved[isrcs]
+        nbr_dist = new[inbrs]
+        usable = open_pairs & (nbr_dist < INT_INF_DISTANCE)
+        if not usable.any():
+            break  # the rest is cut off from the source: stays infinite
+        cand_dist = nbr_dist[usable] + 1
+        settle_at = int(cand_dist.min())
+        settled = np.unique(isrcs[usable][cand_dist == settle_at])
+        new[settled] = settle_at
+        unresolved[settled] = False
+        if not unresolved.any():
+            break
+    return new
+
+
+def _scipy_csr_minus_edge(graph: CSRGraph, a: int, b: int):
+    """``graph``'s scipy adjacency with edge ``{a, b}`` deleted, built in O(m)."""
+    import scipy.sparse as sp
+
+    indptr, indices = graph.indptr, graph.indices
+    pa = int(indptr[a]) + int(
+        np.searchsorted(indices[indptr[a] : indptr[a + 1]], b)
+    )
+    pb = int(indptr[b]) + int(
+        np.searchsorted(indices[indptr[b] : indptr[b + 1]], a)
+    )
+    new_indices = np.delete(indices, [pa, pb])
+    new_indptr = indptr.astype(np.int64, copy=True)
+    new_indptr[a + 1 :] -= 1
+    new_indptr[b + 1 :] -= 1
+    data = np.ones(new_indices.size, dtype=np.int8)
+    return sp.csr_array(
+        (data, new_indices, new_indptr), shape=(graph.n, graph.n)
+    )
+
+
+def _batched_removal_rows(
+    graph: CSRGraph, a: int, b: int, sources: np.ndarray
+) -> np.ndarray:
+    """Distance rows of ``G − {a,b}`` for many sources in one batched BFS.
+
+    Level-synchronous over all sources simultaneously: each BFS level is one
+    sparse adjacency product on an ``(n, k)`` frontier block, so the Python
+    overhead is O(diameter), not O(sources · diameter).  Used when the
+    affected set is large enough that per-row seeded repairs would pay more
+    in interpreter overhead than they save in arithmetic.
+    """
+    n = graph.n
+    k = sources.size
+    adj = _scipy_csr_minus_edge(graph, a, b)
+    dist = np.full((k, n), INT_INF_DISTANCE, dtype=np.int64)
+    cols = np.arange(k)
+    dist[cols, sources] = 0
+    # int32 frontier: the product counts frontier neighbours, which reaches
+    # vertex degree — an int8 accumulator would wrap at hubs of degree >= 128.
+    frontier = np.zeros((n, k), dtype=np.int32)
+    frontier[sources, cols] = 1
+    unvisited = np.ones((n, k), dtype=bool)
+    unvisited[sources, cols] = False
+    level = 0
+    while True:
+        reached = adj.dot(frontier)
+        newly = (reached > 0) & unvisited
+        if not newly.any():
+            return dist
+        level += 1
+        dist.T[newly] = level
+        unvisited[newly] = False
+        frontier = newly.astype(np.int32)
+
+
+#: Affected-row count above which the batched BFS beats per-row repairs.
+_BATCH_THRESHOLD = 4
+
+
+def removal_matrix_repair(
+    graph: CSRGraph,
+    dm: np.ndarray,
+    edge: tuple[int, int],
+    *,
+    affected: np.ndarray | None = None,
+) -> np.ndarray:
+    """Lifted APSP matrix of ``graph − edge`` derived from the base matrix.
+
+    Unaffected rows are copied from ``dm`` wholesale (one memcpy); affected
+    rows are recomputed, picking the cheapest sound strategy:
+
+    * **bridge** — deleting a bridge leaves within-component distances
+      untouched (a simple path cannot cross a bridge twice), so the update
+      is two block assignments of the infinite sentinel — the dominant case
+      for tree dynamics;
+    * **few rows** — seeded partial BFS per row
+      (:func:`repair_row_after_removal`);
+    * **many rows** — one batched level-synchronous BFS over all affected
+      sources (:func:`_batched_removal_rows`).
+
+    Exactly equal to recomputing APSP on the rebuilt graph.  ``affected``
+    lets a caller that already computed :func:`removal_affected_sources`
+    pass it in.
+    """
+    a, b = _check_edge(graph, *edge)
+    out = np.array(dm, dtype=np.int64, copy=True)
+    mask = (
+        removal_affected_sources(graph, dm, (a, b))
+        if affected is None
+        else affected
+    )
+    sources = np.nonzero(mask)[0]
+    if sources.size == 0:
+        return out
+    if sources.size <= _BATCH_THRESHOLD:
+        # Small affected sets go straight to seeded per-row repairs (which
+        # handle disconnection themselves); a bridge cannot land here for
+        # n > threshold since it affects every source.
+        for s in sources:
+            out[s] = repair_row_after_removal(graph, (a, b), dm[s])
+        return out
+    half = bfs_distances(graph, b, exclude=(a, b))
+    if half[a] == UNREACHABLE:  # bridge: b's side is cut off from a's
+        side = half != UNREACHABLE
+        out[np.ix_(side, ~side)] = INT_INF_DISTANCE
+        out[np.ix_(~side, side)] = INT_INF_DISTANCE
+        return out
+    out[sources] = _batched_removal_rows(graph, a, b, sources)
+    return out

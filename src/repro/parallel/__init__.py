@@ -1,11 +1,12 @@
 """Deterministic parallel execution: process pools and parameter sweeps."""
 
-from .pool import default_workers, parallel_map
+from .pool import chunk_evenly, default_workers, parallel_map
 from .sweep import Sweep, SweepPoint, run_sweep
 
 __all__ = [
     "Sweep",
     "SweepPoint",
+    "chunk_evenly",
     "default_workers",
     "parallel_map",
     "run_sweep",

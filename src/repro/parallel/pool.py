@@ -26,10 +26,32 @@ from typing import Callable, Sequence, TypeVar
 
 from ..errors import ConfigurationError
 
-__all__ = ["default_workers", "parallel_map"]
+__all__ = ["chunk_evenly", "default_workers", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def chunk_evenly(items: Sequence[T], parts: int) -> list[tuple[int, list[T]]]:
+    """Split ``items`` into ≤ ``parts`` contiguous chunks of near-equal size.
+
+    Returns ``(start_offset, chunk)`` pairs; offsets let workers report
+    positions in the original order so chunked scans stay deterministic
+    (the equilibrium audits key their "first violation" on them).  Empty
+    chunks are dropped; ``parts`` is clamped to ``len(items)``.
+    """
+    if parts < 1:
+        raise ConfigurationError(f"parts must be >= 1, got {parts}")
+    items = list(items)
+    k = max(1, min(parts, len(items)))
+    if not items:
+        return []
+    bounds = [round(i * len(items) / k) for i in range(k + 1)]
+    return [
+        (lo, items[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
 
 
 def default_workers() -> int:

@@ -45,6 +45,44 @@ def edge_lists(draw, max_n: int = 12):
 
 
 # ---------------------------------------------------------------------------
+# Deterministic cross-validation battery
+# ---------------------------------------------------------------------------
+
+def graph_battery(
+    count: int = 216, min_n: int = 2, max_n: int = 14
+) -> list[CSRGraph]:
+    """≥ ``count`` deterministic connected graphs for oracle cross-checks.
+
+    Cycles through the three census-style families — uniform random trees
+    (every edge a bridge), sparse connected G(n, m), and dense G(n, m) —
+    plus the n ≤ 3 edge cases, so incremental-vs-oracle tests exercise
+    bridges, disconnecting removals, and degenerate sizes by construction.
+    """
+    graphs: list[CSRGraph] = [
+        CSRGraph(1, []),
+        CSRGraph(2, [(0, 1)]),
+        CSRGraph(3, [(0, 1), (1, 2)]),
+        CSRGraph(3, [(0, 1), (1, 2), (0, 2)]),
+    ]
+    rng = np.random.default_rng(20260726)
+    while len(graphs) < count:
+        n = int(rng.integers(min_n, max_n + 1))
+        family = len(graphs) % 3
+        seed = int(rng.integers(2**31 - 1))
+        if family == 0:
+            graphs.append(random_tree(n, seed))
+        else:
+            max_m = n * (n - 1) // 2
+            lo = n - 1
+            hi = max(lo, (n - 1) + (max_m - (n - 1)) // 4)
+            if family == 2:
+                lo, hi = hi, max_m
+            m = int(rng.integers(lo, hi + 1))
+            graphs.append(random_connected_gnm(n, m, seed))
+    return graphs
+
+
+# ---------------------------------------------------------------------------
 # Fixtures
 # ---------------------------------------------------------------------------
 

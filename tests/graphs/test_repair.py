@@ -1,0 +1,172 @@
+"""Removal-row repair kernel vs the fresh-APSP oracle.
+
+The incremental engine's correctness reduces to one claim: for every edge
+``e`` of every graph, :func:`removal_matrix_repair` equals APSP of the
+rebuilt graph ``G − e``.  These tests check the claim exhaustively on the
+deterministic battery (trees / sparse / dense, so bridges and disconnecting
+removals occur by construction), on Hypothesis-driven graphs, and on the
+hand-picked degenerate cases, along with the exactness of the affected-source
+mask both kernels share.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.costs import lift_distances
+from repro.errors import GraphError
+from repro.graphs import (
+    CSRGraph,
+    cycle_graph,
+    distance_matrix,
+    path_graph,
+    removal_affected_sources,
+    removal_matrix_repair,
+    repair_row_after_removal,
+    star_graph,
+)
+from repro.graphs.repair import _BATCH_THRESHOLD, _batched_removal_rows
+
+from ..conftest import connected_graphs, edge_lists, graph_battery
+
+BATTERY = graph_battery()
+
+
+def _oracle(g: CSRGraph, edge) -> np.ndarray:
+    return lift_distances(distance_matrix(g.with_edges(remove=[edge])))
+
+
+class TestBatteryCrossValidation:
+    def test_battery_is_large_enough(self):
+        assert len(BATTERY) >= 200
+
+    @pytest.mark.parametrize("idx", range(len(BATTERY)))
+    def test_every_edge_removal_matches_oracle(self, idx):
+        g = BATTERY[idx]
+        base = lift_distances(distance_matrix(g))
+        for edge in g.iter_edges():
+            oracle = _oracle(g, edge)
+            fast = removal_matrix_repair(g, base, edge)
+            assert np.array_equal(fast, oracle), (g.edges().tolist(), edge)
+
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 4))
+    def test_affected_mask_is_exact(self, idx):
+        g = BATTERY[idx]
+        base = lift_distances(distance_matrix(g))
+        for edge in g.iter_edges():
+            mask = removal_affected_sources(g, base, edge)
+            truth = (_oracle(g, edge) != base).any(axis=1)
+            assert np.array_equal(mask, truth), (g.edges().tolist(), edge)
+
+
+class TestHypothesisFuzz:
+    @given(connected_graphs(min_n=2, max_n=12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graph_random_edges(self, g):
+        base = lift_distances(distance_matrix(g))
+        for edge in list(g.iter_edges())[:6]:
+            assert np.array_equal(
+                removal_matrix_repair(g, base, edge), _oracle(g, edge)
+            )
+
+    @given(edge_lists(max_n=9))
+    @settings(max_examples=30, deadline=None)
+    def test_disconnected_base_graphs(self, ne):
+        # The kernel must also be exact when the *base* graph is already
+        # disconnected (rows with infinite entries).
+        n, edges = ne
+        g = CSRGraph(n, edges)
+        base = lift_distances(distance_matrix(g))
+        for edge in g.iter_edges():
+            assert np.array_equal(
+                removal_matrix_repair(g, base, edge), _oracle(g, edge)
+            )
+
+
+class TestStructuredCases:
+    def test_bridge_fast_path_on_paths(self):
+        g = path_graph(9)
+        base = lift_distances(distance_matrix(g))
+        for edge in g.iter_edges():
+            assert np.array_equal(
+                removal_matrix_repair(g, base, edge), _oracle(g, edge)
+            )
+
+    def test_star_leaf_removal(self):
+        g = star_graph(8)
+        base = lift_distances(distance_matrix(g))
+        assert np.array_equal(
+            removal_matrix_repair(g, base, (0, 3)), _oracle(g, (0, 3))
+        )
+
+    def test_cycle_uses_batched_path(self):
+        # Removing a cycle edge affects most sources, well past the batch
+        # threshold, so this exercises _batched_removal_rows end to end.
+        g = cycle_graph(12)
+        base = lift_distances(distance_matrix(g))
+        edge = (0, 11)
+        affected = removal_affected_sources(g, base, edge)
+        assert int(affected.sum()) > _BATCH_THRESHOLD
+        assert np.array_equal(
+            removal_matrix_repair(g, base, edge), _oracle(g, edge)
+        )
+
+    def test_batched_rows_directly(self):
+        g = cycle_graph(10)
+        sources = np.asarray([0, 3, 7])
+        rows = _batched_removal_rows(g, 0, 9, sources)
+        oracle = _oracle(g, (0, 9))
+        assert np.array_equal(rows, oracle[sources])
+
+    def test_single_row_repair_matches(self):
+        g = cycle_graph(8).with_edges(add=[(0, 4)])
+        base = lift_distances(distance_matrix(g))
+        for edge in g.iter_edges():
+            mask = removal_affected_sources(g, base, edge)
+            for s in np.nonzero(mask)[0]:
+                row = repair_row_after_removal(g, edge, base[s])
+                assert np.array_equal(row, _oracle(g, edge)[s])
+
+    def test_unaffected_row_returned_as_copy(self):
+        g = cycle_graph(6).with_edges(add=[(0, 3)])
+        base = lift_distances(distance_matrix(g))
+        mask = removal_affected_sources(g, base, (0, 3))
+        quiet = np.nonzero(~mask)[0]
+        assert quiet.size  # the chord is redundant for some sources
+        row = repair_row_after_removal(g, (0, 3), base[quiet[0]])
+        assert np.array_equal(row, base[quiet[0]])
+        assert row is not base[quiet[0]]
+
+    def test_tiny_graphs(self):
+        for g in (CSRGraph(2, [(0, 1)]), CSRGraph(3, [(0, 1), (1, 2)])):
+            base = lift_distances(distance_matrix(g))
+            for edge in g.iter_edges():
+                assert np.array_equal(
+                    removal_matrix_repair(g, base, edge), _oracle(g, edge)
+                )
+
+    def test_high_degree_hub_batched_no_overflow(self):
+        # Regression: the batched BFS once used int8 frontier accumulators,
+        # which wrap when >= 128 frontier vertices share an unvisited
+        # neighbour — the hub was never settled and its distances corrupted.
+        leaves = list(range(4, 154))  # 150 leaves, all adjacent to b and h
+        hub = 154
+        chain = list(range(155, 165))  # pushes the affected set past batching
+        edges = [(0, 1), (0, 2), (2, 3), (3, 1)]  # a=0, b=1 + alternate path
+        edges += [(1, leaf) for leaf in leaves]
+        edges += [(hub, leaf) for leaf in leaves]
+        edges += [(0, chain[0])]
+        edges += list(zip(chain, chain[1:]))
+        g = CSRGraph(165, edges)
+        base = lift_distances(distance_matrix(g))
+        affected = removal_affected_sources(g, base, (0, 1))
+        assert int(affected.sum()) > _BATCH_THRESHOLD
+        assert np.array_equal(
+            removal_matrix_repair(g, base, (0, 1)), _oracle(g, (0, 1))
+        )
+
+    def test_missing_edge_rejected(self):
+        g = path_graph(4)
+        base = lift_distances(distance_matrix(g))
+        with pytest.raises(GraphError):
+            removal_matrix_repair(g, base, (0, 3))

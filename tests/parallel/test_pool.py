@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.parallel import default_workers, parallel_map
+from repro.parallel import chunk_evenly, default_workers, parallel_map
 
 
 def square(x: int) -> int:
@@ -52,3 +52,26 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestChunkEvenly:
+    def test_covers_all_items_in_order(self):
+        items = list(range(17))
+        chunks = chunk_evenly(items, 5)
+        flat = [x for _, chunk in chunks for x in chunk]
+        assert flat == items
+        for start, chunk in chunks:
+            assert items[start : start + len(chunk)] == chunk
+
+    def test_near_equal_sizes(self):
+        sizes = [len(c) for _, c in chunk_evenly(list(range(10)), 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        chunks = chunk_evenly([1, 2], 8)
+        assert [c for _, c in chunks] == [[1], [2]]
+
+    def test_empty_and_invalid(self):
+        assert chunk_evenly([], 4) == []
+        with pytest.raises(ConfigurationError):
+            chunk_evenly([1], 0)
