@@ -1,0 +1,343 @@
+"""Cross-edge batched audit kernel — plan once, bound first, repair rarely.
+
+The PR-1 audit loop (``mode="repair"``) already derives every removal matrix
+from one cached base APSP, but it still pays per edge: affected-source
+detection, row repairs, an n×n matrix copy, and the closure evaluation.
+This module restructures a full audit (``mode="batched"`` on the
+equilibrium checkers) around three batch ideas:
+
+1. **Plan** — :func:`repro.graphs.removal_affected_matrix` computes the
+   affected-source masks of *all* audited edges in one |E|×n comparison
+   against the base matrix (plus one shared predecessor-count table), and
+   classifies bridges with one half-BFS per all-sources edge.
+2. **Endpoint rows in one BFS** — a mover's own post-removal row is the
+   only repaired row most of the audit needs.  All 2·|E| endpoint rows are
+   computed by a single level-synchronous BFS over the union of (edge, row)
+   jobs (:func:`repro.graphs.batched_removal_rows_multi`), whose per-level
+   cost is one sparse product — Python overhead O(diameter) per audit, not
+   O(m · diameter).  Bridge endpoints are masked base rows (free).
+3. **Bound-then-verify scan** — deleting an edge can only *increase*
+   distances, so every other row of the removal matrix dominates its base
+   row, and
+
+   ``costs_lb[w'] = agg_u min(dv[u], 1 + base[w', u]) <= costs[w']``
+
+   is a sound optimistic bound computed straight off the base matrix (no
+   per-edge copy; it is *exact* for unaffected ``w'``).  A mover whose
+   bound never beats its current cost provably has no improving swap —
+   the common case on and near equilibria, where the census spends its
+   time.  Only when a candidate survives does the kernel materialize the
+   edge's exact removal matrix (via the same
+   :func:`~repro.graphs.removal_matrix_repair` bucketing as ``mode="repair"``:
+   bridge / few seeded rows / batched many-rows) and re-evaluate exactly.
+
+Every scan outcome is bit-identical to the ``mode="repair"`` /
+``mode="rebuild"`` paths — same costs, same argmin tie-breaking, same
+directed-edge order — because the bound only ever *skips* movers whose
+exact evaluation could not have produced a violation, and survivors are
+re-evaluated with the repair-path code itself.  Scans compose with
+``workers=`` (chunks of edges, each worker planning its own chunk against
+the shared base matrix; see :mod:`repro.core.equilibrium`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs import CSRGraph
+from ..graphs.bfs import UNREACHABLE, bfs_distances
+from ..graphs.repair import (
+    batched_removal_rows_multi,
+    predecessor_counts,
+    removal_affected_matrix,
+    removal_matrix_repair,
+)
+from .costs import INT_INF
+from .equilibrium import Violation
+from .swap_eval import all_swap_costs_for_drop
+
+__all__ = [
+    "BatchedRemovalPlan",
+    "scan_swap_violations",
+    "scan_gap",
+    "scan_deletion_violations",
+]
+
+
+class BatchedRemovalPlan:
+    """Batched audit state for a set of edges of one graph.
+
+    Parameters
+    ----------
+    graph, lifted:
+        The audited graph and its lifted base APSP matrix.
+    edges:
+        The (undirected) edges to plan, as ``(a, b)`` pairs — an audit
+        chunk, or every edge.
+    pred_counts:
+        Optional precomputed :func:`repro.graphs.predecessor_counts`
+        (shared across chunks / workers).
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        lifted: np.ndarray,
+        edges,
+        *,
+        pred_counts: np.ndarray | None = None,
+    ):
+        self.graph = graph
+        self.lifted = lifted
+        self.edges = [(int(a), int(b)) for a, b in edges]
+        n = graph.n
+        self._affected = removal_affected_matrix(
+            graph, lifted, self.edges, pred_counts=pred_counts
+        )
+        counts = self._affected.sum(axis=1)
+
+        #: edge index -> boolean mask of the component of ``b`` in G − e.
+        self._bridge_side: dict[int, np.ndarray] = {}
+        #: lazily materialized exact removal matrix of the last edge asked.
+        self._full_cache: tuple[int, np.ndarray] | None = None
+
+        jobs: list[tuple[int, int, int]] = []  # (a, b, source) per job
+        slots: list[int] = []  # edge index owning jobs[k] (two per edge)
+        for i, (a, b) in enumerate(self.edges):
+            if counts[i] == n and n > 1:
+                # All sources affected: bridge candidate.  One half-BFS
+                # settles it (a bridge cuts a off from b's side).
+                half = bfs_distances(graph, b, exclude=(a, b))
+                if half[a] == UNREACHABLE:
+                    self._bridge_side[i] = half != UNREACHABLE
+                    continue
+            # Non-bridge: both endpoint rows change (d(a, b) strictly
+            # increases), and they are all the bound scan needs.
+            jobs.append((a, b, a))
+            jobs.append((a, b, b))
+            slots.append(i)
+
+        #: edge index -> (2, n) rows for sources (a, b); bridges absent.
+        self._end_rows: dict[int, np.ndarray] = {}
+        if jobs:
+            arr = np.asarray(jobs, dtype=np.int64)
+            rows = batched_removal_rows_multi(
+                graph, arr[:, 0], arr[:, 1], arr[:, 2]
+            )
+            for k, i in enumerate(slots):
+                self._end_rows[i] = rows[2 * k : 2 * k + 2]
+
+    # ------------------------------------------------------------------
+    def is_bridge(self, i: int) -> bool:
+        return i in self._bridge_side
+
+    def affected_sources(self, i: int) -> np.ndarray:
+        """Sorted affected sources of edge ``i`` (all of them for a bridge)."""
+        return np.nonzero(self._affected[i])[0]
+
+    def endpoint_row(self, i: int, v: int) -> np.ndarray:
+        """The exact distance row of endpoint ``v`` in ``G − edges[i]``."""
+        a, b = self.edges[i]
+        side = self._bridge_side.get(i)
+        if side is not None:
+            # A bridge leaves within-component distances untouched.
+            row = np.array(self.lifted[v], copy=True)
+            row[~side if side[v] else side] = INT_INF
+            return row
+        return self._end_rows[i][0 if v == a else 1]
+
+    def removal_matrix(self, i: int) -> np.ndarray:
+        """Exact lifted APSP of ``G − edges[i]``, cached for the last edge.
+
+        The rare-path fallback behind the bound: bridges are two block
+        assignments of the infinite sentinel; everything else reuses the
+        ``mode="repair"`` bucketing (seeded few-row repairs / one batched
+        BFS) via :func:`~repro.graphs.removal_matrix_repair`.
+        """
+        if self._full_cache is not None and self._full_cache[0] == i:
+            return self._full_cache[1]
+        side = self._bridge_side.get(i)
+        if side is not None:
+            out = np.array(self.lifted, copy=True)
+            out[np.ix_(side, ~side)] = INT_INF
+            out[np.ix_(~side, side)] = INT_INF
+        else:
+            out = removal_matrix_repair(
+                self.graph,
+                self.lifted,
+                self.edges[i],
+                affected=self._affected[i],
+            )
+        self._full_cache = (i, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def bound_costs(
+        self,
+        i: int,
+        v: int,
+        w: int,
+        objective: str,
+        base_plus1: np.ndarray,
+        buf: np.ndarray,
+    ) -> np.ndarray:
+        """Optimistic post-swap costs of mover ``v`` dropping ``v–w``.
+
+        ``bound_costs[w'] <= exact costs[w']`` for every target ``w'``
+        (removal only increases distances, so ``1 + base`` row-dominates
+        the true removal matrix), with equality whenever ``w'`` is
+        unaffected by the removal.  ``base_plus1`` (= base + 1) and the
+        ``(n, n)`` scratch ``buf`` come from the scan loop, so the bound
+        allocates nothing matrix-sized per edge.
+        """
+        dv = self.endpoint_row(i, v)
+        np.minimum(dv[None, :], base_plus1, out=buf)
+        if objective == "sum":
+            raw = buf.sum(axis=1)
+        elif objective == "max":
+            raw = buf.max(axis=1)
+        else:
+            raise ValueError(f"unknown objective {objective!r}")
+        costs = raw.astype(np.float64)
+        costs[raw >= INT_INF] = math.inf
+        costs[v] = math.inf
+        return costs
+
+    def exact_costs(
+        self, i: int, v: int, w: int, objective: str
+    ) -> np.ndarray:
+        """Exact post-swap costs — the ``mode="repair"`` evaluation itself."""
+        return all_swap_costs_for_drop(
+            self.graph, v, w, objective, self.removal_matrix(i)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scans (used serially over all edges, and per worker chunk)
+# ---------------------------------------------------------------------------
+
+#: Edges planned per lazily-built block.  Scans that can stop early (a
+#: violation in the first block) then pay for one block of planning, not
+#: the whole graph, while full equilibrium audits batch just as widely.
+_SCAN_BLOCK = 128
+
+
+def _plan_blocks(graph, lifted, edges, pred_counts):
+    """Yield ``(block_offset, plan)`` for lazily planned edge blocks."""
+    edges = [(int(a), int(b)) for a, b in edges]
+    if len(edges) > _SCAN_BLOCK and pred_counts is None:
+        # Amortize the predecessor-count table across blocks.
+        pred_counts = predecessor_counts(graph, lifted)
+    for lo in range(0, len(edges), _SCAN_BLOCK):
+        yield lo, BatchedRemovalPlan(
+            graph, lifted, edges[lo : lo + _SCAN_BLOCK],
+            pred_counts=pred_counts,
+        )
+
+
+def scan_swap_violations(
+    graph: CSRGraph,
+    lifted: np.ndarray,
+    base: np.ndarray,
+    edges,
+    start: int,
+    objective: str,
+    kind: str,
+    *,
+    pred_counts: np.ndarray | None = None,
+):
+    """First swap violation among ``edges``, tagged by directed-edge index.
+
+    The batched analog of the per-edge repair scan: same directed order
+    (``(a, b)`` then ``(b, a)`` per canonical edge), same tie-breaking —
+    movers are dismissed only when the sound bound proves no improving
+    swap exists, and survivors are re-evaluated exactly.
+    """
+    n = graph.n
+    base_plus1 = lifted + 1
+    buf = np.empty((n, n), dtype=np.int64)
+    for lo, plan in _plan_blocks(graph, lifted, edges, pred_counts):
+        for i, (a, b) in enumerate(plan.edges):
+            for j, (v, w) in enumerate(((a, b), (b, a))):
+                bound = plan.bound_costs(i, v, w, objective, base_plus1, buf)
+                bound[w] = math.inf  # identity move is not a violation
+                if float(np.min(bound)) >= base[v]:
+                    continue  # exact costs dominate the bound: no violation
+                costs = plan.exact_costs(i, v, w, objective)
+                costs[w] = math.inf
+                best = int(np.argmin(costs))
+                if costs[best] < base[v]:
+                    return (
+                        2 * (start + lo + i) + j,
+                        Violation(
+                            kind, v, w, best,
+                            float(base[v]), float(costs[best]),
+                        ),
+                    )
+    return None
+
+
+def scan_gap(
+    graph: CSRGraph,
+    lifted: np.ndarray,
+    base_sum: np.ndarray,
+    edges,
+    *,
+    pred_counts: np.ndarray | None = None,
+) -> float:
+    """Largest sum-swap improvement within ``edges`` (batched kernel).
+
+    Sound despite the bound: a mover is skipped only when its *optimistic*
+    best is no better than its current cost, in which case it contributes
+    nothing to the gap; survivors use exact costs.
+    """
+    n = graph.n
+    base_plus1 = lifted + 1
+    buf = np.empty((n, n), dtype=np.int64)
+    gap = 0.0
+    for _, plan in _plan_blocks(graph, lifted, edges, pred_counts):
+        for i, (a, b) in enumerate(plan.edges):
+            for v, w in ((a, b), (b, a)):
+                bound = plan.bound_costs(i, v, w, "sum", base_plus1, buf)
+                bound[w] = math.inf
+                if float(np.min(bound)) >= base_sum[v]:
+                    continue
+                costs = plan.exact_costs(i, v, w, "sum")
+                costs[w] = math.inf
+                best = float(np.min(costs))
+                if best < base_sum[v]:
+                    gap = max(gap, float(base_sum[v]) - best)
+    return gap
+
+
+def scan_deletion_violations(
+    graph: CSRGraph,
+    lifted: np.ndarray,
+    base_ecc: np.ndarray,
+    edges,
+    start: int,
+    *,
+    pred_counts: np.ndarray | None = None,
+):
+    """First deletion-criticality violation among ``edges`` (batched).
+
+    Needs only the two endpoint rows per edge — no dense matrix at all —
+    so this audit drops from O(m·n²) to O(m·n) plus the shared plan.
+    """
+    for lo, plan in _plan_blocks(graph, lifted, edges, pred_counts):
+        for i, (a, b) in enumerate(plan.edges):
+            for j, v in enumerate((a, b)):
+                ecc_v = int(plan.endpoint_row(i, v).max())
+                after = math.inf if ecc_v >= INT_INF else float(ecc_v)
+                if not after > float(base_ecc[v]):
+                    other = b if v == a else a
+                    return (
+                        2 * (start + lo + i) + j,
+                        Violation(
+                            "deletion", v, other, None,
+                            float(base_ecc[v]), after,
+                        ),
+                    )
+    return None

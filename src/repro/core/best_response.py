@@ -96,6 +96,7 @@ def best_swap(
     prefer_deletions_on_tie: bool | None = None,
     engine=None,
     mode: BestSwapMode = "repair",
+    base_dm: np.ndarray | None = None,
 ) -> BestResponse:
     """Exact best swap for vertex ``v`` (or no-op when none improves).
 
@@ -112,7 +113,10 @@ def best_swap(
     ``engine`` (a :class:`~repro.core.engine.DistanceEngine` for ``graph``)
     reuses its cached matrix; otherwise ``mode`` picks between one base APSP
     shared across incident edges (``"repair"``) and the seed oracle path of a
-    fresh APSP per incident edge (``"oracle"``).
+    fresh APSP per incident edge (``"oracle"``).  A caller that already
+    holds the distance matrix of ``graph`` (audit loops, census probes) can
+    pass it as ``base_dm`` — raw int32 or lifted — and ``mode="repair"``
+    skips the APSP recomputation entirely.
     """
     if prefer_deletions_on_tie is None:
         prefer_deletions_on_tie = objective == "max"
@@ -121,7 +125,11 @@ def best_swap(
         before = _row_cost(engine.dm[v], objective)
         removal = lambda w: engine.removal_matrix(v, w)  # noqa: E731
     elif mode == "repair":
-        base = lift_distances(distance_matrix(graph))
+        base = lift_distances(
+            distance_matrix(graph)
+            if base_dm is None
+            else np.asarray(base_dm)
+        )
         before = _row_cost(base[v], objective)
         removal = lambda w: removal_matrix_repair(graph, base, (v, w))  # noqa: E731
     elif mode == "oracle":

@@ -6,13 +6,26 @@ runs swap dynamics from diverse random seeds (trees, sparse and dense
 connected G(n, m)) and records what the reachable equilibria look like —
 their diameters, their social costs, whether trees collapsed to stars
 (Theorem 1), and how the whole population compares to the bound curves.
+
+The census is embarrassingly parallel across trajectories, and
+``run_census(workers=...)`` shards them over the persistent worker pool
+(:mod:`repro.parallel.shared`): every task carries its own
+:func:`~repro.rng.derive_seed`-derived seed keyed by grid position, so the
+record list is bit-identical to the serial run for any worker count.
+``jsonl_path`` streams finished records to disk incrementally (in record
+order — tail the file to watch the fleet), and ``resume=True`` picks an
+interrupted run back up from the streamed prefix, which is what makes
+overnight n = 512–1024 fleets restartable rather than an all-or-nothing
+batch.
 """
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, asdict
-from typing import Iterable, Literal, Sequence
+from pathlib import Path
+from typing import IO, Iterable, Literal, Sequence
 
 import numpy as np
 
@@ -24,6 +37,7 @@ from ..graphs import (
     random_tree,
     total_pairwise_distance,
 )
+from ..parallel import chunk_evenly, get_shared_pool
 from ..rng import derive_seed
 from .dynamics import SwapDynamics
 from .equilibrium import is_max_equilibrium, is_sum_equilibrium
@@ -84,6 +98,80 @@ def _is_star(graph: CSRGraph) -> bool:
     return degs[0] == graph.n - 1 and all(d == 1 for d in degs[1:])
 
 
+def _census_task(task: tuple) -> CensusRecord:
+    """One trajectory of the census fleet, fully determined by its task.
+
+    Module-level and seeded purely from the task tuple, so records are
+    identical wherever (and in whatever order) the task runs.
+    """
+    (
+        n, family, seed, objective, schedule, responder,
+        max_steps, verify, verify_workers, audit_mode,
+    ) = task
+    initial = seed_graph(family, n, seed)
+    dyn = SwapDynamics(
+        objective=objective,
+        schedule=schedule,
+        responder=responder,
+        max_steps=max_steps,
+        seed=derive_seed(seed, 1),
+    )
+    result = dyn.run(initial)
+    final = result.graph
+    verified: bool | None = None
+    if verify and result.converged:
+        verified = (
+            is_sum_equilibrium(
+                final, workers=verify_workers, mode=audit_mode
+            )
+            if objective == "sum"
+            else is_max_equilibrium(
+                final, workers=verify_workers, mode=audit_mode
+            )
+        )
+    return CensusRecord(
+        n=n,
+        family=family,
+        seed=seed,
+        objective=objective,
+        schedule=schedule,
+        responder=responder,
+        m_initial=initial.m,
+        m_final=final.m,
+        converged=result.converged,
+        cycle_detected=result.cycle_detected,
+        steps=result.steps,
+        activations=result.activations,
+        diameter_initial=diameter_or_inf(initial),
+        diameter_final=diameter_or_inf(final),
+        social_cost_final=total_pairwise_distance(final),
+        is_star=_is_star(final),
+        verified_equilibrium=verified,
+    )
+
+
+def _write_jsonl(sink: "IO[str]", records: Iterable[CensusRecord]) -> None:
+    for rec in records:
+        sink.write(json.dumps(asdict(rec)) + "\n")
+    sink.flush()
+
+
+def _read_jsonl_prefix(path: Path) -> list[CensusRecord]:
+    """Parse the valid record prefix of a (possibly torn) census JSONL.
+
+    A crash mid-write can leave a truncated final line; parsing stops at
+    the first undecodable line and the caller rewrites the file with the
+    surviving prefix before appending.
+    """
+    records: list[CensusRecord] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            records.append(CensusRecord(**json.loads(line)))
+        except (ValueError, TypeError):
+            break
+    return records
+
+
 def run_census(
     n_values: Sequence[int],
     families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
@@ -95,57 +183,93 @@ def run_census(
     max_steps: int = 20_000,
     verify: bool = True,
     verify_workers: int = 1,
+    workers: int = 1,
+    audit_mode: str = "batched",
+    jsonl_path: "str | Path | None" = None,
+    resume: bool = False,
 ) -> list[CensusRecord]:
     """Run the dynamics census and return one record per (n, family, replicate).
 
     ``verify`` re-checks every converged terminal graph with the exact
-    equilibrium auditor — the census is only evidence if the endpoints
-    really are equilibria.  ``verify_workers`` chunks each audit's edge loop
+    equilibrium auditor (``audit_mode`` selects its kernel; the default is
+    the batched one) — the census is only evidence if the endpoints really
+    are equilibria.  ``verify_workers`` chunks each audit's edge loop
     across processes (see :func:`repro.core.equilibrium.find_sum_violation`).
+
+    ``workers > 1`` shards whole *trajectories* across the persistent
+    process pool instead: seeds derive from grid position, so the record
+    list (and the streamed JSONL) is bit-identical to the serial run for
+    any worker count.  Trajectory sharding and per-audit sharding are
+    mutually exclusive (``verify_workers`` must stay 1 when ``workers > 1``
+    — nested pools would oversubscribe).
+
+    ``jsonl_path`` streams one JSON object per record, in record order, as
+    soon as each record (or parallel chunk of records) completes.  A fresh
+    run truncates the file; ``resume=True`` instead reloads the streamed
+    prefix of an interrupted run with the *same arguments* (validated
+    against the task grid, torn final lines dropped), skips those
+    trajectories, and appends from where the previous run stopped.
     """
+    if workers > 1 and verify_workers > 1:
+        raise ValueError(
+            "choose one sharding axis: workers (trajectories) or "
+            "verify_workers (audit edges), not both"
+        )
+    if resume and jsonl_path is None:
+        raise ValueError("resume=True needs a jsonl_path to resume from")
+    tasks = [
+        (
+            n, family, derive_seed(root_seed, ni, fi, rep), objective,
+            schedule, responder, max_steps, verify, verify_workers,
+            audit_mode,
+        )
+        for ni, n in enumerate(n_values)
+        for fi, family in enumerate(families)
+        for rep in range(replicates)
+    ]
     records: list[CensusRecord] = []
-    for ni, n in enumerate(n_values):
-        for fi, family in enumerate(families):
-            for rep in range(replicates):
-                seed = derive_seed(root_seed, ni, fi, rep)
-                initial = seed_graph(family, n, seed)
-                dyn = SwapDynamics(
-                    objective=objective,
-                    schedule=schedule,
-                    responder=responder,
-                    max_steps=max_steps,
-                    seed=derive_seed(seed, 1),
-                )
-                result = dyn.run(initial)
-                final = result.graph
-                verified: bool | None = None
-                if verify and result.converged:
-                    verified = (
-                        is_sum_equilibrium(final, workers=verify_workers)
-                        if objective == "sum"
-                        else is_max_equilibrium(final, workers=verify_workers)
+    sink = None
+    if jsonl_path is not None:
+        path = Path(jsonl_path)
+        done: list[CensusRecord] = []
+        if resume and path.exists():
+            done = _read_jsonl_prefix(path)[: len(tasks)]
+            for rec, task in zip(done, tasks):
+                if (rec.n, rec.family, rec.seed) != task[:3]:
+                    raise ValueError(
+                        "resume mismatch: existing record "
+                        f"(n={rec.n}, family={rec.family!r}, seed={rec.seed})"
+                        " does not match this grid — same arguments required"
                     )
-                records.append(
-                    CensusRecord(
-                        n=n,
-                        family=family,
-                        seed=seed,
-                        objective=objective,
-                        schedule=schedule,
-                        responder=responder,
-                        m_initial=initial.m,
-                        m_final=final.m,
-                        converged=result.converged,
-                        cycle_detected=result.cycle_detected,
-                        steps=result.steps,
-                        activations=result.activations,
-                        diameter_initial=diameter_or_inf(initial),
-                        diameter_final=diameter_or_inf(final),
-                        social_cost_final=total_pairwise_distance(final),
-                        is_star=_is_star(final),
-                        verified_equilibrium=verified,
-                    )
-                )
+        records = list(done)
+        tasks = tasks[len(done) :]
+        # Rewrite the validated prefix (dropping any torn final line),
+        # then append from there.
+        sink = path.open("w", encoding="utf-8")
+        _write_jsonl(sink, done)
+    try:
+        if workers <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                rec = _census_task(task)
+                records.append(rec)
+                if sink is not None:
+                    _write_jsonl(sink, [rec])
+        else:
+            # Shard trajectories over the persistent pool; consume chunk
+            # futures in submission order so the stream (and the returned
+            # list) keeps the serial order while later chunks still run.
+            chunks = [
+                chunk for _, chunk in chunk_evenly(tasks, 4 * workers)
+            ]
+            pool = get_shared_pool(workers)
+            for fut in pool.submit_chunks(_census_task, chunks):
+                part = fut.result()
+                records.extend(part)
+                if sink is not None:
+                    _write_jsonl(sink, part)
+    finally:
+        if sink is not None:
+            sink.close()
     return records
 
 

@@ -17,14 +17,23 @@ module is that procedure, vectorized:
   under ≤ k swaps, the form the paper states.
 
 The audits share one base APSP and derive every per-edge removal matrix from
-it by affected-row BFS repair (DESIGN.md §2); ``mode="rebuild"`` restores the
-seed behaviour (a fresh APSP per edge) as the cross-validation oracle.  The
-directed-edge loop can additionally be chunked across
-:func:`repro.parallel.parallel_map` workers (``workers=``), each chunk
-sharing the pickled base matrix; results are deterministic and identical to
-the serial order regardless of worker count.  ``workers`` applies to the
-repair mode only — the ``mode="rebuild"`` oracle always runs serially, so
-cross-validation exercises the exact seed code path.
+it by affected-row BFS repair (DESIGN.md §2); ``mode="batched"`` goes one
+step further and plans **all** edges up front — vectorized affected-source
+detection, one union level-synchronous BFS for the repairs, and a scan that
+reads the base matrix in place instead of copying it per edge (DESIGN.md
+§2.6 / :mod:`repro.core.batched`).  ``mode="rebuild"`` restores the seed
+behaviour (a fresh APSP per edge) as the cross-validation oracle.
+
+The directed-edge loop can additionally be chunked across
+:func:`repro.parallel.parallel_map` workers (``workers=``): the base matrix,
+the CSR adjacency arrays, and (for the batched kernel) the predecessor-count
+table are published once via shared memory
+(:class:`repro.parallel.SharedArrayBundle`) and attached zero-copy in the
+persistent worker pool — no per-chunk re-pickling of anything n×n-sized.
+Results are deterministic and identical to the serial order regardless of
+worker count.  ``workers`` applies to the repair and batched modes — the
+``mode="rebuild"`` oracle always runs serially, so cross-validation
+exercises the exact seed code path.
 """
 
 from __future__ import annotations
@@ -38,7 +47,7 @@ import numpy as np
 
 from ..errors import DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
-from ..graphs.repair import removal_matrix_repair
+from ..graphs.repair import predecessor_counts, removal_matrix_repair
 from ..parallel import chunk_evenly, parallel_map
 from .costs import INT_INF, lift_distances
 from .moves import Swap
@@ -101,7 +110,16 @@ def _prepare(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     return lifted, lifted.sum(axis=1), lifted.max(axis=1)
 
 
-AuditMode = Literal["repair", "rebuild"]
+AuditMode = Literal["repair", "rebuild", "batched"]
+
+_AUDIT_MODES = ("repair", "rebuild", "batched")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in _AUDIT_MODES:
+        raise ValueError(
+            f"unknown audit mode {mode!r}; known: {', '.join(_AUDIT_MODES)}"
+        )
 
 
 def _removal_for(
@@ -134,12 +152,31 @@ def _iter_drop_contexts(
 
 
 # ---------------------------------------------------------------------------
-# Parallel audit plumbing (chunked directed-edge loops, shared base matrix)
+# Parallel audit plumbing: chunked directed-edge loops over a shared-memory
+# base matrix.  Each worker function takes ``(payload, arrays)`` where
+# ``arrays`` holds the zero-copy published inputs — the CSR adjacency, the
+# lifted base matrix, and (batched mode) the predecessor-count table —
+# attached once per worker process, never pickled per chunk.
 # ---------------------------------------------------------------------------
 
-def _swap_violation_chunk(payload):
+def _shared_graph(arrays) -> tuple[CSRGraph, np.ndarray]:
+    """Rebuild the audited graph + base matrix from a shared payload."""
+    indptr = arrays["indptr"]
+    graph = CSRGraph.from_csr_arrays(
+        indptr.shape[0] - 1, indptr, arrays["indices"]
+    )
+    return graph, arrays["dm"]
+
+
+def _base_vector(lifted: np.ndarray, objective: str) -> np.ndarray:
+    return lifted.sum(axis=1) if objective == "sum" else lifted.max(axis=1)
+
+
+def _swap_violation_chunk(payload, arrays):
     """First swap violation in one edge chunk, tagged by directed-edge index."""
-    graph, lifted, base, edges, start, objective, kind = payload
+    edges, start, objective, kind = payload
+    graph, lifted = _shared_graph(arrays)
+    base = _base_vector(lifted, objective)
     for i, (a, b) in enumerate(edges):
         removal_dm = removal_matrix_repair(graph, lifted, (a, b))
         for j, (v, w) in enumerate(((a, b), (b, a))):
@@ -156,9 +193,29 @@ def _swap_violation_chunk(payload):
     return None
 
 
-def _gap_chunk(payload):
+def _batched_violation_chunk(payload, arrays):
+    """Batched-kernel analog of :func:`_swap_violation_chunk`."""
+    from .batched import scan_swap_violations
+
+    edges, start, objective, kind = payload
+    graph, lifted = _shared_graph(arrays)
+    return scan_swap_violations(
+        graph,
+        lifted,
+        _base_vector(lifted, objective),
+        edges,
+        start,
+        objective,
+        kind,
+        pred_counts=arrays["pc"],
+    )
+
+
+def _gap_chunk(payload, arrays):
     """Largest sum-swap improvement within one edge chunk."""
-    graph, lifted, base_sum, edges = payload
+    (edges,) = payload
+    graph, lifted = _shared_graph(arrays)
+    base_sum = lifted.sum(axis=1)
     gap = 0.0
     for a, b in edges:
         removal_dm = removal_matrix_repair(graph, lifted, (a, b))
@@ -171,9 +228,22 @@ def _gap_chunk(payload):
     return gap
 
 
-def _deletion_chunk(payload):
+def _batched_gap_chunk(payload, arrays):
+    """Batched-kernel analog of :func:`_gap_chunk`."""
+    from .batched import scan_gap
+
+    (edges,) = payload
+    graph, lifted = _shared_graph(arrays)
+    return scan_gap(
+        graph, lifted, lifted.sum(axis=1), edges, pred_counts=arrays["pc"]
+    )
+
+
+def _deletion_chunk(payload, arrays):
     """First deletion-criticality violation in one edge chunk."""
-    graph, lifted, base_ecc, edges, start = payload
+    edges, start = payload
+    graph, lifted = _shared_graph(arrays)
+    base_ecc = lifted.max(axis=1)
     for i, (a, b) in enumerate(edges):
         removal_dm = removal_matrix_repair(graph, lifted, (a, b))
         ecc_after = removal_dm.max(axis=1)
@@ -190,20 +260,65 @@ def _deletion_chunk(payload):
     return None
 
 
-def _first_violation_parallel(graph, lifted, base, objective, kind, workers):
+def _batched_deletion_chunk(payload, arrays):
+    """Batched-kernel analog of :func:`_deletion_chunk`."""
+    from .batched import scan_deletion_violations
+
+    edges, start = payload
+    graph, lifted = _shared_graph(arrays)
+    return scan_deletion_violations(
+        graph, lifted, lifted.max(axis=1), edges, start,
+        pred_counts=arrays["pc"],
+    )
+
+
+def _audit_arrays(
+    graph: CSRGraph, lifted: np.ndarray, mode: AuditMode
+) -> dict[str, np.ndarray]:
+    arrays = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "dm": lifted,
+    }
+    if mode == "batched":
+        arrays["pc"] = predecessor_counts(graph, lifted)
+    return arrays
+
+
+def _scan_parallel(graph, lifted, mode, workers, fn_by_mode, make_payload):
+    """Chunk the edge loop, map over shared-memory workers, keep order."""
     chunks = chunk_evenly(list(graph.iter_edges()), workers)
-    payloads = [
-        (graph, lifted, base, chunk, start, objective, kind)
-        for start, chunk in chunks
-    ]
-    results = parallel_map(
-        _swap_violation_chunk,
+    payloads = [make_payload(start, chunk) for start, chunk in chunks]
+    return parallel_map(
+        fn_by_mode[mode],
         payloads,
         workers=min(workers, len(payloads)),
         chunk_size=1,
+        shared=_audit_arrays(graph, lifted, mode),
+    )
+
+
+def _first_violation_parallel(graph, lifted, objective, kind, workers, mode):
+    results = _scan_parallel(
+        graph,
+        lifted,
+        mode,
+        workers,
+        {"repair": _swap_violation_chunk, "batched": _batched_violation_chunk},
+        lambda start, chunk: (chunk, start, objective, kind),
     )
     hits = [r for r in results if r is not None]
     return min(hits)[1] if hits else None
+
+
+def _batched_first_violation(graph, lifted, base, objective, kind):
+    """Serial batched scan over every edge (workers == 1 path)."""
+    from .batched import scan_swap_violations
+
+    hit = scan_swap_violations(
+        graph, lifted, base, list(graph.iter_edges()), 0, objective, kind
+    )
+    return hit[1] if hit else None
 
 
 # ---------------------------------------------------------------------------
@@ -218,10 +333,12 @@ def find_sum_violation(
 ) -> Violation | None:
     """First improving sum-swap found, or ``None`` if in sum equilibrium.
 
-    ``workers > 1`` chunks the directed-edge loop across processes; the
-    returned violation is the same one the serial scan finds.  Chunking
-    applies only to ``mode="repair"`` — the rebuild oracle stays serial.
+    ``workers > 1`` chunks the directed-edge loop across shared-memory
+    processes; the returned violation is the same one the serial scan
+    finds.  Chunking applies to ``mode="repair"`` and ``mode="batched"`` —
+    the rebuild oracle stays serial.
     """
+    _check_mode(mode)
     if graph.n <= 2:
         if not is_connected(graph):
             raise DisconnectedGraphError(
@@ -229,9 +346,13 @@ def find_sum_violation(
             )
         return None
     lifted, base_sum, _ = _prepare(graph)
-    if workers > 1 and mode == "repair":
+    if workers > 1 and mode in ("repair", "batched"):
         return _first_violation_parallel(
-            graph, lifted, base_sum, "sum", "sum-swap", workers
+            graph, lifted, "sum", "sum-swap", workers, mode
+        )
+    if mode == "batched":
+        return _batched_first_violation(
+            graph, lifted, base_sum, "sum", "sum-swap"
         )
     for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
@@ -259,21 +380,24 @@ def sum_equilibrium_gap(
     A quantitative "distance from equilibrium" used by dynamics diagnostics;
     ``inf`` never occurs because disconnecting swaps cost ``inf``.
     """
+    _check_mode(mode)
     if graph.n <= 2:
         return 0.0
     lifted, base_sum, _ = _prepare(graph)
-    if workers > 1 and mode == "repair":
-        chunks = chunk_evenly(list(graph.iter_edges()), workers)
-        payloads = [
-            (graph, lifted, base_sum, chunk) for _, chunk in chunks
-        ]
-        gaps = parallel_map(
-            _gap_chunk,
-            payloads,
-            workers=min(workers, len(payloads)),
-            chunk_size=1,
+    if workers > 1 and mode in ("repair", "batched"):
+        gaps = _scan_parallel(
+            graph,
+            lifted,
+            mode,
+            workers,
+            {"repair": _gap_chunk, "batched": _batched_gap_chunk},
+            lambda start, chunk: (chunk,),
         )
         return max(gaps, default=0.0)
+    if mode == "batched":
+        from .batched import scan_gap
+
+        return scan_gap(graph, lifted, base_sum, list(graph.iter_edges()))
     gap = 0.0
     for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
@@ -295,6 +419,7 @@ def find_max_swap_violation(
     mode: AuditMode = "repair",
 ) -> Violation | None:
     """First swap strictly decreasing the mover's local diameter, or ``None``."""
+    _check_mode(mode)
     if graph.n <= 2:
         if not is_connected(graph):
             raise DisconnectedGraphError(
@@ -302,9 +427,13 @@ def find_max_swap_violation(
             )
         return None
     lifted, _, base_ecc = _prepare(graph)
-    if workers > 1 and mode == "repair":
+    if workers > 1 and mode in ("repair", "batched"):
         return _first_violation_parallel(
-            graph, lifted, base_ecc, "max", "max-swap", workers
+            graph, lifted, "max", "max-swap", workers, mode
+        )
+    if mode == "batched":
+        return _batched_first_violation(
+            graph, lifted, base_ecc, "max", "max-swap"
         )
     for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         costs = all_swap_costs_for_drop(graph, v, w, "max", removal_dm)
@@ -328,20 +457,26 @@ def find_deletion_criticality_violation(
     Deletion-criticality is part of the paper's max-equilibrium definition
     and of the lower-bound constructions.
     """
+    _check_mode(mode)
     lifted, _, base_ecc = _prepare(graph)
-    if workers > 1 and mode == "repair":
-        chunks = chunk_evenly(list(graph.iter_edges()), workers)
-        payloads = [
-            (graph, lifted, base_ecc, chunk, start) for start, chunk in chunks
-        ]
-        results = parallel_map(
-            _deletion_chunk,
-            payloads,
-            workers=min(workers, len(payloads)),
-            chunk_size=1,
+    if workers > 1 and mode in ("repair", "batched"):
+        results = _scan_parallel(
+            graph,
+            lifted,
+            mode,
+            workers,
+            {"repair": _deletion_chunk, "batched": _batched_deletion_chunk},
+            lambda start, chunk: (chunk, start),
         )
         hits = [r for r in results if r is not None]
         return min(hits)[1] if hits else None
+    if mode == "batched":
+        from .batched import scan_deletion_violations
+
+        hit = scan_deletion_violations(
+            graph, lifted, base_ecc, list(graph.iter_edges()), 0
+        )
+        return hit[1] if hit else None
     for a, b in graph.iter_edges():
         removal_dm = _removal_for(graph, lifted, (a, b), mode)
         ecc_after = removal_dm.max(axis=1)

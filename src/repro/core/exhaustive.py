@@ -92,11 +92,20 @@ def _connected_bitmask(mask: int, pairs: list[tuple[int, int]], n: int) -> bool:
     return components == 1
 
 
+def _census_shard(payload: tuple) -> "ExhaustiveCensus":
+    """One contiguous mask-range shard (module-level for the process pool)."""
+    n, objective, max_n, mask_range = payload
+    return exhaustive_equilibrium_census(
+        n, objective, max_n=max_n, mask_range=mask_range
+    )
+
+
 def exhaustive_equilibrium_census(
     n: int,
     objective: str = "sum",
     max_n: int = 7,
     mask_range: "tuple[int, int] | None" = None,
+    workers: int = 1,
 ) -> ExhaustiveCensus:
     """Census all connected labelled graphs on ``n`` vertices.
 
@@ -109,9 +118,12 @@ def exhaustive_equilibrium_census(
     (2^28) is out of reach for this path.
 
     ``mask_range`` restricts the enumeration to ``[lo, hi)`` over the edge
-    bitmask space — the parallelization hook: shard the space, run one
-    census per shard (e.g. via :func:`repro.parallel.parallel_map`), then
-    :func:`merge_censuses`.
+    bitmask space; ``workers > 1`` shards the whole space into contiguous
+    ranges, runs one census per shard on the persistent process pool, and
+    :func:`merge_censuses` folds them back — ascending shard order keeps
+    the merged counts *and* the per-cell example graphs identical to the
+    serial scan.  (``workers`` and an explicit ``mask_range`` are mutually
+    exclusive: a caller sharding by hand owns the split.)
     """
     if objective not in ("sum", "max"):
         raise ConfigurationError(f"unknown objective {objective!r}")
@@ -123,6 +135,26 @@ def exhaustive_equilibrium_census(
         )
     pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
     total_masks = 1 << len(pairs)
+    if workers > 1 and mask_range is not None:
+        raise ConfigurationError(
+            "pass either workers or an explicit mask_range, not both"
+        )
+    if workers > 1 and total_masks > workers:
+        from ..parallel import parallel_map
+
+        shards = max(1, min(4 * workers, total_masks))
+        bounds = [
+            round(s * total_masks / shards) for s in range(shards + 1)
+        ]
+        payloads = [
+            (n, objective, max_n, (blo, bhi))
+            for blo, bhi in zip(bounds[:-1], bounds[1:])
+            if bhi > blo
+        ]
+        parts = parallel_map(
+            _census_shard, payloads, workers=workers, backend="persistent"
+        )
+        return merge_censuses(parts)
     lo, hi = (0, total_masks) if mask_range is None else mask_range
     if not (0 <= lo <= hi <= total_masks):
         raise ConfigurationError(

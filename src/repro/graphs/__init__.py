@@ -46,6 +46,9 @@ from .generators import (
 from .power import power_distance_matrix, power_graph
 from .repair import (
     INT_INF_DISTANCE,
+    batched_removal_rows_multi,
+    predecessor_counts,
+    removal_affected_matrix,
     removal_affected_sources,
     removal_matrix_repair,
     repair_row_after_removal,
@@ -69,6 +72,7 @@ __all__ = [
     "all_trees",
     "average_distance",
     "ball_sizes",
+    "batched_removal_rows_multi",
     "bfs_aggregates",
     "bfs_distances",
     "bfs_tree_parents",
@@ -96,12 +100,14 @@ __all__ = [
     "path_graph",
     "power_distance_matrix",
     "power_graph",
+    "predecessor_counts",
     "prufer_to_tree",
     "radius",
     "random_connected_gnm",
     "random_tree",
     "read_edge_list",
     "relabel_to_integers",
+    "removal_affected_matrix",
     "removal_affected_sources",
     "removal_matrix_repair",
     "repair_row_after_removal",

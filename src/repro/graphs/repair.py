@@ -38,6 +38,9 @@ from .csr import CSRGraph
 
 __all__ = [
     "INT_INF_DISTANCE",
+    "batched_removal_rows_multi",
+    "predecessor_counts",
+    "removal_affected_matrix",
     "removal_affected_sources",
     "repair_row_after_removal",
     "removal_matrix_repair",
@@ -81,6 +84,58 @@ def removal_affected_sources(
             has_alt = (dm[others] == d_hi[None, :] - 1).any(axis=0)
             cand = cand & ~has_alt
         affected |= cand
+    return affected
+
+
+def predecessor_counts(graph: CSRGraph, dm: np.ndarray) -> np.ndarray:
+    """``pc[v, s]`` = number of BFS predecessors of ``v`` from source ``s``.
+
+    A predecessor is a neighbour ``u`` of ``v`` with ``d(s, u) = d(s, v) − 1``.
+    ``dm`` is the lifted APSP matrix.  This is the quantity the affected-source
+    test needs: deleting ``{a, b}`` can change row ``s`` only when the far
+    endpoint has *exactly one* predecessor (the near endpoint), i.e. its
+    ``pc`` entry is 1.  One (n, n) int32 matrix shared by every edge of an
+    audit — O(m·n) total work, no per-edge recomputation.
+    """
+    n = graph.n
+    pc = np.zeros((n, n), dtype=np.int32)
+    indptr, indices = graph.indptr, graph.indices
+    for v in range(n):
+        nbrs = indices[indptr[v] : indptr[v + 1]]
+        if nbrs.size:
+            pc[v] = (dm[nbrs] == dm[v] - 1).sum(axis=0)
+    return pc
+
+
+def removal_affected_matrix(
+    graph: CSRGraph,
+    dm: np.ndarray,
+    edges: "np.ndarray | list[tuple[int, int]] | None" = None,
+    *,
+    pred_counts: np.ndarray | None = None,
+) -> np.ndarray:
+    """Affected-source masks for **many** edges in one vectorized pass.
+
+    Returns a ``(len(edges), n)`` boolean matrix whose row ``i`` equals
+    :func:`removal_affected_sources` for ``edges[i]`` — the level-difference
+    test becomes one |E|×n comparison against the base matrix, and the
+    only-predecessor test one lookup into :func:`predecessor_counts` (pass
+    ``pred_counts`` to amortize it across calls).  ``edges`` defaults to
+    every edge of the graph; each pair must be an existing edge.
+    """
+    if edges is None:
+        edges = graph.edges()
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if edges.shape[0] == 0:
+        return np.zeros((0, graph.n), dtype=bool)
+    pc = predecessor_counts(graph, dm) if pred_counts is None else pred_counts
+    a = edges[:, 0]
+    b = edges[:, 1]
+    da = dm[a]
+    db = dm[b]
+    finite = (da < INT_INF_DISTANCE) & (db < INT_INF_DISTANCE)
+    affected = finite & (db == da + 1) & (pc[b] < 2)
+    affected |= finite & (da == db + 1) & (pc[a] < 2)
     return affected
 
 
@@ -184,60 +239,91 @@ def repair_row_after_removal(
     return new
 
 
-def _scipy_csr_minus_edge(graph: CSRGraph, a: int, b: int):
-    """``graph``'s scipy adjacency with edge ``{a, b}`` deleted, built in O(m)."""
-    import scipy.sparse as sp
+#: Column cap for one batched-BFS frontier block (bounds peak memory at
+#: roughly ``3 · n · _BLOCK_ENTRIES_TARGET / n`` int32/bool entries).
+_BLOCK_ENTRIES_TARGET = 1 << 24
 
-    indptr, indices = graph.indptr, graph.indices
-    pa = int(indptr[a]) + int(
-        np.searchsorted(indices[indptr[a] : indptr[a + 1]], b)
-    )
-    pb = int(indptr[b]) + int(
-        np.searchsorted(indices[indptr[b] : indptr[b + 1]], a)
-    )
-    new_indices = np.delete(indices, [pa, pb])
-    new_indptr = indptr.astype(np.int64, copy=True)
-    new_indptr[a + 1 :] -= 1
-    new_indptr[b + 1 :] -= 1
-    data = np.ones(new_indices.size, dtype=np.int8)
-    return sp.csr_array(
-        (data, new_indices, new_indptr), shape=(graph.n, graph.n)
-    )
+
+def batched_removal_rows_multi(
+    graph: CSRGraph,
+    edges_a: np.ndarray,
+    edges_b: np.ndarray,
+    sources: np.ndarray,
+    *,
+    block_columns: int | None = None,
+) -> np.ndarray:
+    """Distance rows for many ``(removed edge, source)`` jobs in one BFS.
+
+    Job ``j`` computes the distance row of ``sources[j]`` in
+    ``G − {edges_a[j], edges_b[j]}`` — jobs may remove *different* edges.
+    The sweep is level-synchronous over all jobs simultaneously: each BFS
+    level is a single sparse product of the **full** adjacency against an
+    ``(n, k)`` frontier block, after which the flow that crossed each job's
+    removed edge is cancelled column-wise (``reached[b_j, j] −=
+    frontier[a_j, j]`` and symmetrically).  Python overhead for a whole
+    audit is therefore O(max diameter), not O(edges · diameter).
+
+    Returns a ``(len(sources), n)`` lifted int64 matrix; vertices cut off
+    from a job's source hold :data:`INT_INF_DISTANCE`.  ``block_columns``
+    caps the frontier width per sweep (``None`` → a ~64 MB working set).
+    """
+    n = graph.n
+    ea = np.asarray(edges_a, dtype=np.int64).ravel()
+    eb = np.asarray(edges_b, dtype=np.int64).ravel()
+    src = np.asarray(sources, dtype=np.int64).ravel()
+    if not (ea.size == eb.size == src.size):
+        raise GraphError(
+            f"job arrays must align: {ea.size}, {eb.size}, {src.size}"
+        )
+    total = src.size
+    out = np.full((total, n), INT_INF_DISTANCE, dtype=np.int64)
+    if total == 0:
+        return out
+    adj = graph.to_scipy()
+    if block_columns is None:
+        block_columns = max(1, _BLOCK_ENTRIES_TARGET // max(n, 1))
+    for lo in range(0, total, block_columns):
+        hi = min(total, lo + block_columns)
+        k = hi - lo
+        a, b, s = ea[lo:hi], eb[lo:hi], src[lo:hi]
+        dist = out[lo:hi]
+        cols = np.arange(k)
+        dist[cols, s] = 0
+        # int32 frontier: the product counts frontier neighbours, which
+        # reaches vertex degree — int8 would wrap at hubs of degree >= 128.
+        frontier = np.zeros((n, k), dtype=np.int32)
+        frontier[s, cols] = 1
+        unvisited = np.ones((n, k), dtype=bool)
+        unvisited[s, cols] = False
+        level = 0
+        while True:
+            reached = adj.dot(frontier)
+            # Cancel the contribution that flowed through each job's
+            # removed edge; (b_j, j) pairs are distinct per column, so the
+            # fancy-indexed subtraction is exact.
+            reached[b, cols] -= frontier[a, cols]
+            reached[a, cols] -= frontier[b, cols]
+            newly = (reached > 0) & unvisited
+            if not newly.any():
+                break
+            level += 1
+            dist.T[newly] = level
+            unvisited[newly] = False
+            frontier = newly.astype(np.int32)
+    return out
 
 
 def _batched_removal_rows(
     graph: CSRGraph, a: int, b: int, sources: np.ndarray
 ) -> np.ndarray:
-    """Distance rows of ``G − {a,b}`` for many sources in one batched BFS.
-
-    Level-synchronous over all sources simultaneously: each BFS level is one
-    sparse adjacency product on an ``(n, k)`` frontier block, so the Python
-    overhead is O(diameter), not O(sources · diameter).  Used when the
-    affected set is large enough that per-row seeded repairs would pay more
-    in interpreter overhead than they save in arithmetic.
-    """
-    n = graph.n
-    k = sources.size
-    adj = _scipy_csr_minus_edge(graph, a, b)
-    dist = np.full((k, n), INT_INF_DISTANCE, dtype=np.int64)
-    cols = np.arange(k)
-    dist[cols, sources] = 0
-    # int32 frontier: the product counts frontier neighbours, which reaches
-    # vertex degree — an int8 accumulator would wrap at hubs of degree >= 128.
-    frontier = np.zeros((n, k), dtype=np.int32)
-    frontier[sources, cols] = 1
-    unvisited = np.ones((n, k), dtype=bool)
-    unvisited[sources, cols] = False
-    level = 0
-    while True:
-        reached = adj.dot(frontier)
-        newly = (reached > 0) & unvisited
-        if not newly.any():
-            return dist
-        level += 1
-        dist.T[newly] = level
-        unvisited[newly] = False
-        frontier = newly.astype(np.int32)
+    """Single-edge convenience wrapper over the cross-edge batched BFS."""
+    k = np.asarray(sources).size
+    return batched_removal_rows_multi(
+        graph,
+        np.full(k, a, dtype=np.int64),
+        np.full(k, b, dtype=np.int64),
+        sources,
+    )
 
 
 #: Affected-row count above which the batched BFS beats per-row repairs.

@@ -1,13 +1,23 @@
-"""Deterministic parallel execution: process pools and parameter sweeps."""
+"""Deterministic parallel execution: process pools, shared memory, sweeps."""
 
 from .pool import chunk_evenly, default_workers, parallel_map
+from .shared import (
+    SharedArrayBundle,
+    SharedArrayPool,
+    get_shared_pool,
+    shutdown_shared_pools,
+)
 from .sweep import Sweep, SweepPoint, run_sweep
 
 __all__ = [
+    "SharedArrayBundle",
+    "SharedArrayPool",
     "Sweep",
     "SweepPoint",
     "chunk_evenly",
     "default_workers",
+    "get_shared_pool",
     "parallel_map",
     "run_sweep",
+    "shutdown_shared_pools",
 ]

@@ -15,6 +15,16 @@ The hpc-parallel guides' discipline applied to a laptop-scale library:
 
 Functions submitted must be module-level (picklable); closures are rejected
 early with a clear error rather than a confusing pickle traceback.
+
+Since the shared-memory runtime (DESIGN.md §5), ``parallel_map`` also has a
+``shared=`` payload channel: a mapping of large read-only numpy arrays that
+is published once via :class:`~repro.parallel.shared.SharedArrayBundle` and
+attached zero-copy in the workers, instead of being pickled into every chunk.
+``backend`` selects the execution substrate — ``"persistent"`` reuses one
+long-lived pool across calls, ``"fork"`` keeps the original fork-per-call
+executor (the oracle both for determinism tests and for callers that must
+not leave worker processes behind).  Results are identical across backends,
+worker counts, and chunkings by construction.
 """
 
 from __future__ import annotations
@@ -22,7 +32,9 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Literal, Mapping, Sequence, TypeVar
+
+import numpy as np
 
 from ..errors import ConfigurationError
 
@@ -69,11 +81,48 @@ def _check_picklable(fn: Callable) -> None:
         ) from exc
 
 
+Backend = Literal["auto", "persistent", "fork"]
+
+
+def _resolve_shared(shared):
+    """Normalize a ``shared=`` payload to (bundle-or-None, owner-arrays).
+
+    Publishing to shared memory is deferred to the persistent-pool branch:
+    the serial and fork paths work off the caller's own arrays, so they
+    never pay a segment copy.
+    """
+    from .shared import SharedArrayBundle
+
+    if shared is None:
+        return None, None
+    if isinstance(shared, SharedArrayBundle):
+        return shared, shared.arrays()
+    if isinstance(shared, Mapping):
+        return None, dict(shared)
+    raise ConfigurationError(
+        f"shared must be a mapping of numpy arrays or a SharedArrayBundle, "
+        f"got {type(shared).__name__}"
+    )
+
+
+def _fork_shared_chunk(payload):
+    """Fork-backend worker: the arrays arrive pickled inside the payload.
+
+    This is the re-pickling oracle the shared-memory path is validated
+    against — deliberately unoptimized.
+    """
+    fn, arrays, chunk = payload
+    return [fn(task, arrays) for task in chunk]
+
+
 def parallel_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
     workers: int | None = None,
     chunk_size: int | None = None,
+    *,
+    shared: "Mapping[str, np.ndarray] | None" = None,
+    backend: Backend = "auto",
 ) -> list[R]:
     """Map ``fn`` over ``tasks``, preserving order.
 
@@ -85,18 +134,60 @@ def parallel_map(
     chunk_size:
         Tasks per submission; ``None`` → ``ceil(len / (4·workers))`` with a
         floor of 1 (a standard latency/throughput compromise).
+    shared:
+        Optional mapping of large read-only numpy arrays (or an existing
+        :class:`~repro.parallel.shared.SharedArrayBundle`).  When given,
+        ``fn`` is called as ``fn(task, arrays)`` where ``arrays`` maps the
+        same keys to ndarray views — zero-copy shared memory on the
+        persistent backend, plain pickled copies on the fork backend, the
+        caller's own arrays on the serial path.  A mapping passed here is
+        published for the duration of the call and unlinked before return.
+    backend:
+        ``"auto"`` — persistent pool when ``shared`` is given, fork-per-call
+        otherwise (the pre-shared-runtime behaviour); ``"persistent"`` /
+        ``"fork"`` force one substrate.  Results are identical either way.
     """
     tasks = list(tasks)
     if workers is None:
         workers = default_workers()
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if backend not in ("auto", "persistent", "fork"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
     if not tasks:
         return []
+    bundle, owner_arrays = _resolve_shared(shared)
     if workers == 1 or len(tasks) == 1:
-        return [fn(t) for t in tasks]
+        if owner_arrays is None:
+            return [fn(t) for t in tasks]
+        return [fn(t, owner_arrays) for t in tasks]
     _check_picklable(fn)
     if chunk_size is None:
         chunk_size = max(1, (len(tasks) + 4 * workers - 1) // (4 * workers))
+    if backend == "persistent" or (backend == "auto" and shared is not None):
+        from .shared import SharedArrayBundle, get_shared_pool
+
+        owns_bundle = bundle is None and owner_arrays is not None
+        if owns_bundle:
+            bundle = SharedArrayBundle(owner_arrays)
+        try:
+            return get_shared_pool(workers).map(
+                fn, tasks, shared=bundle, chunk_size=chunk_size
+            )
+        finally:
+            if owns_bundle:
+                bundle.close()
+    if owner_arrays is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks, chunksize=chunk_size))
+    # Fork backend with a shared payload: pickle the materialized arrays
+    # into every chunk (the oracle for the zero-copy path).
+    payloads = [
+        (fn, owner_arrays, tasks[i : i + chunk_size])
+        for i in range(0, len(tasks), chunk_size)
+    ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, tasks, chunksize=chunk_size))
+        out: list[R] = []
+        for part in pool.map(_fork_shared_chunk, payloads):
+            out.extend(part)
+        return out

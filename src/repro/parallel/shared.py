@@ -1,0 +1,354 @@
+"""Shared-memory array publishing and a persistent worker pool.
+
+PR 1 made the per-edge distance question cheap; the orchestration around it
+was still paying two process-level taxes on every parallel call:
+
+* a fresh :class:`~concurrent.futures.ProcessPoolExecutor` was forked per
+  call (worker start-up dominates short audits);
+* every chunk payload re-pickled the large read-only inputs — the n×n base
+  distance matrix and the CSR adjacency arrays — once per chunk.
+
+This module removes both.  :class:`SharedArrayBundle` publishes a set of
+numpy arrays into POSIX shared memory (``multiprocessing.shared_memory``);
+workers attach by segment name and get **zero-copy read-only views**, cached
+per process so repeated chunks pay nothing.  :class:`SharedArrayPool` keeps
+one :class:`ProcessPoolExecutor` alive per worker count and reuses it across
+calls; :func:`repro.parallel.parallel_map` routes through it when given a
+``shared=`` payload (the fork-per-call path survives as ``backend="fork"``,
+the determinism oracle).
+
+Lifetime discipline (DESIGN.md §5):
+
+* the **owner** process creates segments and keeps them registered with its
+  ``resource_tracker`` — if the owner is killed, the tracker (a separate
+  process) unlinks the segments, so a test-process crash leaks nothing in
+  ``/dev/shm``;
+* :meth:`SharedArrayBundle.close` unlinks eagerly and is idempotent;
+  bundles also self-close via ``atexit`` and ``__del__`` as a backstop;
+* **workers** are forked, so they share the owner's tracker process:
+  attaching re-registers the same name (a set-idempotent no-op) and worker
+  exit goes through ``os._exit`` (no atexit), so workers can neither leak
+  nor double-unlink a segment; attached views are cached per segment name
+  with a small LRU bound.
+
+Determinism: the pool changes *where* tasks run, never *what* they return —
+results are gathered in submission order, so ``parallel_map`` keeps its
+exact results-independent-of-worker-count contract.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import uuid
+import weakref
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from multiprocessing import shared_memory as _shm
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SharedArrayBundle",
+    "SharedArrayPool",
+    "get_shared_pool",
+    "shutdown_shared_pools",
+]
+
+#: Segment-name prefix: makes leak assertions in tests (and `ls /dev/shm`
+#: forensics in anger) trivially greppable.
+_NAME_PREFIX = "repro-shm"
+
+_SPEC_FIELDS = 4  # (key, segment name, shape, dtype string)
+
+_name_counter = itertools.count()
+
+
+def _new_segment_name() -> str:
+    # pid + counter + random suffix: unique across processes and re-runs,
+    # short enough for the POSIX shm_open name limit.
+    return (
+        f"{_NAME_PREFIX}-{os.getpid()}-{next(_name_counter)}-"
+        f"{uuid.uuid4().hex[:8]}"
+    )
+
+
+# Bundles still open, for the atexit backstop.  Weak so that garbage
+# collection (which triggers __del__ -> close) drops entries naturally.
+_LIVE_BUNDLES: "weakref.WeakSet[SharedArrayBundle]" = weakref.WeakSet()
+
+
+class SharedArrayBundle:
+    """A set of numpy arrays published once into shared memory.
+
+    Parameters
+    ----------
+    arrays:
+        Mapping of key -> array.  Each array is copied into its own shared
+        segment at construction (the one copy the whole parallel call pays);
+        views handed out afterwards are zero-copy and read-only.
+
+    Use as a context manager (or call :meth:`close`) to unlink eagerly;
+    otherwise ``atexit``/``__del__`` clean up, and the owner's resource
+    tracker covers abnormal exits.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        if not arrays:
+            raise ConfigurationError("SharedArrayBundle needs >= 1 array")
+        self._segments: dict[str, _shm.SharedMemory] = {}
+        self._views: dict[str, np.ndarray] = {}
+        spec: list[tuple[str, str, tuple[int, ...], str]] = []
+        try:
+            for key, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                if arr.nbytes == 0:
+                    raise ConfigurationError(
+                        f"cannot share empty array {key!r}"
+                    )
+                seg = _shm.SharedMemory(
+                    create=True, size=arr.nbytes, name=_new_segment_name()
+                )
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                view.flags.writeable = False
+                self._segments[key] = seg
+                self._views[key] = view
+                spec.append((key, seg.name, arr.shape, arr.dtype.str))
+        except BaseException:
+            self.close()
+            raise
+        self._spec = tuple(spec)
+        self._closed = False
+        _LIVE_BUNDLES.add(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> tuple:
+        """Picklable handle workers attach from: (key, name, shape, dtype)."""
+        return self._spec
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The owner's read-only zero-copy views, keyed as published."""
+        if self._closed:
+            raise ConfigurationError("bundle is closed")
+        return dict(self._views)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(seg.name for seg in self._segments.values())
+
+    def close(self) -> None:
+        """Release and unlink every segment.  Idempotent."""
+        self._views = {}
+        segments, self._segments = self._segments, {}
+        for seg in segments.values():
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - teardown races
+                pass
+            try:
+                seg.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - gc timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        keys = ", ".join(k for k, *_ in self._spec)
+        return f"SharedArrayBundle({keys}; closed={self._closed})"
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach-and-cache
+# ---------------------------------------------------------------------------
+
+#: Per-process cache of attached segments: name -> (SharedMemory, view).
+#: Bounded LRU so a long-lived worker serving many bundles does not pin
+#: unboundedly many mappings.
+_ATTACH_CACHE: "OrderedDict[str, tuple[_shm.SharedMemory, np.ndarray]]" = (
+    OrderedDict()
+)
+_ATTACH_CACHE_MAX = 8
+
+
+def _attach_one(name: str, shape, dtype: str) -> np.ndarray:
+    cached = _ATTACH_CACHE.get(name)
+    if cached is not None:
+        _ATTACH_CACHE.move_to_end(name)
+        return cached[1]
+    seg = _shm.SharedMemory(name=name)
+    view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=seg.buf)
+    view.flags.writeable = False
+    _ATTACH_CACHE[name] = (seg, view)
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        _, (old_seg, _) = _ATTACH_CACHE.popitem(last=False)
+        try:
+            old_seg.close()
+        except Exception:  # pragma: no cover
+            pass
+    return view
+
+
+def attach_spec(spec) -> dict[str, np.ndarray]:
+    """Attach a :attr:`SharedArrayBundle.spec` in this process (cached)."""
+    return {
+        key: _attach_one(name, shape, dtype)
+        for key, name, shape, dtype in spec
+    }
+
+
+def _run_chunk(fn: Callable, spec, chunk: list) -> list:
+    """Worker entry point: resolve the shared payload, map the chunk."""
+    if spec is None:
+        return [fn(task) for task in chunk]
+    arrays = attach_spec(spec)
+    return [fn(task, arrays) for task in chunk]
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool
+# ---------------------------------------------------------------------------
+
+def _mp_context():
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return None
+
+
+class SharedArrayPool:
+    """A persistent process pool with a shared-array payload channel.
+
+    Workers are created once and reused across :meth:`map` calls; large
+    read-only arrays travel via :class:`SharedArrayBundle` instead of being
+    pickled per chunk.  Results are gathered in submission order, so output
+    is independent of worker count and scheduling.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            ctx = _mp_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def submit_chunks(
+        self,
+        fn: Callable,
+        chunks: Sequence[list],
+        shared: SharedArrayBundle | None = None,
+    ):
+        """Submit chunks, returning futures in submission order.
+
+        The streaming primitive under :meth:`map` and the census fleet:
+        callers may consume futures in order while later chunks still run.
+        """
+        spec = None if shared is None else shared.spec
+        pool = self._ensure_executor()
+        return [pool.submit(_run_chunk, fn, spec, list(c)) for c in chunks]
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        shared: SharedArrayBundle | None = None,
+        chunk_size: int | None = None,
+    ) -> list:
+        """Map ``fn`` over ``tasks`` (order preserved), sharing ``shared``.
+
+        ``fn`` is called as ``fn(task)`` without a bundle and as
+        ``fn(task, arrays)`` with one.  A broken pool (a worker died) is
+        rebuilt once and the call retried — determinism is unaffected
+        because no partial results are kept.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if chunk_size is None:
+            chunk_size = max(
+                1, (len(tasks) + 4 * self.workers - 1) // (4 * self.workers)
+            )
+        chunks = [
+            tasks[i : i + chunk_size]
+            for i in range(0, len(tasks), chunk_size)
+        ]
+        try:
+            futures = self.submit_chunks(fn, chunks, shared)
+            out: list = []
+            for fut in futures:
+                out.extend(fut.result())
+            return out
+        except BrokenProcessPool:
+            self.shutdown()
+            futures = self.submit_chunks(fn, chunks, shared)
+            out = []
+            for fut in futures:
+                out.extend(fut.result())
+            return out
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the workers.  The pool restarts lazily on next use."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = self._executor is not None
+        return f"SharedArrayPool(workers={self.workers}, alive={alive})"
+
+
+_POOLS: dict[int, SharedArrayPool] = {}
+
+
+def get_shared_pool(workers: int) -> SharedArrayPool:
+    """The process-wide persistent pool for ``workers`` (created on demand)."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = SharedArrayPool(workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every cached pool and close every live bundle."""
+    for pool in _POOLS.values():
+        try:
+            pool.shutdown()
+        except Exception:  # pragma: no cover - teardown races
+            pass
+    _POOLS.clear()
+    for bundle in list(_LIVE_BUNDLES):
+        bundle.close()
+
+
+atexit.register(shutdown_shared_pools)

@@ -1,0 +1,255 @@
+"""Batched audit kernel + fleet cross-validation.
+
+The ISSUE-2 exactness contract: ``mode="batched"`` must agree *exactly* —
+violations, tie-breaking, gaps, record order — with ``mode="repair"`` and
+the seed ``mode="rebuild"`` oracle on the deterministic battery (trees,
+sparse and dense G(n, m), bridges, disconnecting removals, n ≤ 3), and
+every parallel surface (audits, sweeps, census fleet, exhaustive census)
+must be bit-identical across worker counts.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    best_swap,
+    find_deletion_criticality_violation,
+    find_max_swap_violation,
+    find_sum_violation,
+    is_sum_equilibrium,
+    run_census,
+    sum_equilibrium_gap,
+)
+from repro.core.batched import BatchedRemovalPlan
+from repro.core.costs import lift_distances
+from repro.core.exhaustive import exhaustive_equilibrium_census
+from repro.core.swap_eval import removal_distance_matrix
+from repro.graphs import (
+    cycle_graph,
+    distance_matrix,
+    path_graph,
+    random_connected_gnm,
+    random_tree,
+    star_graph,
+)
+from repro.parallel import Sweep, run_sweep
+
+from ..conftest import graph_battery
+
+BATTERY = graph_battery()
+
+
+def _sweep_point(pt) -> dict:
+    return {"value": pt["x"] * 10 + pt.seed % 7}
+
+
+class TestBatchedModeOracle:
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 2))
+    def test_sum_violation_batched_equals_repair(self, idx):
+        g = BATTERY[idx]
+        assert find_sum_violation(g, mode="batched") == find_sum_violation(
+            g, mode="repair"
+        ), g.edges().tolist()
+
+    @pytest.mark.parametrize("idx", range(1, len(BATTERY), 6))
+    def test_sum_violation_batched_equals_rebuild_oracle(self, idx):
+        g = BATTERY[idx]
+        assert find_sum_violation(g, mode="batched") == find_sum_violation(
+            g, mode="rebuild"
+        ), g.edges().tolist()
+
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 5))
+    def test_max_violation_batched_equals_repair(self, idx):
+        g = BATTERY[idx]
+        assert find_max_swap_violation(
+            g, mode="batched"
+        ) == find_max_swap_violation(g, mode="repair"), g.edges().tolist()
+
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 7))
+    def test_gap_and_criticality_batched_agree(self, idx):
+        g = BATTERY[idx]
+        assert sum_equilibrium_gap(g, mode="batched") == sum_equilibrium_gap(
+            g, mode="repair"
+        )
+        assert find_deletion_criticality_violation(
+            g, mode="batched"
+        ) == find_deletion_criticality_violation(g, mode="repair")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            find_sum_violation(path_graph(5), mode="telepathy")
+        with pytest.raises(ValueError):
+            sum_equilibrium_gap(path_graph(5), mode="telepathy")
+
+
+class TestBatchedRemovalPlan:
+    def test_bridge_detection_on_tree(self):
+        g = random_tree(12, seed=3)
+        lifted = lift_distances(distance_matrix(g))
+        plan = BatchedRemovalPlan(g, lifted, list(g.iter_edges()))
+        assert all(plan.is_bridge(i) for i in range(len(plan.edges)))
+
+    def test_cycle_has_no_bridges(self):
+        g = cycle_graph(9)
+        lifted = lift_distances(distance_matrix(g))
+        plan = BatchedRemovalPlan(g, lifted, list(g.iter_edges()))
+        assert not any(plan.is_bridge(i) for i in range(len(plan.edges)))
+
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 9))
+    def test_endpoint_rows_and_matrices_exact(self, idx):
+        g = BATTERY[idx]
+        if g.n < 2:
+            return
+        lifted = lift_distances(distance_matrix(g))
+        edges = list(g.iter_edges())
+        plan = BatchedRemovalPlan(g, lifted, edges)
+        for i, (a, b) in enumerate(edges):
+            oracle = removal_distance_matrix(g, (a, b), mode="rebuild")
+            assert np.array_equal(plan.endpoint_row(i, a), oracle[a])
+            assert np.array_equal(plan.endpoint_row(i, b), oracle[b])
+            assert np.array_equal(plan.removal_matrix(i), oracle)
+
+    def test_bound_never_exceeds_exact(self):
+        g = random_connected_gnm(12, 20, seed=5)
+        lifted = lift_distances(distance_matrix(g))
+        edges = list(g.iter_edges())
+        plan = BatchedRemovalPlan(g, lifted, edges)
+        base_plus1 = lifted + 1
+        buf = np.empty((g.n, g.n), dtype=np.int64)
+        for i, (a, b) in enumerate(edges):
+            for v, w in ((a, b), (b, a)):
+                bound = plan.bound_costs(i, v, w, "sum", base_plus1, buf)
+                exact = plan.exact_costs(i, v, w, "sum")
+                assert (bound <= exact).all()
+
+
+class TestWorkerInvariance:
+    """workers=1 vs workers=4 must be bit-identical on every surface."""
+
+    @pytest.mark.parametrize("mode", ["repair", "batched"])
+    def test_violation_across_worker_counts(self, mode):
+        g = random_connected_gnm(14, 24, seed=8)
+        serial = find_sum_violation(g, workers=1, mode=mode)
+        assert serial is not None  # dense random graphs are not at rest
+        assert find_sum_violation(g, workers=4, mode=mode) == serial
+
+    @pytest.mark.parametrize("mode", ["repair", "batched"])
+    def test_equilibrium_verdict_across_worker_counts(self, mode):
+        g = star_graph(11)
+        assert is_sum_equilibrium(g, workers=1, mode=mode)
+        assert is_sum_equilibrium(g, workers=4, mode=mode)
+
+    @pytest.mark.parametrize("mode", ["repair", "batched"])
+    def test_gap_across_worker_counts(self, mode):
+        g = random_connected_gnm(12, 18, seed=5)
+        assert sum_equilibrium_gap(g, workers=4, mode=mode) == (
+            sum_equilibrium_gap(g, workers=1, mode=mode)
+        )
+
+    @pytest.mark.parametrize("mode", ["repair", "batched"])
+    def test_deletion_criticality_across_worker_counts(self, mode):
+        g = random_connected_gnm(10, 16, seed=9)
+        assert find_deletion_criticality_violation(
+            g, workers=4, mode=mode
+        ) == find_deletion_criticality_violation(g, workers=1, mode=mode)
+
+    def test_sweep_across_worker_counts(self):
+        sweep = Sweep(grid={"x": [1, 2, 3]}, replicates=2, root_seed=4)
+        assert run_sweep(_sweep_point, sweep, workers=1) == run_sweep(
+            _sweep_point, sweep, workers=4
+        )
+
+
+class TestCensusFleet:
+    def test_fleet_matches_serial_and_streams_jsonl(self, tmp_path):
+        kwargs = dict(
+            n_values=[8, 10],
+            families=("tree", "sparse"),
+            replicates=2,
+            root_seed=13,
+        )
+        serial = run_census(
+            jsonl_path=tmp_path / "serial.jsonl", **kwargs
+        )
+        fleet = run_census(
+            workers=4, jsonl_path=tmp_path / "fleet.jsonl", **kwargs
+        )
+        assert fleet == serial  # records and record order, bit-identical
+        serial_text = (tmp_path / "serial.jsonl").read_text()
+        assert serial_text == (tmp_path / "fleet.jsonl").read_text()
+        lines = serial_text.splitlines()
+        assert len(lines) == len(serial) == 8
+        first = json.loads(lines[0])
+        assert first["n"] == 8 and first["family"] == "tree"
+
+    def test_conflicting_sharding_axes_rejected(self):
+        with pytest.raises(ValueError):
+            run_census([6], workers=2, verify_workers=2)
+
+    def test_resume_continues_interrupted_stream(self, tmp_path):
+        kwargs = dict(
+            n_values=[8], families=("tree", "sparse"), replicates=2,
+            root_seed=3,
+        )
+        path = tmp_path / "census.jsonl"
+        full = run_census(jsonl_path=path, **kwargs)
+        text = path.read_text()
+        lines = text.splitlines()
+        # Simulate a crash: keep 2 complete records plus a torn third line.
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][:13])
+        resumed = run_census(jsonl_path=path, resume=True, **kwargs)
+        assert resumed == full
+        assert path.read_text() == text
+
+    def test_resume_rejects_mismatched_grid(self, tmp_path):
+        path = tmp_path / "census.jsonl"
+        run_census([6], families=("tree",), replicates=1, jsonl_path=path)
+        with pytest.raises(ValueError):
+            run_census(
+                [6], families=("tree",), replicates=1, root_seed=99,
+                jsonl_path=path, resume=True,
+            )
+
+    def test_resume_requires_jsonl_path(self):
+        with pytest.raises(ValueError):
+            run_census([6], resume=True)
+
+    def test_exhaustive_census_sharding_matches_serial(self):
+        serial = exhaustive_equilibrium_census(5, "sum")
+        sharded = exhaustive_equilibrium_census(5, "sum", workers=4)
+        assert sharded.n == serial.n
+        assert sharded.connected_graphs == serial.connected_graphs
+        assert sharded.audited == serial.audited
+        assert set(sharded.by_diameter) == set(serial.by_diameter)
+        for d, cell in serial.by_diameter.items():
+            other = sharded.by_diameter[d]
+            assert (other.graphs, other.equilibria, other.example) == (
+                cell.graphs, cell.equilibria, cell.example
+            )
+
+    def test_exhaustive_census_workers_with_mask_range_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            exhaustive_equilibrium_census(
+                4, "sum", mask_range=(0, 8), workers=2
+            )
+
+
+class TestBestSwapBaseDm:
+    @pytest.mark.parametrize("objective", ["sum", "max"])
+    def test_precomputed_base_dm_matches(self, objective):
+        g = random_connected_gnm(11, 18, seed=2)
+        dm = distance_matrix(g)
+        for v in range(0, g.n, 2):
+            plain = best_swap(g, v, objective)
+            primed = best_swap(g, v, objective, base_dm=dm)
+            lifted = best_swap(g, v, objective, base_dm=lift_distances(dm))
+            for other in (primed, lifted):
+                assert plain.swap == other.swap
+                assert plain.before == other.before
+                assert plain.after == other.after
+                assert plain.is_deletion == other.is_deletion

@@ -1,0 +1,190 @@
+"""Shared-memory runtime tests: zero-copy views, determinism, no leaks."""
+
+import glob
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    SharedArrayBundle,
+    SharedArrayPool,
+    get_shared_pool,
+    parallel_map,
+)
+from repro.parallel.shared import _NAME_PREFIX, attach_spec
+
+
+def _our_segments() -> list[str]:
+    return glob.glob(f"/dev/shm/{_NAME_PREFIX}-*")
+
+
+def row_sum(task: int, arrays) -> float:
+    return float(arrays["m"][task].sum())
+
+
+def pid_tag(task: int) -> tuple[int, int]:
+    return task, os.getpid()
+
+
+class TestSharedArrayBundle:
+    def test_views_match_and_are_readonly(self):
+        arrs = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.ones(5, dtype=np.int32),
+        }
+        with SharedArrayBundle(arrs) as bundle:
+            views = bundle.arrays()
+            assert set(views) == {"a", "b"}
+            for key in arrs:
+                assert np.array_equal(views[key], arrs[key])
+                assert views[key].dtype == arrs[key].dtype
+                with pytest.raises(ValueError):
+                    views[key][0] = 0
+
+    def test_attach_spec_roundtrip_in_process(self):
+        arr = np.arange(20.0).reshape(4, 5)
+        with SharedArrayBundle({"x": arr}) as bundle:
+            attached = attach_spec(bundle.spec)
+            assert np.array_equal(attached["x"], arr)
+
+    def test_close_unlinks_and_is_idempotent(self):
+        bundle = SharedArrayBundle({"x": np.zeros(8)})
+        paths = [f"/dev/shm/{name}" for name in bundle.segment_names]
+        assert all(os.path.exists(p) for p in paths)
+        bundle.close()
+        assert not any(os.path.exists(p) for p in paths)
+        bundle.close()  # second close is a no-op
+        with pytest.raises(ConfigurationError):
+            bundle.arrays()
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedArrayBundle({})
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedArrayBundle({"x": np.empty(0)})
+
+    def test_no_segments_left_behind(self):
+        before = set(_our_segments())
+        with SharedArrayBundle({"x": np.ones((64, 64))}):
+            pass
+        assert set(_our_segments()) == before
+
+
+class TestTeardown:
+    """DESIGN.md §5: no leaked /dev/shm segments, however the owner dies."""
+
+    SCRIPT = textwrap.dedent(
+        """
+        import os, signal, sys
+        sys.path.insert(0, {src!r})
+        import numpy as np
+        from repro.parallel import SharedArrayBundle
+        b = SharedArrayBundle({{"x": np.ones((128, 128))}})
+        print(b.segment_names[0], flush=True)
+        {exit_stmt}
+        """
+    )
+
+    def _run_and_check(self, exit_stmt: str) -> None:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT.format(src=src, exit_stmt=exit_stmt)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        name = proc.stdout.split()[0]
+        assert name.startswith(_NAME_PREFIX)
+        assert not os.path.exists(f"/dev/shm/{name}"), (
+            f"segment {name} leaked after: {exit_stmt}"
+        )
+
+    def test_interpreter_exit_without_close(self):
+        # atexit backstop closes live bundles on normal interpreter exit.
+        self._run_and_check("pass")
+
+    def test_sigkill_cleanup_via_resource_tracker(self):
+        # SIGKILL skips every Python-level hook; the owner's resource
+        # tracker (a separate process) must reap the segment.
+        self._run_and_check("os.kill(os.getpid(), signal.SIGKILL)")
+
+
+class TestSharedArrayPool:
+    def test_map_preserves_order_and_reuses_workers(self):
+        pool = get_shared_pool(2)
+        tasks = list(range(17))
+        first = pool.map(pid_tag, tasks)
+        second = pool.map(pid_tag, tasks)
+        assert [t for t, _ in first] == tasks
+        # Persistent pool: the second call spawns no new worker processes
+        # (a fast worker may drain every chunk, hence subset, not equality).
+        assert {p for _, p in second} <= {p for _, p in first}
+
+    def test_map_with_shared_payload(self):
+        m = np.arange(36.0).reshape(6, 6)
+        pool = get_shared_pool(2)
+        with SharedArrayBundle({"m": m}) as bundle:
+            out = pool.map(row_sum, list(range(6)), shared=bundle)
+        assert out == [float(m[i].sum()) for i in range(6)]
+
+    def test_get_shared_pool_caches_by_worker_count(self):
+        assert get_shared_pool(2) is get_shared_pool(2)
+        assert get_shared_pool(2) is not get_shared_pool(3)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            SharedArrayPool(0)
+        with pytest.raises(ConfigurationError):
+            get_shared_pool(0)
+
+
+class TestParallelMapSharedChannel:
+    @pytest.mark.parametrize("backend", ["auto", "persistent", "fork"])
+    def test_backends_agree_with_serial(self, backend):
+        m = np.arange(48.0).reshape(8, 6)
+        tasks = list(range(8))
+        serial = parallel_map(row_sum, tasks, workers=1, shared={"m": m})
+        multi = parallel_map(
+            row_sum, tasks, workers=2, shared={"m": m}, backend=backend
+        )
+        assert serial == multi == [float(m[i].sum()) for i in range(8)]
+
+    def test_worker_count_invariance(self):
+        m = np.arange(100.0).reshape(10, 10)
+        tasks = list(range(10))
+        results = [
+            parallel_map(row_sum, tasks, workers=w, shared={"m": m})
+            for w in (1, 2, 4)
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_mapping_payload_is_cleaned_up(self):
+        before = set(_our_segments())
+        m = np.ones((32, 32))
+        parallel_map(row_sum, list(range(4)), workers=2, shared={"m": m})
+        assert set(_our_segments()) == before
+
+    def test_bundle_payload_stays_open(self):
+        m = np.ones((8, 8))
+        with SharedArrayBundle({"m": m}) as bundle:
+            parallel_map(row_sum, [0, 1], workers=2, shared=bundle)
+            # caller-owned bundle survives the call
+            assert np.array_equal(bundle.arrays()["m"], m)
+
+    def test_bad_shared_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(row_sum, [0], workers=2, shared=[1, 2, 3])
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(row_sum, [0], workers=2, backend="quantum")
