@@ -14,7 +14,10 @@ DESIGN.md §4 ablation matrix:
 * **worker scaling** — shared-memory chunked audits at workers ∈ {1, 2, 4}
   and the sharded census fleet at workers ∈ {1, 2} (DESIGN.md §5);
 * **dynamics engine modes** — dirty-set incremental dynamics vs the seed
-  oracle loop, run to convergence.
+  oracle loop, run to convergence;
+* **variant-audit throughput** — full model-aware equilibrium audits of the
+  interest and budget game variants (cost-model layer, DESIGN.md §6) on
+  their own converged endpoints, repair vs batched kernels.
 
 ``test_scaling_report`` times the arms at n ∈ {48, 128, 256, 512} (env
 ``REPRO_BENCH_SMOKE=1`` restricts to n = 48 for CI smoke runs, still with a
@@ -33,8 +36,10 @@ from repro.core import (
     DistanceEngine,
     Swap,
     SwapDynamics,
+    is_equilibrium,
     is_sum_equilibrium,
     removal_distance_matrix,
+    resolve_cost_model,
     run_census,
     swap_cost_after,
 )
@@ -149,7 +154,23 @@ def _load_history(path) -> list:
     return []
 
 
-_ENTRY_LABEL = "pr2-batched-kernel-shared-pool"
+_ENTRY_LABEL = "pr3-costmodel-variants"
+
+
+def _variant_equilibrium(spec: str, n: int):
+    """A converged endpoint of the variant's own dynamics (full-scan audit)."""
+    key = (spec, n)
+    if key not in _CENSUS_CACHE:
+        # Interest games can cycle from dense starts; trees converge.
+        start = (
+            random_tree(n, seed=22)
+            if spec.startswith("interest")
+            else random_connected_gnm(n, 2 * n, seed=22)
+        )
+        res = SwapDynamics(objective=spec, seed=3).run(start)
+        assert res.converged, f"variant dynamics did not converge: {key}"
+        _CENSUS_CACHE[key] = res.graph
+    return _CENSUS_CACHE[key]
 
 
 def test_scaling_report(results_dir):
@@ -161,6 +182,7 @@ def test_scaling_report(results_dir):
         "workers": [],
         "fleet": [],
         "dynamics": [],
+        "variants": [],
     }
 
     for n in sizes:
@@ -229,6 +251,35 @@ def test_scaling_report(results_dir):
                 "scaling": round(t_serial / t_fleet, 2),
             }
         )
+
+    # Variant-audit throughput: full model-aware audits of each variant's
+    # own converged equilibrium (cost-model layer, ISSUE-3).
+    for spec in ("interest-sum:k=8,seed=3", "budget-sum:cap=6"):
+        for n in [48] if smoke else [48, 128]:
+            g = _variant_equilibrium(spec, n)
+            # Resolve once outside the timed region: the rows measure the
+            # audit, not interest-set construction.
+            model = resolve_cost_model(spec, g.n)
+            reps = 2
+            t_repair = _best_of(
+                lambda: is_equilibrium(g, model, mode="repair"), reps
+            )
+            t_batched = _best_of(
+                lambda: is_equilibrium(g, model, mode="batched"), reps
+            )
+            assert is_equilibrium(g, model, mode="batched")
+            entry["variants"].append(
+                {
+                    "n": n,
+                    "m": g.m,
+                    "objective": spec,
+                    "repair_sec": round(t_repair, 5),
+                    "batched_sec": round(t_batched, 5),
+                    "audits_per_sec": round(
+                        (2 * g.m) / t_batched if t_batched > 0 else 0.0, 1
+                    ),
+                }
+            )
 
     for n in [32] if smoke else [32, 64]:
         tree = random_tree(n, seed=5)

@@ -8,6 +8,16 @@ record order (tail the file to watch the fleet; rerun with the same seed to
 reproduce it bit-for-bit at any worker count; rerun with ``--resume`` to
 pick an interrupted fleet back up from the streamed prefix).
 
+The first JSONL line is a run-config header; ``--resume`` validates it (and
+every resumed record) against the current flags and refuses to mix records
+from different games, so a fat-fingered overnight restart fails loudly
+instead of silently corrupting the fleet.
+
+``--objective`` takes any cost-model spec (:mod:`repro.core.costmodel`):
+the paper's ``sum`` / ``max``, communication-interest variants
+(``interest-sum:k=4,seed=9``), and bounded-budget variants
+(``budget-max:cap=3``).
+
 Examples
 --------
 Overnight n = 512–1024 fleet on 8 cores::
@@ -19,6 +29,12 @@ Overnight n = 512–1024 fleet on 8 cores::
 Quick sanity fleet::
 
     PYTHONPATH=src python scripts/census_fleet.py --n 64 128 --replicates 4
+
+Interest-game fleet (each agent cares about 8 random targets)::
+
+    PYTHONPATH=src python scripts/census_fleet.py \
+        --n 128 --objective "interest-sum:k=8,seed=1" \
+        --out results/census_interest.jsonl
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ import time
 from pathlib import Path
 
 from repro.core.census import census_to_rows, run_census
+from repro.core.costmodel import cost_model_spec
 from repro.parallel import default_workers
 
 
@@ -40,18 +57,26 @@ def main(argv: "list[str] | None" = None) -> int:
                     default=["tree", "sparse", "dense"],
                     choices=["tree", "sparse", "dense"])
     ap.add_argument("--replicates", type=int, default=8)
-    ap.add_argument("--objective", choices=["sum", "max"], default="sum")
+    ap.add_argument("--objective", type=cost_model_spec, default="sum",
+                    metavar="SPEC",
+                    help="cost-model spec: sum | max | "
+                         "interest-{sum,max}:k=K[,seed=S] | "
+                         "budget-{sum,max}:cap=C (default: sum)")
     ap.add_argument("--schedule", default="round_robin",
                     choices=["round_robin", "random", "greedy"])
     ap.add_argument("--root-seed", type=int, default=0)
     ap.add_argument("--max-steps", type=int, default=200_000)
     ap.add_argument("--workers", type=int, default=None,
                     help="trajectory shards (default: cores - 1)")
+    ap.add_argument("--audit-mode", default="batched",
+                    choices=["batched", "repair", "rebuild"],
+                    help="equilibrium-audit kernel for endpoint checks")
     ap.add_argument("--no-verify", action="store_true",
                     help="skip the exact equilibrium audit of endpoints")
     ap.add_argument("--resume", action="store_true",
                     help="continue an interrupted fleet from --out's prefix "
-                         "(same arguments required)")
+                         "(same arguments required; validated against the "
+                         "file's config header)")
     ap.add_argument("--out", type=Path,
                     default=Path("results/census_fleet.jsonl"))
     args = ap.parse_args(argv)
@@ -62,7 +87,8 @@ def main(argv: "list[str] | None" = None) -> int:
     print(
         f"census fleet: {total} trajectories "
         f"(n={args.n}, {len(args.families)} families, "
-        f"{args.replicates} replicates) on {workers} workers -> {args.out}",
+        f"{args.replicates} replicates, objective={args.objective}) "
+        f"on {workers} workers -> {args.out}",
         flush=True,
     )
     start = time.perf_counter()
@@ -76,6 +102,7 @@ def main(argv: "list[str] | None" = None) -> int:
         max_steps=args.max_steps,
         verify=not args.no_verify,
         workers=workers,
+        audit_mode=args.audit_mode,
         jsonl_path=args.out,
         resume=args.resume,
     )

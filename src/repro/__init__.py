@@ -43,6 +43,7 @@ Package layout
 from ._version import __version__
 from .core import (
     BestResponse,
+    CostModel,
     DynamicsResult,
     Swap,
     SwapDynamics,
@@ -52,12 +53,15 @@ from .core import (
     find_insertion_violation,
     find_max_swap_violation,
     find_sum_violation,
+    find_swap_violation,
     is_deletion_critical,
+    is_equilibrium,
     is_insertion_stable,
     is_k_insertion_stable,
     is_max_equilibrium,
     is_sum_equilibrium,
     local_diameter,
+    resolve_cost_model,
     run_census,
     sum_cost,
     sum_equilibrium_gap,
@@ -83,6 +87,7 @@ __all__ = [
     "AdjacencyGraph",
     "BestResponse",
     "CSRGraph",
+    "CostModel",
     "DynamicsResult",
     "Swap",
     "SwapDynamics",
@@ -99,8 +104,10 @@ __all__ = [
     "find_insertion_violation",
     "find_max_swap_violation",
     "find_sum_violation",
+    "find_swap_violation",
     "is_connected",
     "is_deletion_critical",
+    "is_equilibrium",
     "is_insertion_stable",
     "is_k_insertion_stable",
     "is_max_equilibrium",
@@ -109,6 +116,7 @@ __all__ = [
     "path_graph",
     "random_connected_gnm",
     "random_tree",
+    "resolve_cost_model",
     "run_census",
     "star_graph",
     "sum_cost",

@@ -8,6 +8,17 @@ that discovers equilibria empirically.
 
 from .best_response import BestResponse, best_swap, first_improving_swap
 from .census import CensusRecord, census_to_rows, run_census, seed_graph
+from .costmodel import (
+    BudgetCost,
+    CostModel,
+    InterestCost,
+    MaxCost,
+    SumCost,
+    cost_model_spec,
+    interest_sets,
+    parse_cost_spec,
+    resolve_cost_model,
+)
 from .costs import (
     INT_INF,
     lift_distances,
@@ -24,7 +35,9 @@ from .equilibrium import (
     find_insertion_violation,
     find_max_swap_violation,
     find_sum_violation,
+    find_swap_violation,
     is_deletion_critical,
+    is_equilibrium,
     is_insertion_stable,
     is_k_insertion_stable,
     is_max_equilibrium,
@@ -33,7 +46,7 @@ from .equilibrium import (
     sum_equilibrium_gap,
 )
 from .kswap import is_k_swap_stable, k_swap_witness
-from .moves import Swap, apply_swap, swapped_graph
+from .moves import Swap, apply_swap, legal_add_targets, swapped_graph
 from .swap_eval import (
     all_swap_costs_for_drop,
     removal_distance_matrix,
@@ -43,10 +56,15 @@ from .swap_eval import (
 
 __all__ = [
     "BestResponse",
+    "BudgetCost",
     "CensusRecord",
+    "CostModel",
     "DistanceEngine",
     "DynamicsResult",
     "INT_INF",
+    "InterestCost",
+    "MaxCost",
+    "SumCost",
     "Swap",
     "SwapDynamics",
     "Violation",
@@ -54,12 +72,16 @@ __all__ = [
     "apply_swap",
     "best_swap",
     "census_to_rows",
+    "cost_model_spec",
     "find_deletion_criticality_violation",
     "find_insertion_violation",
     "find_max_swap_violation",
     "find_sum_violation",
+    "find_swap_violation",
     "first_improving_swap",
+    "interest_sets",
     "is_deletion_critical",
+    "is_equilibrium",
     "is_insertion_stable",
     "is_k_insertion_stable",
     "is_k_swap_stable",
@@ -67,10 +89,13 @@ __all__ = [
     "is_sum_equilibrium",
     "k_insertion_witness",
     "k_swap_witness",
+    "legal_add_targets",
     "lift_distances",
     "local_diameter",
     "local_diameter_vector",
+    "parse_cost_spec",
     "removal_distance_matrix",
+    "resolve_cost_model",
     "run_census",
     "seed_graph",
     "sum_cost",

@@ -54,6 +54,7 @@ from ..graphs.repair import (
     removal_affected_matrix,
     removal_matrix_repair,
 )
+from .costmodel import SUM_COST, CostModel, resolve_cost_model
 from .costs import INT_INF
 from .equilibrium import Violation
 from .swap_eval import all_swap_costs_for_drop
@@ -179,7 +180,7 @@ class BatchedRemovalPlan:
         i: int,
         v: int,
         w: int,
-        objective: str,
+        objective,
         base_plus1: np.ndarray,
         buf: np.ndarray,
     ) -> np.ndarray:
@@ -187,27 +188,25 @@ class BatchedRemovalPlan:
 
         ``bound_costs[w'] <= exact costs[w']`` for every target ``w'``
         (removal only increases distances, so ``1 + base`` row-dominates
-        the true removal matrix), with equality whenever ``w'`` is
+        the true removal matrix — and every cost model's row aggregate is
+        monotone under row dominance, the contract in
+        :mod:`repro.core.costmodel`), with equality whenever ``w'`` is
         unaffected by the removal.  ``base_plus1`` (= base + 1) and the
         ``(n, n)`` scratch ``buf`` come from the scan loop, so the bound
         allocates nothing matrix-sized per edge.
         """
+        model = (
+            objective
+            if isinstance(objective, CostModel)
+            else resolve_cost_model(objective, self.graph.n)
+        )
         dv = self.endpoint_row(i, v)
         np.minimum(dv[None, :], base_plus1, out=buf)
-        if objective == "sum":
-            raw = buf.sum(axis=1)
-        elif objective == "max":
-            raw = buf.max(axis=1)
-        else:
-            raise ValueError(f"unknown objective {objective!r}")
-        costs = raw.astype(np.float64)
-        costs[raw >= INT_INF] = math.inf
+        costs = model.candidate_costs(v, buf)
         costs[v] = math.inf
         return costs
 
-    def exact_costs(
-        self, i: int, v: int, w: int, objective: str
-    ) -> np.ndarray:
+    def exact_costs(self, i: int, v: int, w: int, objective) -> np.ndarray:
         """Exact post-swap costs — the ``mode="repair"`` evaluation itself."""
         return all_swap_costs_for_drop(
             self.graph, v, w, objective, self.removal_matrix(i)
@@ -243,8 +242,7 @@ def scan_swap_violations(
     base: np.ndarray,
     edges,
     start: int,
-    objective: str,
-    kind: str,
+    objective,
     *,
     pred_counts: np.ndarray | None = None,
 ):
@@ -253,26 +251,34 @@ def scan_swap_violations(
     The batched analog of the per-edge repair scan: same directed order
     (``(a, b)`` then ``(b, a)`` per canonical edge), same tie-breaking —
     movers are dismissed only when the sound bound proves no improving
-    swap exists, and survivors are re-evaluated exactly.
+    swap exists, and survivors are re-evaluated exactly.  ``objective`` is
+    a cost model (or spec string); the same move-set mask is applied to
+    the bound and the exact costs, so budget-constrained scans stay sound.
     """
     n = graph.n
+    model = resolve_cost_model(objective, n)
     base_plus1 = lifted + 1
     buf = np.empty((n, n), dtype=np.int64)
     for lo, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
             for j, (v, w) in enumerate(((a, b), (b, a))):
-                bound = plan.bound_costs(i, v, w, objective, base_plus1, buf)
+                mask = model.target_mask(graph, v, w)
+                bound = plan.bound_costs(i, v, w, model, base_plus1, buf)
+                if mask is not None:
+                    bound[~mask] = math.inf
                 bound[w] = math.inf  # identity move is not a violation
                 if float(np.min(bound)) >= base[v]:
                     continue  # exact costs dominate the bound: no violation
-                costs = plan.exact_costs(i, v, w, objective)
+                costs = plan.exact_costs(i, v, w, model)
+                if mask is not None:
+                    costs[~mask] = math.inf
                 costs[w] = math.inf
                 best = int(np.argmin(costs))
                 if costs[best] < base[v]:
                     return (
                         2 * (start + lo + i) + j,
                         Violation(
-                            kind, v, w, best,
+                            model.violation_kind, v, w, best,
                             float(base[v]), float(costs[best]),
                         ),
                     )
@@ -300,7 +306,7 @@ def scan_gap(
     for _, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
             for v, w in ((a, b), (b, a)):
-                bound = plan.bound_costs(i, v, w, "sum", base_plus1, buf)
+                bound = plan.bound_costs(i, v, w, SUM_COST, base_plus1, buf)
                 bound[w] = math.inf
                 if float(np.min(bound)) >= base_sum[v]:
                     continue

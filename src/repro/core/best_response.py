@@ -29,11 +29,12 @@ from typing import Callable, Literal
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..graphs import CSRGraph, bfs_aggregates, distance_matrix
+from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
 from ..rng import make_rng
-from .costs import INT_INF, lift_distances
-from .moves import Swap
+from .costmodel import CostModel, resolve_cost_model
+from .costs import lift_distances
+from .moves import Swap, legal_add_targets
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
 
 __all__ = ["BestResponse", "best_swap", "first_improving_swap"]
@@ -76,22 +77,10 @@ class BestResponse:
         )
 
 
-def _base_cost(graph: CSRGraph, v: int, objective: Objective) -> float:
-    total, ecc, reached = bfs_aggregates(graph, v)
-    if reached < graph.n:
-        return math.inf
-    return float(total if objective == "sum" else ecc)
-
-
-def _row_cost(row: np.ndarray, objective: Objective) -> float:
-    agg = row.sum() if objective == "sum" else row.max()
-    return math.inf if agg >= INT_INF else float(agg)
-
-
 def best_swap(
     graph: CSRGraph,
     v: int,
-    objective: Objective = "sum",
+    objective: "Objective | str | CostModel" = "sum",
     *,
     prefer_deletions_on_tie: bool | None = None,
     engine=None,
@@ -118,11 +107,12 @@ def best_swap(
     pass it as ``base_dm`` — raw int32 or lifted — and ``mode="repair"``
     skips the APSP recomputation entirely.
     """
+    model = resolve_cost_model(objective, graph.n)
     if prefer_deletions_on_tie is None:
-        prefer_deletions_on_tie = objective == "max"
+        prefer_deletions_on_tie = model.prefer_deletions_on_tie
     removal: Callable[[int], np.ndarray]
     if engine is not None:
-        before = _row_cost(engine.dm[v], objective)
+        before = model.row_cost(v, engine.dm[v])
         removal = lambda w: engine.removal_matrix(v, w)  # noqa: E731
     elif mode == "repair":
         base = lift_distances(
@@ -130,10 +120,10 @@ def best_swap(
             if base_dm is None
             else np.asarray(base_dm)
         )
-        before = _row_cost(base[v], objective)
+        before = model.row_cost(v, base[v])
         removal = lambda w: removal_matrix_repair(graph, base, (v, w))  # noqa: E731
     elif mode == "oracle":
-        before = _base_cost(graph, v, objective)
+        before = model.bfs_cost(graph, v)
         removal = lambda w: removal_distance_matrix(  # noqa: E731
             graph, (v, w), mode="rebuild"
         )
@@ -146,7 +136,10 @@ def best_swap(
     neighbor_set = set(int(x) for x in graph.neighbors(v))
     for w in sorted(neighbor_set):
         removal_dm = removal(w)
-        costs = all_swap_costs_for_drop(graph, v, w, objective, removal_dm)
+        costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
+        mask = model.target_mask(graph, v, w)
+        if mask is not None:
+            costs[~mask] = math.inf  # move-set constraint (budget cap)
         costs[w] = math.inf  # identity
         top = int(np.argmin(costs))
         cost = float(costs[top])
@@ -156,15 +149,11 @@ def best_swap(
             best_is_deletion = top in neighbor_set and top != w
         if prefer_deletions_on_tie and neutral_deletion is None:
             # Pure-deletion cost of edge vw is v's aggregate in G - vw.
-            row = removal_dm[v]
-            if (row < INT_INF).all():
-                del_cost = float(
-                    row.sum() if objective == "sum" else row.max()
-                )
-                if del_cost <= before:
-                    rep = next(iter(neighbor_set - {w}), None)
-                    if rep is not None:
-                        neutral_deletion = Swap(v, w, rep)
+            del_cost = model.row_cost(v, removal_dm[v])
+            if del_cost != math.inf and del_cost <= before:
+                rep = next(iter(neighbor_set - {w}), None)
+                if rep is not None:
+                    neutral_deletion = Swap(v, w, rep)
     if best_move is not None and best_cost < before:
         return BestResponse(best_move, before, best_cost, best_is_deletion)
     if neutral_deletion is not None:
@@ -175,7 +164,7 @@ def best_swap(
 def first_improving_swap(
     graph: CSRGraph,
     v: int,
-    objective: Objective = "sum",
+    objective: "Objective | str | CostModel" = "sum",
     seed=None,
 ) -> BestResponse:
     """First improving swap for ``v`` in a random candidate order.
@@ -183,26 +172,27 @@ def first_improving_swap(
     The better-response agent: one patched BFS per candidate, stopping at the
     first strict improvement.  Cheaper per activation than :func:`best_swap`
     when improving moves are plentiful (early dynamics), slower near
-    equilibrium — the census bench quantifies the trade.
+    equilibrium — the census bench quantifies the trade.  Candidates outside
+    the model's legal move set (budget caps) are skipped, not evaluated, so
+    the rng stream stays aligned with the unconstrained scan order.
     """
+    model = resolve_cost_model(objective, graph.n)
     rng = make_rng(seed)
-    before = _base_cost(graph, v, objective)
+    before = model.bfs_cost(graph, v)
     neighbors = [int(x) for x in graph.neighbors(v)]
     rng.shuffle(neighbors)
     targets = np.arange(graph.n)
     for w in neighbors:
         rng.shuffle(targets)
+        allowed = legal_add_targets(graph, v, w, model)
         for w2 in targets:
             w2 = int(w2)
-            if w2 == v or w2 == w:
+            if w2 == v or w2 == w or not allowed[w2]:
                 continue
             extra = [] if graph.has_edge(v, w2) else [(v, w2)]
-            total, ecc, reached = bfs_aggregates(
-                graph, v, exclude=(v, w), extra=extra
-            )
-            if reached < graph.n:
+            after = model.bfs_cost(graph, v, exclude=(v, w), extra=extra)
+            if after == math.inf:
                 continue
-            after = float(total if objective == "sum" else ecc)
             if after < before:
                 return BestResponse(
                     Swap(v, w, w2), before, after, graph.has_edge(v, w2)

@@ -16,13 +16,20 @@ record list is bit-identical to the serial run for any worker count.
 order — tail the file to watch the fleet), and ``resume=True`` picks an
 interrupted run back up from the streamed prefix, which is what makes
 overnight n = 512–1024 fleets restartable rather than an all-or-nothing
-batch.
+batch.  The stream opens with a run-config header line and resume
+validates it (plus every resumed record) against the current arguments,
+rewriting the prefix atomically (``.tmp`` + ``os.replace``) — see
+DESIGN.md §6 for the crash-window analysis.
+
+``objective`` accepts any cost-model spec (:mod:`repro.core.costmodel`),
+so the same fleet machinery covers the interest and budget game variants.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
@@ -39,12 +46,24 @@ from ..graphs import (
 )
 from ..parallel import chunk_evenly, get_shared_pool
 from ..rng import derive_seed
+from .costmodel import CostModel, cost_model_spec, resolve_cost_model
 from .dynamics import SwapDynamics
-from .equilibrium import is_max_equilibrium, is_sum_equilibrium
+from .equilibrium import is_equilibrium
 
-__all__ = ["CensusRecord", "run_census", "census_to_rows", "seed_graph"]
+__all__ = [
+    "CENSUS_CONFIG_KEY",
+    "CensusRecord",
+    "census_to_rows",
+    "run_census",
+    "seed_graph",
+]
 
 InitialFamily = Literal["tree", "sparse", "dense"]
+
+#: First-line marker of the JSONL run-config header (see :func:`run_census`).
+CENSUS_CONFIG_KEY = "census_config"
+
+_CONFIG_VERSION = 1
 
 
 @dataclass
@@ -108,9 +127,13 @@ def _census_task(task: tuple) -> CensusRecord:
         n, family, seed, objective, schedule, responder,
         max_steps, verify, verify_workers, audit_mode,
     ) = task
+    # A spec string resolves per-n here (interest sets carry their own seed
+    # inside the spec, so the model is a pure function of (spec, n)); a
+    # CostModel instance passes straight through.
+    model = resolve_cost_model(objective, n)
     initial = seed_graph(family, n, seed)
     dyn = SwapDynamics(
-        objective=objective,
+        objective=model,
         schedule=schedule,
         responder=responder,
         max_steps=max_steps,
@@ -120,20 +143,14 @@ def _census_task(task: tuple) -> CensusRecord:
     final = result.graph
     verified: bool | None = None
     if verify and result.converged:
-        verified = (
-            is_sum_equilibrium(
-                final, workers=verify_workers, mode=audit_mode
-            )
-            if objective == "sum"
-            else is_max_equilibrium(
-                final, workers=verify_workers, mode=audit_mode
-            )
+        verified = is_equilibrium(
+            final, model, workers=verify_workers, mode=audit_mode
         )
     return CensusRecord(
         n=n,
         family=family,
         seed=seed,
-        objective=objective,
+        objective=model.spec,
         schedule=schedule,
         responder=responder,
         m_initial=initial.m,
@@ -156,27 +173,85 @@ def _write_jsonl(sink: "IO[str]", records: Iterable[CensusRecord]) -> None:
     sink.flush()
 
 
-def _read_jsonl_prefix(path: Path) -> list[CensusRecord]:
-    """Parse the valid record prefix of a (possibly torn) census JSONL.
+def _read_jsonl_prefix(
+    path: Path,
+) -> "tuple[dict | None, list[CensusRecord]]":
+    """Parse a (possibly torn) census JSONL -> ``(config header, records)``.
 
-    A crash mid-write can leave a truncated final line; parsing stops at
-    the first undecodable line and the caller rewrites the file with the
-    surviving prefix before appending.
+    A crash mid-write can only truncate the **final** line (records are
+    appended strictly in order), so a torn final line is dropped silently.
+    An undecodable line anywhere *before* the end is a different animal —
+    the file was corrupted, hand-edited, or two runs interleaved — and
+    resuming past it would silently discard every record after the tear,
+    so it raises instead.
+
+    The header (first line carrying :data:`CENSUS_CONFIG_KEY`) is returned
+    separately when present; legacy files that start straight with records
+    yield ``header=None``.
     """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header: dict | None = None
     records: list[CensusRecord] = []
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for idx, line in enumerate(lines):
+        final = idx == len(lines) - 1
         try:
-            records.append(CensusRecord(**json.loads(line)))
-        except (ValueError, TypeError):
-            break
-    return records
+            obj = json.loads(line)
+        except ValueError:
+            if final:
+                break  # torn tail from a mid-write crash: drop and resume
+            raise ValueError(
+                f"{path}: line {idx + 1} of {len(lines)} is not valid JSON "
+                "but is not the final line — the stream is corrupt "
+                "mid-file, not merely torn by a crash; refusing to resume "
+                "(records beyond the tear would be silently lost)"
+            ) from None
+        if idx == 0 and isinstance(obj, dict) and CENSUS_CONFIG_KEY in obj:
+            header = obj
+            continue
+        try:
+            records.append(CensusRecord(**obj))
+        except TypeError:
+            if final:
+                break  # complete JSON but torn fields: treat as torn tail
+            raise ValueError(
+                f"{path}: line {idx + 1} of {len(lines)} is valid JSON but "
+                "not a census record; refusing to resume from a corrupt "
+                "stream"
+            ) from None
+    return header, records
+
+
+def _check_resume_config(header: dict, config: dict, path: Path) -> None:
+    """Raise when a resumed file's embedded config differs from this run's."""
+    version = header.get(CENSUS_CONFIG_KEY)
+    if version != _CONFIG_VERSION:
+        raise ValueError(
+            f"{path}: census config header version {version!r} != "
+            f"{_CONFIG_VERSION}; cannot resume across formats"
+        )
+    mismatched = {
+        key: (header.get(key), value)
+        for key, value in config.items()
+        if header.get(key) != value
+    }
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: file has {old!r}, run has {new!r}"
+            for key, (old, new) in sorted(mismatched.items())
+        )
+        raise ValueError(
+            f"resume mismatch: {path} was written by a run with a "
+            f"different configuration ({detail}) — resuming would silently "
+            "mix records from different games; rerun with the original "
+            "arguments or point --out at a fresh file"
+        )
 
 
 def run_census(
     n_values: Sequence[int],
     families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
     replicates: int = 3,
-    objective: Literal["sum", "max"] = "sum",
+    objective: "str | CostModel" = "sum",
     schedule: Literal["round_robin", "random", "greedy"] = "round_robin",
     responder: Literal["best", "first"] = "best",
     root_seed: int = 0,
@@ -203,12 +278,23 @@ def run_census(
     mutually exclusive (``verify_workers`` must stay 1 when ``workers > 1``
     — nested pools would oversubscribe).
 
+    ``objective`` is a cost-model spec string (``"sum"``, ``"max"``,
+    ``"interest-sum:k=4,seed=9"``, ``"budget-max:cap=3"``, …) or a
+    :class:`~repro.core.costmodel.CostModel`; spec strings resolve per-n
+    inside each task, so one census can sweep sizes under one variant.
+
     ``jsonl_path`` streams one JSON object per record, in record order, as
-    soon as each record (or parallel chunk of records) completes.  A fresh
-    run truncates the file; ``resume=True`` instead reloads the streamed
-    prefix of an interrupted run with the *same arguments* (validated
-    against the task grid, torn final lines dropped), skips those
-    trajectories, and appends from where the previous run stopped.
+    soon as each record (or parallel chunk of records) completes.  The
+    first line is a run-config header (:data:`CENSUS_CONFIG_KEY`) recording
+    every record-determining argument.  A fresh run replaces the file;
+    ``resume=True`` instead reloads the streamed prefix of an interrupted
+    run with the *same arguments*, skips those trajectories, and appends
+    from where the previous run stopped.  Resume validates the embedded
+    header **and** each resumed record against this call's configuration
+    and grid, and raises rather than silently mixing records from
+    different games; the prefix rewrite goes through a ``.tmp`` sidecar
+    and ``os.replace``, so a crash at any moment leaves either the old
+    file or the complete new prefix on disk — never a truncated stream.
     """
     if workers > 1 and verify_workers > 1:
         raise ValueError(
@@ -217,9 +303,11 @@ def run_census(
         )
     if resume and jsonl_path is None:
         raise ValueError("resume=True needs a jsonl_path to resume from")
+    spec = cost_model_spec(objective)  # canonical; validates the objective
+    task_objective = objective if isinstance(objective, CostModel) else spec
     tasks = [
         (
-            n, family, derive_seed(root_seed, ni, fi, rep), objective,
+            n, family, derive_seed(root_seed, ni, fi, rep), task_objective,
             schedule, responder, max_steps, verify, verify_workers,
             audit_mode,
         )
@@ -231,22 +319,62 @@ def run_census(
     sink = None
     if jsonl_path is not None:
         path = Path(jsonl_path)
+        config = {
+            CENSUS_CONFIG_KEY: _CONFIG_VERSION,
+            "objective": spec,
+            "schedule": schedule,
+            "responder": responder,
+            "max_steps": max_steps,
+            "verify": verify,
+            "audit_mode": audit_mode,
+            "root_seed": root_seed,
+            "n_values": [int(n) for n in n_values],
+            "families": list(families),
+            "replicates": replicates,
+        }
         done: list[CensusRecord] = []
         if resume and path.exists():
-            done = _read_jsonl_prefix(path)[: len(tasks)]
+            header, done = _read_jsonl_prefix(path)
+            if header is None:
+                # Pre-header (legacy) files cannot prove their max_steps /
+                # verify / audit_mode — exactly the silent-mixing bug this
+                # header exists to close — so refuse rather than guess.
+                raise ValueError(
+                    f"{path} has no run-config header (written before the "
+                    "header format); its max_steps/verify/audit_mode cannot "
+                    "be validated against this run.  Prepend the matching "
+                    "config line (see CENSUS_CONFIG_KEY) to adopt the file, "
+                    "or start a fresh jsonl_path"
+                )
+            _check_resume_config(header, config, path)
+            done = done[: len(tasks)]
             for rec, task in zip(done, tasks):
-                if (rec.n, rec.family, rec.seed) != task[:3]:
+                # Seeds derive from grid *position*, so (n, family, seed)
+                # alone cannot see an objective/schedule/responder change;
+                # re-validate per record so a header pasted onto foreign
+                # records is still caught.
+                if (rec.n, rec.family, rec.seed) != task[:3] or (
+                    rec.objective, rec.schedule, rec.responder
+                ) != (spec, schedule, responder):
                     raise ValueError(
-                        "resume mismatch: existing record "
-                        f"(n={rec.n}, family={rec.family!r}, seed={rec.seed})"
-                        " does not match this grid — same arguments required"
+                        "resume mismatch: existing record (n="
+                        f"{rec.n}, family={rec.family!r}, seed={rec.seed}, "
+                        f"objective={rec.objective!r}, "
+                        f"schedule={rec.schedule!r}, "
+                        f"responder={rec.responder!r}) does not match this "
+                        "run's grid/configuration — same arguments required"
                     )
         records = list(done)
         tasks = tasks[len(done) :]
-        # Rewrite the validated prefix (dropping any torn final line),
-        # then append from there.
-        sink = path.open("w", encoding="utf-8")
-        _write_jsonl(sink, done)
+        # Atomic prefix rewrite: build header + validated prefix in a .tmp
+        # sidecar and swap it in, so a crash between truncate and rewrite
+        # can no longer lose the previously streamed fleet.
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as prefix_sink:
+            prefix_sink.write(json.dumps(config) + "\n")
+            _write_jsonl(prefix_sink, done)
+        os.replace(tmp, path)
+        sink = path.open("a", encoding="utf-8")
     try:
         if workers <= 1 or len(tasks) <= 1:
             for task in tasks:

@@ -55,6 +55,7 @@ from ..graphs import (
 )
 from ..rng import make_rng
 from .best_response import BestResponse, best_swap, first_improving_swap
+from .costmodel import CostModel, parse_cost_spec, resolve_cost_model
 from .costs import INT_INF
 from .engine import DistanceEngine
 from .moves import Swap
@@ -109,7 +110,9 @@ class SwapDynamics:
     Parameters
     ----------
     objective:
-        ``"sum"`` or ``"max"`` (the paper's two versions).
+        ``"sum"`` or ``"max"`` (the paper's two versions), any variant spec
+        string (``"interest-sum:k=4,seed=9"``, ``"budget-max:cap=3"``), or a
+        :class:`~repro.core.costmodel.CostModel` instance.
     schedule:
         Activation order (see module docstring).
     responder:
@@ -129,7 +132,7 @@ class SwapDynamics:
 
     def __init__(
         self,
-        objective: Objective = "sum",
+        objective: "Objective | str | CostModel" = "sum",
         schedule: Schedule = "round_robin",
         responder: Responder = "best",
         max_steps: int = 10_000,
@@ -137,8 +140,10 @@ class SwapDynamics:
         seed=None,
         engine_mode: EngineMode = "incremental",
     ):
-        if objective not in ("sum", "max"):
-            raise ConfigurationError(f"unknown objective {objective!r}")
+        if not isinstance(objective, CostModel):
+            # Validate the spec eagerly; n-dependent models (interest sets)
+            # materialize lazily in run() where the graph size is known.
+            parse_cost_spec(objective)
         if schedule not in ("round_robin", "random", "greedy"):
             raise ConfigurationError(f"unknown schedule {schedule!r}")
         if responder not in ("best", "first"):
@@ -147,19 +152,21 @@ class SwapDynamics:
             raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
         if engine_mode not in ("incremental", "oracle"):
             raise ConfigurationError(f"unknown engine_mode {engine_mode!r}")
-        self.objective: Objective = objective
+        self.objective: "Objective | str | CostModel" = objective
         self.schedule: Schedule = schedule
         self.responder: Responder = responder
         self.max_steps = max_steps
         self.record = record
         self.engine_mode: EngineMode = engine_mode
         self._rng = make_rng(seed)
+        self._model: CostModel | None = None  # resolved per run()
 
     # ------------------------------------------------------------------
     def run(self, initial: CSRGraph) -> DynamicsResult:
         """Run the dynamics from ``initial`` (must be connected)."""
         if not is_connected(initial):
             raise DisconnectedGraphError("dynamics require a connected start")
+        self._model = resolve_cost_model(self.objective, initial.n)
         if self.engine_mode == "oracle":
             return self._run_oracle(initial)
         return self._run_incremental(initial)
@@ -198,9 +205,9 @@ class SwapDynamics:
             nonlocal activations
             activations += 1
             if self.responder == "best":
-                return engine.best_swap(v, self.objective)
+                return engine.best_swap(v, self._model)
             return first_improving_swap(
-                engine.graph, v, self.objective, self._rng
+                engine.graph, v, self._model, self._rng
             )
 
         def apply(br: BestResponse) -> bool:
@@ -315,8 +322,8 @@ class SwapDynamics:
     # ------------------------------------------------------------------
     def _respond_oracle(self, graph: CSRGraph, v: int) -> BestResponse:
         if self.responder == "best":
-            return best_swap(graph, v, self.objective, mode="oracle")
-        return first_improving_swap(graph, v, self.objective, self._rng)
+            return best_swap(graph, v, self._model, mode="oracle")
+        return first_improving_swap(graph, v, self._model, self._rng)
 
     def _run_oracle(self, initial: CSRGraph) -> DynamicsResult:
         state = AdjacencyGraph.from_csr(initial)

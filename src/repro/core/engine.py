@@ -28,7 +28,6 @@ cross-validation oracles (``mode="rebuild"`` / ``mode="oracle"`` in
 
 from __future__ import annotations
 
-import math
 from typing import Literal
 
 import numpy as np
@@ -103,11 +102,16 @@ class DistanceEngine:
             return True
         return bool((self._dm[0] < INT_INF).all())
 
-    def cost(self, v: int, objective: Objective = "sum") -> float:
-        """The agent cost of ``v`` in the current graph (``inf`` if disconnected)."""
-        row = self._dm[v]
-        agg = row.sum() if objective == "sum" else row.max()
-        return math.inf if agg >= INT_INF else float(agg)
+    def cost(self, v: int, objective: "Objective | str" = "sum") -> float:
+        """The agent cost of ``v`` in the current graph (``inf`` if disconnected).
+
+        ``objective`` accepts any cost model or spec string
+        (:mod:`repro.core.costmodel`); the historical ``"sum"``/``"max"``
+        strings behave exactly as before.
+        """
+        from .costmodel import resolve_cost_model
+
+        return resolve_cost_model(objective, self.n).row_cost(v, self._dm[v])
 
     def sum_costs(self) -> np.ndarray:
         """Lifted int64 vector of per-vertex sum costs."""

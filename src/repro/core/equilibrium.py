@@ -16,6 +16,13 @@ module is that procedure, vectorized:
   monotonicity of distances under edge removal this also implies stability
   under ≤ k swaps, the form the paper states.
 
+All swap audits run through the pluggable cost-model layer
+(:mod:`repro.core.costmodel` / DESIGN.md §6): :func:`find_swap_violation`
+and :func:`is_equilibrium` take any model or spec string — the paper's
+``"sum"``/``"max"`` plus the interest and budget variants — while the
+historical :func:`find_sum_violation` / :func:`is_max_equilibrium` surface
+stays bit-identical as thin wrappers.
+
 The audits share one base APSP and derive every per-edge removal matrix from
 it by affected-row BFS repair (DESIGN.md §2); ``mode="batched"`` goes one
 step further and plans **all** edges up front — vectorized affected-source
@@ -49,13 +56,16 @@ from ..errors import DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
 from ..graphs.repair import predecessor_counts, removal_matrix_repair
 from ..parallel import chunk_evenly, parallel_map
+from .costmodel import CostModel, resolve_cost_model
 from .costs import INT_INF, lift_distances
 from .moves import Swap
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
 
 __all__ = [
     "Violation",
+    "find_swap_violation",
     "find_sum_violation",
+    "is_equilibrium",
     "is_sum_equilibrium",
     "sum_equilibrium_gap",
     "find_max_swap_violation",
@@ -99,15 +109,13 @@ class Violation:
         return Swap(self.vertex, self.drop, self.add)
 
 
-def _prepare(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Distance matrix + per-vertex base sum/ecc; requires connectivity."""
+def _prepare(graph: CSRGraph) -> np.ndarray:
+    """Lifted distance matrix of ``graph``; requires connectivity."""
     if not is_connected(graph):
         raise DisconnectedGraphError(
             "equilibrium audits are defined on connected graphs"
         )
-    dm = distance_matrix(graph)
-    lifted = lift_distances(dm)
-    return lifted, lifted.sum(axis=1), lifted.max(axis=1)
+    return lift_distances(distance_matrix(graph))
 
 
 AuditMode = Literal["repair", "rebuild", "batched"]
@@ -168,26 +176,52 @@ def _shared_graph(arrays) -> tuple[CSRGraph, np.ndarray]:
     return graph, arrays["dm"]
 
 
-def _base_vector(lifted: np.ndarray, objective: str) -> np.ndarray:
-    return lifted.sum(axis=1) if objective == "sum" else lifted.max(axis=1)
+def _detach_model(model):
+    """Split a model into a small pickle stub + shared n×n-sized arrays.
+
+    Chunk payloads cross the pickle boundary per chunk, so anything
+    matrix-sized (an ``InterestCost`` weight matrix) rides the shared-array
+    channel next to the base matrix instead — the same rule that keeps
+    ``dm``/``pc`` out of the payloads (DESIGN.md §5).
+    """
+    from .costmodel import InterestCost
+
+    if isinstance(model, InterestCost):
+        return ("interest", model.kind, model.spec), {"cmw": model.weights}
+    return (model, {})
+
+
+def _attach_model(stub, arrays):
+    """Inverse of :func:`_detach_model`, run inside the worker."""
+    from .costmodel import InterestCost
+
+    if isinstance(stub, tuple) and stub and stub[0] == "interest":
+        _, kind, spec = stub
+        return InterestCost(kind, arrays["cmw"], spec=spec)
+    return stub
 
 
 def _swap_violation_chunk(payload, arrays):
     """First swap violation in one edge chunk, tagged by directed-edge index."""
-    edges, start, objective, kind = payload
+    edges, start, stub = payload
+    model = _attach_model(stub, arrays)
     graph, lifted = _shared_graph(arrays)
-    base = _base_vector(lifted, objective)
+    base = model.base_costs(lifted)
     for i, (a, b) in enumerate(edges):
         removal_dm = removal_matrix_repair(graph, lifted, (a, b))
         for j, (v, w) in enumerate(((a, b), (b, a))):
-            costs = all_swap_costs_for_drop(graph, v, w, objective, removal_dm)
+            costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
+            mask = model.target_mask(graph, v, w)
+            if mask is not None:
+                costs[~mask] = math.inf
             costs[w] = math.inf
             best = int(np.argmin(costs))
             if costs[best] < base[v]:
                 return (
                     2 * (start + i) + j,
                     Violation(
-                        kind, v, w, best, float(base[v]), float(costs[best])
+                        model.violation_kind, v, w, best,
+                        float(base[v]), float(costs[best]),
                     ),
                 )
     return None
@@ -197,16 +231,16 @@ def _batched_violation_chunk(payload, arrays):
     """Batched-kernel analog of :func:`_swap_violation_chunk`."""
     from .batched import scan_swap_violations
 
-    edges, start, objective, kind = payload
+    edges, start, stub = payload
+    model = _attach_model(stub, arrays)
     graph, lifted = _shared_graph(arrays)
     return scan_swap_violations(
         graph,
         lifted,
-        _base_vector(lifted, objective),
+        model.base_costs(lifted),
         edges,
         start,
-        objective,
-        kind,
+        model,
         pred_counts=arrays["pc"],
     )
 
@@ -285,40 +319,125 @@ def _audit_arrays(
     return arrays
 
 
-def _scan_parallel(graph, lifted, mode, workers, fn_by_mode, make_payload):
+def _scan_parallel(
+    graph, lifted, mode, workers, fn_by_mode, make_payload, extra_arrays=None
+):
     """Chunk the edge loop, map over shared-memory workers, keep order."""
     chunks = chunk_evenly(list(graph.iter_edges()), workers)
     payloads = [make_payload(start, chunk) for start, chunk in chunks]
+    shared = _audit_arrays(graph, lifted, mode)
+    if extra_arrays:
+        shared.update(extra_arrays)
     return parallel_map(
         fn_by_mode[mode],
         payloads,
         workers=min(workers, len(payloads)),
         chunk_size=1,
-        shared=_audit_arrays(graph, lifted, mode),
+        shared=shared,
     )
 
 
-def _first_violation_parallel(graph, lifted, objective, kind, workers, mode):
+def _first_violation_parallel(graph, lifted, model, workers, mode):
+    stub, model_arrays = _detach_model(model)
     results = _scan_parallel(
         graph,
         lifted,
         mode,
         workers,
         {"repair": _swap_violation_chunk, "batched": _batched_violation_chunk},
-        lambda start, chunk: (chunk, start, objective, kind),
+        lambda start, chunk: (chunk, start, stub),
+        extra_arrays=model_arrays,
     )
     hits = [r for r in results if r is not None]
     return min(hits)[1] if hits else None
 
 
-def _batched_first_violation(graph, lifted, base, objective, kind):
+def _batched_first_violation(graph, lifted, base, model):
     """Serial batched scan over every edge (workers == 1 path)."""
     from .batched import scan_swap_violations
 
     hit = scan_swap_violations(
-        graph, lifted, base, list(graph.iter_edges()), 0, objective, kind
+        graph, lifted, base, list(graph.iter_edges()), 0, model
     )
     return hit[1] if hit else None
+
+
+# ---------------------------------------------------------------------------
+# The generalized swap audit (sum / max / interest / budget cost models)
+# ---------------------------------------------------------------------------
+
+def find_swap_violation(
+    graph: CSRGraph,
+    objective: "str | CostModel" = "sum",
+    *,
+    workers: int = 1,
+    mode: AuditMode = "repair",
+) -> Violation | None:
+    """First swap improving some agent's model cost, or ``None`` at rest.
+
+    ``objective`` is a :class:`~repro.core.costmodel.CostModel` or spec
+    string; ``"sum"``/``"max"`` reproduce the paper's audits bit-for-bit
+    (same violations, same tie-breaks, same directed-edge order).  Models
+    with constrained move sets (budget caps) only audit the legal moves.
+
+    ``workers > 1`` chunks the directed-edge loop across shared-memory
+    processes; the returned violation is the same one the serial scan
+    finds.  Chunking applies to ``mode="repair"`` and ``mode="batched"`` —
+    the rebuild oracle stays serial.
+    """
+    _check_mode(mode)
+    model = resolve_cost_model(objective, graph.n)
+    if graph.n <= 2:
+        if not is_connected(graph):
+            raise DisconnectedGraphError(
+                "equilibrium audits are defined on connected graphs"
+            )
+        return None
+    lifted = _prepare(graph)
+    if workers > 1 and mode in ("repair", "batched"):
+        return _first_violation_parallel(graph, lifted, model, workers, mode)
+    base = model.base_costs(lifted)
+    if mode == "batched":
+        return _batched_first_violation(graph, lifted, base, model)
+    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
+        costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
+        mask = model.target_mask(graph, v, w)
+        if mask is not None:
+            costs[~mask] = math.inf  # move-set constraint (budget cap)
+        costs[w] = math.inf  # identity move is not a violation
+        best = int(np.argmin(costs))
+        if costs[best] < base[v]:
+            return Violation(
+                model.violation_kind, v, w, best,
+                float(base[v]), float(costs[best]),
+            )
+    return None
+
+
+def is_equilibrium(
+    graph: CSRGraph,
+    objective: "str | CostModel" = "sum",
+    *,
+    workers: int = 1,
+    mode: AuditMode = "repair",
+) -> bool:
+    """Whether ``graph`` is at rest under the model's equilibrium notion.
+
+    Swap stability under the model's cost and move set; for the paper's max
+    version (``requires_deletion_criticality``) the audit additionally
+    demands deletion-criticality, matching :func:`is_max_equilibrium`
+    exactly.  Variant max models (interest / budget) are swap-stability
+    only — their literatures define no criticality condition.
+    """
+    model = resolve_cost_model(objective, graph.n)
+    if find_swap_violation(graph, model, workers=workers, mode=mode) is not None:
+        return False
+    if model.requires_deletion_criticality:
+        return (
+            find_deletion_criticality_violation(graph, workers=workers, mode=mode)
+            is None
+        )
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -331,38 +450,8 @@ def find_sum_violation(
     workers: int = 1,
     mode: AuditMode = "repair",
 ) -> Violation | None:
-    """First improving sum-swap found, or ``None`` if in sum equilibrium.
-
-    ``workers > 1`` chunks the directed-edge loop across shared-memory
-    processes; the returned violation is the same one the serial scan
-    finds.  Chunking applies to ``mode="repair"`` and ``mode="batched"`` —
-    the rebuild oracle stays serial.
-    """
-    _check_mode(mode)
-    if graph.n <= 2:
-        if not is_connected(graph):
-            raise DisconnectedGraphError(
-                "equilibrium audits are defined on connected graphs"
-            )
-        return None
-    lifted, base_sum, _ = _prepare(graph)
-    if workers > 1 and mode in ("repair", "batched"):
-        return _first_violation_parallel(
-            graph, lifted, "sum", "sum-swap", workers, mode
-        )
-    if mode == "batched":
-        return _batched_first_violation(
-            graph, lifted, base_sum, "sum", "sum-swap"
-        )
-    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
-        costs = all_swap_costs_for_drop(graph, v, w, "sum", removal_dm)
-        costs[w] = math.inf  # identity move is not a violation
-        best = int(np.argmin(costs))
-        if costs[best] < base_sum[v]:
-            return Violation(
-                "sum-swap", v, w, best, float(base_sum[v]), float(costs[best])
-            )
-    return None
+    """First improving sum-swap found, or ``None`` if in sum equilibrium."""
+    return find_swap_violation(graph, "sum", workers=workers, mode=mode)
 
 
 def is_sum_equilibrium(
@@ -383,7 +472,8 @@ def sum_equilibrium_gap(
     _check_mode(mode)
     if graph.n <= 2:
         return 0.0
-    lifted, base_sum, _ = _prepare(graph)
+    lifted = _prepare(graph)
+    base_sum = lifted.sum(axis=1)
     if workers > 1 and mode in ("repair", "batched"):
         gaps = _scan_parallel(
             graph,
@@ -419,31 +509,7 @@ def find_max_swap_violation(
     mode: AuditMode = "repair",
 ) -> Violation | None:
     """First swap strictly decreasing the mover's local diameter, or ``None``."""
-    _check_mode(mode)
-    if graph.n <= 2:
-        if not is_connected(graph):
-            raise DisconnectedGraphError(
-                "equilibrium audits are defined on connected graphs"
-            )
-        return None
-    lifted, _, base_ecc = _prepare(graph)
-    if workers > 1 and mode in ("repair", "batched"):
-        return _first_violation_parallel(
-            graph, lifted, "max", "max-swap", workers, mode
-        )
-    if mode == "batched":
-        return _batched_first_violation(
-            graph, lifted, base_ecc, "max", "max-swap"
-        )
-    for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
-        costs = all_swap_costs_for_drop(graph, v, w, "max", removal_dm)
-        costs[w] = math.inf
-        best = int(np.argmin(costs))
-        if costs[best] < base_ecc[v]:
-            return Violation(
-                "max-swap", v, w, best, float(base_ecc[v]), float(costs[best])
-            )
-    return None
+    return find_swap_violation(graph, "max", workers=workers, mode=mode)
 
 
 def find_deletion_criticality_violation(
@@ -458,7 +524,8 @@ def find_deletion_criticality_violation(
     and of the lower-bound constructions.
     """
     _check_mode(mode)
-    lifted, _, base_ecc = _prepare(graph)
+    lifted = _prepare(graph)
+    base_ecc = lifted.max(axis=1)
     if workers > 1 and mode in ("repair", "batched"):
         results = _scan_parallel(
             graph,
@@ -523,7 +590,8 @@ def find_insertion_violation(graph: CSRGraph) -> Violation | None:
     inserted edge incident to ``u`` can only be used as the first step of a
     shortest path from ``u``.
     """
-    lifted, _, base_ecc = _prepare(graph)
+    lifted = _prepare(graph)
+    base_ecc = lifted.max(axis=1)
     n = graph.n
     adjacency = [set(int(x) for x in graph.neighbors(u)) for u in range(n)]
     for u in range(n):

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import IllegalSwapError
 from ..graphs import AdjacencyGraph, CSRGraph
 
-__all__ = ["Swap", "apply_swap", "swapped_graph"]
+__all__ = ["Swap", "apply_swap", "legal_add_targets", "swapped_graph"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,6 +62,26 @@ class Swap:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"swap(v={self.vertex}: drop {self.drop}, add {self.add})"
+
+
+def legal_add_targets(
+    graph: CSRGraph, v: int, w: int, model=None
+) -> np.ndarray:
+    """Boolean mask of legal add-targets for ``v`` dropping edge ``v–w``.
+
+    The base game allows every target except the mover itself (``w`` is the
+    identity re-add, left to callers to exclude where it matters).  A cost
+    model with a constrained move set — budget caps on incident edges —
+    narrows the mask further via ``model.target_mask``; models without move
+    constraints leave it untouched.
+    """
+    mask = np.ones(graph.n, dtype=bool)
+    mask[v] = False
+    if model is not None:
+        extra = model.target_mask(graph, v, w)
+        if extra is not None:
+            mask &= extra
+    return mask
 
 
 def apply_swap(graph: AdjacencyGraph, swap: Swap) -> None:

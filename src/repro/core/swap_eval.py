@@ -33,9 +33,10 @@ from typing import Literal
 
 import numpy as np
 
-from ..graphs import CSRGraph, bfs_aggregates, distance_matrix
+from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
-from .costs import INT_INF, lift_distances
+from .costmodel import CostModel, resolve_cost_model
+from .costs import lift_distances
 from .moves import Swap, swapped_graph
 
 __all__ = [
@@ -50,48 +51,38 @@ EvalMode = Literal["patched", "copy"]
 RemovalMode = Literal["repair", "rebuild"]
 
 
-def _aggregate(total: int, ecc: int, reached: int, n: int, objective: Objective) -> float:
-    if reached < n:
-        return math.inf
-    return float(total if objective == "sum" else ecc)
-
-
 def swap_cost_after(
     graph: CSRGraph,
     swap: Swap,
-    objective: Objective = "sum",
+    objective: "Objective | str | CostModel" = "sum",
     mode: EvalMode = "patched",
 ) -> float:
     """The mover's cost in the swapped graph (``inf`` if it disconnects them)."""
+    model = resolve_cost_model(objective, graph.n)
     swap.validate(graph)
     if mode == "copy":
         g2 = swapped_graph(graph, swap)
-        total, ecc, reached = bfs_aggregates(g2, swap.vertex)
-        return _aggregate(total, ecc, reached, g2.n, objective)
+        return model.bfs_cost(g2, swap.vertex)
     if mode != "patched":
         raise ValueError(f"unknown eval mode {mode!r}")
     extra = []
     if not graph.has_edge(swap.vertex, swap.add):
         extra = [(swap.vertex, swap.add)]
-    total, ecc, reached = bfs_aggregates(
-        graph,
-        swap.vertex,
-        exclude=(swap.vertex, swap.drop),
-        extra=extra,
+    return model.bfs_cost(
+        graph, swap.vertex, exclude=(swap.vertex, swap.drop), extra=extra
     )
-    return _aggregate(total, ecc, reached, graph.n, objective)
 
 
 def swap_delta(
     graph: CSRGraph,
     swap: Swap,
-    objective: Objective = "sum",
+    objective: "Objective | str | CostModel" = "sum",
     mode: EvalMode = "patched",
 ) -> float:
     """``cost_after - cost_before`` for the mover; negative means improving."""
-    total, ecc, reached = bfs_aggregates(graph, swap.vertex)
-    before = _aggregate(total, ecc, reached, graph.n, objective)
-    after = swap_cost_after(graph, swap, objective, mode)
+    model = resolve_cost_model(objective, graph.n)
+    before = model.bfs_cost(graph, swap.vertex)
+    after = swap_cost_after(graph, swap, model, mode)
     return after - before
 
 
@@ -132,7 +123,7 @@ def all_swap_costs_for_drop(
     graph: CSRGraph,
     v: int,
     w: int,
-    objective: Objective = "sum",
+    objective: "Objective | str | CostModel" = "sum",
     removal_dm: np.ndarray | None = None,
 ) -> np.ndarray:
     """Cost of ``v`` after swapping edge ``v–w`` to ``v–w'``, for **every** w'.
@@ -146,26 +137,29 @@ def all_swap_costs_for_drop(
     neighbour of ``v`` in ``G − vw``, the min-plus closure with ``w'``'s row
     cannot beat ``v``'s own row, so ``costs[w']`` equals the deletion cost.
 
+    ``objective`` accepts a :class:`~repro.core.costmodel.CostModel` or any
+    spec string; the costs are the model's (``"sum"``/``"max"`` reproduce
+    the paper's objectives bit-for-bit).  Move legality (budget caps) is
+    *not* applied here — this is the cost of every hypothetical target;
+    movers mask illegal targets via ``model.target_mask``.
+
     Parameters
     ----------
     removal_dm:
         Optional precomputed :func:`removal_distance_matrix` for ``(v, w)``
         (shared by the two endpoints of an edge during a full audit).
     """
-    n = graph.n
+    model = (
+        objective
+        if isinstance(objective, CostModel)
+        else resolve_cost_model(objective, graph.n)
+    )
     if removal_dm is None:
         removal_dm = removal_distance_matrix(graph, (v, w))
     dv = removal_dm[v]  # distances from v in G - vw
     # candidate[w', u] = min(dv[u], 1 + removal_dm[w', u])
     candidate = np.minimum(dv[None, :], removal_dm + 1)
-    if objective == "sum":
-        raw = candidate.sum(axis=1)
-    elif objective == "max":
-        raw = candidate.max(axis=1)
-    else:
-        raise ValueError(f"unknown objective {objective!r}")
-    costs = raw.astype(np.float64)
-    costs[raw >= INT_INF] = math.inf
+    costs = model.candidate_costs(v, candidate)
 
     # w' == w re-adds the dropped edge: identity. Recover the base cost
     # directly from the same min-plus closure (row w is exact for it).

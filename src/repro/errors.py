@@ -44,8 +44,13 @@ class IllegalSwapError(MoveError):
     """A swap referenced a non-existent edge or produced an illegal graph."""
 
 
-class ConfigurationError(ReproError):
-    """An experiment or sweep was configured inconsistently."""
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or sweep was configured inconsistently.
+
+    Also a ``ValueError``: bad objective specs, modes, and similar argument
+    errors historically surfaced as either type depending on the layer, so
+    the shared subclass keeps both ``except`` styles working.
+    """
 
 
 class ConvergenceError(ReproError):

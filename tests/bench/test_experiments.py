@@ -20,6 +20,7 @@ class TestRegistry:
             "poa-diameter",
             "equilibrium-cost",
             "small-census",
+            "variant-census",
             "paper-claims",
         ]
 
@@ -97,3 +98,15 @@ class TestHeadlineClaims:
         for col in ("repair seconds", "batched seconds"):
             secs = [float(x) for x in tables[0].column(col)]
             assert all(s > 0 for s in secs)
+
+    def test_variant_census_table(self):
+        (table,) = run_experiment("variant-census", "quick")
+        objectives = set(table.column("objective"))
+        # Base objectives plus both variant families reach the census.
+        assert {"sum", "max"} <= objectives
+        assert any(o.startswith("interest-") for o in objectives)
+        assert any(o.startswith("budget-") for o in objectives)
+        # Converged endpoints pass the model-aware audit: wherever runs
+        # converged, the verified count matches.
+        for row in table.rows:
+            assert row[4] == row[3]  # "#verified eq" == "#converged"

@@ -1,0 +1,81 @@
+"""Schema guard for the committed ``results/checker_scaling.json`` trajectory.
+
+The file is a per-PR history: every PR's bench run appends one labelled
+entry, and downstream tooling (DESIGN.md tables, CI artifacts) parses it.
+This guard keeps the trajectory parseable as PRs accumulate — a bench-side
+refactor that silently changes the layout fails here, in the tier-1 suite,
+instead of at the next overnight bench run.
+"""
+
+import json
+import numbers
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).resolve().parents[2] / "results"
+
+#: arm name -> keys every row of that arm must carry (superset allowed).
+ARM_REQUIRED_KEYS = {
+    "audit": {"n", "m"},
+    "workers": {"n", "workers"},
+    "fleet": {"n", "workers"},
+    "dynamics": {"n", "speedup"},
+    "variants": {"n", "objective"},
+}
+
+
+def _load():
+    path = RESULTS / "checker_scaling.json"
+    if not path.exists():
+        pytest.skip("no committed checker_scaling.json trajectory")
+    return json.loads(path.read_text()), path
+
+
+def test_trajectory_parses_with_history_layout():
+    data, path = _load()
+    assert isinstance(data, dict) and "history" in data, path
+    history = data["history"]
+    assert isinstance(history, list) and history, "empty trajectory"
+
+
+def test_every_entry_is_labelled_and_unique():
+    data, _ = _load()
+    labels = [entry.get("label") for entry in data["history"]]
+    assert all(isinstance(label, str) and label for label in labels)
+    assert len(labels) == len(set(labels)), f"duplicate PR labels: {labels}"
+
+
+def test_arm_rows_carry_required_numeric_keys():
+    data, _ = _load()
+    for entry in data["history"]:
+        for arm, required in ARM_REQUIRED_KEYS.items():
+            rows = entry.get(arm, [])
+            assert isinstance(rows, list), (entry["label"], arm)
+            for row in rows:
+                missing = required - set(row)
+                assert not missing, (entry["label"], arm, missing)
+                assert isinstance(row["n"], numbers.Integral), (
+                    entry["label"], arm, row
+                )
+
+
+def test_timings_are_finite_nonnegative_numbers():
+    data, _ = _load()
+    for entry in data["history"]:
+        for arm, rows in entry.items():
+            if not isinstance(rows, list):
+                continue
+            for row in rows:
+                for key, value in row.items():
+                    if key.endswith("_sec") and value is not None:
+                        assert isinstance(value, numbers.Real), (arm, row)
+                        assert value >= 0, (arm, row)
+
+
+def test_smoke_file_when_present_has_same_layout():
+    path = RESULTS / "checker_scaling_smoke.json"
+    if not path.exists():
+        pytest.skip("no smoke trajectory on disk")
+    data = json.loads(path.read_text())
+    assert isinstance(data, dict) and isinstance(data.get("history"), list)

@@ -181,8 +181,11 @@ class TestCensusFleet:
         serial_text = (tmp_path / "serial.jsonl").read_text()
         assert serial_text == (tmp_path / "fleet.jsonl").read_text()
         lines = serial_text.splitlines()
-        assert len(lines) == len(serial) == 8
-        first = json.loads(lines[0])
+        # One run-config header line plus one line per record.
+        assert len(lines) == len(serial) + 1 == 9
+        header = json.loads(lines[0])
+        assert header["objective"] == "sum" and header["root_seed"] == 13
+        first = json.loads(lines[1])
         assert first["n"] == 8 and first["family"] == "tree"
 
     def test_conflicting_sharding_axes_rejected(self):
