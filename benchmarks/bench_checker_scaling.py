@@ -17,7 +17,10 @@ DESIGN.md §4 ablation matrix:
   oracle loop, run to convergence;
 * **variant-audit throughput** — full model-aware equilibrium audits of the
   interest and budget game variants (cost-model layer, DESIGN.md §6) on
-  their own converged endpoints, repair vs batched kernels.
+  their own converged endpoints, repair vs batched kernels;
+* **trajectory-census fleet** — `run_trajectory_census` (DESIGN.md §7)
+  serial vs sharded over the persistent pool, records asserted
+  bit-identical across worker counts.
 
 ``test_scaling_report`` times the arms at n ∈ {48, 128, 256, 512} (env
 ``REPRO_BENCH_SMOKE=1`` restricts to n = 48 for CI smoke runs, still with a
@@ -41,6 +44,7 @@ from repro.core import (
     removal_distance_matrix,
     resolve_cost_model,
     run_census,
+    run_trajectory_census,
     swap_cost_after,
 )
 from repro.graphs import distance_matrix, random_connected_gnm, random_tree
@@ -154,7 +158,7 @@ def _load_history(path) -> list:
     return []
 
 
-_ENTRY_LABEL = "pr3-costmodel-variants"
+_ENTRY_LABEL = "pr4-trajectory-census"
 
 
 def _variant_equilibrium(spec: str, n: int):
@@ -183,6 +187,7 @@ def test_scaling_report(results_dir):
         "fleet": [],
         "dynamics": [],
         "variants": [],
+        "trajfleet": [],
     }
 
     for n in sizes:
@@ -280,6 +285,37 @@ def test_scaling_report(results_dir):
                     ),
                 }
             )
+
+    # Trajectory-census fleet: serial vs sharded workers (records must be
+    # bit-identical, so the scaling rows are also a determinism assertion).
+    traj_n = [12] if smoke else [24]
+    traj_kwargs = dict(
+        n_values=traj_n, families=("tree", "sparse"),
+        objectives=("sum", "interest-sum:k=3,seed=0"),
+        schedules=("round_robin", "random"), responders=("best",),
+        replicates=2, root_seed=11, max_steps=4000,
+    )
+    traj_count = 2 * 2 * 2 * len(traj_n) * 2
+    serial_records = None
+    t_traj_serial = None
+    for w in [1, 2] if smoke else [1, 2, 4]:
+        start = time.perf_counter()
+        recs = run_trajectory_census(workers=w, **traj_kwargs)
+        t_traj = time.perf_counter() - start
+        if w == 1:
+            serial_records, t_traj_serial = recs, t_traj
+            continue
+        assert recs == serial_records, f"trajfleet workers={w} diverged"
+        entry["trajfleet"].append(
+            {
+                "n": traj_n[0],
+                "trajectories": traj_count,
+                "workers": w,
+                "serial_sec": round(t_traj_serial, 5),
+                "fleet_sec": round(t_traj, 5),
+                "scaling": round(t_traj_serial / t_traj, 2),
+            }
+        )
 
     for n in [32] if smoke else [32, 64]:
         tree = random_tree(n, seed=5)

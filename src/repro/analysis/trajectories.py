@@ -12,7 +12,7 @@ moved, and whether the trajectory was socially monotone.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..core.dynamics import DynamicsResult
 from ..errors import ConfigurationError
@@ -51,6 +51,10 @@ class TrajectorySummary:
     diameter_initial: float
     diameter_final: float
     diameter_peak: float
+
+    def as_dict(self) -> dict:
+        """Field dict (the trajectory census embeds these in its records)."""
+        return asdict(self)
 
 
 def summarize_trajectory(result: DynamicsResult) -> TrajectorySummary:

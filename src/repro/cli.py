@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig4-torus
     python -m repro.cli run thm9-diameter-census --scale full --csv results/
+    python -m repro.cli run dynamics-census            # trajectory census
     python -m repro.cli all --scale quick --csv results/
 
 ``run`` prints the tables as ASCII; ``--csv DIR`` additionally writes one

@@ -53,6 +53,13 @@ from .swap_eval import (
     swap_cost_after,
     swap_delta,
 )
+from .trajcensus import (
+    TrajectoryRecord,
+    graph_fingerprint,
+    run_trajectory_census,
+    trajectory_census_to_rows,
+    trajectory_sweep,
+)
 
 __all__ = [
     "BestResponse",
@@ -67,6 +74,7 @@ __all__ = [
     "SumCost",
     "Swap",
     "SwapDynamics",
+    "TrajectoryRecord",
     "Violation",
     "all_swap_costs_for_drop",
     "apply_swap",
@@ -79,6 +87,7 @@ __all__ = [
     "find_sum_violation",
     "find_swap_violation",
     "first_improving_swap",
+    "graph_fingerprint",
     "interest_sets",
     "is_deletion_critical",
     "is_equilibrium",
@@ -97,6 +106,7 @@ __all__ = [
     "removal_distance_matrix",
     "resolve_cost_model",
     "run_census",
+    "run_trajectory_census",
     "seed_graph",
     "sum_cost",
     "sum_cost_vector",
@@ -104,4 +114,6 @@ __all__ = [
     "swap_cost_after",
     "swap_delta",
     "swapped_graph",
+    "trajectory_census_to_rows",
+    "trajectory_sweep",
 ]

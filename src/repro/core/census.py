@@ -16,10 +16,11 @@ record list is bit-identical to the serial run for any worker count.
 order — tail the file to watch the fleet), and ``resume=True`` picks an
 interrupted run back up from the streamed prefix, which is what makes
 overnight n = 512–1024 fleets restartable rather than an all-or-nothing
-batch.  The stream opens with a run-config header line and resume
-validates it (plus every resumed record) against the current arguments,
-rewriting the prefix atomically (``.tmp`` + ``os.replace``) — see
-DESIGN.md §6 for the crash-window analysis.
+batch.  The stream rides the shared :class:`~repro.io.jsonl_store.JsonlStore`
+(also under the trajectory census): it opens with a run-config header line
+and resume validates it (plus every resumed record) against the current
+arguments, rewriting the prefix atomically (``.tmp`` + ``os.replace``) —
+see DESIGN.md §6 for the crash-window analysis.
 
 ``objective`` accepts any cost-model spec (:mod:`repro.core.costmodel`),
 so the same fleet machinery covers the interest and budget game variants.
@@ -29,13 +30,13 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
 import numpy as np
 
+from ..io.jsonl_store import JsonlStore
 from ..graphs import (
     CSRGraph,
     degree_sequence,
@@ -44,7 +45,7 @@ from ..graphs import (
     random_tree,
     total_pairwise_distance,
 )
-from ..parallel import chunk_evenly, get_shared_pool
+from ..parallel import map_streamed
 from ..rng import derive_seed
 from .costmodel import CostModel, cost_model_spec, resolve_cost_model
 from .dynamics import SwapDynamics
@@ -168,9 +169,24 @@ def _census_task(task: tuple) -> CensusRecord:
 
 
 def _write_jsonl(sink: "IO[str]", records: Iterable[CensusRecord]) -> None:
+    # Module-global on purpose: the crash-window tests intercept this exact
+    # hook, and the store calls back into it for every prefix/append write.
     for rec in records:
         sink.write(json.dumps(asdict(rec)) + "\n")
     sink.flush()
+
+
+def _make_store(path: "str | Path", config: dict) -> JsonlStore:
+    """The shared resumable-stream machinery, bound to census records."""
+    return JsonlStore(
+        path,
+        config_key=CENSUS_CONFIG_KEY,
+        config_version=_CONFIG_VERSION,
+        config=config,
+        decode=lambda obj: CensusRecord(**obj),
+        record_name="census record",
+        write_records=lambda sink, recs: _write_jsonl(sink, recs),
+    )
 
 
 def _read_jsonl_prefix(
@@ -178,73 +194,11 @@ def _read_jsonl_prefix(
 ) -> "tuple[dict | None, list[CensusRecord]]":
     """Parse a (possibly torn) census JSONL -> ``(config header, records)``.
 
-    A crash mid-write can only truncate the **final** line (records are
-    appended strictly in order), so a torn final line is dropped silently.
-    An undecodable line anywhere *before* the end is a different animal —
-    the file was corrupted, hand-edited, or two runs interleaved — and
-    resuming past it would silently discard every record after the tear,
-    so it raises instead.
-
-    The header (first line carrying :data:`CENSUS_CONFIG_KEY`) is returned
-    separately when present; legacy files that start straight with records
-    yield ``header=None``.
+    Torn-line policy and header extraction live in
+    :meth:`repro.io.jsonl_store.JsonlStore.read_prefix`; this wrapper binds
+    the census record type for callers (and tests) that start from a path.
     """
-    lines = path.read_text(encoding="utf-8").splitlines()
-    header: dict | None = None
-    records: list[CensusRecord] = []
-    for idx, line in enumerate(lines):
-        final = idx == len(lines) - 1
-        try:
-            obj = json.loads(line)
-        except ValueError:
-            if final:
-                break  # torn tail from a mid-write crash: drop and resume
-            raise ValueError(
-                f"{path}: line {idx + 1} of {len(lines)} is not valid JSON "
-                "but is not the final line — the stream is corrupt "
-                "mid-file, not merely torn by a crash; refusing to resume "
-                "(records beyond the tear would be silently lost)"
-            ) from None
-        if idx == 0 and isinstance(obj, dict) and CENSUS_CONFIG_KEY in obj:
-            header = obj
-            continue
-        try:
-            records.append(CensusRecord(**obj))
-        except TypeError:
-            if final:
-                break  # complete JSON but torn fields: treat as torn tail
-            raise ValueError(
-                f"{path}: line {idx + 1} of {len(lines)} is valid JSON but "
-                "not a census record; refusing to resume from a corrupt "
-                "stream"
-            ) from None
-    return header, records
-
-
-def _check_resume_config(header: dict, config: dict, path: Path) -> None:
-    """Raise when a resumed file's embedded config differs from this run's."""
-    version = header.get(CENSUS_CONFIG_KEY)
-    if version != _CONFIG_VERSION:
-        raise ValueError(
-            f"{path}: census config header version {version!r} != "
-            f"{_CONFIG_VERSION}; cannot resume across formats"
-        )
-    mismatched = {
-        key: (header.get(key), value)
-        for key, value in config.items()
-        if header.get(key) != value
-    }
-    if mismatched:
-        detail = ", ".join(
-            f"{key}: file has {old!r}, run has {new!r}"
-            for key, (old, new) in sorted(mismatched.items())
-        )
-        raise ValueError(
-            f"resume mismatch: {path} was written by a run with a "
-            f"different configuration ({detail}) — resuming would silently "
-            "mix records from different games; rerun with the original "
-            "arguments or point --out at a fresh file"
-        )
+    return _make_store(path, {}).read_prefix()
 
 
 def run_census(
@@ -317,84 +271,52 @@ def run_census(
     ]
     records: list[CensusRecord] = []
     sink = None
+    store = None
     if jsonl_path is not None:
-        path = Path(jsonl_path)
-        config = {
-            CENSUS_CONFIG_KEY: _CONFIG_VERSION,
-            "objective": spec,
-            "schedule": schedule,
-            "responder": responder,
-            "max_steps": max_steps,
-            "verify": verify,
-            "audit_mode": audit_mode,
-            "root_seed": root_seed,
-            "n_values": [int(n) for n in n_values],
-            "families": list(families),
-            "replicates": replicates,
-        }
-        done: list[CensusRecord] = []
-        if resume and path.exists():
-            header, done = _read_jsonl_prefix(path)
-            if header is None:
-                # Pre-header (legacy) files cannot prove their max_steps /
-                # verify / audit_mode — exactly the silent-mixing bug this
-                # header exists to close — so refuse rather than guess.
+        store = _make_store(
+            jsonl_path,
+            {
+                "objective": spec,
+                "schedule": schedule,
+                "responder": responder,
+                "max_steps": max_steps,
+                "verify": verify,
+                "audit_mode": audit_mode,
+                "root_seed": root_seed,
+                "n_values": [int(n) for n in n_values],
+                "families": list(families),
+                "replicates": replicates,
+            },
+        )
+        def check_record(idx: int, rec: CensusRecord) -> None:
+            # Seeds derive from grid *position*, so (n, family, seed)
+            # alone cannot see an objective/schedule/responder change;
+            # re-validate per record so a header pasted onto foreign
+            # records is still caught.
+            if (rec.n, rec.family, rec.seed) != tasks[idx][:3] or (
+                rec.objective, rec.schedule, rec.responder
+            ) != (spec, schedule, responder):
                 raise ValueError(
-                    f"{path} has no run-config header (written before the "
-                    "header format); its max_steps/verify/audit_mode cannot "
-                    "be validated against this run.  Prepend the matching "
-                    "config line (see CENSUS_CONFIG_KEY) to adopt the file, "
-                    "or start a fresh jsonl_path"
+                    "resume mismatch: existing record (n="
+                    f"{rec.n}, family={rec.family!r}, seed={rec.seed}, "
+                    f"objective={rec.objective!r}, "
+                    f"schedule={rec.schedule!r}, "
+                    f"responder={rec.responder!r}) does not match this "
+                    "run's grid/configuration — same arguments required"
                 )
-            _check_resume_config(header, config, path)
-            done = done[: len(tasks)]
-            for rec, task in zip(done, tasks):
-                # Seeds derive from grid *position*, so (n, family, seed)
-                # alone cannot see an objective/schedule/responder change;
-                # re-validate per record so a header pasted onto foreign
-                # records is still caught.
-                if (rec.n, rec.family, rec.seed) != task[:3] or (
-                    rec.objective, rec.schedule, rec.responder
-                ) != (spec, schedule, responder):
-                    raise ValueError(
-                        "resume mismatch: existing record (n="
-                        f"{rec.n}, family={rec.family!r}, seed={rec.seed}, "
-                        f"objective={rec.objective!r}, "
-                        f"schedule={rec.schedule!r}, "
-                        f"responder={rec.responder!r}) does not match this "
-                        "run's grid/configuration — same arguments required"
-                    )
-        records = list(done)
-        tasks = tasks[len(done) :]
-        # Atomic prefix rewrite: build header + validated prefix in a .tmp
-        # sidecar and swap it in, so a crash between truncate and rewrite
-        # can no longer lose the previously streamed fleet.
-        tmp = path.with_name(path.name + ".tmp")
-        with tmp.open("w", encoding="utf-8") as prefix_sink:
-            prefix_sink.write(json.dumps(config) + "\n")
-            _write_jsonl(prefix_sink, done)
-        os.replace(tmp, path)
-        sink = path.open("a", encoding="utf-8")
+
+        records = store.start_stream(resume, len(tasks), check_record)
+        tasks = tasks[len(records) :]
+        sink = store.open_append()
     try:
-        if workers <= 1 or len(tasks) <= 1:
-            for task in tasks:
-                rec = _census_task(task)
-                records.append(rec)
-                if sink is not None:
-                    _write_jsonl(sink, [rec])
-        else:
-            # Shard trajectories over the persistent pool; consume chunk
-            # futures in submission order so the stream (and the returned
-            # list) keeps the serial order while later chunks still run.
-            chunks = [
-                chunk for _, chunk in chunk_evenly(tasks, 4 * workers)
-            ]
-            pool = get_shared_pool(workers)
-            for fut in pool.submit_chunks(_census_task, chunks):
-                part = fut.result()
-                records.extend(part)
-                if sink is not None:
-                    _write_jsonl(sink, part)
+        records += map_streamed(
+            _census_task,
+            tasks,
+            workers,
+            consume=None
+            if sink is None
+            else (lambda part: store.append(sink, part)),
+        )
     finally:
         if sink is not None:
             sink.close()

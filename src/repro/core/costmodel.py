@@ -137,6 +137,24 @@ class CostModel:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    def social_cost(self, lifted: np.ndarray) -> float:
+        """The game's social cost: every agent's cost summed.
+
+        ``inf`` as soon as any agent's cost is lifted (a disconnected
+        graph costs everyone ∞ anyway under the connectivity lift).  For
+        :class:`SumCost` this equals the total pairwise distance — the
+        quantity the trajectory traces historically recorded; for every
+        other model it is the model's own Σ-of-agent-costs, which is what
+        dynamics instrumentation must report (see ISSUE 4).
+        """
+        if lifted.size == 0:
+            return 0.0
+        costs = self.base_costs(lifted)
+        if bool((costs >= INT_INF).any()):
+            return math.inf
+        return float(costs.sum(dtype=np.int64))
+
+    # ------------------------------------------------------------------
     def target_mask(
         self, graph: CSRGraph, v: int, w: int
     ) -> "np.ndarray | None":

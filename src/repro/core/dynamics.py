@@ -50,13 +50,13 @@ from ..graphs import (
     AdjacencyGraph,
     CSRGraph,
     diameter_or_inf,
+    distance_matrix,
     is_connected,
-    total_pairwise_distance,
 )
 from ..rng import make_rng
 from .best_response import BestResponse, best_swap, first_improving_swap
 from .costmodel import CostModel, parse_cost_spec, resolve_cost_model
-from .costs import INT_INF
+from .costs import INT_INF, lift_distances
 from .engine import DistanceEngine
 from .moves import Swap
 
@@ -91,7 +91,11 @@ class DynamicsResult:
     moves:
         The applied swaps, in order (empty unless recording was enabled).
     diameter_trace / social_cost_trace:
-        Per-applied-move snapshots (recording only).
+        Per-applied-move snapshots (recording only).  The social cost is
+        the resolved cost model's own Σ-of-agent-costs — for the paper's
+        sum game that is the total pairwise distance, for ``max`` the sum
+        of eccentricities, for interest/budget variants the variant's
+        social cost.
     """
 
     graph: CSRGraph
@@ -102,6 +106,17 @@ class DynamicsResult:
     moves: list[Swap] = field(default_factory=list)
     diameter_trace: list[float] = field(default_factory=list)
     social_cost_trace: list[float] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        """The ``max_steps`` budget ran out mid-flight.
+
+        Distinct from :attr:`cycle_detected`: an exhausted run saw no
+        repeated state — it simply was not given enough moves.  Exactly one
+        of ``converged`` / ``cycle_detected`` / ``exhausted`` is true for
+        every finished run.
+        """
+        return not self.converged and not self.cycle_detected
 
 
 class SwapDynamics:
@@ -125,6 +140,10 @@ class SwapDynamics:
         Record moves and per-move diameter / social-cost traces.
     seed:
         Seeds activation order and the better-response candidate order.
+        Every :meth:`run` derives a **fresh** generator from this seed, so
+        repeated runs on one instance are identical (pass an existing
+        ``numpy.random.Generator`` to opt back into a shared advancing
+        stream across runs).
     engine_mode:
         ``"incremental"`` (default) — cached-APSP engine with dirty-set
         skipping; ``"oracle"`` — the seed path, kept for cross-validation.
@@ -158,7 +177,8 @@ class SwapDynamics:
         self.max_steps = max_steps
         self.record = record
         self.engine_mode: EngineMode = engine_mode
-        self._rng = make_rng(seed)
+        self.seed = seed
+        self._rng = None  # derived per run()
         self._model: CostModel | None = None  # resolved per run()
 
     # ------------------------------------------------------------------
@@ -166,6 +186,12 @@ class SwapDynamics:
         """Run the dynamics from ``initial`` (must be connected)."""
         if not is_connected(initial):
             raise DisconnectedGraphError("dynamics require a connected start")
+        # A fresh per-run generator: a second run() on this instance replays
+        # the same schedule / candidate order instead of continuing the
+        # first run's stream (re-running from `seed` must be reproducible).
+        # A Generator passed as the seed is the documented opt-out: the
+        # caller owns the stream, and it keeps advancing across runs.
+        self._rng = make_rng(self.seed)
         self._model = resolve_cost_model(self.objective, initial.n)
         if self.engine_mode == "oracle":
             return self._run_oracle(initial)
@@ -193,13 +219,14 @@ class SwapDynamics:
                     cost_trace.append(0.0)
                     return
                 diam = int(dm.max())
-                total = int(dm.sum(dtype=np.int64))
                 diam_trace.append(
                     math.inf if diam >= INT_INF else float(diam)
                 )
-                cost_trace.append(
-                    math.inf if total >= INT_INF else float(total)
-                )
+                # The model's social cost, not a hardcoded dm.sum: under
+                # max/interest/budget games the trace must report the game
+                # actually being played (for SumCost this is bit-identical
+                # to the historical total-pairwise-distance recording).
+                cost_trace.append(self._model.social_cost(dm))
 
         def respond(v: int) -> BestResponse:
             nonlocal activations
@@ -342,7 +369,16 @@ class SwapDynamics:
             if self.record:
                 g = snapshot()
                 diam_trace.append(diameter_or_inf(g))
-                cost_trace.append(total_pairwise_distance(g))
+                if g.n == 0:
+                    cost_trace.append(0.0)
+                else:
+                    # Same model-resolved social cost as the incremental
+                    # path (asserted trace-equal on the variant battery).
+                    cost_trace.append(
+                        self._model.social_cost(
+                            lift_distances(distance_matrix(g))
+                        )
+                    )
 
         def apply(br: BestResponse) -> bool:
             """Apply a move; returns False when it closes a cycle."""

@@ -9,6 +9,16 @@ deletions).  This module implements the literal definition — enumerate every
 (drop-set, add-set) pair — so the implication itself is testable on finite
 instances rather than trusted.
 
+The audited objective is pluggable (``objective=`` accepts any
+:class:`~repro.core.costmodel.CostModel` or spec string) with one hard
+restriction: the model must be a **pure row aggregate** — the agent's cost
+a function of its own distance row alone, with every multi-swap legal.
+``sum``, ``max``, and the interest variants qualify; a model that
+constrains the move set (the budget games' ``target_mask``) does not —
+its multi-move legality is not defined by row aggregates, so auditing it
+here would certify a wrong answer, and the module raises
+:class:`~repro.errors.ConfigurationError` instead.
+
 Exponential in ``k`` and the degree; intended for audits at ``k ≤ 2`` on
 graphs of a few dozen vertices.  The exact closure used per candidate:
 
@@ -28,11 +38,34 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import DisconnectedGraphError
+from ..errors import ConfigurationError, DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
+from .costmodel import CostModel, resolve_cost_model
 from .costs import INT_INF, lift_distances
 
 __all__ = ["k_swap_witness", "is_k_swap_stable"]
+
+
+def _row_aggregate_model(
+    objective: "str | CostModel", n: int
+) -> CostModel:
+    """Resolve ``objective``; reject models whose move set is constrained.
+
+    A model that overrides :meth:`~repro.core.costmodel.CostModel.
+    target_mask` (the budget games) declares some swaps illegal; the
+    exhaustive (drop-set, add-set) enumeration below assumes every
+    combination is legal, so auditing such a model here would silently
+    answer a different question.
+    """
+    model = resolve_cost_model(objective, n)
+    if type(model).target_mask is not CostModel.target_mask:
+        raise ConfigurationError(
+            f"k-swap auditing supports pure row-aggregate cost models only; "
+            f"{model.spec!r} constrains the move set (target_mask), and "
+            "enumerating all multi-swaps as if they were legal would "
+            "certify a wrong answer"
+        )
+    return model
 
 
 def _distances_without_vertex(graph: CSRGraph, v: int) -> np.ndarray:
@@ -47,9 +80,10 @@ def k_swap_witness(
     v: int,
     k: int,
     *,
+    objective: "str | CostModel" = "max",
     candidate_adds: Iterable[int] | None = None,
 ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
-    """A (drop-set, add-set) pair of size ≤ k lowering ``v``'s ecc, or ``None``.
+    """A (drop-set, add-set) pair of size ≤ k lowering ``v``'s cost, or ``None``.
 
     Enumerates all subsets ``D ⊆ N(v)`` and ``A ⊆ V∖({v} ∪ N(v))`` with
     ``|D| ≤ k``, ``|A| ≤ k`` (the basic game's multi-swap keeps
@@ -57,17 +91,23 @@ def k_swap_witness(
     covering ``|A| ≤ k`` audits the paper's "insertion (or swapping)"
     phrasing in full).
 
-    ``candidate_adds`` restricts the add-endpoint pool (vertex-transitive
-    callers can prune by distance).
+    ``objective`` selects the audited cost (default ``"max"``, the paper's
+    local diameter); any pure row-aggregate model is accepted, and
+    move-set-constrained models raise ``ConfigurationError`` (see module
+    docstring).  ``candidate_adds`` restricts the add-endpoint pool
+    (vertex-transitive callers can prune by distance).
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    model = _row_aggregate_model(objective, graph.n)
     if not is_connected(graph):
         raise DisconnectedGraphError("k-swap stability needs connectivity")
     n = graph.n
     base = lift_distances(distance_matrix(graph))
-    ecc_before = int(base[v].max())
-    if ecc_before <= 1:
+    cost_before = model.row_cost(v, base[v])
+    if int(base[v].max()) <= 1:
+        # v is adjacent to everyone: its row is entrywise minimal, so by
+        # the monotone-aggregate contract no reachable row costs less.
         return None
     hollow = _distances_without_vertex(graph, v)
     neighbors = sorted(int(x) for x in graph.neighbors(v))
@@ -80,16 +120,17 @@ def k_swap_witness(
             if int(a) != v and int(a) not in set(neighbors)
         ]
 
-    def ecc_after(kept: list[int]) -> float:
-        """Ecc of v when its incident set becomes ``kept``."""
+    def cost_after(kept: list[int]) -> float:
+        """Cost of v when its incident set becomes ``kept``."""
         if not kept:
             return math.inf
         rows = hollow[np.asarray(kept)]
         dist = rows.min(axis=0) + 1
-        dist = dist.copy()
+        # Lifted entries overflow the sentinel by one under +1; clamp so
+        # the model's >= INT_INF infinity encoding stays intact.
+        np.minimum(dist, INT_INF, out=dist)
         dist[v] = 0
-        worst = int(dist.max())
-        return math.inf if worst >= INT_INF else float(worst)
+        return model.row_cost(v, dist)
 
     for d_size in range(0, min(k, len(neighbors)) + 1):
         for drops in itertools.combinations(neighbors, d_size):
@@ -98,12 +139,27 @@ def k_swap_witness(
                 if d_size == 0 and a_size == 0:
                     continue
                 for adds in itertools.combinations(pool, a_size):
-                    if ecc_after(surviving + list(adds)) < ecc_before:
+                    if cost_after(surviving + list(adds)) < cost_before:
                         return drops, adds
     return None
 
 
-def is_k_swap_stable(graph: CSRGraph, k: int, vertices: Iterable[int] | None = None) -> bool:
-    """Whether no vertex lowers its local diameter with ≤ k drops + ≤ k adds."""
+def is_k_swap_stable(
+    graph: CSRGraph,
+    k: int,
+    vertices: Iterable[int] | None = None,
+    *,
+    objective: "str | CostModel" = "max",
+) -> bool:
+    """Whether no vertex lowers its cost with ≤ k drops + ≤ k adds.
+
+    ``objective`` follows the same row-aggregate contract (and raises the
+    same ``ConfigurationError``) as :func:`k_swap_witness`.
+    """
+    # Resolve once: validates the model (and materializes interest sets a
+    # single time) before any per-vertex enumeration starts.
+    model = _row_aggregate_model(objective, graph.n)
     vs = range(graph.n) if vertices is None else vertices
-    return all(k_swap_witness(graph, int(v), k) is None for v in vs)
+    return all(
+        k_swap_witness(graph, int(v), k, objective=model) is None for v in vs
+    )

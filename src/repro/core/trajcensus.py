@@ -1,0 +1,342 @@
+"""Trajectory census: dynamics themselves as the measured object.
+
+The equilibrium census (:mod:`repro.core.census`) asks *where* dynamics
+land; following Kawald–Lenzner ("On Dynamics in Selfish Network Creation"),
+the scientifically interesting object is often *how* they get there —
+convergence speed, cycling, and sensitivity to the activation schedule and
+the responder.  This census runs :class:`~repro.core.dynamics.SwapDynamics`
+over a full grid of
+
+    schedules × responders × cost-model specs × initial families × n
+    × replicates
+
+and records one row per trajectory: the outcome trichotomy (``converged`` /
+``cycle_detected`` / ``exhausted`` — a max-steps timeout is *not* a cycle),
+move/activation counts, the recorded trajectory's summary statistics
+(:func:`repro.analysis.trajectories.summarize_trajectory` — selfish
+regressions, social-cost endpoints, diameter peak), a final-graph
+fingerprint (so distinct runs landing on the same equilibrium are visible
+across the whole dataset), and the exact equilibrium audit of converged
+endpoints.
+
+Execution and persistence reuse the library's hardened infrastructure:
+
+* the grid is a :class:`~repro.parallel.Sweep` — seeds derive from grid
+  position, so records are bit-identical at any worker count;
+* ``workers > 1`` shards trajectories over the persistent shared-memory
+  pool (:func:`~repro.parallel.get_shared_pool`), consuming chunk futures
+  in submission order so the stream keeps serial order;
+* ``jsonl_path`` streams records through the shared
+  :class:`~repro.io.jsonl_store.JsonlStore` (the same audited header /
+  atomic-rewrite / torn-line machinery the equilibrium census runs on), so
+  ``resume=True`` picks an interrupted fleet back up losslessly and a
+  changed configuration raises instead of mixing games.
+
+``scripts/trajectory_fleet.py`` is the command-line fleet runner; the
+``dynamics-census`` CLI experiment renders aggregate tables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, asdict
+from pathlib import Path
+from typing import IO, Iterable, Literal, Sequence
+
+from ..io.jsonl_store import JsonlStore
+from ..graphs import CSRGraph
+from ..parallel import Sweep, map_streamed
+from ..rng import derive_seed
+from .census import InitialFamily, seed_graph
+from .costmodel import CostModel, cost_model_spec, resolve_cost_model
+from .dynamics import SwapDynamics
+from .equilibrium import is_equilibrium
+
+__all__ = [
+    "TRAJ_CONFIG_KEY",
+    "TrajectoryRecord",
+    "graph_fingerprint",
+    "run_trajectory_census",
+    "trajectory_census_to_rows",
+    "trajectory_sweep",
+]
+
+Schedule = Literal["round_robin", "random", "greedy"]
+Responder = Literal["best", "first"]
+
+#: First-line marker of the JSONL run-config header.
+TRAJ_CONFIG_KEY = "trajectory_census_config"
+
+_CONFIG_VERSION = 1
+
+
+@dataclass
+class TrajectoryRecord:
+    """One dynamics trajectory, fully described.
+
+    The grid block (``n`` … ``responder``) pins the game and schedule; the
+    outcome block records the trichotomy and counts; the trajectory block
+    carries the recorded-run summary (social cost is the resolved cost
+    model's Σ-of-agent-costs, see :class:`~repro.core.dynamics.
+    DynamicsResult`); ``final_fingerprint`` identifies the terminal graph
+    across the dataset.
+    """
+
+    # grid
+    n: int
+    family: str
+    replicate: int
+    seed: int
+    objective: str
+    schedule: str
+    responder: str
+    # outcome
+    m_initial: int
+    m_final: int
+    converged: bool
+    cycle_detected: bool
+    exhausted: bool
+    steps: int
+    activations: int
+    # trajectory summary
+    diameter_initial: float
+    diameter_final: float
+    diameter_peak: float
+    social_cost_initial: float
+    social_cost_final: float
+    selfish_regressions: int
+    max_social_cost_increase: float
+    socially_monotone: bool
+    # terminal graph
+    final_fingerprint: str
+    verified_equilibrium: bool | None
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Stable hex digest of ``(n, edge set)`` — the census's graph identity.
+
+    Label-sensitive on purpose: two runs share a fingerprint iff they ended
+    on the *same labelled graph* (the equality the cycle detector also
+    uses), which is what makes "k distinct terminal equilibria" a
+    meaningful aggregate over a trajectory dataset.
+    """
+    edges = sorted(
+        (min(int(a), int(b)), max(int(a), int(b)))
+        for a, b in graph.iter_edges()
+    )
+    payload = f"{graph.n}|" + ";".join(f"{a},{b}" for a, b in edges)
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+
+def trajectory_sweep(
+    n_values: Sequence[int],
+    families: Sequence[InitialFamily],
+    objectives: Sequence["str | CostModel"],
+    schedules: Sequence[Schedule],
+    responders: Sequence[Responder],
+    replicates: int,
+    root_seed: int,
+) -> Sweep:
+    """The census grid as a :class:`~repro.parallel.Sweep`.
+
+    Objectives canonicalize to spec strings (validated here, resolved
+    per-n inside each task); seeds derive from grid position via the
+    sweep's own :func:`~repro.rng.derive_seed` discipline, which is what
+    makes the fleet bit-identical at any worker count.
+    """
+    return Sweep(
+        grid={
+            "objective": [cost_model_spec(o) for o in objectives],
+            "schedule": list(schedules),
+            "responder": list(responders),
+            "family": list(families),
+            "n": [int(n) for n in n_values],
+        },
+        replicates=replicates,
+        root_seed=root_seed,
+    )
+
+
+def _trajectory_task(task: tuple) -> TrajectoryRecord:
+    """One trajectory, fully determined by its task tuple.
+
+    Module-level and seeded purely from the tuple, so the record is
+    identical wherever (and in whatever order) the task runs.
+    """
+    (
+        n, family, replicate, seed, objective, schedule, responder,
+        max_steps, verify, audit_mode,
+    ) = task
+    # Deferred: repro.analysis imports repro.core.dynamics, so a module-top
+    # import here would cycle during package init.
+    from ..analysis.trajectories import summarize_trajectory
+
+    model = resolve_cost_model(objective, n)
+    initial = seed_graph(family, n, seed)
+    dyn = SwapDynamics(
+        objective=model,
+        schedule=schedule,
+        responder=responder,
+        max_steps=max_steps,
+        record=True,
+        seed=derive_seed(seed, 1),
+    )
+    result = dyn.run(initial)
+    summary = summarize_trajectory(result).as_dict()
+    summary.pop("steps")  # duplicated by the outcome block
+    final = result.graph
+    verified: bool | None = None
+    if verify and result.converged:
+        verified = is_equilibrium(final, model, mode=audit_mode)
+    return TrajectoryRecord(
+        n=n,
+        family=family,
+        replicate=replicate,
+        seed=seed,
+        objective=model.spec,
+        schedule=schedule,
+        responder=responder,
+        m_initial=initial.m,
+        m_final=final.m,
+        converged=result.converged,
+        cycle_detected=result.cycle_detected,
+        exhausted=result.exhausted,
+        steps=result.steps,
+        activations=result.activations,
+        final_fingerprint=graph_fingerprint(final),
+        verified_equilibrium=verified,
+        **summary,
+    )
+
+
+def _write_jsonl(sink: "IO[str]", records: Iterable[TrajectoryRecord]) -> None:
+    # Module-global on purpose: the crash-window tests intercept this exact
+    # hook, and the store calls back into it for every prefix/append write.
+    for rec in records:
+        sink.write(json.dumps(asdict(rec)) + "\n")
+    sink.flush()
+
+
+def _make_store(path: "str | Path", config: dict) -> JsonlStore:
+    """The shared resumable-stream machinery, bound to trajectory records."""
+    return JsonlStore(
+        path,
+        config_key=TRAJ_CONFIG_KEY,
+        config_version=_CONFIG_VERSION,
+        config=config,
+        decode=lambda obj: TrajectoryRecord(**obj),
+        record_name="trajectory record",
+        write_records=lambda sink, recs: _write_jsonl(sink, recs),
+    )
+
+
+def run_trajectory_census(
+    n_values: Sequence[int],
+    families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
+    objectives: Sequence["str | CostModel"] = ("sum",),
+    schedules: Sequence[Schedule] = ("round_robin",),
+    responders: Sequence[Responder] = ("best",),
+    replicates: int = 2,
+    root_seed: int = 0,
+    max_steps: int = 20_000,
+    verify: bool = True,
+    workers: int = 1,
+    audit_mode: str = "batched",
+    jsonl_path: "str | Path | None" = None,
+    resume: bool = False,
+) -> list[TrajectoryRecord]:
+    """Run the trajectory census; one record per grid point × replicate.
+
+    The grid enumerates ``objectives × schedules × responders × families ×
+    n_values`` (in :func:`trajectory_sweep`'s declared order, first
+    dimension slowest) with ``replicates`` runs each; every record carries
+    its grid coordinates, so the flat list (or the streamed JSONL) is the
+    dataset.
+
+    ``verify`` re-audits every converged endpoint with the exact
+    model-aware equilibrium checker (``audit_mode`` selects the kernel).
+    ``workers > 1`` shards trajectories over the persistent pool with the
+    record list bit-identical to the serial run for any worker count.
+    ``jsonl_path`` streams records in record order through the shared
+    :class:`~repro.io.jsonl_store.JsonlStore`; ``resume=True`` reloads the
+    streamed prefix of an interrupted run with the *same arguments*,
+    validating the embedded config header and each resumed record against
+    this call's grid, and raises rather than silently mixing datasets
+    (see the store's docstring for the crash-window guarantees).
+    """
+    sweep = trajectory_sweep(
+        n_values, families, objectives, schedules, responders,
+        replicates, root_seed,
+    )
+    points = sweep.points()
+    tasks = [
+        (
+            pt["n"], pt["family"], pt.replicate, pt.seed, pt["objective"],
+            pt["schedule"], pt["responder"], max_steps, verify, audit_mode,
+        )
+        for pt in points
+    ]
+    if resume and jsonl_path is None:
+        raise ValueError("resume=True needs a jsonl_path to resume from")
+    records: list[TrajectoryRecord] = []
+    sink = None
+    store = None
+    if jsonl_path is not None:
+        store = _make_store(
+            jsonl_path,
+            {
+                "objectives": [cost_model_spec(o) for o in objectives],
+                "schedules": list(schedules),
+                "responders": list(responders),
+                "families": list(families),
+                "n_values": [int(n) for n in n_values],
+                "replicates": replicates,
+                "root_seed": root_seed,
+                "max_steps": max_steps,
+                "verify": verify,
+                "audit_mode": audit_mode,
+            },
+        )
+        def check_record(idx: int, rec: TrajectoryRecord) -> None:
+            # Seeds derive from grid position, so re-validate every
+            # resumed record's full coordinates: a matching header
+            # pasted onto foreign records is still caught.
+            key = (
+                rec.n, rec.family, rec.replicate, rec.seed,
+                rec.objective, rec.schedule, rec.responder,
+            )
+            if key != tasks[idx][:7]:
+                raise ValueError(
+                    "resume mismatch: existing record "
+                    f"(n={rec.n}, family={rec.family!r}, "
+                    f"replicate={rec.replicate}, seed={rec.seed}, "
+                    f"objective={rec.objective!r}, "
+                    f"schedule={rec.schedule!r}, "
+                    f"responder={rec.responder!r}) does not match this "
+                    "run's grid/configuration — same arguments required"
+                )
+
+        records = store.start_stream(resume, len(tasks), check_record)
+        tasks = tasks[len(records) :]
+        sink = store.open_append()
+    try:
+        records += map_streamed(
+            _trajectory_task,
+            tasks,
+            workers,
+            consume=None
+            if sink is None
+            else (lambda part: store.append(sink, part)),
+        )
+    finally:
+        if sink is not None:
+            sink.close()
+    return records
+
+
+def trajectory_census_to_rows(
+    records: Iterable[TrajectoryRecord],
+) -> list[dict]:
+    """Records as plain dicts (for the reporting layer / CSV writers)."""
+    return [asdict(r) for r in records]

@@ -1,0 +1,5 @@
+"""Audited on-disk record streams shared by the census fleets."""
+
+from .jsonl_store import JsonlStore
+
+__all__ = ["JsonlStore"]

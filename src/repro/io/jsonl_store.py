@@ -1,0 +1,228 @@
+"""Resumable JSONL record streams with config headers and atomic rewrites.
+
+Both census fleets — the equilibrium census (:mod:`repro.core.census`) and
+the trajectory census (:mod:`repro.core.trajcensus`) — stream one record per
+line to disk so an interrupted overnight run can be picked back up.  The
+resume machinery was hardened in ISSUE 3 against three real failure modes
+and lives here so every stream shares one audited implementation:
+
+1. **Config headers** — the first line of a stream is a run-config header
+   (a JSON object carrying ``config_key``).  Resume validates the embedded
+   header against the current run's configuration and raises on any
+   mismatch instead of silently mixing records from different games.
+   Headerless (pre-header) files are refused outright: the arguments they
+   cannot prove are exactly the ones the header exists to pin.
+2. **Atomic prefix rewrites** — re-emitting the validated prefix goes
+   through a ``.tmp`` sidecar and ``os.replace``, so a crash at any instant
+   leaves either the old file or the complete new prefix on disk — never a
+   truncated stream.
+3. **Torn-line policy** — a crash mid-append can only tear the *final*
+   line (records are appended strictly in order), so a torn tail is dropped
+   on resume.  An undecodable line anywhere earlier means the file was
+   corrupted, hand-edited, or interleaved by two runs; resuming past it
+   would silently discard every record after the tear, so it raises loudly.
+
+The store is generic over the record type: callers supply ``decode``
+(dict → record, raising ``TypeError`` on a shape mismatch, as a dataclass
+constructor does) and ``write_records`` (the append serializer — kept a
+caller-side hook so crash-injection tests can intercept exactly the writes
+their module performs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Callable, Iterable, Mapping, Sequence
+
+__all__ = ["JsonlStore"]
+
+
+class JsonlStore:
+    """One resumable JSONL stream: header, prefix validation, atomic rewrite.
+
+    Parameters
+    ----------
+    path:
+        The stream file.
+    config_key:
+        Header marker key; its value in the header is the format version.
+    config_version:
+        Current format version (resume refuses other versions).
+    config:
+        Every record-determining run argument, as JSON-compatible values.
+        Written into the header and validated field-by-field on resume.
+    decode:
+        ``dict -> record``; must raise ``TypeError`` when the dict does not
+        have the record's shape (a dataclass ``**kwargs`` constructor does).
+    record_name:
+        Human name of the record type, used in corruption errors.
+    write_records:
+        ``(sink, records) -> None`` serializer used for both the prefix
+        rewrite and appends.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        config_key: str,
+        config_version: int,
+        config: Mapping,
+        decode: Callable[[dict], object],
+        record_name: str = "record",
+        write_records: Callable[[IO, Iterable], None],
+    ):
+        self.path = Path(path)
+        self.config_key = config_key
+        self.config_version = config_version
+        self.header = {config_key: config_version, **config}
+        self._decode = decode
+        self.record_name = record_name
+        self._write = write_records
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read_prefix(self) -> "tuple[dict | None, list]":
+        """Parse a (possibly torn) stream -> ``(config header, records)``.
+
+        Implements the torn-line policy from the module docstring: a torn
+        or wrong-shape **final** line is dropped silently; anything broken
+        earlier raises.  The header (first line carrying ``config_key``)
+        is returned separately when present; legacy files that start
+        straight with records yield ``header=None``.
+        """
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        header: "dict | None" = None
+        records: list = []
+        for idx, line in enumerate(lines):
+            final = idx == len(lines) - 1
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                if final:
+                    break  # torn tail from a mid-write crash: drop and resume
+                raise ValueError(
+                    f"{self.path}: line {idx + 1} of {len(lines)} is not "
+                    "valid JSON but is not the final line — the stream is "
+                    "corrupt mid-file, not merely torn by a crash; refusing "
+                    "to resume (records beyond the tear would be silently "
+                    "lost)"
+                ) from None
+            if idx == 0 and isinstance(obj, dict) and self.config_key in obj:
+                header = obj
+                continue
+            try:
+                records.append(self._decode(obj))
+            except TypeError:
+                if final:
+                    break  # complete JSON but torn fields: treat as torn tail
+                raise ValueError(
+                    f"{self.path}: line {idx + 1} of {len(lines)} is valid "
+                    f"JSON but not a {self.record_name}; refusing to resume "
+                    "from a corrupt stream"
+                ) from None
+        return header, records
+
+    def check_header(self, header: dict) -> None:
+        """Raise when a resumed file's embedded config differs from this run's."""
+        version = header.get(self.config_key)
+        if version != self.config_version:
+            raise ValueError(
+                f"{self.path}: {self.config_key} header version {version!r} "
+                f"!= {self.config_version}; cannot resume across formats"
+            )
+        mismatched = {
+            key: (header.get(key), value)
+            for key, value in self.header.items()
+            if header.get(key) != value
+        }
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: file has {old!r}, run has {new!r}"
+                for key, (old, new) in sorted(mismatched.items())
+            )
+            raise ValueError(
+                f"resume mismatch: {self.path} was written by a run with a "
+                f"different configuration ({detail}) — resuming would "
+                "silently mix records from different games; rerun with the "
+                "original arguments or point the stream at a fresh file"
+            )
+
+    def resume_records(self) -> list:
+        """Validated records of an existing stream (``[]`` if no file yet).
+
+        Reads the prefix, refuses headerless files, and checks the embedded
+        header against this store's configuration.  Per-record validation
+        (grid membership, objective tags, …) is the caller's job — the
+        store knows the config, not the grid.
+        """
+        if not self.path.exists():
+            return []
+        header, records = self.read_prefix()
+        if header is None:
+            # Pre-header (legacy) files cannot prove the run arguments the
+            # header exists to pin — exactly the silent-mixing bug it
+            # closes — so refuse rather than guess.
+            raise ValueError(
+                f"{self.path} has no run-config header (written before the "
+                "header format); its configuration cannot be validated "
+                "against this run.  Prepend the matching config line (the "
+                f"{self.config_key!r} key) to adopt the file, or start a "
+                "fresh stream path"
+            )
+        self.check_header(header)
+        return records
+
+    def start_stream(
+        self,
+        resume: bool,
+        count: int,
+        validate: "Callable[[int, object], None] | None" = None,
+    ) -> list:
+        """Prepare the stream for a run; returns the resumed prefix.
+
+        A fresh run (``resume=False``) just (re)writes the header; a resume
+        reloads the streamed prefix, truncates it to the run's ``count``
+        tasks, calls ``validate(task_index, record)`` on each record (the
+        caller's grid check — it must raise on any mismatch), and re-emits
+        the validated prefix atomically.  Either way the caller continues
+        with :meth:`open_append` and the remaining tasks.
+        """
+        done: list = []
+        if resume:
+            done = self.resume_records()[:count]
+            if validate is not None:
+                for idx, rec in enumerate(done):
+                    validate(idx, rec)
+        self.rewrite_prefix(done)
+        return done
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def rewrite_prefix(self, records: Sequence) -> None:
+        """Atomically replace the stream with header + ``records``.
+
+        Builds the new content in a ``.tmp`` sidecar and swaps it in with
+        ``os.replace``, so a crash between truncate and rewrite can no
+        longer lose a previously streamed fleet.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as sink:
+            sink.write(json.dumps(self.header) + "\n")
+            self._write(sink, records)
+        os.replace(tmp, self.path)
+
+    def open_append(self) -> "IO[str]":
+        """An append handle for streaming finished records."""
+        return self.path.open("a", encoding="utf-8")
+
+    def append(self, sink: "IO[str]", records: Iterable) -> None:
+        """Append ``records`` through the caller's serializer."""
+        self._write(sink, records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JsonlStore({str(self.path)!r}, key={self.config_key!r})"

@@ -5,6 +5,7 @@ from .shared import (
     SharedArrayBundle,
     SharedArrayPool,
     get_shared_pool,
+    map_streamed,
     shutdown_shared_pools,
 )
 from .sweep import Sweep, SweepPoint, run_sweep
@@ -17,6 +18,7 @@ __all__ = [
     "chunk_evenly",
     "default_workers",
     "get_shared_pool",
+    "map_streamed",
     "parallel_map",
     "run_sweep",
     "shutdown_shared_pools",

@@ -53,11 +53,13 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from .pool import chunk_evenly
 
 __all__ = [
     "SharedArrayBundle",
     "SharedArrayPool",
     "get_shared_pool",
+    "map_streamed",
     "shutdown_shared_pools",
 ]
 
@@ -323,6 +325,39 @@ class SharedArrayPool:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         alive = self._executor is not None
         return f"SharedArrayPool(workers={self.workers}, alive={alive})"
+
+
+def map_streamed(
+    fn: Callable,
+    tasks: Sequence,
+    workers: int,
+    consume: "Callable[[list], None] | None" = None,
+) -> list:
+    """Map ``fn`` over ``tasks``, streaming finished results in order.
+
+    The census fleets' execution loop, shared: ``workers <= 1`` (or a
+    single task) runs serially in-process; otherwise contiguous chunks are
+    sharded over the persistent pool and their futures consumed in
+    submission order, so ``consume`` sees every result batch in task order
+    while later chunks still run.  Returns all results, in task order —
+    identical for any worker count (tasks must be pure functions of their
+    tuples, the fleets' seeding discipline).
+    """
+    results: list = []
+
+    def take(part: list) -> None:
+        results.extend(part)
+        if consume is not None:
+            consume(part)
+
+    if workers <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            take([fn(task)])
+        return results
+    chunks = [chunk for _, chunk in chunk_evenly(tasks, 4 * workers)]
+    for fut in get_shared_pool(workers).submit_chunks(fn, chunks):
+        take(fut.result())
+    return results
 
 
 _POOLS: dict[int, SharedArrayPool] = {}

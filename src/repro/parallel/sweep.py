@@ -19,6 +19,11 @@ from .pool import parallel_map
 
 __all__ = ["SweepPoint", "Sweep", "run_sweep"]
 
+#: Column names :meth:`SweepPoint.as_dict` derives per point.  A grid
+#: parameter with one of these names would be silently overwritten in the
+#: record table, so :meth:`Sweep.points` rejects them up front.
+RESERVED_COLUMNS = ("replicate", "seed")
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -57,6 +62,14 @@ class Sweep:
         if self.replicates < 1:
             raise ConfigurationError(
                 f"replicates must be >= 1, got {self.replicates}"
+            )
+        reserved = [name for name in self.grid if name in RESERVED_COLUMNS]
+        if reserved:
+            raise ConfigurationError(
+                f"grid parameter(s) {', '.join(map(repr, reserved))} collide "
+                "with the derived per-point columns "
+                f"{RESERVED_COLUMNS}; SweepPoint.as_dict would silently "
+                "overwrite them — rename the grid dimension"
             )
         names = list(self.grid.keys())
         values = [list(self.grid[k]) for k in names]

@@ -21,6 +21,7 @@ class TestRegistry:
             "equilibrium-cost",
             "small-census",
             "variant-census",
+            "dynamics-census",
             "paper-claims",
         ]
 

@@ -22,6 +22,7 @@ ARM_REQUIRED_KEYS = {
     "fleet": {"n", "workers"},
     "dynamics": {"n", "speedup"},
     "variants": {"n", "objective"},
+    "trajfleet": {"n", "workers"},
 }
 
 

@@ -22,6 +22,7 @@ import json
 import pytest
 
 import repro.core.census as census_mod
+import repro.io.jsonl_store as store_mod
 from repro.core.census import (
     CENSUS_CONFIG_KEY,
     CensusRecord,
@@ -169,7 +170,8 @@ class TestAtomicRewrite:
         def no_replace(src, dst):
             raise RuntimeError("simulated crash before os.replace")
 
-        monkeypatch.setattr(census_mod.os, "replace", no_replace)
+        # The atomic swap lives in the shared store since ISSUE 4.
+        monkeypatch.setattr(store_mod.os, "replace", no_replace)
         with pytest.raises(RuntimeError, match="before os.replace"):
             run_census(jsonl_path=path, resume=True, **KWARGS)
         assert path.read_text() == text  # untouched

@@ -2,15 +2,24 @@
 
 import pytest
 
-from repro.errors import DisconnectedGraphError
+from repro.errors import ConfigurationError, DisconnectedGraphError
 from repro.core import (
     is_k_insertion_stable,
     is_k_swap_stable,
     k_insertion_witness,
     k_swap_witness,
+    lift_distances,
+    resolve_cost_model,
 )
 from repro.constructions import rotated_torus
-from repro.graphs import CSRGraph, cycle_graph, path_graph, star_graph
+from repro.graphs import (
+    CSRGraph,
+    complete_graph,
+    cycle_graph,
+    distance_matrix,
+    path_graph,
+    star_graph,
+)
 
 
 class TestKSwapWitness:
@@ -79,3 +88,73 @@ class TestMonotonicityImplication:
             assert is_k_insertion_stable(g, k, vertices=[0]) == (
                 k_swap_witness(g, 0, k) is None
             )
+
+
+def _cost(graph, v, spec):
+    model = resolve_cost_model(spec, graph.n)
+    return model.row_cost(v, lift_distances(distance_matrix(graph))[v])
+
+
+def _apply(graph, v, witness):
+    drops, adds = witness
+    return graph.with_edges(
+        remove=[(v, d) for d in drops], add=[(v, a) for a in adds]
+    )
+
+
+class TestCostModelArgument:
+    """ISSUE 4: the audit takes a model instead of silently assuming max."""
+
+    def test_default_is_still_max(self):
+        g = cycle_graph(10)
+        assert k_swap_witness(g, 0, 2) == k_swap_witness(
+            g, 0, 2, objective="max"
+        )
+
+    @pytest.mark.parametrize(
+        "spec", ["sum", "max", "interest-sum:k=3,seed=1"]
+    )
+    def test_witness_actually_lowers_model_cost(self, spec):
+        g = cycle_graph(10)
+        w = k_swap_witness(g, 0, 2, objective=spec)
+        if w is None:  # interest sets can happen to be satisfied already
+            return
+        assert _cost(_apply(g, 0, w), 0, spec) < _cost(g, 0, spec)
+
+    def test_star_leaf_has_sum_insertion_witness(self):
+        # Under max, star leaves are stable; under sum, a pure insertion
+        # to another leaf strictly improves — the old hardcoded-max audit
+        # answered the wrong question for sum callers.
+        g = star_graph(6)
+        assert k_swap_witness(g, 1, 2, objective="max") is None
+        w = k_swap_witness(g, 1, 2, objective="sum")
+        assert w is not None
+        drops, adds = w
+        assert drops == () and len(adds) >= 1  # a pure insertion
+        assert _cost(_apply(g, 1, w), 1, "sum") < _cost(g, 1, "sum")
+
+    def test_complete_graph_stable_under_both(self):
+        g = complete_graph(5)
+        for spec in ("sum", "max"):
+            assert is_k_swap_stable(g, 2, objective=spec)
+
+    @pytest.mark.parametrize("spec", ["budget-sum:cap=3", "budget-max:cap=3"])
+    def test_move_set_constrained_models_rejected(self, spec):
+        g = cycle_graph(8)
+        with pytest.raises(ConfigurationError, match="move set"):
+            k_swap_witness(g, 0, 1, objective=spec)
+        with pytest.raises(ConfigurationError, match="move set"):
+            is_k_swap_stable(g, 1, objective=spec)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            k_swap_witness(cycle_graph(6), 0, 1, objective="median")
+
+    def test_sum_and_max_witnesses_can_differ(self):
+        # A path end: under both objectives a witness exists, and each
+        # one's improvement is in its own objective.
+        g = path_graph(7)
+        for spec in ("sum", "max"):
+            w = k_swap_witness(g, 0, 1, objective=spec)
+            assert w is not None
+            assert _cost(_apply(g, 0, w), 0, spec) < _cost(g, 0, spec)

@@ -1,0 +1,153 @@
+"""JsonlStore contract tests: headers, torn lines, atomic rewrites.
+
+The census-specific behaviours (grid validation, crash windows under
+``run_census``) stay pinned in ``tests/core/test_census_resume.py`` /
+``test_trajcensus.py``; these tests pin the factored-out store itself on a
+minimal record type, so a future stream (a third census) can rely on the
+contract without re-reading the census code.
+"""
+
+import json
+from dataclasses import asdict, dataclass
+
+import pytest
+
+from repro.io import JsonlStore
+
+
+@dataclass
+class Item:
+    a: int
+    b: str
+
+
+def _write(sink, records):
+    for rec in records:
+        sink.write(json.dumps(asdict(rec)) + "\n")
+    sink.flush()
+
+
+def make_store(path, config=None):
+    return JsonlStore(
+        path,
+        config_key="item_config",
+        config_version=1,
+        config=config or {"mode": "x", "count": 3},
+        decode=lambda obj: Item(**obj),
+        record_name="item record",
+        write_records=_write,
+    )
+
+
+RECORDS = [Item(1, "one"), Item(2, "two"), Item(3, "three")]
+
+
+@pytest.fixture()
+def stream(tmp_path):
+    path = tmp_path / "items.jsonl"
+    store = make_store(path)
+    store.rewrite_prefix(RECORDS)
+    return store, path
+
+
+class TestRoundTrip:
+    def test_header_then_records(self, stream):
+        store, path = stream
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {
+            "item_config": 1, "mode": "x", "count": 3,
+        }
+        header, records = store.read_prefix()
+        assert header["item_config"] == 1
+        assert records == RECORDS
+
+    def test_append_streams_in_order(self, stream):
+        store, path = stream
+        with store.open_append() as sink:
+            store.append(sink, [Item(4, "four")])
+        _, records = store.read_prefix()
+        assert records == RECORDS + [Item(4, "four")]
+
+    def test_resume_records_validates_and_returns(self, stream):
+        store, _ = stream
+        assert store.resume_records() == RECORDS
+
+    def test_resume_records_empty_when_no_file(self, tmp_path):
+        store = make_store(tmp_path / "absent.jsonl")
+        assert store.resume_records() == []
+
+
+class TestTornLines:
+    def test_torn_final_line_dropped(self, stream):
+        store, path = stream
+        path.write_text(path.read_text()[:-15])
+        _, records = store.read_prefix()
+        assert records == RECORDS[:-1]
+
+    def test_wrong_shape_final_line_dropped(self, stream):
+        store, path = stream
+        lines = path.read_text().splitlines()
+        lines[-1] = json.dumps({"a": 9})  # valid JSON, torn fields
+        path.write_text("\n".join(lines) + "\n")
+        _, records = store.read_prefix()
+        assert records == RECORDS[:-1]
+
+    def test_mid_file_garbage_raises(self, stream):
+        store, path = stream
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:7]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt mid-file"):
+            store.read_prefix()
+
+    def test_mid_file_wrong_shape_raises_with_record_name(self, stream):
+        store, path = stream
+        lines = path.read_text().splitlines()
+        lines[1] = json.dumps({"not": "an item"})
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="not a item record"):
+            store.read_prefix()
+
+
+class TestHeaderValidation:
+    def test_config_change_raises(self, stream):
+        _, path = stream
+        changed = make_store(path, {"mode": "y", "count": 3})
+        with pytest.raises(ValueError, match="resume mismatch"):
+            changed.resume_records()
+
+    def test_version_change_raises(self, stream):
+        _, path = stream
+        store = make_store(path)
+        store.config_version = 2
+        store.header["item_config"] = 2
+        with pytest.raises(ValueError, match="header version"):
+            store.resume_records()
+
+    def test_headerless_file_refused(self, stream):
+        store, path = stream
+        path.write_text("\n".join(path.read_text().splitlines()[1:]) + "\n")
+        with pytest.raises(ValueError, match="no run-config header"):
+            store.resume_records()
+
+
+class TestAtomicRewrite:
+    def test_crash_at_replace_leaves_old_file(self, stream, monkeypatch):
+        store, path = stream
+        before = path.read_text()
+
+        import repro.io.jsonl_store as store_mod
+
+        def no_replace(src, dst):
+            raise RuntimeError("simulated crash before os.replace")
+
+        monkeypatch.setattr(store_mod.os, "replace", no_replace)
+        with pytest.raises(RuntimeError, match="before os.replace"):
+            store.rewrite_prefix(RECORDS[:1])
+        assert path.read_text() == before
+
+    def test_rewrite_replaces_content_completely(self, stream):
+        store, path = stream
+        store.rewrite_prefix(RECORDS[:1])
+        _, records = store.read_prefix()
+        assert records == RECORDS[:1]

@@ -41,6 +41,17 @@ class TestSweep:
         with pytest.raises(KeyError):
             sweep.points()[0]["missing"]
 
+    @pytest.mark.parametrize("name", ["seed", "replicate"])
+    def test_reserved_grid_names_rejected(self, name):
+        # ISSUE 4: as_dict() derives `seed`/`replicate` columns, so a grid
+        # parameter with either name used to be silently overwritten.
+        with pytest.raises(ConfigurationError, match="collide"):
+            Sweep({"n": [4], name: [1, 2]}).points()
+
+    def test_reserved_name_error_is_eager_and_names_the_culprit(self):
+        with pytest.raises(ConfigurationError, match="'seed'"):
+            Sweep({"seed": [1]}).points()
+
 
 class TestRunSweep:
     def test_records_merge_params_and_results(self):

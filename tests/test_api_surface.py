@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.games",
     "repro.parallel",
     "repro.bench",
+    "repro.io",
 ]
 
 
