@@ -67,6 +67,10 @@ def main(argv: "list[str] | None" = None) -> int:
     ap.add_argument("--audit-mode", default="batched",
                     choices=["batched", "repair", "rebuild"],
                     help="equilibrium-audit kernel for endpoint checks")
+    ap.add_argument("--engine-mode", default="batched",
+                    choices=["batched", "incremental", "oracle"],
+                    help="dynamics engine (trajectories are bit-identical "
+                         "across modes; batched is the fast path)")
     ap.add_argument("--no-verify", action="store_true",
                     help="skip the exact equilibrium audit of endpoints")
     ap.add_argument("--resume", action="store_true",
@@ -105,6 +109,7 @@ def main(argv: "list[str] | None" = None) -> int:
         verify=not args.no_verify,
         workers=workers,
         audit_mode=args.audit_mode,
+        engine_mode=args.engine_mode,
         jsonl_path=args.out,
         resume=args.resume,
     )

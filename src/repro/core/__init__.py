@@ -21,6 +21,7 @@ from .costmodel import (
 )
 from .costs import (
     INT_INF,
+    ensure_lifted,
     lift_distances,
     local_diameter,
     local_diameter_vector,
@@ -81,6 +82,7 @@ __all__ = [
     "best_swap",
     "census_to_rows",
     "cost_model_spec",
+    "ensure_lifted",
     "find_deletion_criticality_violation",
     "find_insertion_violation",
     "find_max_swap_violation",

@@ -16,9 +16,14 @@ strictly increases the mover's sum through the lost unit-distance endpoint).
 :func:`best_swap` is engine-aware: by default it derives every per-neighbour
 removal matrix from one cached base APSP (``mode="repair"``), or reuses a
 long-lived :class:`~repro.core.engine.DistanceEngine` maintained by the
-dynamics loop (``engine=...``).  ``mode="oracle"`` keeps the seed behaviour —
-a fresh APSP per incident edge — for cross-validation; all three produce
-bit-identical responses, tie-breaking included.
+dynamics loop (``engine=...``).  ``mode="batched"`` routes through the
+bound-then-verify per-vertex kernel (:func:`repro.core.batched.
+best_swap_scan`, DESIGN.md §8) — most activations are certified move-free
+from one aggregation pass over the base matrix, with exact removal
+matrices materialized only for drops whose optimistic bound survives.
+``mode="oracle"`` keeps the seed behaviour — a fresh APSP per incident
+edge — for cross-validation; all paths produce bit-identical responses,
+tie-breaking included.
 """
 
 from __future__ import annotations
@@ -33,14 +38,14 @@ from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
 from ..rng import make_rng
 from .costmodel import CostModel, resolve_cost_model
-from .costs import lift_distances
-from .moves import Swap, legal_add_targets
+from .costs import ensure_lifted
+from .moves import Swap
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
 
 __all__ = ["BestResponse", "best_swap", "first_improving_swap"]
 
 Objective = Literal["sum", "max"]
-BestSwapMode = Literal["repair", "oracle"]
+BestSwapMode = Literal["repair", "batched", "oracle"]
 
 
 class BestResponse:
@@ -101,11 +106,14 @@ def best_swap(
 
     ``engine`` (a :class:`~repro.core.engine.DistanceEngine` for ``graph``)
     reuses its cached matrix; otherwise ``mode`` picks between one base APSP
-    shared across incident edges (``"repair"``) and the seed oracle path of a
-    fresh APSP per incident edge (``"oracle"``).  A caller that already
-    holds the distance matrix of ``graph`` (audit loops, census probes) can
-    pass it as ``base_dm`` — raw int32 or lifted — and ``mode="repair"``
-    skips the APSP recomputation entirely.
+    shared across incident edges (``"repair"``), the bound-then-verify
+    per-vertex kernel (``"batched"``), and the seed oracle path of a fresh
+    APSP per incident edge (``"oracle"``).  A caller that already holds the
+    distance matrix of ``graph`` (audit loops, census probes, long-lived
+    engines) can pass it as ``base_dm`` — raw int32 or lifted — and the
+    repair/batched modes skip the APSP recomputation entirely; an
+    already-lifted ``base_dm`` is used by reference, without even the n×n
+    lifting copy.
     """
     model = resolve_cost_model(objective, graph.n)
     if prefer_deletions_on_tie is None:
@@ -114,11 +122,20 @@ def best_swap(
     if engine is not None:
         before = model.row_cost(v, engine.dm[v])
         removal = lambda w: engine.removal_matrix(v, w)  # noqa: E731
+    elif mode == "batched":
+        # Deferred: repro.core.batched imports this module for BestResponse.
+        from .batched import best_swap_scan
+
+        base = ensure_lifted(
+            distance_matrix(graph) if base_dm is None else base_dm
+        )
+        return best_swap_scan(
+            graph, v, model, base,
+            prefer_deletions_on_tie=prefer_deletions_on_tie,
+        )
     elif mode == "repair":
-        base = lift_distances(
-            distance_matrix(graph)
-            if base_dm is None
-            else np.asarray(base_dm)
+        base = ensure_lifted(
+            distance_matrix(graph) if base_dm is None else base_dm
         )
         before = model.row_cost(v, base[v])
         removal = lambda w: removal_matrix_repair(graph, base, (v, w))  # noqa: E731
@@ -174,7 +191,10 @@ def first_improving_swap(
     when improving moves are plentiful (early dynamics), slower near
     equilibrium — the census bench quantifies the trade.  Candidates outside
     the model's legal move set (budget caps) are skipped, not evaluated, so
-    the rng stream stays aligned with the unconstrained scan order.
+    the rng stream stays aligned with the unconstrained scan order; for
+    models without move constraints (``target_mask`` returning ``None``)
+    the per-drop legality mask is skipped entirely — no all-True mask is
+    materialized, and the rng draws are untouched either way.
     """
     model = resolve_cost_model(objective, graph.n)
     rng = make_rng(seed)
@@ -184,10 +204,12 @@ def first_improving_swap(
     targets = np.arange(graph.n)
     for w in neighbors:
         rng.shuffle(targets)
-        allowed = legal_add_targets(graph, v, w, model)
+        allowed = model.target_mask(graph, v, w)
         for w2 in targets:
             w2 = int(w2)
-            if w2 == v or w2 == w or not allowed[w2]:
+            if w2 == v or w2 == w or (
+                allowed is not None and not allowed[w2]
+            ):
                 continue
             extra = [] if graph.has_edge(v, w2) else [(v, w2)]
             after = model.bfs_cost(graph, v, exclude=(v, w), extra=extra)

@@ -23,6 +23,7 @@ from ..graphs import CSRGraph, UNREACHABLE, bfs_aggregates, distance_matrix
 
 __all__ = [
     "INT_INF",
+    "ensure_lifted",
     "lift_distances",
     "sum_cost",
     "local_diameter",
@@ -44,6 +45,22 @@ def lift_distances(dm: np.ndarray) -> np.ndarray:
     out = dm.astype(np.int64)
     out[out == UNREACHABLE] = INT_INF
     return out
+
+
+def ensure_lifted(dm: np.ndarray) -> np.ndarray:
+    """:func:`lift_distances` without the copy when ``dm`` is already lifted.
+
+    A lifted matrix is int64 with no :data:`~repro.graphs.UNREACHABLE`
+    sentinel left in it, in which case :func:`lift_distances` would return a
+    value-identical copy — the hot paths (``best_swap`` per dynamics
+    activation, audits that amortize one base matrix across edges) call this
+    instead so an already-lifted ``base_dm`` is passed through by reference.
+    Callers must treat the result as read-only: it may alias the input.
+    """
+    dm = np.asarray(dm)
+    if dm.dtype == np.int64 and not bool((dm == UNREACHABLE).any()):
+        return dm
+    return lift_distances(dm)
 
 
 def sum_cost(graph: CSRGraph, v: int) -> float:

@@ -27,6 +27,22 @@ Design notes
   lookup, with one exact sweep at the end.  ``engine_mode="oracle"`` keeps
   the seed implementation (fresh best responses against copied graphs) for
   cross-validation and benchmarking.
+* **Batched best responses** — ``engine_mode="batched"`` keeps all of the
+  incremental bookkeeping and additionally routes every activation through
+  the bound-then-verify per-vertex kernel (DESIGN.md §8): a clean vertex's
+  no-move observation is a **bound certificate** — stored in the dirty set,
+  invalidated the moment a swap touches anything the certificate depended
+  on — and a freshly activated vertex is usually re-certified from one
+  aggregation pass over the cached base matrix, with zero BFS work and no
+  removal matrices materialized.  The verification sweep collapses into
+  one cross-edge batched audit scan
+  (:func:`~repro.core.batched.certify_at_rest`); when the scan does find a
+  mover, the sweep falls back to the ordered per-vertex kernel so the
+  applied move — and therefore the whole trajectory, trace for trace —
+  stays bit-identical to the ``incremental`` and ``oracle`` paths.
+  Certificates are *never* trusted for termination: convergence is still
+  declared only by the exact sweep, so a stale certificate can delay a
+  move's discovery but can never suppress it.
 * **Termination** — sum dynamics have no known potential (a swap lowers the
   mover's cost but can raise others'), so cycles are possible in principle;
   the engine hashes every visited edge set and reports ``cycle_detected``
@@ -65,7 +81,7 @@ __all__ = ["DynamicsResult", "SwapDynamics"]
 Objective = Literal["sum", "max"]
 Schedule = Literal["round_robin", "random", "greedy"]
 Responder = Literal["best", "first"]
-EngineMode = Literal["incremental", "oracle"]
+EngineMode = Literal["incremental", "batched", "oracle"]
 
 
 @dataclass
@@ -96,6 +112,11 @@ class DynamicsResult:
         sum game that is the total pairwise distance, for ``max`` the sum
         of eccentricities, for interest/budget variants the variant's
         social cost.
+    final_dm:
+        The engine's lifted distance matrix of :attr:`graph` (engine-backed
+        modes only; ``None`` for the oracle path).  Endpoint audits pass it
+        as ``base_dm`` so verifying a converged trajectory never recomputes
+        the APSP the dynamics already hold; excluded from equality.
     """
 
     graph: CSRGraph
@@ -106,6 +127,9 @@ class DynamicsResult:
     moves: list[Swap] = field(default_factory=list)
     diameter_trace: list[float] = field(default_factory=list)
     social_cost_trace: list[float] = field(default_factory=list)
+    final_dm: "np.ndarray | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def exhausted(self) -> bool:
@@ -146,7 +170,10 @@ class SwapDynamics:
         stream across runs).
     engine_mode:
         ``"incremental"`` (default) — cached-APSP engine with dirty-set
-        skipping; ``"oracle"`` — the seed path, kept for cross-validation.
+        skipping; ``"batched"`` — the same engine with bound-then-verify
+        best responses, bound certificates, and scan-based verification
+        sweeps (bit-identical trajectories, the fast path for convergence
+        runs); ``"oracle"`` — the seed path, kept for cross-validation.
     """
 
     def __init__(
@@ -169,7 +196,7 @@ class SwapDynamics:
             raise ConfigurationError(f"unknown responder {responder!r}")
         if max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
-        if engine_mode not in ("incremental", "oracle"):
+        if engine_mode not in ("incremental", "batched", "oracle"):
             raise ConfigurationError(f"unknown engine_mode {engine_mode!r}")
         self.objective: "Objective | str | CostModel" = objective
         self.schedule: Schedule = schedule
@@ -198,9 +225,14 @@ class SwapDynamics:
         return self._run_incremental(initial)
 
     # ------------------------------------------------------------------
-    # Incremental engine + dirty-set path (the default)
+    # Incremental engine + dirty-set path (the default), shared with the
+    # batched kernel path — engine_mode="batched" keeps every scheduling
+    # decision identical and only changes *how* a best response is computed
+    # (bound-then-verify kernel) and *how* a sweep certifies (one batched
+    # audit scan), so trajectories are bit-identical across the modes.
     # ------------------------------------------------------------------
     def _run_incremental(self, initial: CSRGraph) -> DynamicsResult:
+        batched = self.engine_mode == "batched"
         engine = DistanceEngine(initial)
         n = engine.n
         seen: set[frozenset[tuple[int, int]]] = {engine.adjacency.edge_set()}
@@ -232,6 +264,11 @@ class SwapDynamics:
             nonlocal activations
             activations += 1
             if self.responder == "best":
+                if batched:
+                    # Bound-then-verify kernel: usually re-certifies the
+                    # vertex move-free from one pass over the cached base
+                    # matrix, no BFS and no removal matrices.
+                    return engine.best_swap(v, self._model, mode="batched")
                 return engine.best_swap(v, self._model)
             return first_improving_swap(
                 engine.graph, v, self._model, self._rng
@@ -255,12 +292,37 @@ class SwapDynamics:
             return True
 
         def verification_sweep() -> BestResponse | None:
-            """Activate every vertex; the exactness guard over the dirty rule."""
+            """Activate every vertex; the exactness guard over the dirty rule.
+
+            The batched mode first runs one cross-edge audit scan
+            (:func:`~repro.core.batched.certify_at_rest`): in the common
+            convergent case it certifies every vertex at once.  A positive
+            scan falls back to the ordered per-vertex kernel so the applied
+            move — and the activation count — matches the incremental
+            sweep exactly.
+            """
+            nonlocal activations
+            if batched and self.responder == "best":
+                from .batched import certify_at_rest
+
+                if certify_at_rest(
+                    engine.graph,
+                    engine.dm,
+                    self._model,
+                    pred_counts=engine.pred_counts(),
+                ):
+                    activations += n
+                    dirty[:] = False
+                    return None
             for v in range(n):
                 br = respond(v)
                 if br.swap is not None:
                     return br
                 dirty[v] = False
+            if batched and self.responder == "best":  # pragma: no cover
+                raise AssertionError(
+                    "certify_at_rest reported a move no vertex produced"
+                )
             return None
 
         cycle = False
@@ -341,7 +403,7 @@ class SwapDynamics:
 
         return DynamicsResult(
             engine.graph, converged, cycle, steps, activations,
-            moves, diam_trace, cost_trace,
+            moves, diam_trace, cost_trace, final_dm=engine.dm,
         )
 
     # ------------------------------------------------------------------

@@ -34,13 +34,18 @@ import numpy as np
 
 from ..errors import GraphError
 from ..graphs import AdjacencyGraph, CSRGraph, distance_matrix
-from ..graphs.repair import removal_affected_sources, removal_matrix_repair
+from ..graphs.repair import (
+    predecessor_counts,
+    removal_affected_sources,
+    removal_matrix_repair,
+)
 from .costs import INT_INF, lift_distances
 from .moves import Swap
 
 __all__ = ["DistanceEngine"]
 
 Objective = Literal["sum", "max"]
+BestSwapMode = Literal["incremental", "batched"]
 
 
 class DistanceEngine:
@@ -55,13 +60,16 @@ class DistanceEngine:
         ``UNREACHABLE`` or already lifted — to skip the base APSP.
     """
 
-    __slots__ = ("_adj", "_dm")
+    __slots__ = ("_adj", "_dm", "_pc", "_base_plus1", "_scratch")
 
     def __init__(
         self,
         graph: CSRGraph | AdjacencyGraph,
         dm: np.ndarray | None = None,
     ):
+        self._pc: np.ndarray | None = None  # lazy predecessor-count table
+        self._base_plus1: np.ndarray | None = None  # lazy dm + 1 scratch
+        self._scratch: np.ndarray | None = None  # (n, n) kernel workspace
         if isinstance(graph, AdjacencyGraph):
             self._adj = graph.copy()
         elif isinstance(graph, CSRGraph):
@@ -96,6 +104,31 @@ class DistanceEngine:
     def dm(self) -> np.ndarray:
         """Current lifted (int64, :data:`INT_INF`) distance matrix."""
         return self._dm
+
+    def pred_counts(self) -> np.ndarray:
+        """Predecessor-count table of the current graph/matrix, cached.
+
+        The shared input of the batched audit kernel
+        (:func:`repro.graphs.predecessor_counts`): computed lazily on first
+        use and invalidated by :meth:`apply_swap`, so dynamics verification
+        sweeps, trajectory-census endpoint audits, and anything else riding
+        this engine reuse one table per quiescent graph state.
+        """
+        if self._pc is None:
+            self._pc = predecessor_counts(self.graph, self._dm)
+        return self._pc
+
+    def _kernel_scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(dm + 1, (n, n) workspace)`` for the batched kernel.
+
+        ``dm + 1`` is invalidated by :meth:`apply_swap`; the workspace is
+        overwritten by every kernel call and persists across swaps.
+        """
+        if self._base_plus1 is None:
+            self._base_plus1 = self._dm + 1
+        if self._scratch is None:
+            self._scratch = np.empty((self.n, self.n), dtype=np.int64)
+        return self._base_plus1, self._scratch
 
     def is_connected(self) -> bool:
         if self.n <= 1:
@@ -147,22 +180,29 @@ class DistanceEngine:
         v, w, add = swap.vertex, swap.drop, swap.add
         csr = self.graph  # snapshot of the pre-move graph
         changed = removal_affected_sources(csr, self._dm, (v, w))
-        new_dm = removal_matrix_repair(csr, self._dm, (v, w), affected=changed)
+        # In-place repair: the engine owns its matrix, so the removal's
+        # affected rows are rewritten directly (out=dm) instead of copying
+        # all n×n entries per move; audit callers keep the copying default.
+        new_dm = removal_matrix_repair(
+            csr, self._dm, (v, w), affected=changed, out=self._dm
+        )
         self._adj.remove_edge(v, w)
         if add != w and not self._adj.has_edge(v, add):
             self._adj.add_edge(v, add)
             dv = new_dm[v]
             da = new_dm[add]
-            closure = np.minimum(
-                dv[:, None] + 1 + da[None, :],
-                da[:, None] + 1 + dv[None, :],
-            )
+            # min(dv[x] + da[y], da[x] + dv[y]) + 1: one outer sum and its
+            # transpose instead of two full broadcast products.
+            closure = np.add.outer(dv, da)
+            closure = np.minimum(closure, closure.T)
+            closure += 1
             improved = (closure < new_dm).any(axis=1)
             changed |= improved
             # The min against new_dm (whose entries are <= INT_INF) also
             # discards any closure sums that overflowed past the sentinel.
             np.minimum(new_dm, closure, out=new_dm)
-        self._dm = new_dm
+        self._pc = None  # derived caches follow the matrix
+        self._base_plus1 = None
         return changed
 
     # ------------------------------------------------------------------
@@ -174,14 +214,35 @@ class DistanceEngine:
         objective: Objective = "sum",
         *,
         prefer_deletions_on_tie: bool | None = None,
+        mode: BestSwapMode = "incremental",
     ):
         """Exact best response of ``v``, computed against the cached matrix.
 
         Identical in outcome (including tie-breaking) to the oracle
-        :func:`repro.core.best_response.best_swap`.
+        :func:`repro.core.best_response.best_swap`.  ``mode="batched"``
+        routes through the bound-then-verify per-vertex kernel
+        (:func:`repro.core.batched.best_swap_scan`) with the engine's
+        cached ``dm + 1`` / workspace scratch — same response, and most
+        activations certified move-free without materializing a single
+        removal matrix.
         """
         from .best_response import best_swap
 
+        if mode == "batched":
+            from .batched import best_swap_scan
+
+            base_plus1, buf = self._kernel_scratch()
+            return best_swap_scan(
+                self.graph,
+                v,
+                objective,
+                self._dm,
+                prefer_deletions_on_tie=prefer_deletions_on_tie,
+                base_plus1=base_plus1,
+                buf=buf,
+            )
+        if mode != "incremental":
+            raise GraphError(f"unknown engine best_swap mode {mode!r}")
         return best_swap(
             self.graph,
             v,

@@ -57,7 +57,7 @@ from ..graphs import CSRGraph, distance_matrix, is_connected
 from ..graphs.repair import predecessor_counts, removal_matrix_repair
 from ..parallel import chunk_evenly, parallel_map
 from .costmodel import CostModel, resolve_cost_model
-from .costs import INT_INF, lift_distances
+from .costs import INT_INF, ensure_lifted, lift_distances
 from .moves import Swap
 from .swap_eval import all_swap_costs_for_drop, removal_distance_matrix
 
@@ -109,8 +109,23 @@ class Violation:
         return Swap(self.vertex, self.drop, self.add)
 
 
-def _prepare(graph: CSRGraph) -> np.ndarray:
-    """Lifted distance matrix of ``graph``; requires connectivity."""
+def _prepare(
+    graph: CSRGraph, base_dm: np.ndarray | None = None
+) -> np.ndarray:
+    """Lifted distance matrix of ``graph``; requires connectivity.
+
+    ``base_dm`` — a precomputed distance matrix of ``graph`` (raw int32 or
+    already lifted) — skips the APSP: a dynamics engine auditing its own
+    converged endpoint already holds the matrix, and an already-lifted
+    input is used by reference.  Connectivity is validated off the matrix.
+    """
+    if base_dm is not None:
+        lifted = ensure_lifted(base_dm)
+        if graph.n > 1 and bool((lifted[0] >= INT_INF).any()):
+            raise DisconnectedGraphError(
+                "equilibrium audits are defined on connected graphs"
+            )
+        return lifted
     if not is_connected(graph):
         raise DisconnectedGraphError(
             "equilibrium audits are defined on connected graphs"
@@ -372,6 +387,7 @@ def find_swap_violation(
     *,
     workers: int = 1,
     mode: AuditMode = "repair",
+    base_dm: np.ndarray | None = None,
 ) -> Violation | None:
     """First swap improving some agent's model cost, or ``None`` at rest.
 
@@ -383,7 +399,10 @@ def find_swap_violation(
     ``workers > 1`` chunks the directed-edge loop across shared-memory
     processes; the returned violation is the same one the serial scan
     finds.  Chunking applies to ``mode="repair"`` and ``mode="batched"`` —
-    the rebuild oracle stays serial.
+    the rebuild oracle stays serial.  ``base_dm`` is an optional
+    precomputed distance matrix of ``graph`` (see :func:`_prepare`) so
+    callers that already hold it — dynamics endpoints, census probes —
+    skip the audit's APSP.
     """
     _check_mode(mode)
     model = resolve_cost_model(objective, graph.n)
@@ -393,7 +412,7 @@ def find_swap_violation(
                 "equilibrium audits are defined on connected graphs"
             )
         return None
-    lifted = _prepare(graph)
+    lifted = _prepare(graph, base_dm)
     if workers > 1 and mode in ("repair", "batched"):
         return _first_violation_parallel(graph, lifted, model, workers, mode)
     base = model.base_costs(lifted)
@@ -420,6 +439,7 @@ def is_equilibrium(
     *,
     workers: int = 1,
     mode: AuditMode = "repair",
+    base_dm: np.ndarray | None = None,
 ) -> bool:
     """Whether ``graph`` is at rest under the model's equilibrium notion.
 
@@ -427,14 +447,22 @@ def is_equilibrium(
     version (``requires_deletion_criticality``) the audit additionally
     demands deletion-criticality, matching :func:`is_max_equilibrium`
     exactly.  Variant max models (interest / budget) are swap-stability
-    only — their literatures define no criticality condition.
+    only — their literatures define no criticality condition.  ``base_dm``
+    skips the audit's APSP when the caller already holds the matrix.
     """
     model = resolve_cost_model(objective, graph.n)
-    if find_swap_violation(graph, model, workers=workers, mode=mode) is not None:
+    if (
+        find_swap_violation(
+            graph, model, workers=workers, mode=mode, base_dm=base_dm
+        )
+        is not None
+    ):
         return False
     if model.requires_deletion_criticality:
         return (
-            find_deletion_criticality_violation(graph, workers=workers, mode=mode)
+            find_deletion_criticality_violation(
+                graph, workers=workers, mode=mode, base_dm=base_dm
+            )
             is None
         )
     return True
@@ -517,6 +545,7 @@ def find_deletion_criticality_violation(
     *,
     workers: int = 1,
     mode: AuditMode = "repair",
+    base_dm: np.ndarray | None = None,
 ) -> Violation | None:
     """First edge whose deletion does **not** strictly raise an endpoint's ecc.
 
@@ -524,7 +553,7 @@ def find_deletion_criticality_violation(
     and of the lower-bound constructions.
     """
     _check_mode(mode)
-    lifted = _prepare(graph)
+    lifted = _prepare(graph, base_dm)
     base_ecc = lifted.max(axis=1)
     if workers > 1 and mode in ("repair", "batched"):
         results = _scan_parallel(

@@ -36,7 +36,7 @@ import numpy as np
 from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
 from .costmodel import CostModel, resolve_cost_model
-from .costs import lift_distances
+from .costs import ensure_lifted, lift_distances
 from .moves import Swap, swapped_graph
 
 __all__ = [
@@ -99,7 +99,8 @@ def removal_distance_matrix(
     ----------
     base_dm:
         Optional precomputed distance matrix of ``graph`` (raw int32 or
-        already lifted).  With ``mode="repair"`` it is the matrix the removal
+        already lifted — a lifted input is used by reference, no n×n
+        copy).  With ``mode="repair"`` it is the matrix the removal
         rows are derived from; amortize it across edges when auditing.
     mode:
         ``"repair"`` (default) — affected-row detection plus seeded partial
@@ -114,9 +115,7 @@ def removal_distance_matrix(
         raise ValueError(f"unknown removal mode {mode!r}")
     if base_dm is None:
         base_dm = distance_matrix(graph)
-    return removal_matrix_repair(
-        graph, lift_distances(np.asarray(base_dm)), (a, b)
-    )
+    return removal_matrix_repair(graph, ensure_lifted(base_dm), (a, b))
 
 
 def all_swap_costs_for_drop(

@@ -68,7 +68,11 @@ Responder = Literal["best", "first"]
 #: First-line marker of the JSONL run-config header.
 TRAJ_CONFIG_KEY = "trajectory_census_config"
 
-_CONFIG_VERSION = 1
+#: v2: headers record ``activation_accounting`` ("engine" / "oracle") so a
+#: stream written by the seed oracle path — whose ``activations`` counts
+#: come from full sweeps — cannot be silently resumed by an engine-backed
+#: mode (or vice versa) into a column-inconsistent dataset.
+_CONFIG_VERSION = 2
 
 
 @dataclass
@@ -166,7 +170,7 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
     """
     (
         n, family, replicate, seed, objective, schedule, responder,
-        max_steps, verify, audit_mode,
+        max_steps, verify, audit_mode, engine_mode,
     ) = task
     # Deferred: repro.analysis imports repro.core.dynamics, so a module-top
     # import here would cycle during package init.
@@ -181,6 +185,7 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
         max_steps=max_steps,
         record=True,
         seed=derive_seed(seed, 1),
+        engine_mode=engine_mode,
     )
     result = dyn.run(initial)
     summary = summarize_trajectory(result).as_dict()
@@ -188,7 +193,11 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
     final = result.graph
     verified: bool | None = None
     if verify and result.converged:
-        verified = is_equilibrium(final, model, mode=audit_mode)
+        # The endpoint audit rides the dynamics engine's own matrix —
+        # verifying a converged trajectory never recomputes the APSP.
+        verified = is_equilibrium(
+            final, model, mode=audit_mode, base_dm=result.final_dm
+        )
     return TrajectoryRecord(
         n=n,
         family=family,
@@ -243,6 +252,7 @@ def run_trajectory_census(
     verify: bool = True,
     workers: int = 1,
     audit_mode: str = "batched",
+    engine_mode: str = "batched",
     jsonl_path: "str | Path | None" = None,
     resume: bool = False,
 ) -> list[TrajectoryRecord]:
@@ -255,7 +265,17 @@ def run_trajectory_census(
     dataset.
 
     ``verify`` re-audits every converged endpoint with the exact
-    model-aware equilibrium checker (``audit_mode`` selects the kernel).
+    model-aware equilibrium checker (``audit_mode`` selects the kernel,
+    and the audit reuses the dynamics engine's final distance matrix).
+    ``engine_mode`` selects the dynamics engine — the default ``"batched"``
+    bound-then-verify kernel, ``"incremental"``, or the seed ``"oracle"``;
+    like ``workers`` it is an execution detail: the engine-backed modes
+    produce bit-identical records and resume each other's streams freely.
+    The oracle path replays the same trajectories but counts activations
+    by full sweeps, so only its ``activations`` column differs — the
+    stream header therefore records the *accounting* (``"engine"`` vs
+    ``"oracle"``), and resuming across that boundary raises instead of
+    silently mixing incompatible activation counts.
     ``workers > 1`` shards trajectories over the persistent pool with the
     record list bit-identical to the serial run for any worker count.
     ``jsonl_path`` streams records in record order through the shared
@@ -274,6 +294,7 @@ def run_trajectory_census(
         (
             pt["n"], pt["family"], pt.replicate, pt.seed, pt["objective"],
             pt["schedule"], pt["responder"], max_steps, verify, audit_mode,
+            engine_mode,
         )
         for pt in points
     ]
@@ -296,6 +317,12 @@ def run_trajectory_census(
                 "max_steps": max_steps,
                 "verify": verify,
                 "audit_mode": audit_mode,
+                # Not engine_mode itself: incremental/batched records are
+                # bit-identical and interchangeable; only the oracle path's
+                # activation accounting differs.
+                "activation_accounting": (
+                    "oracle" if engine_mode == "oracle" else "engine"
+                ),
             },
         )
         def check_record(idx: int, rec: TrajectoryRecord) -> None:

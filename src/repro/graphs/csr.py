@@ -42,7 +42,7 @@ class CSRGraph:
     and membership tests can use :func:`numpy.searchsorted`.
     """
 
-    __slots__ = ("n", "indptr", "indices", "_edge_array", "_hash")
+    __slots__ = ("n", "indptr", "indices", "_edge_array", "_hash", "_scipy")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
         if n < 0:
@@ -92,6 +92,7 @@ class CSRGraph:
         self.indptr.setflags(write=False)
         self.indices.setflags(write=False)
         self._hash: int | None = None
+        self._scipy = None
 
     @classmethod
     def from_csr_arrays(
@@ -130,6 +131,7 @@ class CSRGraph:
         obj._edge_array = arr
         obj._edge_array.setflags(write=False)
         obj._hash = None
+        obj._scipy = None
         return obj
 
     # ------------------------------------------------------------------
@@ -212,13 +214,21 @@ class CSRGraph:
         return (u, v) if u < v else (v, u)
 
     def to_scipy(self):
-        """Return the adjacency as a :class:`scipy.sparse.csr_array` of 1s."""
-        import scipy.sparse as sp
+        """Return the adjacency as a :class:`scipy.sparse.csr_array` of 1s.
 
-        data = np.ones(self.indices.size, dtype=np.int8)
-        return sp.csr_array(
-            (data, self.indices, self.indptr), shape=(self.n, self.n)
-        )
+        Cached: the graph is immutable, and repeated sparse products
+        against the same adjacency (batched BFS blocks, one per audited
+        edge or activation) must not pay the csr_array construction each
+        time.  Treat the result as read-only.
+        """
+        if self._scipy is None:
+            import scipy.sparse as sp
+
+            data = np.ones(self.indices.size, dtype=np.int8)
+            self._scipy = sp.csr_array(
+                (data, self.indices, self.indptr), shape=(self.n, self.n)
+            )
+        return self._scipy
 
     # ------------------------------------------------------------------
     # Protocols

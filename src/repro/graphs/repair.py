@@ -87,7 +87,11 @@ def removal_affected_sources(
     return affected
 
 
-def predecessor_counts(graph: CSRGraph, dm: np.ndarray) -> np.ndarray:
+def predecessor_counts(
+    graph: CSRGraph,
+    dm: np.ndarray,
+    vertices: "np.ndarray | None" = None,
+) -> np.ndarray:
     """``pc[v, s]`` = number of BFS predecessors of ``v`` from source ``s``.
 
     A predecessor is a neighbour ``u`` of ``v`` with ``d(s, u) = d(s, v) − 1``.
@@ -96,11 +100,16 @@ def predecessor_counts(graph: CSRGraph, dm: np.ndarray) -> np.ndarray:
     endpoint has *exactly one* predecessor (the near endpoint), i.e. its
     ``pc`` entry is 1.  One (n, n) int32 matrix shared by every edge of an
     audit — O(m·n) total work, no per-edge recomputation.
+
+    ``vertices`` restricts the computation to the given rows (the rest stay
+    zero) — the per-vertex best-response kernel only audits edges incident to
+    one agent, so it needs ``deg(v) + 1`` rows, not the full table.
     """
     n = graph.n
     pc = np.zeros((n, n), dtype=np.int32)
     indptr, indices = graph.indptr, graph.indices
-    for v in range(n):
+    rows = range(n) if vertices is None else np.asarray(vertices, dtype=np.int64)
+    for v in rows:
         nbrs = indices[indptr[v] : indptr[v + 1]]
         if nbrs.size:
             pc[v] = (dm[nbrs] == dm[v] - 1).sum(axis=0)
@@ -336,6 +345,7 @@ def removal_matrix_repair(
     edge: tuple[int, int],
     *,
     affected: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Lifted APSP matrix of ``graph − edge`` derived from the base matrix.
 
@@ -353,10 +363,17 @@ def removal_matrix_repair(
 
     Exactly equal to recomputing APSP on the rebuilt graph.  ``affected``
     lets a caller that already computed :func:`removal_affected_sources`
-    pass it in.
+    pass it in.  ``out`` selects the destination: ``None`` (default)
+    allocates a fresh copy of ``dm``; passing ``dm`` itself repairs **in
+    place** (sound — every strategy reads only a row's own pre-repair
+    state) — the dynamics engine's per-move path, which owns its matrix
+    and must not pay an n×n copy per applied swap.
     """
     a, b = _check_edge(graph, *edge)
-    out = np.array(dm, dtype=np.int64, copy=True)
+    if out is None:
+        out = np.array(dm, dtype=np.int64, copy=True)
+    elif out is not dm:
+        np.copyto(out, dm)
     mask = (
         removal_affected_sources(graph, dm, (a, b))
         if affected is None

@@ -21,9 +21,15 @@ ARM_REQUIRED_KEYS = {
     "workers": {"n", "workers"},
     "fleet": {"n", "workers"},
     "dynamics": {"n", "speedup"},
+    "dynamics_batched": {"n", "family", "speedup"},
+    "verify_sweep": {"n", "speedup"},
     "variants": {"n", "objective"},
     "trajfleet": {"n", "workers"},
 }
+
+#: entries from this PR on must record the host's core count (fleet and
+#: worker-scaling rows are uninterpretable without it).
+CPU_COUNT_REQUIRED_FROM = "pr5-dynamics-batched"
 
 
 def _load():
@@ -72,6 +78,17 @@ def test_timings_are_finite_nonnegative_numbers():
                     if key.endswith("_sec") and value is not None:
                         assert isinstance(value, numbers.Real), (arm, row)
                         assert value >= 0, (arm, row)
+
+
+def test_cpu_count_recorded_from_pr5_on():
+    data, _ = _load()
+    labels = [entry.get("label") for entry in data["history"]]
+    if CPU_COUNT_REQUIRED_FROM not in labels:
+        pytest.skip("trajectory predates the dynamics-batched arm")
+    for entry in data["history"][labels.index(CPU_COUNT_REQUIRED_FROM):]:
+        assert isinstance(entry.get("cpu_count"), numbers.Integral), (
+            entry["label"]
+        )
 
 
 def test_smoke_file_when_present_has_same_layout():

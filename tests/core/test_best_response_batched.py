@@ -1,0 +1,231 @@
+"""Batched best-response kernel: bit-identity, bounds, and hot-path costs.
+
+The ISSUE-5 exactness contract: ``best_swap(mode="batched")`` — the
+bound-then-verify per-vertex kernel — must agree *exactly* (swap, costs,
+tie-breaking, neutral-deletion behaviour) with ``mode="repair"``, the
+engine closure path, and the seed ``mode="oracle"`` across the 216-graph
+battery and all four cost-model families; :func:`certify_at_rest` must
+certify a graph move-free exactly when every vertex's best response is a
+no-op.  The satellites ride along: an already-lifted ``base_dm`` must not
+be copied per activation, and ``first_improving_swap`` must skip the
+legality mask for unconstrained models without touching the rng stream.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DistanceEngine, SwapDynamics, best_swap, ensure_lifted
+from repro.core import first_improving_swap
+from repro.core.batched import best_swap_scan, certify_at_rest
+from repro.core.costmodel import SumCost, resolve_cost_model
+from repro.core.costs import lift_distances
+from repro.graphs import (
+    CSRGraph,
+    distance_matrix,
+    random_connected_gnm,
+    random_tree,
+    star_graph,
+)
+
+from ..conftest import graph_battery
+
+BATTERY = graph_battery()
+
+MODELS = ["sum", "max", "interest-sum:k=3,seed=2", "budget-sum:cap=3"]
+
+
+def _responses_equal(a, b) -> bool:
+    return (
+        a.swap == b.swap
+        and a.before == b.before
+        and a.after == b.after
+        and a.is_deletion == b.is_deletion
+    )
+
+
+class TestKernelOracle:
+    """mode="batched" vs repair / engine / oracle on the battery."""
+
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 3))
+    @pytest.mark.parametrize("spec", MODELS)
+    def test_batched_equals_repair_every_vertex(self, idx, spec):
+        g = BATTERY[idx]
+        dm = lift_distances(distance_matrix(g))
+        for v in range(g.n):
+            repair = best_swap(g, v, spec, base_dm=dm)
+            batched = best_swap(g, v, spec, mode="batched", base_dm=dm)
+            assert _responses_equal(repair, batched), (idx, spec, v)
+
+    @pytest.mark.parametrize("idx", range(1, len(BATTERY), 11))
+    @pytest.mark.parametrize("spec", ["sum", "max"])
+    def test_batched_equals_rebuild_oracle(self, idx, spec):
+        g = BATTERY[idx]
+        dm = lift_distances(distance_matrix(g))
+        for v in range(g.n):
+            oracle = best_swap(g, v, spec, mode="oracle")
+            batched = best_swap(g, v, spec, mode="batched", base_dm=dm)
+            assert _responses_equal(oracle, batched), (idx, spec, v)
+
+    @pytest.mark.parametrize("idx", range(2, len(BATTERY), 13))
+    def test_engine_batched_mode_matches_engine_incremental(self, idx):
+        g = BATTERY[idx]
+        engine = DistanceEngine(g)
+        for spec in MODELS:
+            for v in range(g.n):
+                a = engine.best_swap(v, spec)
+                b = engine.best_swap(v, spec, mode="batched")
+                assert _responses_equal(a, b), (idx, spec, v)
+
+    def test_engine_scratch_survives_swaps(self):
+        # The cached dm+1 / workspace must follow apply_swap, not go stale.
+        g = random_connected_gnm(12, 20, seed=7)
+        engine = DistanceEngine(g)
+        for _ in range(6):
+            moved = False
+            for v in range(engine.n):
+                br = engine.best_swap(v, "sum", mode="batched")
+                oracle = best_swap(engine.graph, v, "sum", mode="oracle")
+                assert _responses_equal(br, oracle), v
+                if br.swap is not None and not moved:
+                    engine.apply_swap(br.swap)
+                    moved = True
+            if not moved:
+                break
+
+    def test_unknown_engine_mode_rejected(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            DistanceEngine(star_graph(5)).best_swap(0, "sum", mode="psychic")
+
+
+class TestCertifyAtRest:
+    @pytest.mark.parametrize("idx", range(0, len(BATTERY), 7))
+    @pytest.mark.parametrize("spec", MODELS)
+    def test_matches_per_vertex_quiescence(self, idx, spec):
+        g = BATTERY[idx]
+        if g.n < 2:
+            return
+        dm = lift_distances(distance_matrix(g))
+        quiet = all(
+            best_swap(g, v, spec, base_dm=dm).swap is None for v in range(g.n)
+        )
+        assert certify_at_rest(g, dm, spec) == quiet, (idx, spec)
+
+    def test_star_is_at_rest_for_sum(self):
+        g = star_graph(12)
+        dm = lift_distances(distance_matrix(g))
+        assert certify_at_rest(g, dm, "sum")
+
+    def test_neutral_deletion_breaks_max_rest(self):
+        # A chorded cycle: the chord is a cost-neutral deletion for its
+        # endpoints under max, which best_swap takes — not at rest.
+        g = CSRGraph(6, [(i, (i + 1) % 6) for i in range(6)] + [(0, 2)])
+        dm = lift_distances(distance_matrix(g))
+        assert not certify_at_rest(g, dm, "max")
+        assert certify_at_rest(g, dm, "sum") == all(
+            best_swap(g, v, "sum", base_dm=dm).swap is None
+            for v in range(g.n)
+        )
+
+
+class TestLiftedInputNotCopied:
+    """Satellite: an already-lifted base_dm skips the n×n lifting copy."""
+
+    def _count_lifts(self, monkeypatch):
+        from repro.core import costs
+
+        calls = {"n": 0}
+        real = lift_distances
+
+        def counting(dm):
+            calls["n"] += 1
+            return real(dm)
+
+        monkeypatch.setattr(costs, "lift_distances", counting)
+        return calls
+
+    def test_ensure_lifted_aliases_lifted_input(self):
+        dm = lift_distances(distance_matrix(random_tree(9, seed=1)))
+        assert ensure_lifted(dm) is dm
+        raw = distance_matrix(random_tree(9, seed=1))
+        out = ensure_lifted(raw)
+        assert out is not raw and out.dtype == np.int64
+
+    def test_best_swap_skips_copy_for_lifted_base(self, monkeypatch):
+        g = random_connected_gnm(10, 16, seed=3)
+        lifted = lift_distances(distance_matrix(g))
+        calls = self._count_lifts(monkeypatch)
+        for mode in ("repair", "batched"):
+            for v in range(g.n):
+                best_swap(g, v, "sum", mode=mode, base_dm=lifted)
+        assert calls["n"] == 0, "lifted base_dm was re-lifted (n×n copy)"
+
+    def test_best_swap_lifts_raw_base_once_per_call(self, monkeypatch):
+        g = random_connected_gnm(10, 16, seed=3)
+        raw = distance_matrix(g)
+        calls = self._count_lifts(monkeypatch)
+        best_swap(g, 0, "sum", base_dm=raw)
+        assert calls["n"] == 1
+
+
+class TestFirstImprovingMaskShortCircuit:
+    """Satellite: no all-True mask for unconstrained models, rng aligned."""
+
+    class _MaskedSum(SumCost):
+        """Sum cost that *materializes* the all-True mask explicitly."""
+
+        def target_mask(self, graph, v, w):
+            return np.ones(graph.n, dtype=bool)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_none_mask_path_matches_explicit_all_true(self, seed):
+        g = random_connected_gnm(11, 18, seed=seed)
+        masked = self._MaskedSum()
+        for v in range(g.n):
+            plain = first_improving_swap(g, v, "sum", seed=seed)
+            explicit = first_improving_swap(g, v, masked, seed=seed)
+            assert _responses_equal(plain, explicit), (seed, v)
+
+    def test_budget_mask_still_enforced(self):
+        g = random_connected_gnm(10, 16, seed=5)
+        model = resolve_cost_model("budget-sum:cap=2", g.n)
+        degrees = np.diff(g.indptr)
+        for v in range(g.n):
+            br = first_improving_swap(g, v, model, seed=9)
+            if br.swap is None or br.is_deletion:
+                continue
+            # A non-deletion add-target must be below the cap.
+            assert degrees[br.swap.add] < 2 or br.swap.add in set(
+                int(x) for x in g.neighbors(v)
+            )
+
+
+class TestBoundSoundness:
+    """The level-0 vertex bound must never exceed any exact post-swap cost."""
+
+    @pytest.mark.parametrize("seed", [0, 4, 8])
+    @pytest.mark.parametrize("spec", MODELS)
+    def test_level0_bound_below_exact(self, seed, spec):
+        g = random_connected_gnm(12, 20, seed=seed)
+        lifted = lift_distances(distance_matrix(g))
+        model = resolve_cost_model(spec, g.n)
+        for v in range(0, g.n, 3):
+            level0 = model.candidate_costs(
+                v, np.minimum(lifted[v][None, :], lifted + 1)
+            )
+            level0[v] = math.inf
+            for w in sorted(int(x) for x in g.neighbors(v)):
+                from repro.core.swap_eval import (
+                    all_swap_costs_for_drop,
+                    removal_distance_matrix,
+                )
+
+                exact = all_swap_costs_for_drop(
+                    g, v, w, model,
+                    removal_distance_matrix(g, (v, w), mode="rebuild"),
+                )
+                finite = exact < math.inf
+                assert (level0[finite] <= exact[finite]).all(), (seed, v, w)

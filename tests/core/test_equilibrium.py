@@ -37,6 +37,40 @@ from repro.graphs import (
 from ..conftest import connected_graphs
 
 
+class TestBaseDmPassThrough:
+    """Audits accept a precomputed base_dm (raw or lifted) and agree exactly."""
+
+    @pytest.mark.parametrize("mode", ["repair", "batched"])
+    def test_violation_identical_with_base_dm(self, mode):
+        from repro.core import find_swap_violation, lift_distances
+        from repro.graphs import distance_matrix, random_connected_gnm
+
+        g = random_connected_gnm(12, 20, seed=4)
+        raw = distance_matrix(g)
+        plain = find_swap_violation(g, "sum", mode=mode)
+        assert plain is not None  # dense random graphs are not at rest
+        for dm in (raw, lift_distances(raw)):
+            assert find_swap_violation(g, "sum", mode=mode, base_dm=dm) == plain
+
+    def test_is_equilibrium_with_base_dm_and_criticality(self):
+        from repro.core import is_equilibrium, lift_distances
+        from repro.graphs import distance_matrix
+
+        g = cycle_graph(5)
+        dm = lift_distances(distance_matrix(g))
+        assert is_equilibrium(g, "max", base_dm=dm) == is_equilibrium(g, "max")
+        assert is_equilibrium(g, "sum", base_dm=dm) == is_equilibrium(g, "sum")
+
+    def test_disconnected_base_dm_raises(self):
+        from repro.core import find_swap_violation, lift_distances
+        from repro.graphs import distance_matrix
+
+        g = CSRGraph(4, [(0, 1), (2, 3)])
+        dm = lift_distances(distance_matrix(g))
+        with pytest.raises(DisconnectedGraphError):
+            find_swap_violation(g, "sum", base_dm=dm)
+
+
 class TestSumEquilibrium:
     def test_star_is_equilibrium(self):
         assert is_sum_equilibrium(star_graph(8))

@@ -141,6 +141,49 @@ class TestFingerprint:
         assert by_fp  # smoke: fingerprints group converged runs
 
 
+class TestEngineModeInvariance:
+    """engine_mode is an execution detail: records must be bit-identical.
+
+    (Between the engine-backed modes; the seed oracle path counts
+    activations differently — full sweeps instead of dirty-set skips — so
+    it is not part of the record-equality contract.)
+    """
+
+    def test_records_identical_across_engine_modes(self, records):
+        assert (
+            run_trajectory_census(engine_mode="incremental", **KWARGS)
+            == records
+        )
+
+    def test_resume_across_engine_modes(self, tmp_path):
+        # engine_mode is deliberately absent from the stream's config
+        # header (like workers), so a fleet streamed under one engine can
+        # be resumed under another without a config mismatch.
+        path = tmp_path / "traj.jsonl"
+        full = run_trajectory_census(
+            engine_mode="incremental", jsonl_path=path, **KWARGS
+        )
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")  # header + 2 records
+        resumed = run_trajectory_census(
+            engine_mode="batched", jsonl_path=path, resume=True, **KWARGS
+        )
+        assert resumed == full
+
+    def test_resume_rejects_oracle_accounting_mismatch(self, tmp_path):
+        # The oracle path counts activations by full sweeps — resuming an
+        # engine-written stream with it would silently mix incompatible
+        # activation columns, so the header records the accounting.
+        path = tmp_path / "traj.jsonl"
+        run_trajectory_census(
+            engine_mode="incremental", jsonl_path=path, **KWARGS
+        )
+        with pytest.raises(ValueError):
+            run_trajectory_census(
+                engine_mode="oracle", jsonl_path=path, resume=True, **KWARGS
+            )
+
+
 class TestWorkerInvariance:
     @pytest.mark.parametrize("workers", [2, 4])
     def test_records_identical_across_worker_counts(self, records, workers):
@@ -169,7 +212,8 @@ class TestStream:
     def test_first_line_is_config_header(self, full_run):
         _, path, text = full_run
         header = json.loads(text.splitlines()[0])
-        assert header[TRAJ_CONFIG_KEY] == 1
+        assert header[TRAJ_CONFIG_KEY] == 2  # v2: activation accounting
+        assert header["activation_accounting"] == "engine"
         assert header["objectives"] == ["sum", "interest-sum:k=3,seed=0"]
         assert header["schedules"] == ["round_robin"]
         assert header["families"] == ["tree", "dense"]
