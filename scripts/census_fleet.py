@@ -46,6 +46,7 @@ from pathlib import Path
 
 from repro.core.census import census_to_rows, run_census
 from repro.core.costmodel import cost_model_spec
+from repro.io.jsonl_store import FleetFailure
 from repro.parallel import default_workers
 
 
@@ -77,6 +78,20 @@ def main(argv: "list[str] | None" = None) -> int:
                     help="continue an interrupted fleet from --out's prefix "
                          "(same arguments required; validated against the "
                          "file's config header)")
+    ap.add_argument("--retry-failed", action="store_true",
+                    help="with --resume: re-run the quarantined slots of "
+                         "the streamed prefix before continuing")
+    ap.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-chunk wall-clock budget; a chunk exceeding it "
+                         "is presumed hung, its workers are killed, and it "
+                         "is retried (default: no timeout)")
+    ap.add_argument("--retries", type=int, default=2,
+                    help="per-task failure budget beyond the first attempt "
+                         "(default: 2)")
+    ap.add_argument("--fail-fast", action="store_true",
+                    help="abort the fleet on the first permanently failed "
+                         "task instead of quarantining it in the stream")
     ap.add_argument("--out", type=Path,
                     default=Path("results/census_fleet.jsonl"))
     args = ap.parse_args(argv)
@@ -105,10 +120,15 @@ def main(argv: "list[str] | None" = None) -> int:
         audit_mode=args.audit_mode,
         jsonl_path=args.out,
         resume=args.resume,
+        timeout=args.task_timeout,
+        retries=args.retries,
+        on_error="raise" if args.fail_fast else "record",
+        retry_failed=args.retry_failed,
     )
     elapsed = time.perf_counter() - start
 
-    rows = census_to_rows(records)
+    failures = [r for r in records if isinstance(r, FleetFailure)]
+    rows = [r for r in census_to_rows(records) if "fleet_failure" not in r]
     converged = [r for r in rows if r["converged"]]
     verified = [r for r in converged if r["verified_equilibrium"]]
     diam = max((r["diameter_final"] for r in converged), default=float("nan"))
@@ -116,6 +136,11 @@ def main(argv: "list[str] | None" = None) -> int:
         f"done in {elapsed:.1f}s: {len(converged)}/{len(rows)} converged, "
         f"{len(verified)} verified equilibria, max final diameter {diam}"
     )
+    if failures:
+        print(f"quarantine: {len(failures)} task(s) failed permanently "
+              "(re-run with --resume --retry-failed to retry them)")
+        for f in failures:
+            print(f"  {f.coords} after {f.attempts} attempt(s): {f.error}")
     return 0
 
 

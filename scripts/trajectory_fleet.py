@@ -40,6 +40,7 @@ from pathlib import Path
 
 from repro.core.costmodel import cost_model_spec
 from repro.core.trajcensus import run_trajectory_census
+from repro.io.jsonl_store import FleetFailure
 from repro.parallel import default_workers
 
 
@@ -77,6 +78,20 @@ def main(argv: "list[str] | None" = None) -> int:
                     help="continue an interrupted fleet from --out's prefix "
                          "(same arguments required; validated against the "
                          "file's config header)")
+    ap.add_argument("--retry-failed", action="store_true",
+                    help="with --resume: re-run the quarantined slots of "
+                         "the streamed prefix before continuing")
+    ap.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-chunk wall-clock budget; a chunk exceeding it "
+                         "is presumed hung, its workers are killed, and it "
+                         "is retried (default: no timeout)")
+    ap.add_argument("--retries", type=int, default=2,
+                    help="per-task failure budget beyond the first attempt "
+                         "(default: 2)")
+    ap.add_argument("--fail-fast", action="store_true",
+                    help="abort the fleet on the first permanently failed "
+                         "task instead of quarantining it in the stream")
     ap.add_argument("--out", type=Path,
                     default=Path("results/trajectory_fleet.jsonl"))
     args = ap.parse_args(argv)
@@ -112,19 +127,30 @@ def main(argv: "list[str] | None" = None) -> int:
         engine_mode=args.engine_mode,
         jsonl_path=args.out,
         resume=args.resume,
+        timeout=args.task_timeout,
+        retries=args.retries,
+        on_error="raise" if args.fail_fast else "record",
+        retry_failed=args.retry_failed,
     )
     elapsed = time.perf_counter() - start
 
-    converged = [r for r in records if r.converged]
-    cycles = [r for r in records if r.cycle_detected]
-    exhausted = [r for r in records if r.exhausted]
+    failures = [r for r in records if isinstance(r, FleetFailure)]
+    results = [r for r in records if not isinstance(r, FleetFailure)]
+    converged = [r for r in results if r.converged]
+    cycles = [r for r in results if r.cycle_detected]
+    exhausted = [r for r in results if r.exhausted]
     verified = sum(1 for r in converged if r.verified_equilibrium)
     distinct = len({r.final_fingerprint for r in converged})
     print(
-        f"done in {elapsed:.1f}s: {len(converged)}/{len(records)} converged "
+        f"done in {elapsed:.1f}s: {len(converged)}/{len(results)} converged "
         f"({verified} verified equilibria, {distinct} distinct terminal "
         f"graphs), {len(cycles)} cycles, {len(exhausted)} exhausted"
     )
+    if failures:
+        print(f"quarantine: {len(failures)} task(s) failed permanently "
+              "(re-run with --resume --retry-failed to retry them)")
+        for f in failures:
+            print(f"  {f.coords} after {f.attempts} attempt(s): {f.error}")
     return 0
 
 

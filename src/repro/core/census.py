@@ -36,7 +36,7 @@ from typing import IO, Iterable, Literal, Sequence
 
 import numpy as np
 
-from ..io.jsonl_store import JsonlStore
+from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import (
     CSRGraph,
     degree_sequence,
@@ -45,7 +45,7 @@ from ..graphs import (
     random_tree,
     total_pairwise_distance,
 )
-from ..parallel import map_streamed
+from ..parallel import TaskFailure, map_streamed
 from ..rng import derive_seed
 from .costmodel import CostModel, cost_model_spec, resolve_cost_model
 from .dynamics import SwapDynamics
@@ -168,24 +168,34 @@ def _census_task(task: tuple) -> CensusRecord:
     )
 
 
-def _write_jsonl(sink: "IO[str]", records: Iterable[CensusRecord]) -> None:
+def _write_jsonl(sink: "IO[str]", records: Iterable) -> None:
     # Module-global on purpose: the crash-window tests intercept this exact
     # hook, and the store calls back into it for every prefix/append write.
+    # Quarantined slots (FleetFailure) serialize with their marker key so
+    # resume can tell them from result records.
     for rec in records:
-        sink.write(json.dumps(asdict(rec)) + "\n")
+        obj = rec.encode() if isinstance(rec, FleetFailure) else asdict(rec)
+        sink.write(json.dumps(obj) + "\n")
     sink.flush()
 
 
-def _make_store(path: "str | Path", config: dict) -> JsonlStore:
+def _decode_record(obj: dict):
+    return maybe_decode_failure(obj) or CensusRecord(**obj)
+
+
+def _make_store(
+    path: "str | Path", config: dict, durability: str = "flush"
+) -> JsonlStore:
     """The shared resumable-stream machinery, bound to census records."""
     return JsonlStore(
         path,
         config_key=CENSUS_CONFIG_KEY,
         config_version=_CONFIG_VERSION,
         config=config,
-        decode=lambda obj: CensusRecord(**obj),
+        decode=_decode_record,
         record_name="census record",
         write_records=lambda sink, recs: _write_jsonl(sink, recs),
+        durability=durability,
     )
 
 
@@ -216,7 +226,13 @@ def run_census(
     audit_mode: str = "batched",
     jsonl_path: "str | Path | None" = None,
     resume: bool = False,
-) -> list[CensusRecord]:
+    timeout: "float | None" = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "record",
+    retry_failed: bool = False,
+    durability: str = "flush",
+) -> list:
     """Run the dynamics census and return one record per (n, family, replicate).
 
     ``verify`` re-checks every converged terminal graph with the exact
@@ -249,6 +265,17 @@ def run_census(
     different games; the prefix rewrite goes through a ``.tmp`` sidecar
     and ``os.replace``, so a crash at any moment leaves either the old
     file or the complete new prefix on disk — never a truncated stream.
+
+    Fault tolerance (DESIGN.md §9): ``timeout``/``retries``/``backoff``
+    tune the runtime's per-chunk recovery.  With the default
+    ``on_error="record"``, a trajectory that fails past its retry budget is
+    *quarantined* — a :class:`~repro.io.jsonl_store.FleetFailure` carrying
+    the task's grid coordinates, the error, and the attempt count takes its
+    record slot (and streams to the JSONL) instead of killing the fleet;
+    ``on_error="raise"`` restores fail-fast.  ``retry_failed=True`` on a
+    resume re-runs exactly the quarantined slots of the streamed prefix
+    before continuing with unfinished tasks.  ``durability`` sets the
+    stream's flush cadence (:class:`~repro.io.jsonl_store.JsonlStore`).
     """
     if workers > 1 and verify_workers > 1:
         raise ValueError(
@@ -269,7 +296,24 @@ def run_census(
         for fi, family in enumerate(families)
         for rep in range(replicates)
     ]
-    records: list[CensusRecord] = []
+    def task_coords(task: tuple) -> dict:
+        return {
+            "n": int(task[0]),
+            "family": task[1],
+            "seed": int(task[2]),
+            "objective": spec,
+            "schedule": schedule,
+            "responder": responder,
+        }
+
+    def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
+        return FleetFailure(
+            coords=task_coords(task),
+            error=failure.error,
+            attempts=failure.attempts,
+        )
+
+    records: list = []
     sink = None
     store = None
     if jsonl_path is not None:
@@ -287,12 +331,22 @@ def run_census(
                 "families": list(families),
                 "replicates": replicates,
             },
+            durability,
         )
-        def check_record(idx: int, rec: CensusRecord) -> None:
+        def check_record(idx: int, rec) -> None:
             # Seeds derive from grid *position*, so (n, family, seed)
             # alone cannot see an objective/schedule/responder change;
             # re-validate per record so a header pasted onto foreign
-            # records is still caught.
+            # records is still caught.  Quarantined slots carry the same
+            # coordinates in their coords dict.
+            if isinstance(rec, FleetFailure):
+                if rec.coords != task_coords(tasks[idx]):
+                    raise ValueError(
+                        f"resume mismatch: quarantined slot {rec.coords!r} "
+                        "does not match this run's grid/configuration — "
+                        "same arguments required"
+                    )
+                return
             if (rec.n, rec.family, rec.seed) != tasks[idx][:3] or (
                 rec.objective, rec.schedule, rec.responder
             ) != (spec, schedule, responder):
@@ -306,23 +360,59 @@ def run_census(
                 )
 
         records = store.start_stream(resume, len(tasks), check_record)
+        if retry_failed and records:
+            failed_idx = [
+                i for i, r in enumerate(records)
+                if isinstance(r, FleetFailure)
+            ]
+            if failed_idx:
+                redo = [tasks[i] for i in failed_idx]
+                fixed = map_streamed(
+                    _census_task, redo, workers,
+                    timeout=timeout, retries=retries, backoff=backoff,
+                    on_error=on_error,
+                )
+                for sub, value in enumerate(fixed):
+                    if isinstance(value, TaskFailure):
+                        value = quarantine(value, redo[sub])
+                    records[failed_idx[sub]] = value
+                store.rewrite_prefix(records)
         tasks = tasks[len(records) :]
         sink = store.open_append()
+
+    def as_records(part: list) -> list:
+        # TaskFailure.index is absolute within the mapped (post-resume)
+        # task slice, so it looks its coordinates up directly.
+        return [
+            quarantine(item, tasks[item.index])
+            if isinstance(item, TaskFailure)
+            else item
+            for item in part
+        ]
+
     try:
-        records += map_streamed(
+        fresh = map_streamed(
             _census_task,
             tasks,
             workers,
             consume=None
             if sink is None
-            else (lambda part: store.append(sink, part)),
+            else (lambda part: store.append(sink, as_records(part))),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            on_error=on_error,
         )
+        records += as_records(fresh)
     finally:
         if sink is not None:
             sink.close()
     return records
 
 
-def census_to_rows(records: Iterable[CensusRecord]) -> list[dict]:
+def census_to_rows(records: Iterable) -> list[dict]:
     """Records as plain dicts (for the reporting layer / CSV writers)."""
-    return [asdict(r) for r in records]
+    return [
+        r.encode() if isinstance(r, FleetFailure) else asdict(r)
+        for r in records
+    ]

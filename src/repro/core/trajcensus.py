@@ -44,9 +44,9 @@ from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
-from ..io.jsonl_store import JsonlStore
+from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import CSRGraph
-from ..parallel import Sweep, map_streamed
+from ..parallel import Sweep, TaskFailure, map_streamed
 from ..rng import derive_seed
 from .census import InitialFamily, seed_graph
 from .costmodel import CostModel, cost_model_spec, resolve_cost_model
@@ -219,24 +219,33 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
     )
 
 
-def _write_jsonl(sink: "IO[str]", records: Iterable[TrajectoryRecord]) -> None:
+def _write_jsonl(sink: "IO[str]", records: Iterable) -> None:
     # Module-global on purpose: the crash-window tests intercept this exact
     # hook, and the store calls back into it for every prefix/append write.
+    # Quarantined slots (FleetFailure) serialize with their marker key.
     for rec in records:
-        sink.write(json.dumps(asdict(rec)) + "\n")
+        obj = rec.encode() if isinstance(rec, FleetFailure) else asdict(rec)
+        sink.write(json.dumps(obj) + "\n")
     sink.flush()
 
 
-def _make_store(path: "str | Path", config: dict) -> JsonlStore:
+def _decode_record(obj: dict):
+    return maybe_decode_failure(obj) or TrajectoryRecord(**obj)
+
+
+def _make_store(
+    path: "str | Path", config: dict, durability: str = "flush"
+) -> JsonlStore:
     """The shared resumable-stream machinery, bound to trajectory records."""
     return JsonlStore(
         path,
         config_key=TRAJ_CONFIG_KEY,
         config_version=_CONFIG_VERSION,
         config=config,
-        decode=lambda obj: TrajectoryRecord(**obj),
+        decode=_decode_record,
         record_name="trajectory record",
         write_records=lambda sink, recs: _write_jsonl(sink, recs),
+        durability=durability,
     )
 
 
@@ -255,7 +264,13 @@ def run_trajectory_census(
     engine_mode: str = "batched",
     jsonl_path: "str | Path | None" = None,
     resume: bool = False,
-) -> list[TrajectoryRecord]:
+    timeout: "float | None" = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "record",
+    retry_failed: bool = False,
+    durability: str = "flush",
+) -> list:
     """Run the trajectory census; one record per grid point × replicate.
 
     The grid enumerates ``objectives × schedules × responders × families ×
@@ -284,6 +299,14 @@ def run_trajectory_census(
     validating the embedded config header and each resumed record against
     this call's grid, and raises rather than silently mixing datasets
     (see the store's docstring for the crash-window guarantees).
+
+    Fault tolerance (DESIGN.md §9): ``timeout``/``retries``/``backoff``
+    tune the runtime's per-chunk recovery; with the default
+    ``on_error="record"`` a trajectory failing past its retry budget
+    streams as a quarantined :class:`~repro.io.jsonl_store.FleetFailure`
+    slot instead of killing the fleet, ``retry_failed=True`` re-runs
+    exactly those slots on resume, and ``durability`` sets the stream's
+    flush cadence.
     """
     sweep = trajectory_sweep(
         n_values, families, objectives, schedules, responders,
@@ -300,7 +323,26 @@ def run_trajectory_census(
     ]
     if resume and jsonl_path is None:
         raise ValueError("resume=True needs a jsonl_path to resume from")
-    records: list[TrajectoryRecord] = []
+
+    def task_coords(task: tuple) -> dict:
+        return {
+            "n": int(task[0]),
+            "family": task[1],
+            "replicate": int(task[2]),
+            "seed": int(task[3]),
+            "objective": task[4],
+            "schedule": task[5],
+            "responder": task[6],
+        }
+
+    def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
+        return FleetFailure(
+            coords=task_coords(task),
+            error=failure.error,
+            attempts=failure.attempts,
+        )
+
+    records: list = []
     sink = None
     store = None
     if jsonl_path is not None:
@@ -324,11 +366,21 @@ def run_trajectory_census(
                     "oracle" if engine_mode == "oracle" else "engine"
                 ),
             },
+            durability,
         )
-        def check_record(idx: int, rec: TrajectoryRecord) -> None:
+        def check_record(idx: int, rec) -> None:
             # Seeds derive from grid position, so re-validate every
             # resumed record's full coordinates: a matching header
-            # pasted onto foreign records is still caught.
+            # pasted onto foreign records is still caught.  Quarantined
+            # slots carry the same coordinates in their coords dict.
+            if isinstance(rec, FleetFailure):
+                if rec.coords != task_coords(tasks[idx]):
+                    raise ValueError(
+                        f"resume mismatch: quarantined slot {rec.coords!r} "
+                        "does not match this run's grid/configuration — "
+                        "same arguments required"
+                    )
+                return
             key = (
                 rec.n, rec.family, rec.replicate, rec.seed,
                 rec.objective, rec.schedule, rec.responder,
@@ -345,25 +397,59 @@ def run_trajectory_census(
                 )
 
         records = store.start_stream(resume, len(tasks), check_record)
+        if retry_failed and records:
+            failed_idx = [
+                i for i, r in enumerate(records)
+                if isinstance(r, FleetFailure)
+            ]
+            if failed_idx:
+                redo = [tasks[i] for i in failed_idx]
+                fixed = map_streamed(
+                    _trajectory_task, redo, workers,
+                    timeout=timeout, retries=retries, backoff=backoff,
+                    on_error=on_error,
+                )
+                for sub, value in enumerate(fixed):
+                    if isinstance(value, TaskFailure):
+                        value = quarantine(value, redo[sub])
+                    records[failed_idx[sub]] = value
+                store.rewrite_prefix(records)
         tasks = tasks[len(records) :]
         sink = store.open_append()
+
+    def as_records(part: list) -> list:
+        # TaskFailure.index is absolute within the mapped (post-resume)
+        # task slice, so it looks its coordinates up directly.
+        return [
+            quarantine(item, tasks[item.index])
+            if isinstance(item, TaskFailure)
+            else item
+            for item in part
+        ]
+
     try:
-        records += map_streamed(
+        fresh = map_streamed(
             _trajectory_task,
             tasks,
             workers,
             consume=None
             if sink is None
-            else (lambda part: store.append(sink, part)),
+            else (lambda part: store.append(sink, as_records(part))),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            on_error=on_error,
         )
+        records += as_records(fresh)
     finally:
         if sink is not None:
             sink.close()
     return records
 
 
-def trajectory_census_to_rows(
-    records: Iterable[TrajectoryRecord],
-) -> list[dict]:
+def trajectory_census_to_rows(records: Iterable) -> list[dict]:
     """Records as plain dicts (for the reporting layer / CSV writers)."""
-    return [asdict(r) for r in records]
+    return [
+        r.encode() if isinstance(r, FleetFailure) else asdict(r)
+        for r in records
+    ]

@@ -17,6 +17,7 @@ __all__ = [
     "IllegalSwapError",
     "ConfigurationError",
     "ConvergenceError",
+    "TaskExecutionError",
 ]
 
 
@@ -51,6 +52,29 @@ class ConfigurationError(ReproError, ValueError):
     errors historically surfaced as either type depending on the layer, so
     the shared subclass keeps both ``except`` styles working.
     """
+
+
+class TaskExecutionError(ReproError):
+    """A parallel task failed permanently (its retry budget is spent).
+
+    Carries the task's identity — the absolute index in the mapped task
+    list, the task's ``repr``, and the attempt count — so fleet logs name
+    the grid point that died instead of surfacing a bare worker traceback.
+    The final underlying exception is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: "int | None" = None,
+        task_repr: "str | None" = None,
+        attempts: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.index = index
+        self.task_repr = task_repr
+        self.attempts = attempts
 
 
 class ConvergenceError(ReproError):

@@ -1,5 +1,5 @@
 """Audited on-disk record streams shared by the census fleets."""
 
-from .jsonl_store import JsonlStore
+from .jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 
-__all__ = ["JsonlStore"]
+__all__ = ["FleetFailure", "JsonlStore", "maybe_decode_failure"]

@@ -27,16 +27,82 @@ The store is generic over the record type: callers supply ``decode``
 constructor does) and ``write_records`` (the append serializer — kept a
 caller-side hook so crash-injection tests can intercept exactly the writes
 their module performs).
+
+Fault-tolerance additions (ISSUE 6, DESIGN.md §9):
+
+* **Durability cadence** — ``durability=`` selects what :meth:`JsonlStore.
+  append` does after serializing a batch: ``"none"`` (leave it to the OS
+  and the file object's buffer), ``"flush"`` (the default: flush the
+  Python-level buffer, so a fleet crash loses at most the final batch to
+  the torn-tail policy, never minutes of buffered records), or ``"fsync"``
+  (flush + ``os.fsync``, surviving host power loss at a per-batch syscall
+  cost).  The default is ``"flush"`` because the failure mode fleets
+  actually see is process death, not power loss.
+* **Quarantine records** — :class:`FleetFailure` is the on-disk shape of a
+  task that failed past its retry budget: the task's grid coordinates, the
+  error, and the attempt count, marked with the ``"fleet_failure"`` key so
+  :func:`maybe_decode_failure` can tell it apart from a result record.
+  Fleets stream it in the failed task's slot and ``--retry-failed`` resumes
+  re-run exactly those slots.
+* **Torn-write injection** — when the fault harness
+  (:mod:`repro.parallel.faults`) is armed, ``append`` checks the
+  ``torn-write`` site (``batch=`` ordinal) and, on a firing, writes only
+  half of the serialized batch before flushing and raising — the
+  deterministic stand-in for a crash tearing the stream's final line, which
+  is exactly what the torn-tail resume policy must absorb.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Callable, Iterable, Mapping, Sequence
 
-__all__ = ["JsonlStore"]
+from ..parallel import faults
+
+__all__ = ["FleetFailure", "JsonlStore", "maybe_decode_failure"]
+
+#: Marker key identifying a quarantine line in a record stream.
+_FAILURE_KEY = "fleet_failure"
+
+
+@dataclass
+class FleetFailure:
+    """A permanently failed fleet task, quarantined in its record slot.
+
+    ``coords`` carries the task's grid coordinates (the same fields the
+    fleet's resume validation checks on result records, e.g. ``n`` /
+    ``family`` / ``seed``), so a resumed run can both validate the slot and
+    re-run exactly this task under ``--retry-failed``.
+    """
+
+    coords: dict
+    error: str
+    attempts: int
+
+    def encode(self) -> dict:
+        return {_FAILURE_KEY: 1, **asdict(self)}
+
+
+def maybe_decode_failure(obj: dict) -> "FleetFailure | None":
+    """Decode a quarantine line, or ``None`` when ``obj`` is a result record.
+
+    Raises ``TypeError`` on a marked-but-torn line, matching the decode
+    contract :meth:`JsonlStore.read_prefix` expects.
+    """
+    if not isinstance(obj, dict) or _FAILURE_KEY not in obj:
+        return None
+    try:
+        return FleetFailure(
+            coords=dict(obj["coords"]),
+            error=str(obj["error"]),
+            attempts=int(obj["attempts"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        raise TypeError(f"torn {_FAILURE_KEY} line: {obj!r}") from None
 
 
 class JsonlStore:
@@ -61,6 +127,9 @@ class JsonlStore:
     write_records:
         ``(sink, records) -> None`` serializer used for both the prefix
         rewrite and appends.
+    durability:
+        What :meth:`append` does after each batch: ``"none"``, ``"flush"``
+        (default), or ``"fsync"`` — see the module docstring.
     """
 
     def __init__(
@@ -73,7 +142,13 @@ class JsonlStore:
         decode: Callable[[dict], object],
         record_name: str = "record",
         write_records: Callable[[IO, Iterable], None],
+        durability: str = "flush",
     ):
+        if durability not in ("none", "flush", "fsync"):
+            raise ValueError(
+                f"durability must be 'none', 'flush' or 'fsync', "
+                f"got {durability!r}"
+            )
         self.path = Path(path)
         self.config_key = config_key
         self.config_version = config_version
@@ -81,6 +156,8 @@ class JsonlStore:
         self._decode = decode
         self.record_name = record_name
         self._write = write_records
+        self.durability = durability
+        self._append_batch = 0
 
     # ------------------------------------------------------------------
     # Reading
@@ -191,6 +268,16 @@ class JsonlStore:
         the validated prefix atomically.  Either way the caller continues
         with :meth:`open_append` and the remaining tasks.
         """
+        # A crash mid-rewrite can leave the `.tmp` sidecar behind.  The
+        # main file is always authoritative (`os.replace` is atomic: the
+        # swap either happened completely or not at all), so a stale
+        # sidecar is pure garbage — drop it rather than let it shadow the
+        # next rewrite or alarm forensics.
+        stale = self.path.with_name(self.path.name + ".tmp")
+        try:
+            stale.unlink()
+        except OSError:
+            pass
         done: list = []
         if resume:
             done = self.resume_records()[:count]
@@ -221,8 +308,33 @@ class JsonlStore:
         return self.path.open("a", encoding="utf-8")
 
     def append(self, sink: "IO[str]", records: Iterable) -> None:
-        """Append ``records`` through the caller's serializer."""
+        """Append ``records`` through the caller's serializer.
+
+        Applies the store's durability cadence per batch, and honours an
+        armed ``torn-write`` fault (half the serialized batch is written,
+        flushed, and :class:`~repro.parallel.faults.InjectedFault` raised —
+        the deterministic crash-mid-append the resume policy must absorb).
+        """
+        batch = self._append_batch
+        self._append_batch += 1
+        if faults.faults_armed():
+            records = list(records)
+            spec = faults.take("torn-write", batch=batch)
+            if spec is not None:
+                buf = io.StringIO()
+                self._write(buf, records)
+                text = buf.getvalue()
+                sink.write(text[: len(text) // 2])
+                sink.flush()
+                raise faults.InjectedFault(
+                    f"injected torn-write at batch {batch}"
+                )
         self._write(sink, records)
+        if self.durability == "flush":
+            sink.flush()
+        elif self.durability == "fsync":
+            sink.flush()
+            os.fsync(sink.fileno())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JsonlStore({str(self.path)!r}, key={self.config_key!r})"

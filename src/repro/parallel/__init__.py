@@ -1,25 +1,38 @@
-"""Deterministic parallel execution: process pools, shared memory, sweeps."""
+"""Deterministic parallel execution: process pools, shared memory, sweeps.
 
-from .pool import chunk_evenly, default_workers, parallel_map
+Since ISSUE 6 the runtime is fault-tolerant (DESIGN.md §9): per-chunk
+timeouts, bounded deterministic retries with chunk splitting, executor
+rebuild on worker death, task quarantine (:class:`TaskFailure`), a
+``/dev/shm`` orphan reaper (:func:`reap_orphan_segments`), and a
+deterministic fault-injection harness (:mod:`repro.parallel.faults`).
+"""
+
+from .faults import InjectedFault, injected_env
+from .pool import TaskFailure, chunk_evenly, default_workers, parallel_map
 from .shared import (
     SharedArrayBundle,
     SharedArrayPool,
     get_shared_pool,
     map_streamed,
+    reap_orphan_segments,
     shutdown_shared_pools,
 )
 from .sweep import Sweep, SweepPoint, run_sweep
 
 __all__ = [
+    "InjectedFault",
     "SharedArrayBundle",
     "SharedArrayPool",
     "Sweep",
     "SweepPoint",
+    "TaskFailure",
     "chunk_evenly",
     "default_workers",
     "get_shared_pool",
+    "injected_env",
     "map_streamed",
     "parallel_map",
+    "reap_orphan_segments",
     "run_sweep",
     "shutdown_shared_pools",
 ]

@@ -25,23 +25,187 @@ long-lived pool across calls, ``"fork"`` keeps the original fork-per-call
 executor (the oracle both for determinism tests and for callers that must
 not leave worker processes behind).  Results are identical across backends,
 worker counts, and chunkings by construction.
+
+Since the fault-tolerance layer (DESIGN.md §9), ``parallel_map`` also takes
+``timeout=`` (per-chunk wall clock), ``retries=`` (bounded, with
+exponential backoff and chunk-splitting to isolate a poisoned task), and
+``on_error=`` (``"raise"`` — chain the failing task's identity into a
+:class:`~repro.errors.TaskExecutionError` — or ``"record"`` — yield a
+:class:`TaskFailure` in the failed task's slot instead of aborting the
+call).  Recovery never touches any RNG stream and never reorders results:
+retried tasks are pure functions of their task tuples and results are
+assembled by absolute task index, so a run with injected faults produces
+records bit-identical to a clean run.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Literal, Mapping, Sequence, TypeVar
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TaskExecutionError
+from . import faults
 
-__all__ = ["chunk_evenly", "default_workers", "parallel_map"]
+__all__ = [
+    "TaskFailure",
+    "chunk_evenly",
+    "default_workers",
+    "parallel_map",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Backoff delays are ``backoff * 2**(attempt-1)`` capped here — retries
+#: must stay deterministic (no jitter) and bounded (a fleet should spend
+#: its wall clock on work, not sleeps).
+_BACKOFF_CAP = 2.0
+
+
+@dataclass
+class TaskFailure:
+    """A task that failed permanently, quarantined in its result slot.
+
+    Produced by the ``on_error="record"`` policy: the mapped result list
+    keeps one entry per task, with failed tasks replaced by this record
+    (index = absolute position in the mapped task list) so fleets can
+    stream a quarantine record instead of dying.
+    """
+
+    index: int
+    task_repr: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class _TaskError:
+    """Picklable transport of a worker-side task exception.
+
+    Workers catch per-task exceptions and return these markers in the
+    task's result slot, so a poisoned task never poisons its chunk-mates'
+    results and the parent knows exactly which task failed (satellite of
+    ISSUE 6: task identity in raised errors).
+    """
+
+    index: int
+    task_repr: str
+    exc_repr: str
+    tb_text: str
+    exc_bytes: "bytes | None"
+
+    @classmethod
+    def from_exception(cls, index: int, task, exc: Exception) -> "_TaskError":
+        try:
+            blob = pickle.dumps(exc)
+        except Exception:
+            blob = None
+        return cls(index, repr(task), repr(exc), traceback.format_exc(), blob)
+
+    def exception(self) -> BaseException:
+        """The original exception (re-pickled), or a faithful stand-in."""
+        if self.exc_bytes is not None:
+            try:
+                return pickle.loads(self.exc_bytes)
+            except Exception:  # pragma: no cover - unpicklable custom exc
+                pass
+        return RuntimeError(f"{self.exc_repr}\n{self.tb_text}")
+
+
+def _call_task(fn: Callable, task, arrays) -> object:
+    return fn(task) if arrays is None else fn(task, arrays)
+
+
+def _run_tasks(fn, arrays, tasks, chunk_id, start) -> list:
+    """Run a contiguous chunk, catching per-task exceptions into markers.
+
+    The single chunk body shared by every process backend (and the
+    degraded serial path): checks the fault-injection sites (``chunk=`` at
+    chunk start, ``task=`` per task) and returns one entry per task —
+    the result, or a :class:`_TaskError` carrying the task's identity.
+    """
+    faults.maybe_fault(chunk=chunk_id)
+    out: list = []
+    for i, task in enumerate(tasks):
+        abs_idx = start + i
+        try:
+            faults.maybe_fault(task=abs_idx)
+            out.append(_call_task(fn, task, arrays))
+        except Exception as exc:
+            out.append(_TaskError.from_exception(abs_idx, task, exc))
+    return out
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(min(backoff * (2 ** max(0, attempt - 1)), _BACKOFF_CAP))
+
+
+def _permanent_failure(
+    marker: _TaskError, attempts: int, on_error: str
+) -> TaskFailure:
+    """Raise (identity chained) or quarantine a spent task, per policy."""
+    if on_error == "record":
+        return TaskFailure(
+            index=marker.index,
+            task_repr=marker.task_repr,
+            error=marker.exc_repr,
+            attempts=attempts,
+        )
+    err = TaskExecutionError(
+        f"task {marker.index} ({marker.task_repr}) failed after "
+        f"{attempts} attempt(s): {marker.exc_repr}",
+        index=marker.index,
+        task_repr=marker.task_repr,
+        attempts=attempts,
+    )
+    raise err from marker.exception()
+
+
+def _serial_map(
+    fn: Callable,
+    tasks: Sequence,
+    arrays,
+    *,
+    retries: int = 0,
+    backoff: float = 0.05,
+    on_error: str = "raise",
+    start: int = 0,
+    consume: "Callable[[list], None] | None" = None,
+) -> list:
+    """The serial path with the same retry/quarantine contract as the pool.
+
+    Also the degraded last resort the resilient pool falls back to when a
+    chunk keeps failing (DESIGN.md §9) — fault sites are checked here too,
+    with kill/hang downgrading to raises in the owner process.
+    """
+    out: list = []
+    for i, task in enumerate(tasks):
+        abs_idx = start + i
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                faults.maybe_fault(task=abs_idx)
+                value = _call_task(fn, task, arrays)
+                break
+            except Exception as exc:
+                if attempts > retries:
+                    marker = _TaskError.from_exception(abs_idx, task, exc)
+                    value = _permanent_failure(marker, attempts, on_error)
+                    break
+                _backoff_sleep(backoff, attempts)
+        out.append(value)
+        if consume is not None:
+            consume([value])
+    return out
 
 
 def chunk_evenly(items: Sequence[T], parts: int) -> list[tuple[int, list[T]]]:
@@ -105,24 +269,37 @@ def _resolve_shared(shared):
     )
 
 
-def _fork_shared_chunk(payload):
-    """Fork-backend worker: the arrays arrive pickled inside the payload.
+def _fork_chunk(payload):
+    """Fork-backend worker: arrays (if any) arrive pickled in the payload.
 
     This is the re-pickling oracle the shared-memory path is validated
-    against — deliberately unoptimized.
+    against — deliberately unoptimized, but it shares the per-task error
+    capture so worker exceptions still carry task identity.
     """
-    fn, arrays, chunk = payload
-    return [fn(task, arrays) for task in chunk]
+    fn, arrays, start, chunk = payload
+    return _run_tasks(fn, arrays, chunk, None, start)
+
+
+def _raise_first_marker(results: list) -> list:
+    """Raise on the first :class:`_TaskError`; otherwise pass through."""
+    for item in results:
+        if isinstance(item, _TaskError):
+            _permanent_failure(item, 1, "raise")
+    return results
 
 
 def parallel_map(
     fn: Callable[[T], R],
     tasks: Sequence[T],
-    workers: int | None = None,
-    chunk_size: int | None = None,
+    workers: "int | None" = None,
+    chunk_size: "int | None" = None,
     *,
     shared: "Mapping[str, np.ndarray] | None" = None,
     backend: Backend = "auto",
+    timeout: "float | None" = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    on_error: Literal["raise", "record"] = "raise",
 ) -> list[R]:
     """Map ``fn`` over ``tasks``, preserving order.
 
@@ -143,9 +320,33 @@ def parallel_map(
         caller's own arrays on the serial path.  A mapping passed here is
         published for the duration of the call and unlinked before return.
     backend:
-        ``"auto"`` — persistent pool when ``shared`` is given, fork-per-call
-        otherwise (the pre-shared-runtime behaviour); ``"persistent"`` /
-        ``"fork"`` force one substrate.  Results are identical either way.
+        ``"auto"`` — persistent pool when ``shared`` or any fault-tolerance
+        knob is given, fork-per-call otherwise (the pre-shared-runtime
+        behaviour); ``"persistent"`` / ``"fork"`` force one substrate.
+        Results are identical either way.
+    timeout:
+        Per-chunk wall-clock budget in seconds (process backends only —
+        the serial path cannot preempt itself).  A chunk that exceeds it is
+        presumed hung: its workers are killed, the executor is rebuilt, and
+        the chunk is retried/split under the ``retries`` budget.
+    retries:
+        Per-task failure budget beyond the first attempt.  Chunk-level
+        failures (worker death, timeout) split multi-task chunks to isolate
+        the poisoned task; a single task that keeps failing is degraded to
+        one serial in-process attempt before the policy below applies.
+        Backoff between attempts is deterministic exponential
+        (``backoff · 2^(attempt−1)``, capped) — no RNG stream is touched
+        and result order never changes.
+    on_error:
+        ``"raise"`` (default) — raise :class:`~repro.errors.
+        TaskExecutionError` naming the failed task's index/repr, chaining
+        the original exception; ``"record"`` — put a :class:`TaskFailure`
+        in the task's result slot and keep going (the fleets' quarantine
+        policy).
+
+    Worker exceptions always surface with the failing task's identity —
+    the raised error names the task index and repr rather than a bare
+    worker traceback.
     """
     tasks = list(tasks)
     if workers is None:
@@ -154,17 +355,38 @@ def parallel_map(
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if backend not in ("auto", "persistent", "fork"):
         raise ConfigurationError(f"unknown backend {backend!r}")
+    if on_error not in ("raise", "record"):
+        raise ConfigurationError(f"unknown on_error policy {on_error!r}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be > 0, got {timeout}")
+    fault_tolerant = (
+        timeout is not None or retries > 0 or on_error != "raise"
+    )
+    if backend == "fork" and fault_tolerant:
+        raise ConfigurationError(
+            "backend='fork' is the plain per-call oracle and does not "
+            "support timeout/retries/on_error; use the persistent backend"
+        )
     if not tasks:
         return []
     bundle, owner_arrays = _resolve_shared(shared)
     if workers == 1 or len(tasks) == 1:
+        if fault_tolerant:
+            return _serial_map(
+                fn, tasks, owner_arrays,
+                retries=retries, backoff=backoff, on_error=on_error,
+            )
         if owner_arrays is None:
             return [fn(t) for t in tasks]
         return [fn(t, owner_arrays) for t in tasks]
     _check_picklable(fn)
     if chunk_size is None:
         chunk_size = max(1, (len(tasks) + 4 * workers - 1) // (4 * workers))
-    if backend == "persistent" or (backend == "auto" and shared is not None):
+    if backend == "persistent" or (
+        backend == "auto" and (shared is not None or fault_tolerant)
+    ):
         from .shared import SharedArrayBundle, get_shared_pool
 
         owns_bundle = bundle is None and owner_arrays is not None
@@ -172,22 +394,21 @@ def parallel_map(
             bundle = SharedArrayBundle(owner_arrays)
         try:
             return get_shared_pool(workers).map(
-                fn, tasks, shared=bundle, chunk_size=chunk_size
+                fn, tasks, shared=bundle, chunk_size=chunk_size,
+                timeout=timeout, retries=retries, backoff=backoff,
+                on_error=on_error,
             )
         finally:
             if owns_bundle:
                 bundle.close()
-    if owner_arrays is None:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, tasks, chunksize=chunk_size))
-    # Fork backend with a shared payload: pickle the materialized arrays
-    # into every chunk (the oracle for the zero-copy path).
+    # Fork backend: one executor per call, arrays (if any) pickled into
+    # every chunk (the oracle for the zero-copy path).
     payloads = [
-        (fn, owner_arrays, tasks[i : i + chunk_size])
+        (fn, owner_arrays, i, tasks[i : i + chunk_size])
         for i in range(0, len(tasks), chunk_size)
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         out: list[R] = []
-        for part in pool.map(_fork_shared_chunk, payloads):
-            out.extend(part)
+        for part in pool.map(_fork_chunk, payloads):
+            out.extend(_raise_first_marker(part))
         return out

@@ -29,37 +29,65 @@ Lifetime discipline (DESIGN.md §5):
   attaching re-registers the same name (a set-idempotent no-op) and worker
   exit goes through ``os._exit`` (no atexit), so workers can neither leak
   nor double-unlink a segment; attached views are cached per segment name
-  with a small LRU bound.
+  with a small LRU bound;
+* if owner *and* tracker die together (``kill -9`` of the process group, a
+  host reset), the segment survives — the **startup reaper**
+  (:func:`reap_orphan_segments`) scans ``/dev/shm`` for our name pattern,
+  extracts the embedded creator pid, and unlinks segments whose owner is
+  dead.  A liveness-stamped registry entry (pid + process start time,
+  written at publish) protects concurrent fleets from pid reuse: a live
+  pid with a matching start time is never reaped.
+
+Fault tolerance (DESIGN.md §9): :meth:`SharedArrayPool.map` survives worker
+death (``BrokenProcessPool`` — the executor is rebuilt and shared bundles
+re-validated/re-published), hangs (per-chunk ``timeout=`` kills the stuck
+workers), and poisoned tasks (bounded ``retries=`` with deterministic
+exponential backoff; failing chunks split to isolate the poison; a task
+that keeps failing is degraded to one serial in-process attempt, then
+raised with its identity or quarantined per ``on_error=``).
 
 Determinism: the pool changes *where* tasks run, never *what* they return —
-results are gathered in submission order, so ``parallel_map`` keeps its
-exact results-independent-of-worker-count contract.
+results are assembled by absolute task index and emitted in submission
+order, so ``parallel_map`` keeps its exact results-independent-of-worker-
+count contract even across retries, splits, and executor rebuilds.
 """
 
 from __future__ import annotations
 
 import atexit
 import itertools
+import json
 import os
+import tempfile
 import uuid
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 from multiprocessing import shared_memory as _shm
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..errors import ConfigurationError
-from .pool import chunk_evenly
+from .pool import (
+    TaskFailure,
+    _TaskError,
+    _backoff_sleep,
+    _run_tasks,
+    _serial_map,
+)
 
 __all__ = [
     "SharedArrayBundle",
     "SharedArrayPool",
     "get_shared_pool",
     "map_streamed",
+    "reap_orphan_segments",
     "shutdown_shared_pools",
 ]
 
@@ -74,7 +102,9 @@ _name_counter = itertools.count()
 
 def _new_segment_name() -> str:
     # pid + counter + random suffix: unique across processes and re-runs,
-    # short enough for the POSIX shm_open name limit.
+    # short enough for the POSIX shm_open name limit.  The embedded pid is
+    # what lets the startup reaper attribute an orphaned segment to its
+    # (dead) creator.
     return (
         f"{_NAME_PREFIX}-{os.getpid()}-{next(_name_counter)}-"
         f"{uuid.uuid4().hex[:8]}"
@@ -84,6 +114,139 @@ def _new_segment_name() -> str:
 # Bundles still open, for the atexit backstop.  Weak so that garbage
 # collection (which triggers __del__ -> close) drops entries naturally.
 _LIVE_BUNDLES: "weakref.WeakSet[SharedArrayBundle]" = weakref.WeakSet()
+
+
+# ---------------------------------------------------------------------------
+# Orphan reaper and liveness registry
+# ---------------------------------------------------------------------------
+
+#: Where POSIX shm segments materialize as files (Linux tmpfs).  When the
+#: directory does not exist (macOS, Windows) the reaper is a no-op.
+_SHM_DIR = Path("/dev/shm")
+
+#: Liveness registry: one small JSON file per published segment, carrying
+#: the owner's (pid, start time).  Advisory — registry I/O failures never
+#: fail a publish — but it is what makes reaping safe against pid reuse:
+#: a recycled pid has a different start time, so a stale segment whose
+#: embedded pid now names an unrelated live process is still reaped, while
+#: a concurrent fleet's segment (matching stamp) never is.
+_REGISTRY_DIR = Path(tempfile.gettempdir()) / "repro-shm-registry"
+
+
+def _proc_start_time(pid: int) -> "str | None":
+    """The kernel's start-time ticks for ``pid`` (None off-Linux/when gone)."""
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text()
+        # Field 22 (starttime); the comm field may contain spaces/parens,
+        # so split after the last ')'.
+        return stat[stat.rindex(")") + 1 :].split()[19]
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _pid_from_name(name: str) -> "int | None":
+    parts = name.split("-")
+    try:
+        return int(parts[2])
+    except (IndexError, ValueError):
+        return None
+
+
+def _register_segment(name: str) -> None:
+    try:
+        _REGISTRY_DIR.mkdir(parents=True, exist_ok=True)
+        (_REGISTRY_DIR / name).write_text(
+            json.dumps(
+                {
+                    "pid": os.getpid(),
+                    "starttime": _proc_start_time(os.getpid()),
+                }
+            )
+        )
+    except OSError:  # pragma: no cover - registry is advisory
+        pass
+
+
+def _unregister_segment(name: str) -> None:
+    try:
+        (_REGISTRY_DIR / name).unlink()
+    except OSError:
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def _owner_alive(name: str, pid: int) -> bool:
+    """Is the process that published segment ``name`` still the one running?"""
+    if not _pid_alive(pid):
+        return False
+    try:
+        entry = json.loads((_REGISTRY_DIR / name).read_text())
+    except (OSError, ValueError):
+        # No (readable) registry entry: a live pid is trusted —
+        # conservative, because reaping a live fleet's segment corrupts it,
+        # while a leaked segment merely waits for its pid to die.
+        return True
+    stamped = entry.get("starttime")
+    if stamped is None:
+        return True
+    return _proc_start_time(pid) == stamped
+
+
+def reap_orphan_segments() -> list[str]:
+    """Unlink ``/dev/shm`` segments of our name pattern from dead owners.
+
+    Covers the one leak path the per-process lifetime discipline cannot:
+    owner *and* resource tracker dying together (``kill -9`` of the
+    process group, a container stop).  Safe to run concurrently with live
+    fleets — a segment is only reaped when its embedded creator pid is
+    dead, or when the liveness registry proves the pid was recycled by an
+    unrelated process.  Returns the reaped segment names.  Runs
+    automatically once per process the first time a bundle or pool is
+    created.
+    """
+    reaped: list[str] = []
+    if not _SHM_DIR.is_dir():
+        return reaped
+    for path in _SHM_DIR.glob(f"{_NAME_PREFIX}-*"):
+        name = path.name
+        pid = _pid_from_name(name)
+        if pid is None or _owner_alive(name, pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - raced another reaper
+            pass
+        else:
+            reaped.append(name)
+        _unregister_segment(name)
+    # Registry entries whose segment is gone (normal close crash-raced the
+    # unregister) are stale bookkeeping: sweep them too.
+    try:
+        for entry in _REGISTRY_DIR.glob(f"{_NAME_PREFIX}-*"):
+            if not (_SHM_DIR / entry.name).exists():
+                _unregister_segment(entry.name)
+    except OSError:  # pragma: no cover
+        pass
+    return reaped
+
+
+_reaped_once = False
+
+
+def _reap_once() -> None:
+    global _reaped_once
+    if not _reaped_once:
+        _reaped_once = True
+        reap_orphan_segments()
 
 
 class SharedArrayBundle:
@@ -104,6 +267,7 @@ class SharedArrayBundle:
     def __init__(self, arrays: Mapping[str, np.ndarray]):
         if not arrays:
             raise ConfigurationError("SharedArrayBundle needs >= 1 array")
+        _reap_once()
         self._segments: dict[str, _shm.SharedMemory] = {}
         self._views: dict[str, np.ndarray] = {}
         spec: list[tuple[str, str, tuple[int, ...], str]] = []
@@ -122,6 +286,7 @@ class SharedArrayBundle:
                 view.flags.writeable = False
                 self._segments[key] = seg
                 self._views[key] = view
+                _register_segment(seg.name)
                 spec.append((key, seg.name, arr.shape, arr.dtype.str))
         except BaseException:
             self.close()
@@ -146,6 +311,28 @@ class SharedArrayBundle:
     def segment_names(self) -> tuple[str, ...]:
         return tuple(seg.name for seg in self._segments.values())
 
+    def revalidate(self) -> "SharedArrayBundle":
+        """Self if every segment still exists; a re-published copy if not.
+
+        The executor-rebuild path calls this before resubmitting work: if
+        an external cleaner (or a crashed tracker) unlinked a segment while
+        the fleet ran, freshly forked workers could no longer attach.  The
+        owner's views stay readable even after an unlink (the mapping pins
+        the memory), so the bundle can re-publish itself from them.  The
+        caller owns any replacement bundle returned.
+        """
+        if self._closed:
+            raise ConfigurationError("cannot revalidate a closed bundle")
+        if _SHM_DIR.is_dir():
+            missing = [
+                name
+                for name in self.segment_names
+                if not (_SHM_DIR / name).exists()
+            ]
+            if missing:
+                return SharedArrayBundle(self._views)
+        return self
+
     def close(self) -> None:
         """Release and unlink every segment.  Idempotent."""
         self._views = {}
@@ -159,6 +346,7 @@ class SharedArrayBundle:
                 seg.unlink()
             except Exception:  # pragma: no cover - already unlinked
                 pass
+            _unregister_segment(seg.name)
         self._closed = True
 
     # ------------------------------------------------------------------
@@ -218,12 +406,16 @@ def attach_spec(spec) -> dict[str, np.ndarray]:
     }
 
 
-def _run_chunk(fn: Callable, spec, chunk: list) -> list:
-    """Worker entry point: resolve the shared payload, map the chunk."""
-    if spec is None:
-        return [fn(task) for task in chunk]
-    arrays = attach_spec(spec)
-    return [fn(task, arrays) for task in chunk]
+def _run_chunk(fn: Callable, spec, chunk: list, chunk_id=None, start=0) -> list:
+    """Worker entry point: resolve the shared payload, run the chunk.
+
+    Per-task exceptions come back as markers in the task's slot (see
+    :func:`repro.parallel.pool._run_tasks`), so a poisoned task identifies
+    itself instead of poisoning its chunk; ``chunk_id``/``start`` also
+    locate the fault-injection sites.
+    """
+    arrays = None if spec is None else attach_spec(spec)
+    return _run_tasks(fn, arrays, chunk, chunk_id, start)
 
 
 # ---------------------------------------------------------------------------
@@ -237,83 +429,309 @@ def _mp_context():
         return None
 
 
+@dataclass
+class _Unit:
+    """One schedulable chunk of work (its lineage survives retries/splits).
+
+    ``chunk_id`` is the *original* chunk ordinal — stable across retries
+    and splits, which is what makes "kill on the n-th chunk" a
+    deterministic fault site.  ``attempts`` counts the failures charged to
+    this lineage.
+    """
+
+    chunk_id: int
+    start: int
+    tasks: list = field(default_factory=list)
+    attempts: int = 0
+
+
 class SharedArrayPool:
     """A persistent process pool with a shared-array payload channel.
 
     Workers are created once and reused across :meth:`map` calls; large
     read-only arrays travel via :class:`SharedArrayBundle` instead of being
     pickled per chunk.  Results are gathered in submission order, so output
-    is independent of worker count and scheduling.
+    is independent of worker count and scheduling.  :meth:`map` recovers
+    from worker death, hangs, and poisoned tasks (DESIGN.md §9).
     """
 
     def __init__(self, workers: int):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self._executor: ProcessPoolExecutor | None = None
+        self._executor: "ProcessPoolExecutor | None" = None
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
+        ex = self._executor
+        if ex is not None and getattr(ex, "_broken", False):
+            # A worker died since the last call and the corpse stayed
+            # cached: rebuild instead of handing it back (ISSUE 6
+            # satellite — get_shared_pool must never serve a dead pool).
+            self._kill_executor()
+            ex = None
+        if ex is None:
             ctx = _mp_context()
-            self._executor = ProcessPoolExecutor(
+            self._executor = ex = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=ctx
             )
-        return self._executor
+        return ex
+
+    def _kill_executor(self) -> None:
+        """Forcefully stop the executor (hung or broken workers included)."""
+        ex, self._executor = self._executor, None
+        if ex is None:
+            return
+        procs = list((getattr(ex, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        try:
+            ex.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - teardown races
+            pass
+        for proc in procs:
+            try:
+                proc.join(5)
+            except Exception:  # pragma: no cover
+                pass
 
     # ------------------------------------------------------------------
     def submit_chunks(
         self,
         fn: Callable,
         chunks: Sequence[list],
-        shared: SharedArrayBundle | None = None,
+        shared: "SharedArrayBundle | None" = None,
+        starts: "Sequence[int] | None" = None,
     ):
         """Submit chunks, returning futures in submission order.
 
         The streaming primitive under :meth:`map` and the census fleet:
         callers may consume futures in order while later chunks still run.
+        ``starts`` optionally carries each chunk's absolute task offset
+        (used for task identity in errors and fault-injection sites).
         """
         spec = None if shared is None else shared.spec
         pool = self._ensure_executor()
-        return [pool.submit(_run_chunk, fn, spec, list(c)) for c in chunks]
+        if starts is None:
+            starts = []
+            off = 0
+            for c in chunks:
+                starts.append(off)
+                off += len(c)
+        return [
+            pool.submit(_run_chunk, fn, spec, list(c), i, s)
+            for i, (c, s) in enumerate(zip(chunks, starts))
+        ]
 
+    # ------------------------------------------------------------------
     def map(
         self,
         fn: Callable,
         tasks: Sequence,
-        shared: SharedArrayBundle | None = None,
-        chunk_size: int | None = None,
+        shared: "SharedArrayBundle | None" = None,
+        chunk_size: "int | None" = None,
+        *,
+        timeout: "float | None" = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        on_error: str = "raise",
+        consume: "Callable[[list], None] | None" = None,
     ) -> list:
         """Map ``fn`` over ``tasks`` (order preserved), sharing ``shared``.
 
         ``fn`` is called as ``fn(task)`` without a bundle and as
-        ``fn(task, arrays)`` with one.  A broken pool (a worker died) is
-        rebuilt once and the call retried — determinism is unaffected
-        because no partial results are kept.
+        ``fn(task, arrays)`` with one.  Fault-tolerance contract
+        (DESIGN.md §9):
+
+        * **worker death** (``BrokenProcessPool``) — the executor is
+          rebuilt, shared bundles re-validated (re-published if a segment
+          vanished), and every unfinished chunk resubmitted; the chunk at
+          the head of the consumption line is charged one attempt;
+        * **hang** — with ``timeout=``, a chunk exceeding its wall-clock
+          budget at the head of the line has the workers killed and is
+          charged one attempt;
+        * **poisoned task** — a failing multi-task chunk is split in half
+          to isolate the poison; a single task failing past ``retries`` is
+          degraded to one serial in-process attempt, then raised with its
+          identity (``on_error="raise"``) or quarantined as a
+          :class:`~repro.parallel.pool.TaskFailure` (``"record"``);
+        * **determinism** — results are assembled by absolute task index
+          and emitted in task order through ``consume``; retries use
+          deterministic exponential backoff and never touch RNG streams,
+          so records are bit-identical to a clean run.
         """
         tasks = list(tasks)
         if not tasks:
             return []
+        if on_error not in ("raise", "record"):
+            raise ConfigurationError(f"unknown on_error policy {on_error!r}")
         if chunk_size is None:
             chunk_size = max(
                 1, (len(tasks) + 4 * self.workers - 1) // (4 * self.workers)
             )
-        chunks = [
-            tasks[i : i + chunk_size]
-            for i in range(0, len(tasks), chunk_size)
+        owner_arrays = None if shared is None else shared.arrays()
+        bundle = shared
+        owned_republish: "SharedArrayBundle | None" = None
+        units = [
+            _Unit(chunk_id=ci, start=i, tasks=tasks[i : i + chunk_size])
+            for ci, i in enumerate(range(0, len(tasks), chunk_size))
         ]
+        results: dict[int, object] = {}
+        n = len(tasks)
+        emit = 0
+        inflight: "OrderedDict" = OrderedDict()
+
+        def submit(unit: _Unit) -> None:
+            spec = None if bundle is None else bundle.spec
+            try:
+                pool = self._ensure_executor()
+                fut = pool.submit(
+                    _run_chunk, fn, spec, unit.tasks, unit.chunk_id,
+                    unit.start,
+                )
+            except BrokenProcessPool:  # pragma: no cover - submit race
+                self._kill_executor()
+                pool = self._ensure_executor()
+                fut = pool.submit(
+                    _run_chunk, fn, spec, unit.tasks, unit.chunk_id,
+                    unit.start,
+                )
+            inflight[fut] = unit
+
+        def degrade_serial(unit: _Unit) -> None:
+            # The last resort: the chunk keeps dying in workers, so run its
+            # tasks in the owner (where injected kill/hang downgrade to
+            # raises) — completing genuinely fine tasks and giving the
+            # poisoned one a final, identity-preserving verdict.
+            part = _serial_map(
+                fn, unit.tasks, owner_arrays,
+                retries=0, backoff=backoff, on_error=on_error,
+                start=unit.start,
+            )
+            for off, value in enumerate(part):
+                if isinstance(value, TaskFailure):
+                    value.attempts += unit.attempts
+                results[unit.start + off] = value
+
+        def handle_chunk_failure(unit: _Unit, requeue: list) -> None:
+            unit.attempts += 1
+            if len(unit.tasks) > 1:
+                # Split to isolate the poisoned task: the innocent half
+                # completes normally instead of riding the retry budget.
+                mid = len(unit.tasks) // 2
+                requeue.append(
+                    _Unit(unit.chunk_id, unit.start, unit.tasks[:mid],
+                          unit.attempts)
+                )
+                requeue.append(
+                    _Unit(unit.chunk_id, unit.start + mid, unit.tasks[mid:],
+                          unit.attempts)
+                )
+            elif unit.attempts > retries:
+                degrade_serial(unit)
+            else:
+                _backoff_sleep(backoff, unit.attempts)
+                requeue.append(unit)
+
+        def rebuild_and_resubmit(extra: list) -> None:
+            nonlocal bundle, owned_republish
+            self._kill_executor()
+            pending = list(inflight.values())
+            inflight.clear()
+            if bundle is not None:
+                fresh = bundle.revalidate()
+                if fresh is not bundle:
+                    # A segment vanished mid-fleet: the re-published bundle
+                    # is ours to close when the call finishes.
+                    if owned_republish is not None:
+                        owned_republish.close()
+                    bundle = owned_republish = fresh
+            for unit in sorted(pending + extra, key=lambda u: u.start):
+                submit(unit)
+
+        def emit_ready() -> None:
+            nonlocal emit
+            batch: list = []
+            while emit < n and emit in results:
+                batch.append(results[emit])
+                emit += 1
+            if batch and consume is not None:
+                consume(batch)
+
         try:
-            futures = self.submit_chunks(fn, chunks, shared)
-            out: list = []
-            for fut in futures:
-                out.extend(fut.result())
-            return out
-        except BrokenProcessPool:
-            self.shutdown()
-            futures = self.submit_chunks(fn, chunks, shared)
-            out = []
-            for fut in futures:
-                out.extend(fut.result())
-            return out
+            for unit in units:
+                submit(unit)
+            while inflight:
+                fut, unit = next(iter(inflight.items()))
+                try:
+                    part = fut.result(timeout=timeout)
+                except _FuturesTimeout:
+                    # Head-of-line chunk blew its wall-clock budget: the
+                    # worker is presumed hung.  Nothing short of SIGKILL
+                    # interrupts it, so tear the executor down and retry
+                    # every unfinished chunk (the hung one charged).
+                    del inflight[fut]
+                    requeue: list = []
+                    handle_chunk_failure(unit, requeue)
+                    rebuild_and_resubmit(requeue)
+                    emit_ready()
+                    continue
+                except BrokenProcessPool:
+                    # A worker died (OOM-kill, segfault, injected SIGKILL).
+                    # Every inflight future is void; charge the head unit
+                    # (the culprit is unknowable, and misattribution only
+                    # costs an extra split — never a wrong result).
+                    del inflight[fut]
+                    requeue = []
+                    handle_chunk_failure(unit, requeue)
+                    rebuild_and_resubmit(requeue)
+                    emit_ready()
+                    continue
+                except Exception:
+                    # Infrastructure failure outside the task body (attach
+                    # error, payload pickling): charge and retry the unit;
+                    # the rest of the pool is healthy.
+                    del inflight[fut]
+                    requeue = []
+                    handle_chunk_failure(unit, requeue)
+                    for u in requeue:
+                        submit(u)
+                    emit_ready()
+                    continue
+                del inflight[fut]
+                retry_units: list[_Unit] = []
+                for off, value in enumerate(part):
+                    if isinstance(value, _TaskError):
+                        attempts = unit.attempts + 1
+                        if attempts > retries:
+                            # Spent: one degraded serial verdict, then
+                            # record/raise with identity.
+                            single = _Unit(
+                                unit.chunk_id, unit.start + off,
+                                [unit.tasks[off]], attempts - 1,
+                            )
+                            degrade_serial(single)
+                        else:
+                            _backoff_sleep(backoff, attempts)
+                            retry_units.append(
+                                _Unit(
+                                    unit.chunk_id, unit.start + off,
+                                    [unit.tasks[off]], attempts,
+                                )
+                            )
+                    else:
+                        results[unit.start + off] = value
+                for u in retry_units:
+                    submit(u)
+                emit_ready()
+            return [results[i] for i in range(n)]
+        finally:
+            for fut in inflight:
+                fut.cancel()
+            if owned_republish is not None:
+                owned_republish.close()
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
@@ -332,41 +750,55 @@ def map_streamed(
     tasks: Sequence,
     workers: int,
     consume: "Callable[[list], None] | None" = None,
+    *,
+    timeout: "float | None" = None,
+    retries: int = 1,
+    backoff: float = 0.05,
+    on_error: str = "raise",
 ) -> list:
     """Map ``fn`` over ``tasks``, streaming finished results in order.
 
     The census fleets' execution loop, shared: ``workers <= 1`` (or a
     single task) runs serially in-process; otherwise contiguous chunks are
-    sharded over the persistent pool and their futures consumed in
-    submission order, so ``consume`` sees every result batch in task order
-    while later chunks still run.  Returns all results, in task order —
-    identical for any worker count (tasks must be pure functions of their
-    tuples, the fleets' seeding discipline).
+    sharded over the persistent pool with results emitted in task order,
+    so ``consume`` sees every result batch in task order while later
+    chunks still run.  Returns all results, in task order — identical for
+    any worker count (tasks must be pure functions of their tuples, the
+    fleets' seeding discipline).
+
+    The fault-tolerance knobs (``timeout``, ``retries``, ``backoff``,
+    ``on_error``) follow :meth:`SharedArrayPool.map`; with
+    ``on_error="record"``, failed tasks appear (and stream) as
+    :class:`~repro.parallel.pool.TaskFailure` entries in their slots.
     """
-    results: list = []
-
-    def take(part: list) -> None:
-        results.extend(part)
-        if consume is not None:
-            consume(part)
-
+    tasks = list(tasks)
     if workers <= 1 or len(tasks) <= 1:
-        for task in tasks:
-            take([fn(task)])
-        return results
-    chunks = [chunk for _, chunk in chunk_evenly(tasks, 4 * workers)]
-    for fut in get_shared_pool(workers).submit_chunks(fn, chunks):
-        take(fut.result())
-    return results
+        return _serial_map(
+            fn, tasks, None,
+            retries=retries, backoff=backoff, on_error=on_error,
+            consume=consume,
+        )
+    chunk_size = max(1, (len(tasks) + 4 * workers - 1) // (4 * workers))
+    return get_shared_pool(workers).map(
+        fn, tasks, chunk_size=chunk_size,
+        timeout=timeout, retries=retries, backoff=backoff,
+        on_error=on_error, consume=consume,
+    )
 
 
 _POOLS: dict[int, SharedArrayPool] = {}
 
 
 def get_shared_pool(workers: int) -> SharedArrayPool:
-    """The process-wide persistent pool for ``workers`` (created on demand)."""
+    """The process-wide persistent pool for ``workers`` (created on demand).
+
+    A pool whose executor broke since the last call is healed lazily: the
+    next use detects the breakage and rebuilds the workers instead of
+    returning the corpse.
+    """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    _reap_once()
     pool = _POOLS.get(workers)
     if pool is None:
         pool = SharedArrayPool(workers)

@@ -15,7 +15,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..rng import derive_seed
-from .pool import parallel_map
+from .pool import TaskFailure, parallel_map
 
 __all__ = ["SweepPoint", "Sweep", "run_sweep"]
 
@@ -92,18 +92,34 @@ def run_sweep(
     point_fn: Callable[[SweepPoint], dict],
     sweep: Sweep,
     workers: int = 1,
+    *,
+    timeout: "float | None" = None,
+    retries: int = 0,
+    on_error: str = "raise",
 ) -> list[dict]:
     """Evaluate ``point_fn`` on every sweep point; returns merged records.
 
     Each record is the point's parameter dict updated with the function's
     outputs (the function's keys win on collision, so points can override
     derived columns deliberately).
+
+    ``timeout``/``retries``/``on_error`` pass through to
+    :func:`~repro.parallel.parallel_map` (DESIGN.md §9); with
+    ``on_error="record"`` a point that fails past its retry budget yields
+    its parameter dict extended with ``error``/``attempts`` columns instead
+    of aborting the sweep.
     """
     points = sweep.points()
-    results = parallel_map(point_fn, points, workers=workers)
+    results = parallel_map(
+        point_fn, points, workers=workers,
+        timeout=timeout, retries=retries, on_error=on_error,
+    )
     records = []
     for pt, res in zip(points, results):
         row = pt.as_dict()
-        row.update(res)
+        if isinstance(res, TaskFailure):
+            row.update(error=res.error, attempts=res.attempts)
+        else:
+            row.update(res)
         records.append(row)
     return records

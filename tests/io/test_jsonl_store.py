@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass
 import pytest
 
 from repro.io import JsonlStore
+from repro.io.jsonl_store import FleetFailure, maybe_decode_failure
 
 
 @dataclass
@@ -131,6 +132,73 @@ class TestHeaderValidation:
             store.resume_records()
 
 
+class TestStaleTmpSidecar:
+    def test_start_stream_removes_stale_tmp(self, stream):
+        store, path = stream
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text("half-written garbage from a crashed rewrite")
+        done = store.start_stream(resume=True, count=len(RECORDS))
+        assert done == RECORDS
+        assert not tmp.exists()
+
+    def test_stale_tmp_never_shadows_main_file(self, stream):
+        # The main file is authoritative: a stale sidecar from a crash
+        # mid-rewrite must not affect what resume reads.
+        store, path = stream
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps({"a": 99, "b": "bogus"}) + "\n")
+        assert store.start_stream(resume=True, count=99) == RECORDS
+
+
+class TestDurability:
+    def test_invalid_durability_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            JsonlStore(
+                tmp_path / "x.jsonl",
+                config_key="k",
+                config_version=1,
+                config={},
+                decode=lambda obj: Item(**obj),
+                write_records=_write,
+                durability="eventually",
+            )
+
+    @pytest.mark.parametrize("durability", ["none", "flush", "fsync"])
+    def test_append_round_trips_under_every_cadence(
+        self, tmp_path, durability
+    ):
+        path = tmp_path / "items.jsonl"
+        store = JsonlStore(
+            path,
+            config_key="item_config",
+            config_version=1,
+            config={"mode": "x", "count": 3},
+            decode=lambda obj: Item(**obj),
+            write_records=_write,
+            durability=durability,
+        )
+        store.rewrite_prefix([])
+        with store.open_append() as sink:
+            store.append(sink, RECORDS[:2])
+            store.append(sink, RECORDS[2:])
+        _, records = store.read_prefix()
+        assert records == RECORDS
+
+    def test_fsync_cadence_syncs_per_batch(self, stream, monkeypatch):
+        store, _ = stream
+        store.durability = "fsync"
+        synced = []
+        import repro.io.jsonl_store as store_mod
+
+        monkeypatch.setattr(
+            store_mod.os, "fsync", lambda fd: synced.append(fd)
+        )
+        with store.open_append() as sink:
+            store.append(sink, [Item(4, "four")])
+            store.append(sink, [Item(5, "five")])
+        assert len(synced) == 2
+
+
 class TestAtomicRewrite:
     def test_crash_at_replace_leaves_old_file(self, stream, monkeypatch):
         store, path = stream
@@ -151,3 +219,44 @@ class TestAtomicRewrite:
         store.rewrite_prefix(RECORDS[:1])
         _, records = store.read_prefix()
         assert records == RECORDS[:1]
+
+
+class TestFleetFailure:
+    def test_encode_decode_round_trip(self):
+        f = FleetFailure(
+            coords={"n": 8, "family": "tree", "seed": 3},
+            error="ValueError('boom')",
+            attempts=3,
+        )
+        assert maybe_decode_failure(f.encode()) == f
+
+    def test_result_record_decodes_to_none(self):
+        assert maybe_decode_failure({"a": 1, "b": "one"}) is None
+
+    def test_torn_marked_line_raises_typeerror(self):
+        # The decode contract read_prefix relies on: marked but torn lines
+        # must raise TypeError (-> torn-tail policy applies).
+        with pytest.raises(TypeError):
+            maybe_decode_failure({"fleet_failure": 1, "coords": {}})
+
+    def test_quarantine_line_streams_and_resumes(self, stream):
+        store, _ = stream
+        failure = FleetFailure(
+            coords={"a": 4}, error="InjectedFault('x')", attempts=2
+        )
+        wrapped_decode = store._decode
+        store._decode = (
+            lambda obj: maybe_decode_failure(obj) or wrapped_decode(obj)
+        )
+        store._write = lambda sink, recs: _write_mixed(sink, recs)
+        with store.open_append() as sink:
+            store.append(sink, [failure])
+        _, records = store.read_prefix()
+        assert records == RECORDS + [failure]
+
+
+def _write_mixed(sink, records):
+    for rec in records:
+        obj = rec.encode() if isinstance(rec, FleetFailure) else asdict(rec)
+        sink.write(json.dumps(obj) + "\n")
+    sink.flush()

@@ -1,0 +1,170 @@
+"""Unit tests of the deterministic fault-injection harness."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import faults
+from repro.parallel.faults import (
+    FaultSpec,
+    InjectedFault,
+    injected_env,
+    maybe_fault,
+    parse_faults,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_channels(monkeypatch):
+    """Every test starts with no armed faults and leaves none behind."""
+    for key in (faults.ENV_SPEC, faults.ENV_DIR, faults.ENV_SAFE_PID):
+        monkeypatch.delenv(key, raising=False)
+    faults.clear_hooks()
+    faults._LOCAL_TOKENS.clear()
+    yield
+    faults.clear_hooks()
+    faults._LOCAL_TOKENS.clear()
+
+
+class TestParse:
+    def test_single_kind_defaults(self):
+        (spec,) = parse_faults("raise")
+        assert spec == FaultSpec(kind="raise")
+
+    def test_full_grammar(self):
+        specs = parse_faults(
+            "kill:chunk=1;raise:task=5,times=2;hang:chunk=0,seconds=0.5"
+        )
+        assert [s.kind for s in specs] == ["kill", "raise", "hang"]
+        assert specs[0].chunk == 1
+        assert specs[1] == FaultSpec(kind="raise", task=5, times=2)
+        assert specs[2].seconds == 0.5
+
+    def test_torn_write_batch_filter(self):
+        (spec,) = parse_faults("torn-write:batch=3")
+        assert spec.kind == "torn-write" and spec.batch == 3
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            parse_faults("explode")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault option"):
+            parse_faults("raise:frequency=2")
+
+    def test_malformed_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="not key=value"):
+            parse_faults("raise:task")
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ConfigurationError, match="times"):
+            parse_faults("raise:times=0")
+
+    def test_empty_parts_skipped(self):
+        assert parse_faults(";raise;;") == (FaultSpec(kind="raise"),)
+
+
+class TestMatching:
+    def test_filterless_spec_matches_any_site(self):
+        spec = FaultSpec(kind="raise")
+        assert spec.matches({"chunk": 0})
+        assert spec.matches({"task": 7})
+
+    def test_filtered_spec_needs_exact_site(self):
+        spec = FaultSpec(kind="raise", task=5)
+        assert spec.matches({"task": 5})
+        assert not spec.matches({"task": 6})
+        assert not spec.matches({"chunk": 5})
+
+
+class TestFiring:
+    def test_raise_fires_once_by_default(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "raise:task=3")
+        with pytest.raises(InjectedFault):
+            maybe_fault(task=3)
+        maybe_fault(task=3)  # budget spent: no second firing
+
+    def test_times_budget(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "raise:task=3,times=2")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                maybe_fault(task=3)
+        maybe_fault(task=3)
+
+    def test_token_dir_budget_shared_across_specs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults.ENV_SPEC, "raise:task=1")
+        monkeypatch.setenv(faults.ENV_DIR, str(tmp_path))
+        with pytest.raises(InjectedFault):
+            maybe_fault(task=1)
+        # The token file persists, so even a "fresh process" (fresh local
+        # counters) cannot replay the firing.
+        faults._LOCAL_TOKENS.clear()
+        maybe_fault(task=1)
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_owner_safe_downgrades_kill_to_raise(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "kill:task=0")
+        monkeypatch.setenv(faults.ENV_SAFE_PID, str(os.getpid()))
+        with pytest.raises(InjectedFault, match="injected kill"):
+            maybe_fault(task=0)
+
+    def test_owner_safe_downgrades_hang(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "hang:task=0,seconds=3600")
+        monkeypatch.setenv(faults.ENV_SAFE_PID, str(os.getpid()))
+        with pytest.raises(InjectedFault, match="injected hang"):
+            maybe_fault(task=0)  # would sleep an hour if not downgraded
+
+    def test_unarmed_is_noop(self):
+        maybe_fault(task=0, chunk=0)
+
+    def test_take_consumes_matching_kind_only(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "torn-write:batch=2")
+        assert faults.take("kill", batch=2) is None
+        spec = faults.take("torn-write", batch=2)
+        assert spec is not None and spec.batch == 2
+        assert faults.take("torn-write", batch=2) is None
+
+
+class TestHooks:
+    def test_hook_sees_sites_and_can_inject(self):
+        seen = []
+
+        def hook(site):
+            seen.append(dict(site))
+            if site.get("task") == 2:
+                raise InjectedFault("hook says no")
+
+        faults.install_hook(hook)
+        maybe_fault(task=1)
+        with pytest.raises(InjectedFault):
+            maybe_fault(task=2)
+        faults.remove_hook(hook)
+        maybe_fault(task=2)
+        assert {"task": 1} in seen and {"task": 2} in seen
+
+    def test_faults_armed_reflects_channels(self, monkeypatch):
+        assert not faults.faults_armed()
+        faults.install_hook(lambda site: None)
+        assert faults.faults_armed()
+        faults.clear_hooks()
+        monkeypatch.setenv(faults.ENV_SPEC, "raise")
+        assert faults.faults_armed()
+
+
+class TestInjectedEnv:
+    def test_arms_and_restores(self, tmp_path):
+        assert faults.ENV_SPEC not in os.environ
+        with injected_env("raise:task=9", tmp_path / "tok"):
+            assert os.environ[faults.ENV_SPEC] == "raise:task=9"
+            assert os.environ[faults.ENV_DIR] == str(tmp_path / "tok")
+            assert os.environ[faults.ENV_SAFE_PID] == str(os.getpid())
+            assert (tmp_path / "tok").is_dir()
+        assert faults.ENV_SPEC not in os.environ
+        assert faults.ENV_DIR not in os.environ
+
+    def test_validates_spec_before_arming(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            with injected_env("explode", tmp_path / "tok"):
+                pass
+        assert faults.ENV_SPEC not in os.environ

@@ -2,11 +2,22 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.parallel import chunk_evenly, default_workers, parallel_map
+from repro.errors import ConfigurationError, TaskExecutionError
+from repro.parallel import (
+    TaskFailure,
+    chunk_evenly,
+    default_workers,
+    parallel_map,
+)
 
 
 def square(x: int) -> int:
+    return x * x
+
+
+def fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"cannot square {x}")
     return x * x
 
 
@@ -52,6 +63,67 @@ class TestParallelMap:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestWorkerExceptionIdentity:
+    """ISSUE 6 satellite: raised errors carry the failing task's identity."""
+
+    @pytest.mark.parametrize("workers", [2])
+    @pytest.mark.parametrize("backend", ["persistent", "fork"])
+    def test_error_names_task_index_and_repr(self, workers, backend):
+        with pytest.raises(TaskExecutionError) as err:
+            parallel_map(
+                fail_on_three, list(range(8)), workers=workers,
+                chunk_size=2, backend=backend,
+            )
+        assert err.value.index == 3
+        assert "3" in err.value.task_repr
+        assert "cannot square 3" in str(err.value)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_serial_fault_tolerant_path_same_identity(self):
+        with pytest.raises(TaskExecutionError) as err:
+            parallel_map(fail_on_three, list(range(8)), workers=1, retries=1)
+        assert err.value.index == 3
+        assert err.value.attempts == 2
+
+    def test_on_error_record_quarantines_slot(self):
+        out = parallel_map(
+            fail_on_three, list(range(8)), workers=1, on_error="record"
+        )
+        assert isinstance(out[3], TaskFailure)
+        assert out[3].index == 3
+        assert [x for i, x in enumerate(out) if i != 3] == [
+            x * x for x in range(8) if x != 3
+        ]
+
+
+class TestFaultToleranceKnobs:
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [1], workers=1, on_error="ignore")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [1], workers=1, retries=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(square, [1], workers=1, timeout=0)
+
+    def test_fork_backend_rejects_fault_tolerance(self):
+        # The fork path is the plain per-call oracle; recovery knobs only
+        # exist on the persistent/serial paths.
+        with pytest.raises(ConfigurationError, match="fork"):
+            parallel_map(square, [1, 2], workers=2, backend="fork", retries=1)
+
+    def test_retries_do_not_change_results(self):
+        tasks = [(i, 1000 + i) for i in range(12)]
+        plain = parallel_map(seeded_record, tasks, workers=2)
+        retried = parallel_map(
+            seeded_record, tasks, workers=2, retries=3, timeout=60
+        )
+        assert plain == retried
 
 
 class TestChunkEvenly:

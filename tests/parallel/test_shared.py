@@ -154,6 +154,137 @@ class TestSharedArrayPool:
             get_shared_pool(0)
 
 
+class TestExecutorHealing:
+    """ISSUE 6 satellite: a cached pool must never serve a dead executor."""
+
+    def test_broken_executor_detected_and_rebuilt(self):
+        pool = get_shared_pool(2)
+        assert pool.map(pid_tag, list(range(4)))  # spin the workers up
+        # Simulate an external OOM-kill of every worker, then poke the
+        # executor so it marks itself broken.
+        for proc in pool._executor._processes.values():
+            proc.kill()
+        try:
+            pool._executor.submit(os.getpid).result(timeout=30)
+        except Exception:
+            pass
+        assert getattr(pool._executor, "_broken", False)
+        # The next map on the same cached pool heals and serves.
+        out = pool.map(pid_tag, list(range(6)))
+        assert [t for t, _ in out] == list(range(6))
+
+    def test_ensure_executor_discards_broken_corpse(self):
+        pool = get_shared_pool(3)
+        ex = pool._ensure_executor()
+        ex.submit(os.getpid).result(timeout=30)  # spawn the workers
+        for proc in ex._processes.values():
+            proc.kill()
+        try:
+            ex.submit(os.getpid).result(timeout=30)
+        except Exception:
+            pass
+        rebuilt = pool._ensure_executor()
+        assert rebuilt is not ex
+        assert not getattr(rebuilt, "_broken", False)
+
+
+class TestOrphanReaper:
+    """DESIGN.md §9: startup reaping of segments whose owner died."""
+
+    ORPHAN_SCRIPT = textwrap.dedent(
+        """
+        import sys
+        sys.path.insert(0, {src!r})
+        import numpy as np
+        from multiprocessing import resource_tracker
+        from repro.parallel import SharedArrayBundle
+        b = SharedArrayBundle({{"x": np.ones((16, 16))}})
+        name = b.segment_names[0]
+        # Simulate owner+tracker dying together: deregister from the
+        # tracker and drop the handle without unlinking.
+        resource_tracker.unregister("/" + name, "shared_memory")
+        seg = b._segments.pop("x")
+        b._views = {{}}
+        seg.close()
+        print(name, flush=True)
+        """
+    )
+
+    def _make_orphan(self) -> str:
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", self.ORPHAN_SCRIPT.format(src=src)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.split()[0]
+        assert os.path.exists(f"/dev/shm/{name}"), "orphan setup failed"
+        return name
+
+    def test_reaper_unlinks_dead_owner_segment(self):
+        from repro.parallel import reap_orphan_segments
+
+        name = self._make_orphan()
+        reaped = reap_orphan_segments()
+        assert name in reaped
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_reaper_spares_live_owner_segment(self):
+        from repro.parallel import reap_orphan_segments
+
+        with SharedArrayBundle({"x": np.ones(4)}) as bundle:
+            name = bundle.segment_names[0]
+            assert name not in reap_orphan_segments()
+            assert os.path.exists(f"/dev/shm/{name}")
+
+    def test_registry_guards_against_pid_reuse(self, monkeypatch):
+        # A live pid whose start time differs from the registry stamp is a
+        # recycled pid: the segment's real owner is dead, so it is reaped.
+        import repro.parallel.shared as shared_mod
+
+        name = self._make_orphan()
+        monkeypatch.setattr(shared_mod, "_pid_alive", lambda p: True)
+        assert name in shared_mod.reap_orphan_segments()
+
+    def test_bundle_creation_triggers_reap_once(self, monkeypatch):
+        import repro.parallel.shared as shared_mod
+
+        name = self._make_orphan()
+        monkeypatch.setattr(shared_mod, "_reaped_once", False)
+        with SharedArrayBundle({"x": np.ones(4)}):
+            pass
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+class TestBundleRevalidate:
+    def test_revalidate_returns_self_when_segments_live(self):
+        with SharedArrayBundle({"x": np.arange(6.0)}) as bundle:
+            assert bundle.revalidate() is bundle
+
+    def test_revalidate_republishes_after_external_unlink(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        with SharedArrayBundle({"x": arr}) as bundle:
+            os.unlink(f"/dev/shm/{bundle.segment_names[0]}")
+            fresh = bundle.revalidate()
+            try:
+                assert fresh is not bundle
+                assert np.array_equal(fresh.arrays()["x"], arr)
+                assert os.path.exists(f"/dev/shm/{fresh.segment_names[0]}")
+            finally:
+                fresh.close()
+
+    def test_revalidate_refuses_closed_bundle(self):
+        bundle = SharedArrayBundle({"x": np.ones(4)})
+        bundle.close()
+        with pytest.raises(ConfigurationError):
+            bundle.revalidate()
+
+
 class TestParallelMapSharedChannel:
     @pytest.mark.parametrize("backend", ["auto", "persistent", "fork"])
     def test_backends_agree_with_serial(self, backend):
