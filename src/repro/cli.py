@@ -7,9 +7,11 @@ Usage::
     python -m repro.cli run thm9-diameter-census --scale full --csv results/
     python -m repro.cli run dynamics-census            # trajectory census
     python -m repro.cli all --scale quick --csv results/
+    python -m repro.cli serve --port 8642              # audit service
 
 ``run`` prints the tables as ASCII; ``--csv DIR`` additionally writes one
 CSV per table under DIR.  ``all`` runs every experiment in DESIGN.md order.
+``serve`` starts the crash-safe equilibrium-audit service (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -70,6 +72,28 @@ def main(argv: "list[str] | None" = None) -> int:
     all_p.add_argument("--scale", choices=("quick", "full"), default="quick")
     all_p.add_argument("--csv", type=Path, default=None, metavar="DIR")
 
+    serve_p = sub.add_parser("serve", help="run the audit service")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642)
+    serve_p.add_argument(
+        "--cache-dir", default="results/audit_cache",
+        help="result-cache root (content-addressed, crash-safe)",
+    )
+    serve_p.add_argument("--workers", type=int, default=2)
+    serve_p.add_argument(
+        "--default-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline when the request sets no timeout_s",
+    )
+    serve_p.add_argument(
+        "--capacity", type=int, default=1,
+        help="concurrent compute slots (cache hits bypass admission)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="requests allowed to wait for a slot before shedding",
+    )
+    serve_p.add_argument("--verbose", action="store_true")
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -83,6 +107,20 @@ def main(argv: "list[str] | None" = None) -> int:
         for exp_id in experiment_ids():
             _run_one(exp_id, args.scale, args.csv)
             print()
+        return 0
+    if args.command == "serve":
+        from .service import serve
+
+        serve(
+            args.host,
+            args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            default_timeout=args.default_timeout,
+            capacity=args.capacity,
+            queue_limit=args.queue_limit,
+            quiet=not args.verbose,
+        )
         return 0
     return 2  # pragma: no cover - argparse enforces commands
 

@@ -36,6 +36,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
+from ..parallel import check_deadline
 from ..rng import make_rng
 from .costmodel import CostModel, resolve_cost_model
 from .costs import ensure_lifted
@@ -91,6 +92,7 @@ def best_swap(
     engine=None,
     mode: BestSwapMode = "repair",
     base_dm: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> BestResponse:
     """Exact best swap for vertex ``v`` (or no-op when none improves).
 
@@ -113,8 +115,11 @@ def best_swap(
     engines) can pass it as ``base_dm`` — raw int32 or lifted — and the
     repair/batched modes skip the APSP recomputation entirely; an
     already-lifted ``base_dm`` is used by reference, without even the n×n
-    lifting copy.
+    lifting copy.  ``deadline`` (absolute ``time.monotonic()`` instant)
+    bounds the scan: it is checked per incident edge and raises
+    :class:`~repro.errors.DeadlineExceeded` once spent.
     """
+    check_deadline(deadline)
     model = resolve_cost_model(objective, graph.n)
     if prefer_deletions_on_tie is None:
         prefer_deletions_on_tie = model.prefer_deletions_on_tie
@@ -152,6 +157,7 @@ def best_swap(
     neutral_deletion: Swap | None = None
     neighbor_set = set(int(x) for x in graph.neighbors(v))
     for w in sorted(neighbor_set):
+        check_deadline(deadline)
         removal_dm = removal(w)
         costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
         mask = model.target_mask(graph, v, w)

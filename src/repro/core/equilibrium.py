@@ -55,7 +55,7 @@ import numpy as np
 from ..errors import DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
 from ..graphs.repair import predecessor_counts, removal_matrix_repair
-from ..parallel import chunk_evenly, parallel_map
+from ..parallel import check_deadline, chunk_evenly, parallel_map
 from .costmodel import CostModel, resolve_cost_model
 from .costs import INT_INF, ensure_lifted, lift_distances
 from .moves import Swap
@@ -335,7 +335,8 @@ def _audit_arrays(
 
 
 def _scan_parallel(
-    graph, lifted, mode, workers, fn_by_mode, make_payload, extra_arrays=None
+    graph, lifted, mode, workers, fn_by_mode, make_payload,
+    extra_arrays=None, deadline=None,
 ):
     """Chunk the edge loop, map over shared-memory workers, keep order."""
     chunks = chunk_evenly(list(graph.iter_edges()), workers)
@@ -349,10 +350,11 @@ def _scan_parallel(
         workers=min(workers, len(payloads)),
         chunk_size=1,
         shared=shared,
+        deadline=deadline,
     )
 
 
-def _first_violation_parallel(graph, lifted, model, workers, mode):
+def _first_violation_parallel(graph, lifted, model, workers, mode, deadline):
     stub, model_arrays = _detach_model(model)
     results = _scan_parallel(
         graph,
@@ -362,6 +364,7 @@ def _first_violation_parallel(graph, lifted, model, workers, mode):
         {"repair": _swap_violation_chunk, "batched": _batched_violation_chunk},
         lambda start, chunk: (chunk, start, stub),
         extra_arrays=model_arrays,
+        deadline=deadline,
     )
     hits = [r for r in results if r is not None]
     return min(hits)[1] if hits else None
@@ -388,6 +391,7 @@ def find_swap_violation(
     workers: int = 1,
     mode: AuditMode = "repair",
     base_dm: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> Violation | None:
     """First swap improving some agent's model cost, or ``None`` at rest.
 
@@ -402,7 +406,10 @@ def find_swap_violation(
     the rebuild oracle stays serial.  ``base_dm`` is an optional
     precomputed distance matrix of ``graph`` (see :func:`_prepare`) so
     callers that already hold it — dynamics endpoints, census probes —
-    skip the audit's APSP.
+    skip the audit's APSP.  ``deadline`` (absolute ``time.monotonic()``
+    instant) bounds the whole audit: the serial scan checks it between
+    drop contexts and the parallel scan propagates it into the pool, both
+    raising :class:`~repro.errors.DeadlineExceeded` once it passes.
     """
     _check_mode(mode)
     model = resolve_cost_model(objective, graph.n)
@@ -414,11 +421,15 @@ def find_swap_violation(
         return None
     lifted = _prepare(graph, base_dm)
     if workers > 1 and mode in ("repair", "batched"):
-        return _first_violation_parallel(graph, lifted, model, workers, mode)
+        return _first_violation_parallel(
+            graph, lifted, model, workers, mode, deadline
+        )
     base = model.base_costs(lifted)
     if mode == "batched":
+        check_deadline(deadline)
         return _batched_first_violation(graph, lifted, base, model)
     for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
+        check_deadline(deadline)
         costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
         mask = model.target_mask(graph, v, w)
         if mask is not None:
@@ -440,6 +451,7 @@ def is_equilibrium(
     workers: int = 1,
     mode: AuditMode = "repair",
     base_dm: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> bool:
     """Whether ``graph`` is at rest under the model's equilibrium notion.
 
@@ -453,7 +465,8 @@ def is_equilibrium(
     model = resolve_cost_model(objective, graph.n)
     if (
         find_swap_violation(
-            graph, model, workers=workers, mode=mode, base_dm=base_dm
+            graph, model, workers=workers, mode=mode, base_dm=base_dm,
+            deadline=deadline,
         )
         is not None
     ):
@@ -461,7 +474,8 @@ def is_equilibrium(
     if model.requires_deletion_criticality:
         return (
             find_deletion_criticality_violation(
-                graph, workers=workers, mode=mode, base_dm=base_dm
+                graph, workers=workers, mode=mode, base_dm=base_dm,
+                deadline=deadline,
             )
             is None
         )
@@ -546,6 +560,7 @@ def find_deletion_criticality_violation(
     workers: int = 1,
     mode: AuditMode = "repair",
     base_dm: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> Violation | None:
     """First edge whose deletion does **not** strictly raise an endpoint's ecc.
 
@@ -563,17 +578,20 @@ def find_deletion_criticality_violation(
             workers,
             {"repair": _deletion_chunk, "batched": _batched_deletion_chunk},
             lambda start, chunk: (chunk, start),
+            deadline=deadline,
         )
         hits = [r for r in results if r is not None]
         return min(hits)[1] if hits else None
     if mode == "batched":
         from .batched import scan_deletion_violations
 
+        check_deadline(deadline)
         hit = scan_deletion_violations(
             graph, lifted, base_ecc, list(graph.iter_edges()), 0
         )
         return hit[1] if hit else None
     for a, b in graph.iter_edges():
+        check_deadline(deadline)
         removal_dm = _removal_for(graph, lifted, (a, b), mode)
         ecc_after = removal_dm.max(axis=1)
         for v in (a, b):

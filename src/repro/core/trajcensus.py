@@ -38,12 +38,12 @@ Execution and persistence reuse the library's hardened infrastructure:
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
+from ..io.hashing import graph_fingerprint
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import CSRGraph
 from ..parallel import Sweep, TaskFailure, map_streamed
@@ -117,20 +117,8 @@ class TrajectoryRecord:
     verified_equilibrium: bool | None
 
 
-def graph_fingerprint(graph: CSRGraph) -> str:
-    """Stable hex digest of ``(n, edge set)`` — the census's graph identity.
-
-    Label-sensitive on purpose: two runs share a fingerprint iff they ended
-    on the *same labelled graph* (the equality the cycle detector also
-    uses), which is what makes "k distinct terminal equilibria" a
-    meaningful aggregate over a trajectory dataset.
-    """
-    edges = sorted(
-        (min(int(a), int(b)), max(int(a), int(b)))
-        for a, b in graph.iter_edges()
-    )
-    payload = f"{graph.n}|" + ";".join(f"{a},{b}" for a, b in edges)
-    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+# graph_fingerprint moved to repro.io.hashing (the result cache keys on it
+# and must not import the census layer); re-exported here for compatibility.
 
 
 def trajectory_sweep(

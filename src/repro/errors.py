@@ -17,6 +17,7 @@ __all__ = [
     "IllegalSwapError",
     "ConfigurationError",
     "ConvergenceError",
+    "DeadlineExceeded",
     "TaskExecutionError",
 ]
 
@@ -75,6 +76,24 @@ class TaskExecutionError(ReproError):
         self.index = index
         self.task_repr = task_repr
         self.attempts = attempts
+
+
+class DeadlineExceeded(ReproError):
+    """An absolute request deadline expired before the work completed.
+
+    Raised by the parallel runtime (``deadline=`` on
+    :func:`~repro.parallel.parallel_map` / ``SharedArrayPool.map``) and
+    propagated by the audit service as a typed response.  Unlike a per-chunk
+    ``timeout`` — which is an *attempt* budget the retry machinery may spend
+    several times over — the deadline is the whole request's wall-clock
+    budget: once it passes, the runtime stops retrying and raises this
+    immediately, regardless of ``on_error`` policy.  ``elapsed`` is the
+    wall-clock time actually spent before giving up (None when unknown).
+    """
+
+    def __init__(self, message: str, *, elapsed: "float | None" = None):
+        super().__init__(message)
+        self.elapsed = elapsed
 
 
 class ConvergenceError(ReproError):

@@ -1,5 +1,15 @@
-"""Audited on-disk record streams shared by the census fleets."""
+"""Audited on-disk state: record streams, fingerprints, result caches."""
 
+from .hashing import graph_fingerprint
 from .jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
+from .result_cache import ResultCache, cache_key, canonical_json
 
-__all__ = ["FleetFailure", "JsonlStore", "maybe_decode_failure"]
+__all__ = [
+    "FleetFailure",
+    "JsonlStore",
+    "ResultCache",
+    "cache_key",
+    "canonical_json",
+    "graph_fingerprint",
+    "maybe_decode_failure",
+]

@@ -319,7 +319,7 @@ class JsonlStore:
         self._append_batch += 1
         if faults.faults_armed():
             records = list(records)
-            spec = faults.take("torn-write", batch=batch)
+            spec = faults.take("torn-write", batch=batch, path=str(self.path))
             if spec is not None:
                 buf = io.StringIO()
                 self._write(buf, records)

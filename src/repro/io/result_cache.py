@@ -1,0 +1,247 @@
+"""Crash-safe content-addressed store for equilibrium-audit results.
+
+The audit service (DESIGN.md §10) answers pure queries — ``(graph,
+cost model, query)`` determines the answer bit-for-bit — so answers are
+cached on disk keyed by content, not by request identity:
+:func:`cache_key` hashes ``(graph_fingerprint, model_spec, query_kind,
+params)`` into a hex digest, and :class:`ResultCache` maps each key to one
+JSON entry file under a two-level sharded directory layout
+(``root/<key[:2]>/<key>.json``).
+
+Integrity is never assumed:
+
+* **writes are atomic** — each entry is serialized to a uniquely named
+  ``*.tmp`` sidecar in the final directory, fsynced, then published with
+  ``os.replace``.  A crash mid-write leaves only a ``.tmp`` (swept on the
+  next startup), never a partial entry; two concurrent writers of the same
+  key each publish a complete entry and the last rename wins — both are
+  valid, because the payload is a pure function of the key;
+* **reads verify** — every entry carries a SHA-256 checksum of its
+  canonically serialized payload plus the key it claims to answer.  A
+  mismatch (torn file, bit rot, hand-edited entry, key collision) moves
+  the file into ``root/quarantine/`` and reports a miss, so corruption is
+  *recomputed around*, never served;
+* **faults are injectable** — :meth:`ResultCache.put` exposes a
+  ``torn-write`` site (``path=`` filter matches the entry's final path):
+  the injector writes only half of the serialized entry **to the final
+  path** and raises, simulating the post-rename content loss a power cut
+  inflicts on an unsynced file — exactly the corruption the checksum must
+  catch (see :mod:`repro.parallel.faults`).
+
+Counters (hits / misses / writes / quarantined / swept tmp files) feed the
+service's ``/stats`` endpoint.  All methods are thread-safe: the service
+handles requests from ``ThreadingHTTPServer`` threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..parallel import faults
+
+__all__ = ["ResultCache", "cache_key", "canonical_json"]
+
+_ENTRY_VERSION = 1
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace, strict).
+
+    The checksum contract hashes these bytes, so the encoding must be
+    canonical and standard: ``allow_nan=False`` rejects non-finite floats
+    — callers encode them as strings first (see the service's payload
+    builders) — because ``Infinity`` is not valid JSON and would make
+    entries unreadable to strict parsers.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def cache_key(
+    fingerprint: str,
+    model_spec: str,
+    query_kind: str,
+    params: "dict | None" = None,
+) -> str:
+    """Content address of one audit answer: 32 hex chars.
+
+    ``fingerprint`` is :func:`repro.io.hashing.graph_fingerprint` output;
+    ``model_spec`` the canonical cost-model spec string; ``params`` any
+    extra query arguments that change the answer (e.g. ``{"vertex": 3}``
+    for a best-swap query).  The audit ``mode`` is deliberately *not* part
+    of the key: repair / batched / rebuild are answer-equivalent by the
+    library's core invariant, and the cache stores answers.
+    """
+    material = canonical_json(
+        [fingerprint, model_spec, query_kind, params or {}]
+    )
+    return hashlib.sha256(material.encode("ascii")).hexdigest()[:32]
+
+
+def _payload_checksum(payload) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed audit-result store with integrity verification.
+
+    ``get`` returns the verified payload or ``None``; ``put`` atomically
+    publishes ``payload`` under ``key``.  Payloads must be canonical-JSON
+    serializable (plain dicts/lists/strings/finite numbers).
+    """
+
+    def __init__(self, root: "str | os.PathLike"):
+        self.root = Path(root)
+        self.quarantine_dir = self.root / "quarantine"
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(exist_ok=True)
+        self._lock = threading.Lock()
+        self._unique = itertools.count()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.quarantined = 0
+        self.swept_tmp = self._sweep_stale_tmp()
+
+    # -- layout -----------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ConfigurationError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def _tmp_path(self, final: Path) -> Path:
+        with self._lock:
+            serial = next(self._unique)
+        return final.with_name(
+            f"{final.stem}.{os.getpid()}.{serial}.tmp"
+        )
+
+    def _sweep_stale_tmp(self) -> int:
+        """Remove ``.tmp`` litter left by crashed writers (startup only)."""
+        swept = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            try:
+                tmp.unlink()
+                swept += 1
+            except OSError:  # pragma: no cover - racing sweeper
+                pass
+        return swept
+
+    # -- read path --------------------------------------------------------
+
+    def get(self, key: str, *, count_miss: bool = True):
+        """The verified payload stored under ``key``, or ``None``.
+
+        Any unreadable, unparsable, mis-keyed, or checksum-failing entry is
+        moved to ``quarantine/`` and reported as a miss — the caller
+        recomputes and overwrites.  ``count_miss=False`` keeps a re-check
+        of an already-counted miss (the service double-checks under its
+        admission gate) from inflating the miss counter; hits always count.
+        """
+        path = self.entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            if count_miss:
+                with self._lock:
+                    self.misses += 1
+            return None
+        payload = self._verify(key, raw)
+        if payload is None:
+            self._quarantine(path)
+            if count_miss:
+                with self._lock:
+                    self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return payload
+
+    @staticmethod
+    def _verify(key: str, raw: bytes):
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or entry.get("v") != _ENTRY_VERSION:
+            return None
+        if entry.get("key") != key:
+            return None
+        payload = entry.get("payload")
+        try:
+            ok = _payload_checksum(payload) == entry.get("checksum")
+        except (TypeError, ValueError):
+            return None
+        return payload if ok else None
+
+    def _quarantine(self, path: Path) -> None:
+        dest = self.quarantine_dir / f"{path.name}.{os.getpid()}.quarantined"
+        try:
+            os.replace(path, dest)
+        except OSError:  # pragma: no cover - concurrent quarantine/overwrite
+            return
+        with self._lock:
+            self.quarantined += 1
+
+    # -- write path -------------------------------------------------------
+
+    def put(self, key: str, payload, meta: "dict | None" = None) -> Path:
+        """Atomically publish ``payload`` under ``key``; returns the path.
+
+        Serializes the full entry first (so encoding errors surface before
+        any disk state changes), writes it to a writer-unique ``.tmp``
+        sidecar, fsyncs, and ``os.replace``s onto the final path.
+        Concurrent writers of the same key converge: each rename publishes
+        a complete, valid entry.
+        """
+        final = self.entry_path(key)
+        entry = {
+            "v": _ENTRY_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "checksum": _payload_checksum(payload),
+            "payload": payload,
+        }
+        blob = canonical_json(entry).encode("utf-8")
+        final.parent.mkdir(exist_ok=True)
+        spec = faults.take("torn-write", path=str(final))
+        if spec is not None:
+            # Simulated post-rename content loss: half the entry lands on
+            # the FINAL path (bypassing the tmp+rename discipline the way a
+            # power cut bypasses it) and the writer dies.
+            final.write_bytes(blob[: len(blob) // 2])
+            raise faults.InjectedFault(
+                f"injected torn-write of cache entry {final}"
+            )
+        tmp = self._tmp_path(final)
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        with self._lock:
+            self.writes += 1
+        return final
+
+    # -- introspection ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot (feeds the service's ``/stats``)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "quarantined": self.quarantined,
+                "swept_tmp": self.swept_tmp,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

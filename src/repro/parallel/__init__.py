@@ -8,7 +8,13 @@ deterministic fault-injection harness (:mod:`repro.parallel.faults`).
 """
 
 from .faults import InjectedFault, injected_env
-from .pool import TaskFailure, chunk_evenly, default_workers, parallel_map
+from .pool import (
+    TaskFailure,
+    check_deadline,
+    chunk_evenly,
+    default_workers,
+    parallel_map,
+)
 from .shared import (
     SharedArrayBundle,
     SharedArrayPool,
@@ -26,6 +32,7 @@ __all__ = [
     "Sweep",
     "SweepPoint",
     "TaskFailure",
+    "check_deadline",
     "chunk_evenly",
     "default_workers",
     "get_shared_pool",

@@ -23,15 +23,24 @@ Kinds
 * ``hang`` — sleep ``seconds`` (default 3600), tripping per-chunk
   ``timeout=`` recovery;
 * ``raise`` — raise :class:`InjectedFault` (a poisoned task);
-* ``torn-write`` — :meth:`repro.io.jsonl_store.JsonlStore.append` writes
-  only half of the serialized batch, flushes, and raises (a host crash
-  tearing the stream's final line).
+* ``torn-write`` — a file write is torn in half: :meth:`repro.io.
+  jsonl_store.JsonlStore.append` writes only half of the serialized batch,
+  flushes, and raises (a host crash tearing the stream's final line);
+  :meth:`repro.io.result_cache.ResultCache.put` writes only half of the
+  serialized cache entry *to the final path* and raises (the post-rename
+  content loss a power cut can inflict on an unsynced entry — exactly the
+  corruption the cache's checksum verification must quarantine).
 
 Filters: ``chunk=N`` (original chunk ordinal, stable across retries and
 splits), ``task=N`` (absolute task index within the parallel call),
-``batch=N`` (JSONL append-batch ordinal).  A spec fires at a site iff every
-filter it sets is present there with the same value; a filterless spec
-fires at the first instrumented site of its kind.
+``batch=N`` (JSONL append-batch ordinal), and — for sites that write named
+files, currently ``torn-write`` only — ``path=SUBSTRING``: the spec fires
+only at sites whose ``path`` contains ``SUBSTRING`` (so one env string can
+target the result cache, a specific stream, or any file-writing site
+without knowing absolute paths; ``=`` and ``,`` cannot appear in the
+substring — pick a different fragment of the path).  A spec fires at a
+site iff every filter it sets is satisfied there; a filterless spec fires
+at the first instrumented site of its kind.
 
 Determinism contract: each spec fires at most ``times`` times (default 1)
 *globally across every process of the run* — each firing consumes a token
@@ -97,10 +106,15 @@ class FaultSpec:
     chunk: "int | None" = None
     task: "int | None" = None
     batch: "int | None" = None
+    path: "str | None" = None
     times: int = 1
     seconds: float = 3600.0
 
     def matches(self, site: dict) -> bool:
+        if self.path is not None:
+            target = site.get("path")
+            if target is None or self.path not in str(target):
+                return False
         return all(
             getattr(self, key) is None or site.get(key) == getattr(self, key)
             for key in _SITE_KEYS
@@ -134,6 +148,12 @@ def parse_faults(text: str) -> tuple[FaultSpec, ...]:
                     kwargs[key] = int(value)
                 elif key == "seconds":
                     kwargs[key] = float(value)
+                elif key == "path":
+                    if not value:
+                        raise ConfigurationError(
+                            f"empty path filter in {text!r}"
+                        )
+                    kwargs[key] = value
                 else:
                     raise ConfigurationError(
                         f"unknown fault option {key!r} in {text!r}"

@@ -50,11 +50,12 @@ from typing import Callable, Literal, Mapping, Sequence, TypeVar
 
 import numpy as np
 
-from ..errors import ConfigurationError, TaskExecutionError
+from ..errors import ConfigurationError, DeadlineExceeded, TaskExecutionError
 from . import faults
 
 __all__ = [
     "TaskFailure",
+    "check_deadline",
     "chunk_evenly",
     "default_workers",
     "parallel_map",
@@ -148,6 +149,27 @@ def _backoff_sleep(backoff: float, attempt: int) -> None:
         time.sleep(min(backoff * (2 ** max(0, attempt - 1)), _BACKOFF_CAP))
 
 
+def _check_deadline(deadline: "float | None") -> None:
+    """Raise the typed deadline error when the absolute budget has passed.
+
+    ``deadline`` is a ``time.monotonic()`` instant.  Called between tasks
+    (serial path) and between waits/retries (pool path) — a *running* task
+    cannot be preempted in-process, so the guarantee is "fails fast at the
+    next scheduling point", with the pool's wait loop additionally capping
+    each blocking wait at the remaining budget.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceeded(
+            f"request deadline passed (monotonic {deadline:.3f}); "
+            "aborting instead of retrying past the budget"
+        )
+
+
+#: Public alias: serial scan loops (equilibrium audits, the audit service)
+#: guard their own iteration with the same typed check the runtime uses.
+check_deadline = _check_deadline
+
+
 def _permanent_failure(
     marker: _TaskError, attempts: int, on_error: str
 ) -> TaskFailure:
@@ -177,6 +199,7 @@ def _serial_map(
     retries: int = 0,
     backoff: float = 0.05,
     on_error: str = "raise",
+    deadline: "float | None" = None,
     start: int = 0,
     consume: "Callable[[list], None] | None" = None,
 ) -> list:
@@ -185,10 +208,15 @@ def _serial_map(
     Also the degraded last resort the resilient pool falls back to when a
     chunk keeps failing (DESIGN.md §9) — fault sites are checked here too,
     with kill/hang downgrading to raises in the owner process.
+    ``deadline`` (absolute monotonic) is checked between tasks and between
+    retry attempts; it raises :class:`~repro.errors.DeadlineExceeded`
+    regardless of ``on_error`` — a spent request budget is not a task
+    failure to quarantine.
     """
     out: list = []
     for i, task in enumerate(tasks):
         abs_idx = start + i
+        _check_deadline(deadline)
         attempts = 0
         while True:
             attempts += 1
@@ -201,6 +229,7 @@ def _serial_map(
                     marker = _TaskError.from_exception(abs_idx, task, exc)
                     value = _permanent_failure(marker, attempts, on_error)
                     break
+                _check_deadline(deadline)
                 _backoff_sleep(backoff, attempts)
         out.append(value)
         if consume is not None:
@@ -297,6 +326,7 @@ def parallel_map(
     shared: "Mapping[str, np.ndarray] | None" = None,
     backend: Backend = "auto",
     timeout: "float | None" = None,
+    deadline: "float | None" = None,
     retries: int = 0,
     backoff: float = 0.05,
     on_error: Literal["raise", "record"] = "raise",
@@ -329,6 +359,14 @@ def parallel_map(
         the serial path cannot preempt itself).  A chunk that exceeds it is
         presumed hung: its workers are killed, the executor is rebuilt, and
         the chunk is retried/split under the ``retries`` budget.
+    deadline:
+        Absolute ``time.monotonic()`` instant bounding the *whole call* —
+        the request budget a service propagates, as opposed to ``timeout``,
+        which the retry machinery may spend once per attempt.  Past the
+        deadline the call raises :class:`~repro.errors.DeadlineExceeded`
+        (typed, regardless of ``on_error``) instead of retrying; blocking
+        waits are capped at the remaining budget, so a hung worker fails
+        the call at the deadline, not at ``timeout × retries``.
     retries:
         Per-task failure budget beyond the first attempt.  Chunk-level
         failures (worker death, timeout) split multi-task chunks to isolate
@@ -362,7 +400,10 @@ def parallel_map(
     if timeout is not None and timeout <= 0:
         raise ConfigurationError(f"timeout must be > 0, got {timeout}")
     fault_tolerant = (
-        timeout is not None or retries > 0 or on_error != "raise"
+        timeout is not None
+        or deadline is not None
+        or retries > 0
+        or on_error != "raise"
     )
     if backend == "fork" and fault_tolerant:
         raise ConfigurationError(
@@ -377,6 +418,7 @@ def parallel_map(
             return _serial_map(
                 fn, tasks, owner_arrays,
                 retries=retries, backoff=backoff, on_error=on_error,
+                deadline=deadline,
             )
         if owner_arrays is None:
             return [fn(t) for t in tasks]
@@ -395,7 +437,8 @@ def parallel_map(
         try:
             return get_shared_pool(workers).map(
                 fn, tasks, shared=bundle, chunk_size=chunk_size,
-                timeout=timeout, retries=retries, backoff=backoff,
+                timeout=timeout, deadline=deadline,
+                retries=retries, backoff=backoff,
                 on_error=on_error,
             )
         finally:

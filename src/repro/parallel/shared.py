@@ -59,6 +59,7 @@ import itertools
 import json
 import os
 import tempfile
+import time
 import uuid
 import weakref
 from collections import OrderedDict
@@ -73,11 +74,12 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DeadlineExceeded
 from .pool import (
     TaskFailure,
     _TaskError,
     _backoff_sleep,
+    _check_deadline,
     _run_tasks,
     _serial_map,
 )
@@ -534,6 +536,7 @@ class SharedArrayPool:
         chunk_size: "int | None" = None,
         *,
         timeout: "float | None" = None,
+        deadline: "float | None" = None,
         retries: int = 1,
         backoff: float = 0.05,
         on_error: str = "raise",
@@ -542,8 +545,14 @@ class SharedArrayPool:
         """Map ``fn`` over ``tasks`` (order preserved), sharing ``shared``.
 
         ``fn`` is called as ``fn(task)`` without a bundle and as
-        ``fn(task, arrays)`` with one.  Fault-tolerance contract
-        (DESIGN.md §9):
+        ``fn(task, arrays)`` with one.  ``deadline`` is an absolute
+        ``time.monotonic()`` instant bounding the whole call: every
+        blocking wait is capped at the remaining budget and every retry
+        decision re-checks it, so the call raises
+        :class:`~repro.errors.DeadlineExceeded` at the deadline instead of
+        spending ``timeout × retries`` on a wedged chunk (the stuck
+        workers are killed on the way out — the executor rebuilds lazily
+        on next use).  Fault-tolerance contract (DESIGN.md §9):
 
         * **worker death** (``BrokenProcessPool``) — the executor is
           rebuilt, shared bundles re-validated (re-published if a segment
@@ -600,6 +609,18 @@ class SharedArrayPool:
                 )
             inflight[fut] = unit
 
+        def guard_deadline() -> None:
+            # The request budget outranks the retry budget: at expiry the
+            # stuck workers are killed (the executor rebuilds lazily on
+            # next use) and the typed error propagates — never a hang.
+            if deadline is None:
+                return
+            try:
+                _check_deadline(deadline)
+            except DeadlineExceeded:
+                self._kill_executor()
+                raise
+
         def degrade_serial(unit: _Unit) -> None:
             # The last resort: the chunk keeps dying in workers, so run its
             # tasks in the owner (where injected kill/hang downgrade to
@@ -608,7 +629,7 @@ class SharedArrayPool:
             part = _serial_map(
                 fn, unit.tasks, owner_arrays,
                 retries=0, backoff=backoff, on_error=on_error,
-                start=unit.start,
+                deadline=deadline, start=unit.start,
             )
             for off, value in enumerate(part):
                 if isinstance(value, TaskFailure):
@@ -632,6 +653,7 @@ class SharedArrayPool:
             elif unit.attempts > retries:
                 degrade_serial(unit)
             else:
+                guard_deadline()
                 _backoff_sleep(backoff, unit.attempts)
                 requeue.append(unit)
 
@@ -664,10 +686,28 @@ class SharedArrayPool:
             for unit in units:
                 submit(unit)
             while inflight:
+                guard_deadline()
                 fut, unit = next(iter(inflight.items()))
+                wait = timeout
+                deadline_capped = False
+                if deadline is not None:
+                    remaining = max(deadline - time.monotonic(), 0.0)
+                    if wait is None or remaining < wait:
+                        # The request budget binds before the per-chunk
+                        # timeout: wait only that long, and treat expiry
+                        # as the deadline, not as a hung chunk to retry.
+                        wait = remaining
+                        deadline_capped = True
                 try:
-                    part = fut.result(timeout=timeout)
+                    part = fut.result(timeout=wait)
                 except _FuturesTimeout:
+                    if deadline_capped:
+                        self._kill_executor()
+                        raise DeadlineExceeded(
+                            "request deadline passed while waiting on a "
+                            f"chunk of {len(unit.tasks)} task(s); workers "
+                            "killed rather than retried past the budget"
+                        ) from None
                     # Head-of-line chunk blew its wall-clock budget: the
                     # worker is presumed hung.  Nothing short of SIGKILL
                     # interrupts it, so tear the executor down and retry
@@ -714,6 +754,7 @@ class SharedArrayPool:
                             )
                             degrade_serial(single)
                         else:
+                            guard_deadline()
                             _backoff_sleep(backoff, attempts)
                             retry_units.append(
                                 _Unit(
@@ -752,6 +793,7 @@ def map_streamed(
     consume: "Callable[[list], None] | None" = None,
     *,
     timeout: "float | None" = None,
+    deadline: "float | None" = None,
     retries: int = 1,
     backoff: float = 0.05,
     on_error: str = "raise",
@@ -776,12 +818,12 @@ def map_streamed(
         return _serial_map(
             fn, tasks, None,
             retries=retries, backoff=backoff, on_error=on_error,
-            consume=consume,
+            deadline=deadline, consume=consume,
         )
     chunk_size = max(1, (len(tasks) + 4 * workers - 1) // (4 * workers))
     return get_shared_pool(workers).map(
         fn, tasks, chunk_size=chunk_size,
-        timeout=timeout, retries=retries, backoff=backoff,
+        timeout=timeout, deadline=deadline, retries=retries, backoff=backoff,
         on_error=on_error, consume=consume,
     )
 

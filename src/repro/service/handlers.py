@@ -1,0 +1,407 @@
+"""Request handling for the audit service: parse → cache → compute → store.
+
+:class:`AuditEngine` is the transport-independent core (the HTTP layer in
+:mod:`repro.service.server` is a thin adapter; tests drive the engine
+directly).  One request is one pure audit question — the graph (graph6
+text or an explicit edge list), a cost-model spec string, a query kind,
+and a wall-clock budget — and the answer flow is:
+
+1. fingerprint the graph (:func:`repro.io.hashing.graph_fingerprint`),
+   derive the content address (:func:`repro.io.result_cache.cache_key`);
+2. a verified cache hit is served immediately — no admission, no compute;
+3. a miss takes one admission slot (:class:`~repro.service.admission.
+   AdmissionGate`; queueing respects the request deadline, overflow is
+   shed typed) and walks the degradation ladder's plan: ``pool`` compute,
+   then ``serial``, then ``cache-only`` (miss ⇒ typed shed).  Infra
+   failures feed the ladder; client errors and spent deadlines do not;
+4. the answer is published to the cache (a torn cache write never corrupts
+   the response — the computed answer is served and the torn entry is
+   quarantined by the next reader).
+
+Instrumented fault site: every compute attempt calls
+``faults.maybe_fault(query=<ordinal>)`` before dispatch, so tests inject
+deterministic infra failures into the service without touching the pool
+(the site has no ``chunk``/``task``/``batch`` coordinates, so worker- and
+store-targeted env specs never match it).
+
+Non-finite floats in answers (disconnection ⇒ infinite cost) are encoded
+as the strings ``"inf"``/``"-inf"``/``"nan"`` — cache entries must be
+strict JSON for the checksum contract.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..core import (
+    best_swap,
+    find_deletion_criticality_violation,
+    find_swap_violation,
+)
+from ..core.costmodel import cost_model_spec
+from ..core.costs import lift_distances
+from ..errors import DeadlineExceeded, GraphError, MoveError, ReproError
+from ..graphs import CSRGraph, distance_matrix
+from ..graphs.graph6 import from_graph6
+from ..io import ResultCache, cache_key, graph_fingerprint
+from ..parallel import faults
+from .admission import AdmissionGate, LoadShed
+from .degradation import DegradationLadder
+
+__all__ = ["AuditEngine", "ClientError", "QUERY_KINDS"]
+
+QUERY_KINDS = (
+    "is_equilibrium",
+    "find_swap_violation",
+    "best_swap",
+    "criticality",
+)
+
+#: Exceptions that are the *caller's* fault: typed 400, never a ladder event.
+_CLIENT_ERRORS = (GraphError, MoveError, ValueError, TypeError, KeyError)
+
+
+class ClientError(ReproError):
+    """The request itself is malformed (unknown query, bad graph, ...)."""
+
+
+def _json_safe(value):
+    """Recursively encode non-finite floats as strings (strict JSON)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def _violation_payload(violation) -> dict:
+    if violation is None:
+        return {"violation": None}
+    return {
+        "violation": _json_safe(
+            {
+                "kind": violation.kind,
+                "vertex": int(violation.vertex),
+                "drop": None if violation.drop is None else int(violation.drop),
+                "add": violation.add,
+                "before": float(violation.before),
+                "after": float(violation.after),
+            }
+        )
+    }
+
+
+class AuditEngine:
+    """The service core: cache-backed, admission-bounded, ladder-degraded."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        *,
+        workers: int = 2,
+        audit_mode: str = "repair",
+        default_timeout: float = 30.0,
+        max_timeout: float = 300.0,
+        gate: "AdmissionGate | None" = None,
+        ladder: "DegradationLadder | None" = None,
+    ):
+        self.cache = cache
+        self.workers = max(1, int(workers))
+        self.audit_mode = audit_mode
+        self.default_timeout = default_timeout
+        self.max_timeout = max_timeout
+        self.gate = gate if gate is not None else AdmissionGate()
+        self.ladder = ladder if ladder is not None else DegradationLadder()
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.compute_failures = 0
+        self.store_failures = 0
+        self.deadline_exceeded = 0
+
+    # -- request parsing --------------------------------------------------
+
+    def _parse_graph(self, request: dict) -> CSRGraph:
+        if "graph6" in request:
+            text = request["graph6"]
+            if not isinstance(text, str):
+                raise ClientError("graph6 must be a string")
+            return from_graph6(text)
+        if "graph" in request:
+            spec = request["graph"]
+            if (
+                not isinstance(spec, dict)
+                or "n" not in spec
+                or "edges" not in spec
+            ):
+                raise ClientError('graph must be {"n": N, "edges": [[a,b],..]}')
+            edges = [(int(a), int(b)) for a, b in spec["edges"]]
+            return CSRGraph(int(spec["n"]), edges)
+        raise ClientError('request needs "graph6" or "graph"')
+
+    def _deadline_from(self, request: dict) -> float:
+        timeout = request.get("timeout_s", self.default_timeout)
+        try:
+            timeout = float(timeout)
+        except (TypeError, ValueError):
+            raise ClientError(f"timeout_s must be a number, got {timeout!r}")
+        if timeout <= 0:
+            raise ClientError(f"timeout_s must be > 0, got {timeout}")
+        return time.monotonic() + min(timeout, self.max_timeout)
+
+    @staticmethod
+    def _parse_query(item: dict) -> tuple[str, dict]:
+        kind = item.get("query")
+        if kind not in QUERY_KINDS:
+            raise ClientError(
+                f"unknown query {kind!r}; known: {', '.join(QUERY_KINDS)}"
+            )
+        params: dict = {}
+        if kind == "best_swap":
+            if "vertex" not in item:
+                raise ClientError('best_swap needs "vertex"')
+            params["vertex"] = int(item["vertex"])
+        return kind, params
+
+    @staticmethod
+    def _model_spec_for(kind: str, request: dict) -> str:
+        # Deletion-criticality is part of the paper's *max* equilibrium and
+        # does not depend on the cost model: pin its cache key to "max" so
+        # every client shares one entry per graph.
+        if kind == "criticality":
+            return "max"
+        return cost_model_spec(request.get("model", "sum"))
+
+    # -- compute ----------------------------------------------------------
+
+    def _compute(
+        self,
+        kind: str,
+        graph: CSRGraph,
+        model_spec: str,
+        params: dict,
+        *,
+        workers: int,
+        deadline: float,
+        base_dm=None,
+    ) -> dict:
+        if kind == "is_equilibrium":
+            from ..core import is_equilibrium
+
+            flag = is_equilibrium(
+                graph, model_spec, workers=workers, mode=self.audit_mode,
+                base_dm=base_dm, deadline=deadline,
+            )
+            return {"is_equilibrium": bool(flag)}
+        if kind == "find_swap_violation":
+            violation = find_swap_violation(
+                graph, model_spec, workers=workers, mode=self.audit_mode,
+                base_dm=base_dm, deadline=deadline,
+            )
+            return _violation_payload(violation)
+        if kind == "criticality":
+            violation = find_deletion_criticality_violation(
+                graph, workers=workers, mode=self.audit_mode,
+                base_dm=base_dm, deadline=deadline,
+            )
+            return _violation_payload(violation)
+        response = best_swap(
+            graph, params["vertex"], model_spec, mode=self.audit_mode,
+            base_dm=base_dm, deadline=deadline,
+        )
+        swap = response.swap
+        return _json_safe(
+            {
+                "swap": (
+                    None if swap is None
+                    else [swap.vertex, swap.drop, swap.add]
+                ),
+                "before": float(response.before),
+                "after": float(response.after),
+                "is_deletion": bool(response.is_deletion),
+            }
+        )
+
+    def _compute_degraded(
+        self, kind, graph, model_spec, params, *, deadline, base_dm=None
+    ) -> tuple[dict, str]:
+        """Walk the ladder's plan; returns ``(payload, mode_used)``."""
+        self.requests += 1
+        ordinal = self.requests
+        last_error: "Exception | None" = None
+        plan = self.ladder.plan()
+        # Only the request's *planned* rung feeds the ladder: an in-request
+        # fallback failure would otherwise double-count one bad request
+        # against two rungs and descend twice as fast as the threshold says.
+        primary = plan[0]
+        for mode in plan:
+            if mode == "cache-only":
+                if last_error is not None:
+                    break  # in-request fallback exhausted: a real failure
+                raise LoadShed(
+                    "service degraded to cache-only and this answer is "
+                    "not cached",
+                    retry_after=self.ladder.recover_after,
+                )
+            workers = self.workers if mode == "pool" else 1
+            try:
+                faults.maybe_fault(query=ordinal)
+                payload = self._compute(
+                    kind, graph, model_spec, params,
+                    workers=workers, deadline=deadline, base_dm=base_dm,
+                )
+            except (DeadlineExceeded, LoadShed):
+                raise
+            except _CLIENT_ERRORS:
+                raise
+            except Exception as exc:  # infra failure: degrade in place
+                self.compute_failures += 1
+                if mode == primary:
+                    self.ladder.record_failure(mode)
+                last_error = exc
+                continue
+            self.ladder.record_success(mode)
+            return payload, mode
+        raise RuntimeError(
+            f"compute failed at every ladder rung: {last_error!r}"
+        ) from last_error
+
+    def _store(self, key: str, payload: dict, meta: dict) -> None:
+        """Publish an answer; a failed write must not fail the response."""
+        try:
+            self.cache.put(key, payload, meta)
+        except (faults.InjectedFault, OSError):
+            self.store_failures += 1
+
+    # -- endpoints --------------------------------------------------------
+
+    def handle_audit(self, request: dict) -> dict:
+        """One query; returns the response body (raises typed errors)."""
+        if not isinstance(request, dict):
+            raise ClientError("request body must be a JSON object")
+        kind, params = self._parse_query(request)
+        graph = self._parse_graph(request)
+        model_spec = self._model_spec_for(kind, request)
+        deadline = self._deadline_from(request)
+        start = time.monotonic()
+        fingerprint = graph_fingerprint(graph)
+        key = cache_key(fingerprint, model_spec, kind, params)
+
+        def respond(payload, *, cached, mode):
+            return {
+                "ok": True,
+                "query": kind,
+                "fingerprint": fingerprint,
+                "model": model_spec,
+                "cached": cached,
+                "compute_mode": mode,
+                "result": payload,
+                "elapsed_ms": round((time.monotonic() - start) * 1e3, 3),
+            }
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            return respond(cached, cached=True, mode="cache")
+        with self.gate.slot(deadline):
+            # A queue-mate may have filled it; not a second logical miss.
+            cached = self.cache.get(key, count_miss=False)
+            if cached is not None:
+                return respond(cached, cached=True, mode="cache")
+            payload, mode = self._compute_degraded(
+                kind, graph, model_spec, params, deadline=deadline
+            )
+        self._store(
+            key,
+            payload,
+            {"fingerprint": fingerprint, "model": model_spec, "query": kind,
+             "params": params},
+        )
+        return respond(payload, cached=False, mode=mode)
+
+    def handle_batch(self, request: dict) -> dict:
+        """Many queries on ONE graph; the base APSP is computed once."""
+        if not isinstance(request, dict):
+            raise ClientError("request body must be a JSON object")
+        items = request.get("queries")
+        if not isinstance(items, list) or not items:
+            raise ClientError('"queries" must be a non-empty list')
+        graph = self._parse_graph(request)
+        deadline = self._deadline_from(request)
+        start = time.monotonic()
+        fingerprint = graph_fingerprint(graph)
+        parsed = []
+        for item in items:
+            if not isinstance(item, dict):
+                raise ClientError("each batch query must be an object")
+            kind, params = self._parse_query(item)
+            model_spec = self._model_spec_for(kind, {**request, **item})
+            parsed.append((kind, params, model_spec))
+
+        results = []
+        base_dm = None
+        for kind, params, model_spec in parsed:
+            key = cache_key(fingerprint, model_spec, kind, params)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results.append(
+                    {"ok": True, "query": kind, "cached": True,
+                     "compute_mode": "cache", "result": cached}
+                )
+                continue
+            with self.gate.slot(deadline):
+                cached = self.cache.get(key, count_miss=False)
+                if cached is not None:
+                    results.append(
+                        {"ok": True, "query": kind, "cached": True,
+                         "compute_mode": "cache", "result": cached}
+                    )
+                    continue
+                if base_dm is None:
+                    # One APSP amortized across every miss in the batch.
+                    base_dm = lift_distances(distance_matrix(graph))
+                payload, mode = self._compute_degraded(
+                    kind, graph, model_spec, params,
+                    deadline=deadline, base_dm=base_dm,
+                )
+            self._store(
+                key, payload,
+                {"fingerprint": fingerprint, "model": model_spec,
+                 "query": kind, "params": params},
+            )
+            results.append(
+                {"ok": True, "query": kind, "cached": False,
+                 "compute_mode": mode, "result": payload}
+            )
+        return {
+            "ok": True,
+            "fingerprint": fingerprint,
+            "count": len(results),
+            "results": results,
+            "elapsed_ms": round((time.monotonic() - start) * 1e3, 3),
+        }
+
+    # -- introspection ----------------------------------------------------
+
+    def healthz(self) -> dict:
+        return {
+            "ok": True,
+            "mode": self.ladder.mode,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+        }
+
+    def stats(self) -> dict:
+        return {
+            "ok": True,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests": self.requests,
+            "compute_failures": self.compute_failures,
+            "store_failures": self.store_failures,
+            "deadline_exceeded": self.deadline_exceeded,
+            "cache": self.cache.stats(),
+            "admission": self.gate.snapshot(),
+            "degradation": self.ladder.snapshot(),
+        }

@@ -25,6 +25,7 @@ ARM_REQUIRED_KEYS = {
     "verify_sweep": {"n", "speedup"},
     "variants": {"n", "objective"},
     "trajfleet": {"n", "workers"},
+    "service": {"n", "queries_per_sec", "cache_hit_rate"},
 }
 
 #: entries from this PR on must record the host's core count (fleet and
@@ -78,6 +79,9 @@ def test_timings_are_finite_nonnegative_numbers():
                     if key.endswith("_sec") and value is not None:
                         assert isinstance(value, numbers.Real), (arm, row)
                         assert value >= 0, (arm, row)
+                    if key.endswith("_rate") and value is not None:
+                        assert isinstance(value, numbers.Real), (arm, row)
+                        assert 0.0 <= value <= 1.0, (arm, row)
 
 
 def test_cpu_count_recorded_from_pr5_on():

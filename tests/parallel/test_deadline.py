@@ -1,0 +1,121 @@
+"""Deadline propagation (ISSUE 7): one request budget, typed failure.
+
+``deadline=`` on :func:`~repro.parallel.parallel_map` /
+``SharedArrayPool.map`` is an *absolute* monotonic instant bounding the
+whole call.  The contract under test: a call past its deadline raises
+:class:`~repro.errors.DeadlineExceeded` — typed, fast, regardless of
+``on_error`` — instead of hanging or multiplying ``timeout × retries``
+past the budget, and a call that finishes in time is bit-identical to an
+undeadlined one.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.parallel import parallel_map, shutdown_shared_pools
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    shutdown_shared_pools()
+
+
+def quick_task(task):
+    return task * 2
+
+
+def slow_task(task):
+    # Task 3 wedges far past any sane budget; the rest are instant.
+    if task == 3:
+        time.sleep(600)
+    return task * 2
+
+
+def napping_task(task):
+    time.sleep(0.05)
+    return task * 2
+
+
+TASKS = list(range(12))
+CLEAN = [t * 2 for t in TASKS]
+
+
+class TestSerialPath:
+    def test_deadline_in_the_past_fails_immediately(self):
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                quick_task, TASKS, workers=1,
+                deadline=time.monotonic() - 1.0,
+            )
+
+    def test_deadline_checked_between_tasks(self):
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                napping_task, TASKS, workers=1,
+                deadline=start + 0.12,
+            )
+        # 12 × 50 ms serial would take ~0.6 s; the budget cut it short.
+        assert time.monotonic() - start < 0.5
+
+    def test_typed_error_even_with_record_policy(self):
+        # A spent request budget is not a task failure to quarantine.
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                napping_task, TASKS, workers=1,
+                deadline=time.monotonic() + 0.08, on_error="record",
+            )
+
+    def test_generous_deadline_is_invisible(self):
+        out = parallel_map(
+            quick_task, TASKS, workers=1,
+            deadline=time.monotonic() + 60.0,
+        )
+        assert out == CLEAN
+
+
+class TestPoolPath:
+    def test_hung_worker_fails_at_deadline_not_timeout_times_retries(self):
+        # Without the deadline this configuration would spend up to
+        # ~timeout × (retries + splits) ≈ many seconds re-killing the hung
+        # chunk; the budget must cut the whole call off at ~0.8 s.
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                slow_task, TASKS, workers=2, chunk_size=3,
+                timeout=5.0, retries=10, deadline=start + 0.8,
+            )
+        assert time.monotonic() - start < 4.0
+
+    def test_deadline_tighter_than_timeout_caps_the_wait(self):
+        # timeout alone would wait 120 s before even noticing the hang.
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                slow_task, TASKS, workers=2, chunk_size=3,
+                timeout=120.0, retries=2, deadline=start + 0.6,
+            )
+        assert time.monotonic() - start < 5.0
+
+    def test_generous_deadline_bit_identical(self):
+        out = parallel_map(
+            quick_task, TASKS, workers=2, chunk_size=3,
+            timeout=60.0, retries=2, deadline=time.monotonic() + 60.0,
+        )
+        assert out == CLEAN
+
+    def test_pool_survives_for_the_next_call(self):
+        # The deadline kill must not poison the persistent pool: the next
+        # call on the same worker count rebuilds lazily and succeeds.
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                slow_task, TASKS, workers=2, chunk_size=3,
+                timeout=60.0, deadline=time.monotonic() + 0.4,
+            )
+        out = parallel_map(
+            quick_task, TASKS, workers=2, chunk_size=3, retries=1,
+        )
+        assert out == CLEAN

@@ -64,6 +64,14 @@ class TestParse:
     def test_empty_parts_skipped(self):
         assert parse_faults(";raise;;") == (FaultSpec(kind="raise"),)
 
+    def test_path_filter(self):
+        (spec,) = parse_faults("torn-write:path=result_cache,times=2")
+        assert spec.path == "result_cache" and spec.times == 2
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty path"):
+            parse_faults("torn-write:path=")
+
 
 class TestMatching:
     def test_filterless_spec_matches_any_site(self):
@@ -76,6 +84,18 @@ class TestMatching:
         assert spec.matches({"task": 5})
         assert not spec.matches({"task": 6})
         assert not spec.matches({"chunk": 5})
+
+    def test_path_filter_is_substring_match(self):
+        spec = FaultSpec(kind="torn-write", path="cache/ab")
+        assert spec.matches({"path": "/tmp/x/cache/ab12.json"})
+        assert not spec.matches({"path": "/tmp/x/stream.jsonl"})
+        assert not spec.matches({"batch": 0})  # pathless site never matches
+
+    def test_path_filter_composes_with_site_keys(self):
+        spec = FaultSpec(kind="torn-write", batch=1, path="fleet")
+        assert spec.matches({"batch": 1, "path": "results/fleet.jsonl"})
+        assert not spec.matches({"batch": 0, "path": "results/fleet.jsonl"})
+        assert not spec.matches({"batch": 1, "path": "results/other.jsonl"})
 
 
 class TestFiring:

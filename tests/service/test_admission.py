@@ -1,0 +1,111 @@
+"""Bounded admission: capacity, queueing, typed shedding, queued deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceeded
+from repro.service.admission import AdmissionGate, LoadShed
+
+
+class TestConfig:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionGate(capacity=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionGate(queue_limit=-1)
+
+
+class TestFlow:
+    def test_serial_requests_all_admitted(self):
+        gate = AdmissionGate(capacity=1, queue_limit=0)
+        for _ in range(5):
+            with gate.slot():
+                pass
+        snap = gate.snapshot()
+        assert snap["admitted_count"] == 5 and snap["shed_count"] == 0
+
+    def test_overflow_is_shed_with_retry_after(self):
+        gate = AdmissionGate(capacity=1, queue_limit=0, retry_after=2.5)
+        release = threading.Event()
+        started = threading.Event()
+
+        def holder():
+            with gate.slot():
+                started.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        try:
+            assert started.wait(5.0)
+            with pytest.raises(LoadShed) as err:
+                with gate.slot():
+                    pass
+            assert err.value.retry_after == 2.5
+            assert gate.snapshot()["shed_count"] == 1
+        finally:
+            release.set()
+            t.join()
+
+    def test_queued_request_gets_slot_when_freed(self):
+        gate = AdmissionGate(capacity=1, queue_limit=2)
+        release = threading.Event()
+        started = threading.Event()
+        order = []
+
+        def holder():
+            with gate.slot():
+                started.set()
+                release.wait(5.0)
+                order.append("holder")
+
+        def waiter():
+            with gate.slot():
+                order.append("waiter")
+
+        t1 = threading.Thread(target=holder)
+        t1.start()
+        assert started.wait(5.0)
+        t2 = threading.Thread(target=waiter)
+        t2.start()
+        time.sleep(0.05)  # t2 is now queued
+        assert gate.snapshot()["queued"] == 1
+        release.set()
+        t1.join()
+        t2.join()
+        assert order == ["holder", "waiter"]
+
+    def test_queued_deadline_expires_typed(self):
+        gate = AdmissionGate(capacity=1, queue_limit=2)
+        release = threading.Event()
+        started = threading.Event()
+
+        def holder():
+            with gate.slot():
+                started.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        try:
+            assert started.wait(5.0)
+            start = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                with gate.slot(deadline=start + 0.1):
+                    pass
+            assert time.monotonic() - start < 2.0
+            # The expired waiter left the queue; nothing is leaked.
+            assert gate.snapshot()["queued"] == 0
+        finally:
+            release.set()
+            t.join()
+
+    def test_slot_released_on_exception(self):
+        gate = AdmissionGate(capacity=1, queue_limit=0)
+        with pytest.raises(RuntimeError):
+            with gate.slot():
+                raise RuntimeError("boom")
+        with gate.slot():  # slot was released despite the exception
+            pass

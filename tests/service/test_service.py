@@ -1,0 +1,419 @@
+"""The audit service end to end: correctness, faults, deadlines, HTTP.
+
+The acceptance contract of ISSUE 7: under injected faults the service
+returns only bit-correct results (cached answers equal fresh oracle
+answers), corrupted cache entries are quarantined and recomputed, the
+deadline-exceeded and load-shed responses are typed, and the degradation
+ladder reaches cache-only and recovers.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import best_swap, find_swap_violation
+from repro.errors import DeadlineExceeded
+from repro.graphs.generators import (
+    cycle_graph,
+    path_graph,
+    random_connected_gnm,
+    star_graph,
+)
+from repro.graphs.graph6 import to_graph6
+from repro.io import ResultCache
+from repro.parallel import faults, shutdown_shared_pools
+from repro.parallel.faults import InjectedFault
+from repro.service import (
+    AuditEngine,
+    ClientError,
+    DegradationLadder,
+    LoadShed,
+    build_server,
+)
+from repro.service.handlers import _json_safe, _violation_payload
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    faults.clear_hooks()
+    yield
+    faults.clear_hooks()
+    shutdown_shared_pools()
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return AuditEngine(ResultCache(tmp_path / "rc"), workers=2)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def _g6(graph):
+    return to_graph6(graph)
+
+
+class TestEngineBasics:
+    def test_audit_then_cached(self, engine):
+        request = {"query": "find_swap_violation", "graph6": _g6(path_graph(6))}
+        first = engine.handle_audit(request)
+        again = engine.handle_audit(request)
+        assert first["ok"] and not first["cached"]
+        assert again["cached"] and again["compute_mode"] == "cache"
+        assert again["result"] == first["result"]
+
+    def test_explicit_edge_list_graph(self, engine):
+        response = engine.handle_audit(
+            {
+                "query": "is_equilibrium",
+                "graph": {"n": 3, "edges": [[0, 1], [1, 2], [0, 2]]},
+                "model": "sum",
+            }
+        )
+        assert response["result"] == {"is_equilibrium": True}
+
+    def test_model_spec_is_canonicalized(self, engine):
+        g6 = _g6(cycle_graph(6))
+        a = engine.handle_audit(
+            {"query": "is_equilibrium", "graph6": g6,
+             "model": "interest-sum:k=2,seed=9"}
+        )
+        b = engine.handle_audit(
+            {"query": "is_equilibrium", "graph6": g6,
+             "model": "interest-sum:seed=9,k=2"}
+        )
+        assert a["model"] == b["model"]
+        assert b["cached"]  # same canonical spec, same content address
+
+    def test_batch_shares_fingerprint_and_caches(self, engine):
+        g6 = _g6(star_graph(7))
+        response = engine.handle_batch(
+            {
+                "graph6": g6,
+                "model": "max",
+                "queries": [
+                    {"query": "is_equilibrium"},
+                    {"query": "criticality"},
+                    {"query": "best_swap", "vertex": 1},
+                ],
+            }
+        )
+        assert response["count"] == 3
+        assert all(r["ok"] for r in response["results"])
+        again = engine.handle_batch(
+            {
+                "graph6": g6,
+                "model": "max",
+                "queries": [{"query": "criticality"}],
+            }
+        )
+        assert again["results"][0]["cached"]
+        assert (
+            again["results"][0]["result"]
+            == response["results"][1]["result"]
+        )
+
+    def test_client_errors_are_typed(self, engine):
+        g6 = _g6(path_graph(4))
+        with pytest.raises(ClientError):
+            engine.handle_audit({"query": "nope", "graph6": g6})
+        with pytest.raises(ClientError):
+            engine.handle_audit({"query": "is_equilibrium"})
+        with pytest.raises(ClientError):
+            engine.handle_audit({"query": "best_swap", "graph6": g6})
+        with pytest.raises(ClientError):
+            engine.handle_audit(
+                {"query": "is_equilibrium", "graph6": g6, "timeout_s": -1}
+            )
+        with pytest.raises(ClientError):
+            engine.handle_batch({"graph6": g6, "queries": []})
+
+    def test_client_error_never_touches_the_ladder(self, engine):
+        with pytest.raises(Exception):
+            engine.handle_audit(
+                {
+                    "query": "is_equilibrium",
+                    # Disconnected: an audit-domain error, not an infra one.
+                    "graph": {"n": 4, "edges": [[0, 1], [2, 3]]},
+                }
+            )
+        assert engine.ladder.mode == "pool"
+        assert engine.compute_failures == 0
+
+
+class TestOracleEquivalence:
+    """Cached answers are bit-equal to fresh oracle-mode answers."""
+
+    GRAPHS = [
+        path_graph(7),
+        cycle_graph(8),
+        star_graph(6),
+        random_connected_gnm(12, 18, seed=5),
+    ]
+
+    def test_swap_violations_match_rebuild_oracle(self, engine):
+        for graph in self.GRAPHS:
+            for model in ("sum", "max"):
+                request = {
+                    "query": "find_swap_violation",
+                    "graph6": _g6(graph),
+                    "model": model,
+                }
+                engine.handle_audit(request)  # populate
+                cached = engine.handle_audit(request)
+                assert cached["cached"]
+                oracle = _violation_payload(
+                    find_swap_violation(graph, model, mode="rebuild")
+                )
+                assert cached["result"] == oracle
+
+    def test_best_swap_matches_oracle_mode(self, engine):
+        for graph in self.GRAPHS:
+            request = {
+                "query": "best_swap",
+                "graph6": _g6(graph),
+                "model": "sum",
+                "vertex": 0,
+            }
+            engine.handle_audit(request)
+            cached = engine.handle_audit(request)
+            assert cached["cached"]
+            oracle = best_swap(graph, 0, "sum", mode="oracle")
+            swap = oracle.swap
+            assert cached["result"] == _json_safe(
+                {
+                    "swap": (
+                        None if swap is None
+                        else [swap.vertex, swap.drop, swap.add]
+                    ),
+                    "before": float(oracle.before),
+                    "after": float(oracle.after),
+                    "is_deletion": bool(oracle.is_deletion),
+                }
+            )
+
+
+class TestFaultsThroughEngine:
+    def test_torn_cache_write_never_corrupts_a_response(
+        self, tmp_path, engine, monkeypatch
+    ):
+        # Fire one torn write at this test's cache only (unique tmp path).
+        monkeypatch.setenv(
+            faults.ENV_SPEC, f"torn-write:path={tmp_path.name}"
+        )
+        request = {"query": "find_swap_violation", "graph6": _g6(path_graph(6))}
+        first = engine.handle_audit(request)
+        assert first["ok"] and not first["cached"]  # answer served anyway
+        assert engine.store_failures == 1
+        second = engine.handle_audit(request)  # tear detected: recompute
+        assert not second["cached"]
+        assert second["result"] == first["result"]
+        assert engine.cache.stats()["quarantined"] == 1
+        third = engine.handle_audit(request)  # recompute was published
+        assert third["cached"]
+        assert third["result"] == first["result"]
+
+    def test_infra_fault_degrades_in_place(self, engine):
+        calls = []
+
+        def poison_pool_attempts(site):
+            if "query" in site:
+                calls.append(site)
+                if len(calls) == 1:  # only the first (pool-mode) attempt
+                    raise InjectedFault("injected pool failure")
+
+        faults.install_hook(poison_pool_attempts)
+        response = engine.handle_audit(
+            {"query": "is_equilibrium", "graph6": _g6(cycle_graph(5))}
+        )
+        assert response["ok"] and response["compute_mode"] == "serial"
+        assert engine.ladder.mode == "pool"  # one blip: no descent
+
+
+class TestLadderLifecycle:
+    def test_reaches_cache_only_and_recovers(self, tmp_path):
+        clock = FakeClock()
+        engine = AuditEngine(
+            ResultCache(tmp_path / "rc"),
+            workers=2,
+            ladder=DegradationLadder(
+                threshold=2, recover_after=30.0, clock=clock
+            ),
+        )
+        hot = {"query": "is_equilibrium", "graph6": _g6(path_graph(5))}
+        engine.handle_audit(hot)  # prime one answer while healthy
+
+        def poison_all_compute(site):
+            if "query" in site:
+                raise InjectedFault("injected compute failure")
+
+        faults.install_hook(poison_all_compute)
+        cold = {"query": "is_equilibrium", "graph6": _g6(cycle_graph(7))}
+        for _ in range(2):  # two pool-rung failures -> serial
+            with pytest.raises(RuntimeError):
+                engine.handle_audit(cold)
+        assert engine.ladder.mode == "serial"
+        for _ in range(2):  # two serial-rung failures -> cache-only
+            with pytest.raises(RuntimeError):
+                engine.handle_audit(cold)
+        assert engine.ladder.mode == "cache-only"
+
+        # Cache-only: hits are still served, misses are shed typed.
+        assert engine.handle_audit(hot)["cached"]
+        with pytest.raises(LoadShed) as shed:
+            engine.handle_audit(cold)
+        assert shed.value.retry_after == 30.0
+
+        # Recovery: probes ascend one rung at a time once compute heals.
+        faults.clear_hooks()
+        clock.now += 31.0
+        assert engine.handle_audit(cold)["compute_mode"] == "serial"
+        assert engine.ladder.mode == "serial"
+        clock.now += 31.0
+        fresh = {"query": "is_equilibrium", "graph6": _g6(star_graph(5))}
+        assert engine.handle_audit(fresh)["compute_mode"] == "pool"
+        assert engine.ladder.mode == "pool"
+        assert engine.ladder.snapshot()["recoveries"] == 2
+
+
+class TestDeadline:
+    def test_spent_deadline_is_typed_not_a_hang(self, engine):
+        with pytest.raises(DeadlineExceeded):
+            engine.handle_audit(
+                {
+                    "query": "find_swap_violation",
+                    "graph6": _g6(random_connected_gnm(20, 30, seed=2)),
+                    "timeout_s": 1e-6,
+                }
+            )
+        assert engine.ladder.mode == "pool"  # a spent budget is not infra
+
+    def test_cache_hit_beats_the_deadline(self, engine):
+        request = {"query": "is_equilibrium", "graph6": _g6(path_graph(5))}
+        engine.handle_audit(request)
+        hit = engine.handle_audit({**request, "timeout_s": 1e-6})
+        assert hit["cached"]
+
+
+class _Client:
+    def __init__(self, base):
+        self.base = base
+
+    def get(self, path):
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=30) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read()), dict(err.headers)
+
+    def post(self, path, body):
+        data = (
+            body if isinstance(body, bytes) else json.dumps(body).encode()
+        )
+        req = urllib.request.Request(
+            self.base + path, data=data, method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as r:
+                return r.status, json.loads(r.read()), dict(r.headers)
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read()), dict(err.headers)
+
+
+@pytest.fixture
+def http(tmp_path):
+    server = build_server(
+        port=0, cache_dir=str(tmp_path / "rc"), workers=2,
+        capacity=1, queue_limit=4,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    try:
+        yield _Client(f"http://{host}:{port}"), server
+    finally:
+        server.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestHTTP:
+    def test_healthz_and_stats(self, http):
+        client, _ = http
+        status, body, _ = client.get("/healthz")
+        assert status == 200 and body["ok"] and body["mode"] == "pool"
+        status, body, _ = client.get("/stats")
+        assert status == 200
+        for section in ("cache", "admission", "degradation"):
+            assert section in body
+        assert "hit_rate" in body["cache"]
+        assert "shed_count" in body["admission"]
+
+    def test_audit_roundtrip_and_hit(self, http):
+        client, _ = http
+        request = {"query": "find_swap_violation", "graph6": _g6(path_graph(6))}
+        status, first, _ = client.post("/audit", request)
+        assert status == 200 and first["ok"] and not first["cached"]
+        status, again, _ = client.post("/audit", request)
+        assert status == 200 and again["cached"]
+        assert again["result"] == first["result"]
+
+    def test_not_found_and_bad_json_are_typed(self, http):
+        client, _ = http
+        status, body, _ = client.get("/nope")
+        assert status == 404 and body["error"] == "not-found"
+        status, body, _ = client.post("/audit", b"{not json")
+        assert status == 400 and body["error"] == "bad-request"
+        status, body, _ = client.post("/audit", {"query": "explode"})
+        assert status == 400 and body["error"] == "bad-request"
+
+    def test_deadline_exceeded_is_a_typed_504(self, http):
+        client, server = http
+        status, body, _ = client.post(
+            "/audit",
+            {
+                "query": "find_swap_violation",
+                "graph6": _g6(random_connected_gnm(20, 30, seed=2)),
+                "timeout_s": 1e-6,
+            },
+        )
+        assert status == 504 and body["error"] == "deadline-exceeded"
+        assert server.engine.deadline_exceeded == 1
+
+    def test_load_shed_is_a_typed_503_with_retry_after(self, http):
+        client, server = http
+        # Saturate admission from the outside: capacity 1, queue 0 left.
+        server.engine.gate.queue_limit = 0
+        with server.engine.gate.slot():
+            status, body, headers = client.post(
+                "/audit",
+                {"query": "is_equilibrium", "graph6": _g6(cycle_graph(9))},
+            )
+        assert status == 503 and body["error"] == "load-shed"
+        assert "retry_after_s" in body
+        assert "Retry-After" in headers
+
+    def test_batch_over_http(self, http):
+        client, _ = http
+        status, body, _ = client.post(
+            "/batch",
+            {
+                "graph6": _g6(star_graph(6)),
+                "model": "max",
+                "queries": [
+                    {"query": "is_equilibrium"},
+                    {"query": "criticality"},
+                ],
+            },
+        )
+        assert status == 200 and body["count"] == 2
+        assert all(r["ok"] for r in body["results"])
