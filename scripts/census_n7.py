@@ -17,11 +17,11 @@ def shard(i: int):
     return exhaustive_equilibrium_census(N, "sum", mask_range=(lo, hi))
 
 def main():
-    t0 = time.time()
+    t0 = time.perf_counter()
     parts = parallel_map(shard, list(range(SHARDS)), workers=2)
     merged = merge_censuses(parts)
     lines = [
-        f"n={N} exhaustive sum census ({time.time()-t0:.0f}s)",
+        f"n={N} exhaustive sum census ({time.perf_counter()-t0:.0f}s)",
         f"connected graphs: {merged.connected_graphs}",
         f"audited (diam>=3): {merged.audited}",
     ]

@@ -7,9 +7,10 @@ import math, sys, time
 import numpy as np
 from repro.graphs import CSRGraph, diameter_or_inf, random_connected_gnm, is_connected
 from repro.core import sum_equilibrium_gap, find_sum_violation
+from repro.rng import make_rng
 
 def search(n: int, restarts: int, iters: int, seed: int):
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
 
     def score(g):
         d = diameter_or_inf(g)
@@ -56,9 +57,9 @@ def search(n: int, restarts: int, iters: int, seed: int):
 def main():
     out = []
     for n, restarts, iters in ((7, 40, 1500), (8, 40, 2000), (9, 30, 2500)):
-        t0 = time.time()
+        t0 = time.perf_counter()
         status, detail = search(n, restarts, iters, seed=1000 + n)
-        line = f"n={n}: {status} {detail} ({time.time()-t0:.0f}s)"
+        line = f"n={n}: {status} {detail} ({time.perf_counter()-t0:.0f}s)"
         print(line, flush=True)
         out.append(line)
     with open("results/witness_search.txt", "w") as fh:

@@ -10,6 +10,7 @@ only an order, the constant is 1 unless the proof pins one down.
 from __future__ import annotations
 
 import math
+from ..errors import ConfigurationError
 
 __all__ = [
     "theorem9_diameter_bound",
@@ -58,7 +59,7 @@ def theorem12_tradeoff_bound(n: int, k: int) -> float:
     ``(n/2)^{1/d}`` and is stable under ``k = d − 1`` insertions.
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise ConfigurationError(f"k must be >= 1, got {k}")
     return (n / 2.0) ** (1.0 / (k + 1))
 
 
@@ -79,7 +80,7 @@ def theorem13_uniform_diameter(eps: float, d: int, n: int) -> float:
 def theorem15_diameter_bound(n: int, epsilon: float) -> float:
     """Theorem 15's diameter bound ``2r + 2`` with ``r = 1 + 2 lg n / lg((1-ε)/ε)``."""
     if not 0 < epsilon < 0.5:
-        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        raise ConfigurationError(f"epsilon must be in (0, 0.5), got {epsilon}")
     if n < 2:
         return 2.0
     r = 1.0 + 2.0 * math.log2(n) / math.log2((1 - epsilon) / epsilon)

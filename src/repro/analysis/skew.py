@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from ..errors import DisconnectedGraphError
+from ..errors import ConfigurationError, DisconnectedGraphError
 from ..graphs import CSRGraph, UNREACHABLE, distance_matrix
 from ..rng import make_rng
 
@@ -112,7 +112,7 @@ def middle_distance_interval(
     trimming) and returns the min and max of what remains.
     """
     if not 0 <= beta < 0.5:
-        raise ValueError(f"beta must be in [0, 0.5), got {beta}")
+        raise ConfigurationError(f"beta must be in [0, 0.5), got {beta}")
     if dm is None:
         dm = distance_matrix(graph)
     if (dm == UNREACHABLE).any():

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..constructions.cayley import AbelianGroup
-from ..errors import GraphError
+from ..errors import ConfigurationError, GraphError
 
 __all__ = [
     "iterated_sumset_sizes",
@@ -110,7 +110,7 @@ def theorem15_radius_bound(n: int, epsilon: float) -> float:
     the radius bound (the bench applies the final doubling itself).
     """
     if not 0 < epsilon < 0.5:
-        raise ValueError(f"epsilon must be in (0, 0.5), got {epsilon}")
+        raise ConfigurationError(f"epsilon must be in (0, 0.5), got {epsilon}")
     if n < 2:
         return 1.0
     return 1.0 + 2.0 * math.log2(n) / math.log2((1 - epsilon) / epsilon)

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DisconnectedGraphError, GraphError
+from ..errors import ConfigurationError, DisconnectedGraphError, GraphError
 from ..graphs import CSRGraph, UNREACHABLE, distance_matrix
 from ..graphs.power import power_distance_matrix
 from ..theory.primes import interval_avoidance_bound, multiple_free_modulus
@@ -37,7 +37,7 @@ __all__ = ["Theorem13Result", "theorem13_transform", "suggested_p"]
 def suggested_p(beta: float) -> float:
     """The constant the proof needs: ``p ≥ 8/β`` covers both claims."""
     if not 0 < beta < 0.5:
-        raise ValueError(f"beta must be in (0, 0.5), got {beta}")
+        raise ConfigurationError(f"beta must be in (0, 0.5), got {beta}")
     return 8.0 / beta
 
 

@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
+from ..errors import ConfigurationError
 
 __all__ = ["Table", "format_value"]
 
@@ -41,7 +42,7 @@ class Table:
 
     def add_row(self, *values: Any) -> None:
         if len(values) != len(self.columns):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(values)} cells for {len(self.columns)} columns"
             )
         self.rows.append(list(values))

@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli run dynamics-census            # trajectory census
     python -m repro.cli all --scale quick --csv results/
     python -m repro.cli serve --port 8642              # audit service
+    python -m repro.cli lint src scripts               # contract checker
 
 ``run`` prints the tables as ASCII; ``--csv DIR`` additionally writes one
 CSV per table under DIR.  ``all`` runs every experiment in DESIGN.md order.
@@ -94,7 +95,17 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     serve_p.add_argument("--verbose", action="store_true")
 
+    lint_p = sub.add_parser(
+        "lint", help="run the AST contract checker (repro.lint)"
+    )
+    from .lint.cli import add_lint_arguments, run_lint
+
+    add_lint_arguments(lint_p)
+
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return run_lint(args)
 
     if args.command == "list":
         for exp_id in experiment_ids():

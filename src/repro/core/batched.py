@@ -63,6 +63,7 @@ import numpy as np
 
 from ..errors import GraphError
 from ..graphs import CSRGraph
+from ..parallel import check_deadline
 from ..graphs.bfs import UNREACHABLE, bfs_distances
 from ..graphs.repair import (
     batched_removal_rows_multi,
@@ -422,6 +423,7 @@ def scan_swap_violations(
     objective,
     *,
     pred_counts: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ):
     """First swap violation among ``edges``, tagged by directed-edge index.
 
@@ -438,6 +440,7 @@ def scan_swap_violations(
     buf = np.empty((n, n), dtype=np.int64)
     for lo, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
+            check_deadline(deadline)
             for j, (v, w) in enumerate(((a, b), (b, a))):
                 mask = model.target_mask(graph, v, w)
                 bound = plan.bound_costs(i, v, w, model, base_plus1, buf)
@@ -470,6 +473,7 @@ def scan_gap(
     edges,
     *,
     pred_counts: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> float:
     """Largest sum-swap improvement within ``edges`` (batched kernel).
 
@@ -483,6 +487,7 @@ def scan_gap(
     gap = 0.0
     for _, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
+            check_deadline(deadline)
             for v, w in ((a, b), (b, a)):
                 bound = plan.bound_costs(i, v, w, SUM_COST, base_plus1, buf)
                 raw = bound.copy()
@@ -505,6 +510,7 @@ def scan_deletion_violations(
     start: int,
     *,
     pred_counts: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ):
     """First deletion-criticality violation among ``edges`` (batched).
 
@@ -513,6 +519,7 @@ def scan_deletion_violations(
     """
     for lo, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
+            check_deadline(deadline)
             for j, v in enumerate((a, b)):
                 ecc_v = int(plan.endpoint_row(i, v).max())
                 after = math.inf if ecc_v >= INT_INF else float(ecc_v)
@@ -541,6 +548,7 @@ def best_swap_scan(
     prefer_deletions_on_tie: bool | None = None,
     base_plus1: np.ndarray | None = None,
     buf: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> BestResponse:
     """Exact best response of ``v`` via the bound-then-verify kernel.
 
@@ -573,6 +581,7 @@ def best_swap_scan(
     activations.
     """
     n = graph.n
+    check_deadline(deadline)
     model = resolve_cost_model(objective, n)
     if prefer_deletions_on_tie is None:
         prefer_deletions_on_tie = model.prefer_deletions_on_tie
@@ -631,6 +640,7 @@ def best_swap_scan(
     best_is_deletion = False
     neutral_deletion: Swap | None = None
     for k, i in enumerate(surviving):
+        check_deadline(deadline)
         w = neighbors[i]
         dv = plan.endpoint_row(k, v)
         if prefer_deletions_on_tie and neutral_deletion is None:
@@ -681,6 +691,7 @@ def certify_at_rest(
     *,
     prefer_deletions_on_tie: bool | None = None,
     pred_counts: np.ndarray | None = None,
+    deadline: "float | None" = None,
 ) -> bool:
     """Whether **no** vertex has a best-response move — one batched scan.
 
@@ -705,7 +716,8 @@ def certify_at_rest(
     if not prefer_deletions_on_tie:
         return (
             scan_swap_violations(
-                graph, lifted, base, edges, 0, model, pred_counts=pred_counts
+                graph, lifted, base, edges, 0, model,
+                pred_counts=pred_counts, deadline=deadline,
             )
             is None
         )
@@ -720,6 +732,7 @@ def certify_at_rest(
     buf = np.empty((n, n), dtype=np.int64)
     for _, plan in _plan_blocks(graph, lifted, edges, pred_counts):
         for i, (a, b) in enumerate(plan.edges):
+            check_deadline(deadline)
             for v, w in ((a, b), (b, a)):
                 if degrees[v] >= 2:
                     del_cost = model.row_cost(v, plan.endpoint_row(i, v))

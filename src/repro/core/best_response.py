@@ -137,6 +137,7 @@ def best_swap(
         return best_swap_scan(
             graph, v, model, base,
             prefer_deletions_on_tie=prefer_deletions_on_tie,
+            deadline=deadline,
         )
     elif mode == "repair":
         base = ensure_lifted(

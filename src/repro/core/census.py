@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
 import numpy as np
+from ..errors import ConfigurationError, StoreIntegrityError
 
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import (
@@ -108,7 +109,7 @@ def seed_graph(family: InitialFamily, n: int, seed) -> CSRGraph:
             max(n - 1, int(math.ceil(n * math.log2(max(n, 2)) / 2))),
         )
         return random_connected_gnm(n, m, seed)
-    raise ValueError(f"unknown census family {family!r}")
+    raise ConfigurationError(f"unknown census family {family!r}")
 
 
 def _is_star(graph: CSRGraph) -> bool:
@@ -278,12 +279,12 @@ def run_census(
     stream's flush cadence (:class:`~repro.io.jsonl_store.JsonlStore`).
     """
     if workers > 1 and verify_workers > 1:
-        raise ValueError(
+        raise ConfigurationError(
             "choose one sharding axis: workers (trajectories) or "
             "verify_workers (audit edges), not both"
         )
     if resume and jsonl_path is None:
-        raise ValueError("resume=True needs a jsonl_path to resume from")
+        raise ConfigurationError("resume=True needs a jsonl_path to resume from")
     spec = cost_model_spec(objective)  # canonical; validates the objective
     task_objective = objective if isinstance(objective, CostModel) else spec
     tasks = [
@@ -341,7 +342,7 @@ def run_census(
             # coordinates in their coords dict.
             if isinstance(rec, FleetFailure):
                 if rec.coords != task_coords(tasks[idx]):
-                    raise ValueError(
+                    raise StoreIntegrityError(
                         f"resume mismatch: quarantined slot {rec.coords!r} "
                         "does not match this run's grid/configuration — "
                         "same arguments required"
@@ -350,7 +351,7 @@ def run_census(
             if (rec.n, rec.family, rec.seed) != tasks[idx][:3] or (
                 rec.objective, rec.schedule, rec.responder
             ) != (spec, schedule, responder):
-                raise ValueError(
+                raise StoreIntegrityError(
                     "resume mismatch: existing record (n="
                     f"{rec.n}, family={rec.family!r}, seed={rec.seed}, "
                     f"objective={rec.objective!r}, "

@@ -52,7 +52,7 @@ from typing import Iterable, Literal
 
 import numpy as np
 
-from ..errors import DisconnectedGraphError
+from ..errors import ConfigurationError, DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
 from ..graphs.repair import predecessor_counts, removal_matrix_repair
 from ..parallel import check_deadline, chunk_evenly, parallel_map
@@ -104,7 +104,7 @@ class Violation:
     def as_swap(self) -> Swap:
         """The violating move as a :class:`Swap` (swap violations only)."""
         if self.kind not in ("sum-swap", "max-swap") or self.drop is None:
-            raise ValueError(f"{self.kind} violation is not a swap")
+            raise ConfigurationError(f"{self.kind} violation is not a swap")
         assert isinstance(self.add, int)
         return Swap(self.vertex, self.drop, self.add)
 
@@ -140,7 +140,7 @@ _AUDIT_MODES = ("repair", "rebuild", "batched")
 
 def _check_mode(mode: str) -> None:
     if mode not in _AUDIT_MODES:
-        raise ValueError(
+        raise ConfigurationError(
             f"unknown audit mode {mode!r}; known: {', '.join(_AUDIT_MODES)}"
         )
 
@@ -370,12 +370,13 @@ def _first_violation_parallel(graph, lifted, model, workers, mode, deadline):
     return min(hits)[1] if hits else None
 
 
-def _batched_first_violation(graph, lifted, base, model):
+def _batched_first_violation(graph, lifted, base, model, deadline=None):
     """Serial batched scan over every edge (workers == 1 path)."""
     from .batched import scan_swap_violations
 
     hit = scan_swap_violations(
-        graph, lifted, base, list(graph.iter_edges()), 0, model
+        graph, lifted, base, list(graph.iter_edges()), 0, model,
+        deadline=deadline,
     )
     return hit[1] if hit else None
 
@@ -427,7 +428,9 @@ def find_swap_violation(
     base = model.base_costs(lifted)
     if mode == "batched":
         check_deadline(deadline)
-        return _batched_first_violation(graph, lifted, base, model)
+        return _batched_first_violation(
+            graph, lifted, base, model, deadline=deadline
+        )
     for v, w, removal_dm in _iter_drop_contexts(graph, lifted, mode):
         check_deadline(deadline)
         costs = all_swap_costs_for_drop(graph, v, w, model, removal_dm)
@@ -587,7 +590,8 @@ def find_deletion_criticality_violation(
 
         check_deadline(deadline)
         hit = scan_deletion_violations(
-            graph, lifted, base_ecc, list(graph.iter_edges()), 0
+            graph, lifted, base_ecc, list(graph.iter_edges()), 0,
+            deadline=deadline,
         )
         return hit[1] if hit else None
     for a, b in graph.iter_edges():
@@ -678,7 +682,7 @@ def k_insertion_witness(
     it is exact for the small ``k`` (≤ 3) the paper's constructions use.
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise ConfigurationError(f"k must be >= 1, got {k}")
     if dm is None:
         if not is_connected(graph):
             raise DisconnectedGraphError(

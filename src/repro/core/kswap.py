@@ -40,6 +40,7 @@ import numpy as np
 
 from ..errors import ConfigurationError, DisconnectedGraphError
 from ..graphs import CSRGraph, distance_matrix, is_connected
+from ..parallel import check_deadline
 from .costmodel import CostModel, resolve_cost_model
 from .costs import INT_INF, lift_distances
 
@@ -82,6 +83,7 @@ def k_swap_witness(
     *,
     objective: "str | CostModel" = "max",
     candidate_adds: Iterable[int] | None = None,
+    deadline: "float | None" = None,
 ) -> tuple[tuple[int, ...], tuple[int, ...]] | None:
     """A (drop-set, add-set) pair of size ≤ k lowering ``v``'s cost, or ``None``.
 
@@ -95,10 +97,13 @@ def k_swap_witness(
     local diameter); any pure row-aggregate model is accepted, and
     move-set-constrained models raise ``ConfigurationError`` (see module
     docstring).  ``candidate_adds`` restricts the add-endpoint pool
-    (vertex-transitive callers can prune by distance).
+    (vertex-transitive callers can prune by distance).  ``deadline`` is an
+    absolute ``time.monotonic()`` budget checked once per drop-set (the
+    enumeration is exponential; callers with a ``timeout_s`` must be able
+    to abandon it mid-scan with :class:`~repro.errors.DeadlineExceeded`).
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise ConfigurationError(f"k must be >= 1, got {k}")
     model = _row_aggregate_model(objective, graph.n)
     if not is_connected(graph):
         raise DisconnectedGraphError("k-swap stability needs connectivity")
@@ -111,13 +116,14 @@ def k_swap_witness(
         return None
     hollow = _distances_without_vertex(graph, v)
     neighbors = sorted(int(x) for x in graph.neighbors(v))
+    neighbor_set = frozenset(neighbors)  # hoisted: O(deg) once, not per pool entry
     if candidate_adds is None:
-        pool = [a for a in range(n) if a != v and a not in set(neighbors)]
+        pool = [a for a in range(n) if a != v and a not in neighbor_set]
     else:
         pool = [
             int(a)
             for a in candidate_adds
-            if int(a) != v and int(a) not in set(neighbors)
+            if int(a) != v and int(a) not in neighbor_set
         ]
 
     def cost_after(kept: list[int]) -> float:
@@ -134,6 +140,7 @@ def k_swap_witness(
 
     for d_size in range(0, min(k, len(neighbors)) + 1):
         for drops in itertools.combinations(neighbors, d_size):
+            check_deadline(deadline)
             surviving = [w for w in neighbors if w not in drops]
             for a_size in range(0, min(k, len(pool)) + 1):
                 if d_size == 0 and a_size == 0:
@@ -150,16 +157,20 @@ def is_k_swap_stable(
     vertices: Iterable[int] | None = None,
     *,
     objective: "str | CostModel" = "max",
+    deadline: "float | None" = None,
 ) -> bool:
     """Whether no vertex lowers its cost with ≤ k drops + ≤ k adds.
 
     ``objective`` follows the same row-aggregate contract (and raises the
-    same ``ConfigurationError``) as :func:`k_swap_witness`.
+    same ``ConfigurationError``) as :func:`k_swap_witness`; ``deadline``
+    is forwarded into every per-vertex enumeration.
     """
     # Resolve once: validates the model (and materializes interest sets a
     # single time) before any per-vertex enumeration starts.
     model = _row_aggregate_model(objective, graph.n)
     vs = range(graph.n) if vertices is None else vertices
     return all(
-        k_swap_witness(graph, int(v), k, objective=model) is None for v in vs
+        k_swap_witness(graph, int(v), k, objective=model, deadline=deadline)
+        is None
+        for v in vs
     )

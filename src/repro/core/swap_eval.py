@@ -32,6 +32,7 @@ import math
 from typing import Literal
 
 import numpy as np
+from ..errors import ConfigurationError
 
 from ..graphs import CSRGraph, distance_matrix
 from ..graphs.repair import removal_matrix_repair
@@ -64,7 +65,7 @@ def swap_cost_after(
         g2 = swapped_graph(graph, swap)
         return model.bfs_cost(g2, swap.vertex)
     if mode != "patched":
-        raise ValueError(f"unknown eval mode {mode!r}")
+        raise ConfigurationError(f"unknown eval mode {mode!r}")
     extra = []
     if not graph.has_edge(swap.vertex, swap.add):
         extra = [(swap.vertex, swap.add)]
@@ -112,7 +113,7 @@ def removal_distance_matrix(
         reduced = graph.with_edges(remove=[(a, b)])
         return lift_distances(distance_matrix(reduced))
     if mode != "repair":
-        raise ValueError(f"unknown removal mode {mode!r}")
+        raise ConfigurationError(f"unknown removal mode {mode!r}")
     if base_dm is None:
         base_dm = distance_matrix(graph)
     return removal_matrix_repair(graph, ensure_lifted(base_dm), (a, b))

@@ -43,6 +43,7 @@ from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
+from ..errors import ConfigurationError, StoreIntegrityError
 from ..io.hashing import graph_fingerprint
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import CSRGraph
@@ -310,7 +311,7 @@ def run_trajectory_census(
         for pt in points
     ]
     if resume and jsonl_path is None:
-        raise ValueError("resume=True needs a jsonl_path to resume from")
+        raise ConfigurationError("resume=True needs a jsonl_path to resume from")
 
     def task_coords(task: tuple) -> dict:
         return {
@@ -363,7 +364,7 @@ def run_trajectory_census(
             # slots carry the same coordinates in their coords dict.
             if isinstance(rec, FleetFailure):
                 if rec.coords != task_coords(tasks[idx]):
-                    raise ValueError(
+                    raise StoreIntegrityError(
                         f"resume mismatch: quarantined slot {rec.coords!r} "
                         "does not match this run's grid/configuration — "
                         "same arguments required"
@@ -374,7 +375,7 @@ def run_trajectory_census(
                 rec.objective, rec.schedule, rec.responder,
             )
             if key != tasks[idx][:7]:
-                raise ValueError(
+                raise StoreIntegrityError(
                     "resume mismatch: existing record "
                     f"(n={rec.n}, family={rec.family!r}, "
                     f"replicate={rec.replicate}, seed={rec.seed}, "

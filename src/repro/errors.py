@@ -17,6 +17,7 @@ __all__ = [
     "IllegalSwapError",
     "ConfigurationError",
     "ConvergenceError",
+    "StoreIntegrityError",
     "DeadlineExceeded",
     "TaskExecutionError",
 ]
@@ -52,6 +53,16 @@ class ConfigurationError(ReproError, ValueError):
     Also a ``ValueError``: bad objective specs, modes, and similar argument
     errors historically surfaced as either type depending on the layer, so
     the shared subclass keeps both ``except`` styles working.
+    """
+
+
+class StoreIntegrityError(ReproError, ValueError):
+    """A JSONL store's on-disk state is corrupt or inconsistent.
+
+    Raised when a header is missing or incompatible, a line fails to parse
+    as the declared record type, or a resume finds the file diverging from
+    the run configuration.  Also a ``ValueError`` for the same
+    compatibility reason as :class:`ConfigurationError`.
     """
 
 

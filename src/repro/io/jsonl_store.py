@@ -61,6 +61,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, Callable, Iterable, Mapping, Sequence
 
+from ..errors import ConfigurationError, StoreIntegrityError
 from ..parallel import faults
 
 __all__ = ["FleetFailure", "JsonlStore", "maybe_decode_failure"]
@@ -145,7 +146,7 @@ class JsonlStore:
         durability: str = "flush",
     ):
         if durability not in ("none", "flush", "fsync"):
-            raise ValueError(
+            raise ConfigurationError(
                 f"durability must be 'none', 'flush' or 'fsync', "
                 f"got {durability!r}"
             )
@@ -181,7 +182,7 @@ class JsonlStore:
             except ValueError:
                 if final:
                     break  # torn tail from a mid-write crash: drop and resume
-                raise ValueError(
+                raise StoreIntegrityError(
                     f"{self.path}: line {idx + 1} of {len(lines)} is not "
                     "valid JSON but is not the final line — the stream is "
                     "corrupt mid-file, not merely torn by a crash; refusing "
@@ -196,7 +197,7 @@ class JsonlStore:
             except TypeError:
                 if final:
                     break  # complete JSON but torn fields: treat as torn tail
-                raise ValueError(
+                raise StoreIntegrityError(
                     f"{self.path}: line {idx + 1} of {len(lines)} is valid "
                     f"JSON but not a {self.record_name}; refusing to resume "
                     "from a corrupt stream"
@@ -207,7 +208,7 @@ class JsonlStore:
         """Raise when a resumed file's embedded config differs from this run's."""
         version = header.get(self.config_key)
         if version != self.config_version:
-            raise ValueError(
+            raise StoreIntegrityError(
                 f"{self.path}: {self.config_key} header version {version!r} "
                 f"!= {self.config_version}; cannot resume across formats"
             )
@@ -221,7 +222,7 @@ class JsonlStore:
                 f"{key}: file has {old!r}, run has {new!r}"
                 for key, (old, new) in sorted(mismatched.items())
             )
-            raise ValueError(
+            raise StoreIntegrityError(
                 f"resume mismatch: {self.path} was written by a run with a "
                 f"different configuration ({detail}) — resuming would "
                 "silently mix records from different games; rerun with the "
@@ -243,7 +244,7 @@ class JsonlStore:
             # Pre-header (legacy) files cannot prove the run arguments the
             # header exists to pin — exactly the silent-mixing bug it
             # closes — so refuse rather than guess.
-            raise ValueError(
+            raise StoreIntegrityError(
                 f"{self.path} has no run-config header (written before the "
                 "header format); its configuration cannot be validated "
                 "against this run.  Prepend the matching config line (the "

@@ -1,0 +1,61 @@
+"""`repro lint` — AST contract checker for this repository's invariants.
+
+The codebase rests on a stack of documented contracts — seed-derived RNG
+discipline (:mod:`repro.rng`), ``deadline=`` propagation through every
+audit loop (DESIGN.md §10), the :mod:`repro.errors` taxonomy, bit-exact
+oracle parity for every kernel ``mode=``, shared-memory read-only worker
+views (DESIGN.md §5), and JSONL record/header stability (DESIGN.md §7).
+Each of these was violated at least once between PRs 4 and 7 and fixed by
+hand; this package enforces them mechanically.
+
+The engine is a small rule framework over :mod:`ast` (stdlib only):
+
+* per-file **visitor rules** (R1, R2, R4, R6, R7, R8) walk one module's
+  tree;
+* **project rules** (R3, R5) see every parsed file at once — R3 first
+  collects the set of ``deadline=``-accepting functions, R5 cross-checks
+  kernel mode literals against the test tree;
+* findings are ``path:line:col: RULE message`` records, sortable and
+  JSON-serializable;
+* any finding can be suppressed in place with a justified comment::
+
+      risky_call()  # repro-lint: disable=R4 -- task bodies raise anything
+
+  A suppression without a ``-- reason`` is itself reported (rule R0).
+
+Rule catalogue (DESIGN.md §11 has the contract → past-bug mapping):
+
+======  ==============================================================
+R1      determinism: no wall-clock (``time.time`` / ``datetime.now``),
+        no stdlib ``random``, no iteration over set literals/calls
+R2      RNG discipline: ``np.random.default_rng`` / ``RandomState`` /
+        ``.seed()`` only inside :mod:`repro.rng`
+R3      deadline propagation: ``deadline=``-accepting functions must use
+        it and forward it to every deadline-capable callee
+R4      error taxonomy: no ``raise ValueError``/``raise Exception`` in
+        library code outside :mod:`repro.errors`; blanket ``except
+        Exception`` needs a pragma or justified suppression
+R5      oracle coverage: every kernel mode literal must appear in tests/
+R6      shared-memory safety: no writes to ``arrays``-parameter views
+R7      JSONL stability: record-defining modules never write files
+        directly (serialization goes through ``jsonl_store``)
+R8      no mutable default arguments
+======  ==============================================================
+
+Entry points: :func:`lint_paths` (library), ``python -m repro.lint`` and
+``repro-bench lint`` (CLI, text or JSON output, exit 1 on findings).
+"""
+
+from __future__ import annotations
+
+from .engine import LintConfig, lint_paths, lint_source, rule_catalogue
+from .findings import Finding, findings_to_json
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "findings_to_json",
+    "lint_paths",
+    "lint_source",
+    "rule_catalogue",
+]

@@ -1,0 +1,79 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-bench lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse).  ``--format
+json`` emits the versioned schema from :mod:`repro.lint.findings` for the
+CI gate; text mode prints one ``path:line:col: RULE message`` per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import LintConfig, lint_paths, rule_catalogue
+from .findings import findings_to_json, format_text
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint flags to ``parser`` (shared with repro-bench's subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "scripts"],
+        help="files or directories to lint (default: src scripts)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is the versioned CI schema)",
+    )
+    parser.add_argument(
+        "--tests-dir", default="tests",
+        help="test tree for the R5 oracle-coverage cross-check "
+        "(set to a missing dir to disable R5)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code, summary in rule_catalogue():
+            print(f"{code}  {summary}")
+        return 0
+    select = None
+    if args.select:
+        select = frozenset(
+            s.strip() for s in args.select.split(",") if s.strip()
+        )
+    config = LintConfig(tests_dir=Path(args.tests_dir), select=select)
+    findings, checked = lint_paths(args.paths, config)
+    if args.format == "json":
+        print(findings_to_json(findings, checked))
+    else:
+        print(format_text(findings, checked))
+    return 1 if findings else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST contract checker for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Rule engine: parse once, run file rules per module, project rules over all.
+
+The engine walks the given paths for ``.py`` files, parses each into a
+:class:`FileContext` (AST + source lines + suppression table), runs every
+registered per-file rule, then every project rule (which see all parsed
+files at once — the two-pass deadline analysis and the mode/test
+cross-check need the whole tree), and finally drops findings whose line
+carries a justified ``# repro-lint: disable=`` directive.
+
+Rules self-register via :func:`file_rule` / :func:`project_rule`; the
+catalogue is importable for documentation and the CLI's ``--select``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .findings import Finding
+from .suppress import Suppressions, parse_suppressions
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "file_rule",
+    "lint_paths",
+    "lint_source",
+    "project_rule",
+    "rule_catalogue",
+]
+
+
+@dataclass
+class LintConfig:
+    """Knobs the rules consult; defaults fit this repository's layout.
+
+    ``tests_dir`` points the oracle-coverage rule (R5) at the test tree;
+    ``None`` disables that rule (nothing to cross-check against).
+    ``rng_files`` / ``errors_files`` are the basenames of the library
+    modules *allowed* to create RNGs / define untyped raises — the
+    modules the corresponding contracts delegate to.  ``library_part``
+    marks a file as library code when it appears as a path component
+    (``src/repro/...`` and fixture trees alike).
+    """
+
+    tests_dir: "Path | None" = None
+    rng_files: tuple = ("rng.py",)
+    errors_files: tuple = ("errors.py",)
+    library_part: str = "repro"
+    select: "frozenset[str] | None" = None
+
+    def selected(self, rule: str) -> bool:
+        return self.select is None or rule in self.select
+
+
+class FileContext:
+    """One parsed module: path, source lines, AST, suppression table."""
+
+    def __init__(self, path: "Path | str", source: str, rel: "str | None" = None):
+        self.path = Path(path)
+        self.rel = rel if rel is not None else str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.rel)
+        self.suppressions: Suppressions = parse_suppressions(
+            self.rel, self.lines
+        )
+
+    @property
+    def basename(self) -> str:
+        return self.path.name
+
+    def is_library(self, config: LintConfig) -> bool:
+        return config.library_part in self.path.parts
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            self.rel,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0) + 1,
+            rule,
+            message,
+        )
+
+
+FileRule = Callable[[FileContext, LintConfig], Iterator[Finding]]
+ProjectRule = Callable[[list, LintConfig], Iterator[Finding]]
+
+_FILE_RULES: "list[tuple[str, str, FileRule]]" = []
+_PROJECT_RULES: "list[tuple[str, str, ProjectRule]]" = []
+
+
+def file_rule(code: str, summary: str):
+    """Register a per-file rule (decorator)."""
+
+    def register(fn: FileRule) -> FileRule:
+        _FILE_RULES.append((code, summary, fn))
+        return fn
+
+    return register
+
+
+def project_rule(code: str, summary: str):
+    """Register a whole-tree rule (decorator)."""
+
+    def register(fn: ProjectRule) -> ProjectRule:
+        _PROJECT_RULES.append((code, summary, fn))
+        return fn
+
+    return register
+
+
+def rule_catalogue() -> "list[tuple[str, str]]":
+    """(code, summary) for every registered rule, sorted by code."""
+    _load_rules()
+    pairs = [(c, s) for c, s, _ in _FILE_RULES]
+    pairs += [(c, s) for c, s, _ in _PROJECT_RULES]
+    pairs.append(("R0", "suppression directives must carry a -- reason"))
+    return sorted(set(pairs))
+
+
+def _load_rules() -> None:
+    # Deferred so engine/rules can import each other cleanly.
+    from . import project, rules  # noqa: F401
+
+
+def iter_python_files(paths: "Iterable[str | Path]") -> "list[Path]":
+    """Expand files/directories into a sorted, de-duplicated module list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for sub in sorted(p.rglob("*.py")):
+                if "__pycache__" not in sub.parts:
+                    seen.setdefault(sub, None)
+        elif p.suffix == ".py":
+            seen.setdefault(p, None)
+    return list(seen)
+
+
+def _run(contexts: "list[FileContext]", config: LintConfig,
+         parse_findings: "list[Finding]") -> "list[Finding]":
+    _load_rules()
+    raw: list[Finding] = list(parse_findings)
+    for ctx in contexts:
+        raw.extend(ctx.suppressions.findings)  # R0: malformed directives
+        for code, _, rule in _FILE_RULES:
+            if config.selected(code):
+                raw.extend(rule(ctx, config))
+    for code, _, rule in _PROJECT_RULES:
+        if config.selected(code):
+            raw.extend(rule(contexts, config))
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    out: list[Finding] = []
+    for f in raw:
+        if not config.selected(f.rule) and f.rule != "R0":
+            continue
+        ctx = by_rel.get(f.path)
+        if (
+            ctx is not None
+            and f.rule != "R0"
+            and ctx.suppressions.is_suppressed(f.rule, f.line)
+        ):
+            continue
+        out.append(f)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: "Iterable[str | Path]", config: "LintConfig | None" = None
+) -> "tuple[list[Finding], int]":
+    """Lint files/trees; returns ``(findings, files_checked)``."""
+    config = config if config is not None else LintConfig()
+    files = iter_python_files(paths)
+    contexts: list[FileContext] = []
+    parse_findings: list[Finding] = []
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            contexts.append(FileContext(path, source, rel=str(path)))
+        except SyntaxError as exc:
+            parse_findings.append(
+                Finding(
+                    str(path), exc.lineno or 1, (exc.offset or 0) + 1,
+                    "PARSE", f"syntax error: {exc.msg}",
+                )
+            )
+        except OSError as exc:
+            parse_findings.append(
+                Finding(str(path), 1, 1, "PARSE", f"unreadable: {exc}")
+            )
+    return _run(contexts, config, parse_findings), len(files)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: "LintConfig | None" = None,
+) -> "list[Finding]":
+    """Lint one in-memory module (the fixture-test entry point)."""
+    config = config if config is not None else LintConfig()
+    try:
+        ctx = FileContext(path, source, rel=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path, exc.lineno or 1, (exc.offset or 0) + 1,
+                "PARSE", f"syntax error: {exc.msg}",
+            )
+        ]
+    return _run([ctx], config, [])

@@ -1,0 +1,69 @@
+"""Finding records and their text/JSON encodings.
+
+A finding pins one contract violation to ``path:line:col`` with a stable
+rule code, so output is diffable across runs, sortable, and consumable by
+both humans (text) and the CI gate / editor integrations (JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Finding", "findings_to_json", "format_text"]
+
+#: Schema version of the JSON output — bump on any key change so CI
+#: consumers can pin what they parse (same policy as the JSONL headers).
+JSON_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule) so reports read file by file in
+    source order regardless of which rule produced each finding.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_text(findings: "list[Finding]", checked_files: int) -> str:
+    """The human-facing report: one line per finding plus a summary."""
+    lines = [f.format() for f in sorted(findings)]
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    if findings:
+        by_rule = ", ".join(
+            f"{rule}: {n}" for rule, n in sorted(counts.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {checked_files} file(s) "
+            f"({by_rule})"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {checked_files} file(s)")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: "list[Finding]", checked_files: int) -> str:
+    """The machine-facing report (stable schema, sorted findings)."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    doc = {
+        "version": JSON_VERSION,
+        "checked_files": checked_files,
+        "finding_count": len(findings),
+        "counts": {k: counts[k] for k in sorted(counts)},
+        "findings": [asdict(f) for f in sorted(findings)],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

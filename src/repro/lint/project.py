@@ -1,0 +1,185 @@
+"""Project-wide rules: R3 (deadline propagation) and R5 (oracle coverage).
+
+Both need the whole parsed tree at once.  R3 runs two passes: first it
+collects every function that *accepts* ``deadline=`` (these are the
+"deadline-capable" callees, seeded with the pool primitives), then it
+re-walks each capable function's body and demands that (a) the deadline
+is used at all and (b) every call to a capable callee forwards it.  R5
+collects kernel mode literals (``*_MODES`` registries and ``*Mode``
+Literal aliases) and requires each to appear, quoted, somewhere in the
+test tree — a mode string nobody asserts bit-equality on is an oracle
+gap, exactly how the ``batched`` path drifted before PR 5 pinned it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .engine import FileContext, LintConfig, project_rule
+from .findings import Finding
+from .rules import PY_BUILTINS
+
+#: Deadline-capable callees that live below the AST we lint (C-accelerated
+#: or re-exported): the pool primitives every audit loop bottoms out in.
+_SEED_CAPABLE = {"parallel_map", "check_deadline", "_check_deadline"}
+
+
+def _all_args(func: ast.AST) -> list:
+    a = func.args
+    return a.posonlyargs + a.args + a.kwonlyargs
+
+
+def _functions(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _callee_name(call: ast.Call) -> "str | None":
+    if isinstance(call.func, ast.Name):
+        # Bare-name calls to python builtins (map, filter, ...) are never
+        # project functions; everything else matches by simple name.
+        return None if call.func.id in PY_BUILTINS else call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _mentions_deadline(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "deadline":
+            return True
+    return False
+
+
+def _call_forwards_deadline(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "deadline" or (kw.arg is None and _mentions_deadline(kw.value)):
+            return True
+    return any(_mentions_deadline(arg) for arg in call.args)
+
+
+def _walk_skipping_capable_defs(func: ast.AST):
+    """Walk a function body, but not into nested defs that take their own
+    ``deadline=`` — those are audited as functions in their own right."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and any(
+            a.arg == "deadline" for a in _all_args(node)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@project_rule("R3", "deadline= parameters must be used and forwarded")
+def rule_deadline_propagation(
+    contexts: "list[FileContext]", config: LintConfig
+) -> Iterator[Finding]:
+    capable = set(_SEED_CAPABLE)
+    per_file: "list[tuple[FileContext, ast.AST]]" = []
+    for ctx in contexts:
+        for func in _functions(ctx.tree):
+            per_file.append((ctx, func))
+            if any(a.arg == "deadline" for a in _all_args(func)):
+                capable.add(func.name)
+    for ctx, func in per_file:
+        if not any(a.arg == "deadline" for a in _all_args(func)):
+            continue
+        used = any(
+            _mentions_deadline(node)
+            for node in _walk_skipping_capable_defs(func)
+        )
+        if not used:
+            yield ctx.finding(
+                func, "R3",
+                f"'{func.name}()' accepts deadline= but never checks or "
+                "forwards it; a caller's timeout silently expires here",
+            )
+            continue
+        for node in _walk_skipping_capable_defs(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _callee_name(node)
+            if (
+                callee in capable
+                and callee != func.name
+                and not _call_forwards_deadline(node)
+            ):
+                yield ctx.finding(
+                    node, "R3",
+                    f"'{func.name}()' holds a deadline but calls "
+                    f"deadline-capable '{callee}()' without forwarding it",
+                )
+
+
+_MODES_REGISTRY = re.compile(r"^_?[A-Z][A-Z0-9_]*_MODES$")
+_MODE_ALIAS = re.compile(r"^[A-Za-z][A-Za-z0-9]*Mode$")
+
+
+def _mode_literals(ctx: FileContext):
+    """Yield (literal, node) for mode registries and Literal aliases."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if _MODES_REGISTRY.match(target.id):
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for elt in node.value.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(
+                        elt.value, str
+                    ):
+                        yield elt.value, node
+        elif _MODE_ALIAS.match(target.id):
+            if isinstance(node.value, ast.Subscript):
+                base = node.value.value
+                base_name = (
+                    base.id if isinstance(base, ast.Name)
+                    else base.attr if isinstance(base, ast.Attribute)
+                    else ""
+                )
+                if base_name == "Literal":
+                    sl = node.value.slice
+                    elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+                    for elt in elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            yield elt.value, node
+
+
+@project_rule("R5", "every kernel mode literal must appear in tests/")
+def rule_oracle_coverage(
+    contexts: "list[FileContext]", config: LintConfig
+) -> Iterator[Finding]:
+    if config.tests_dir is None or not config.tests_dir.is_dir():
+        return
+    corpus_parts: list[str] = []
+    for path in sorted(config.tests_dir.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            try:
+                corpus_parts.append(path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+    corpus = "\n".join(corpus_parts)
+    reported: set = set()
+    for ctx in contexts:
+        if not ctx.is_library(config):
+            continue
+        for literal, node in _mode_literals(ctx):
+            key = (ctx.rel, literal)
+            if key in reported:
+                continue
+            if f'"{literal}"' not in corpus and f"'{literal}'" not in corpus:
+                reported.add(key)
+                yield ctx.finding(
+                    node, "R5",
+                    f"kernel mode '{literal}' never appears in the test "
+                    f"tree ({config.tests_dir}); add a bit-equality oracle "
+                    "test before shipping a mode",
+                )

@@ -1,0 +1,104 @@
+"""Per-line suppression comments: ``# repro-lint: disable=RULE -- reason``.
+
+A suppression silences matching findings on its own line, or — when the
+comment stands alone — on the first following line that holds code.  The
+``-- reason`` clause is mandatory: an unjustified suppression is reported
+as its own finding (rule ``R0``), so the lint report always shows *why*
+each contract is waived, never just that it is.
+
+``disable=ALL`` silences every rule on the target line (reserved for
+generated code; prefer naming the rule).
+
+Directives are recognised only in real comment tokens (via
+:mod:`tokenize`), so docstrings and string literals that *mention* the
+syntax — like this one — are never parsed as directives.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from .findings import Finding
+
+__all__ = ["Suppressions", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s+(?P<reason>\S.*))?\s*$"
+)
+
+#: A line that is only a comment (possibly indented): its directive
+#: applies to the next code line, like a decorator.
+_COMMENT_ONLY = re.compile(r"^\s*#")
+
+
+@dataclass
+class Suppressions:
+    """Suppression state of one file: line -> frozenset of rule codes."""
+
+    by_line: "dict[int, frozenset[str]]"
+    findings: "list[Finding]"  # malformed directives (rule R0)
+
+    def active(self, line: int) -> frozenset:
+        return self.by_line.get(line, frozenset())
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.active(line)
+        return rule in rules or "ALL" in rules
+
+
+def _comment_tokens(lines: "list[str]"):
+    """Yield (line_number, column, comment_text) for every real comment."""
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # partial file; the AST parse reports the real error
+
+
+def parse_suppressions(path: str, lines: "list[str]") -> Suppressions:
+    """Scan comment tokens for directives; bind each to its target line."""
+    by_line: dict[int, frozenset[str]] = {}
+    findings: list[Finding] = []
+    for lineno, col, comment in _comment_tokens(lines):
+        if "repro-lint:" not in comment:
+            continue
+        match = _DIRECTIVE.search(comment)
+        if match is None:
+            findings.append(
+                Finding(
+                    path, lineno, col + 1, "R0",
+                    "unparsable repro-lint directive; expected "
+                    "'# repro-lint: disable=RULE -- reason'",
+                )
+            )
+            continue
+        rules = frozenset(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        if match.group("reason") is None:
+            findings.append(
+                Finding(
+                    path, lineno, col + 1, "R0",
+                    f"suppression of {', '.join(sorted(rules))} has no "
+                    "'-- reason' justification",
+                )
+            )
+            continue
+        target = lineno
+        text = lines[lineno - 1] if lineno <= len(lines) else ""
+        if _COMMENT_ONLY.match(text):
+            # Stand-alone comment: applies to the next code line.
+            j = lineno + 1
+            while j <= len(lines) and (
+                not lines[j - 1].strip() or _COMMENT_ONLY.match(lines[j - 1])
+            ):
+                j += 1
+            target = j
+        by_line[target] = by_line.get(target, frozenset()) | rules
+    return Suppressions(by_line, findings)

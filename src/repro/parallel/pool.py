@@ -106,7 +106,7 @@ class _TaskError:
     def from_exception(cls, index: int, task, exc: Exception) -> "_TaskError":
         try:
             blob = pickle.dumps(exc)
-        except Exception:
+        except Exception:  # repro-lint: disable=R4 -- pickling arbitrary user exceptions can raise anything; repr fallback below
             blob = None
         return cls(index, repr(task), repr(exc), traceback.format_exc(), blob)
 
@@ -139,7 +139,7 @@ def _run_tasks(fn, arrays, tasks, chunk_id, start) -> list:
         try:
             faults.maybe_fault(task=abs_idx)
             out.append(_call_task(fn, task, arrays))
-        except Exception as exc:
+        except Exception as exc:  # repro-lint: disable=R4 -- task bodies raise anything; quarantined as a typed marker
             out.append(_TaskError.from_exception(abs_idx, task, exc))
     return out
 
@@ -224,7 +224,7 @@ def _serial_map(
                 faults.maybe_fault(task=abs_idx)
                 value = _call_task(fn, task, arrays)
                 break
-            except Exception as exc:
+            except Exception as exc:  # repro-lint: disable=R4 -- retry loop must catch whatever the task body raises
                 if attempts > retries:
                     marker = _TaskError.from_exception(abs_idx, task, exc)
                     value = _permanent_failure(marker, attempts, on_error)
@@ -452,6 +452,9 @@ def parallel_map(
     ]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         out: list[R] = []
+        # stdlib executor.map has no deadline=; enforce ours per chunk.
+        # repro-lint: disable=R3 -- stdlib map cannot forward; checked below
         for part in pool.map(_fork_chunk, payloads):
+            _check_deadline(deadline)
             out.extend(_raise_first_marker(part))
         return out

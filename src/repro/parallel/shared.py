@@ -361,7 +361,7 @@ class SharedArrayBundle:
     def __del__(self):  # pragma: no cover - gc timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=R4 -- __del__ may run at interpreter teardown where anything raises
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -729,7 +729,7 @@ class SharedArrayPool:
                     rebuild_and_resubmit(requeue)
                     emit_ready()
                     continue
-                except Exception:
+                except Exception:  # repro-lint: disable=R4 -- infra failures here are unbounded (attach, pickling); unit is retried, not dropped
                     # Infrastructure failure outside the task body (attach
                     # error, payload pickling): charge and retry the unit;
                     # the rest of the pool is healthy.

@@ -17,6 +17,7 @@ hpc-parallel guides emphasise for reproducible parallel runs.
 from __future__ import annotations
 
 import numpy as np
+from .errors import ConfigurationError
 
 __all__ = ["make_rng", "spawn_rngs", "derive_seed"]
 
@@ -43,7 +44,7 @@ def spawn_rngs(seed: "SeedLike", count: int) -> list[np.random.Generator]:
     how tasks are later distributed over processes.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     if isinstance(seed, np.random.Generator):
         # Derive a root SeedSequence from the generator's own stream so that
         # repeated calls advance deterministically.

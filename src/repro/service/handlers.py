@@ -38,6 +38,7 @@ from ..core import (
     best_swap,
     find_deletion_criticality_violation,
     find_swap_violation,
+    is_k_swap_stable,
 )
 from ..core.costmodel import cost_model_spec
 from ..core.costs import lift_distances
@@ -56,6 +57,7 @@ QUERY_KINDS = (
     "find_swap_violation",
     "best_swap",
     "criticality",
+    "k_swap_stable",
 )
 
 #: Exceptions that are the *caller's* fault: typed 400, never a ladder event.
@@ -165,6 +167,14 @@ class AuditEngine:
             if "vertex" not in item:
                 raise ClientError('best_swap needs "vertex"')
             params["vertex"] = int(item["vertex"])
+        elif kind == "k_swap_stable":
+            try:
+                k = int(item.get("k", 1))
+            except (TypeError, ValueError):
+                raise ClientError(f'k must be an integer, got {item.get("k")!r}')
+            if k < 1:
+                raise ClientError(f"k must be >= 1, got {k}")
+            params["k"] = k
         return kind, params
 
     @staticmethod
@@ -209,6 +219,14 @@ class AuditEngine:
                 base_dm=base_dm, deadline=deadline,
             )
             return _violation_payload(violation)
+        if kind == "k_swap_stable":
+            # Exponential brute-force audit: the deadline is the only thing
+            # standing between a large k and an unbounded request, so it is
+            # threaded into every per-vertex enumeration (DESIGN.md §10).
+            stable = is_k_swap_stable(
+                graph, params["k"], objective=model_spec, deadline=deadline,
+            )
+            return {"k_swap_stable": bool(stable), "k": params["k"]}
         response = best_swap(
             graph, params["vertex"], model_spec, mode=self.audit_mode,
             base_dm=base_dm, deadline=deadline,
@@ -258,7 +276,7 @@ class AuditEngine:
                 raise
             except _CLIENT_ERRORS:
                 raise
-            except Exception as exc:  # infra failure: degrade in place
+            except Exception as exc:  # repro-lint: disable=R4 -- any infra failure must trigger the degradation ladder, not a 500
                 self.compute_failures += 1
                 if mode == primary:
                     self.ladder.record_failure(mode)

@@ -103,7 +103,7 @@ class AuditRequestHandler(BaseHTTPRequestHandler):
                 {"ok": False, "error": "deadline-exceeded",
                  "detail": str(exc)},
             )
-        except Exception as exc:  # typed 500, never a partial body
+        except Exception as exc:  # repro-lint: disable=R4 -- last-resort handler: typed 500 body, never a half-written response
             self._send_json(
                 500,
                 {"ok": False, "error": "compute-failed", "detail": repr(exc)},

@@ -29,6 +29,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from ..errors import ConfigurationError
 
 from ..graphs import (
     CSRGraph,
@@ -91,9 +92,9 @@ def lemma6_holds_at(graph: CSRGraph, v: int) -> bool:
     """Local diameter 2 at ``v`` ⇒ no swap improves ``v``'s sum of distances."""
     total, ecc, reached = bfs_aggregates(graph, v)
     if reached < graph.n:
-        raise ValueError("lemma 6 requires a connected graph")
+        raise ConfigurationError("lemma 6 requires a connected graph")
     if ecc != 2:
-        raise ValueError(f"lemma 6 requires local diameter 2, vertex {v} has {ecc}")
+        raise ConfigurationError(f"lemma 6 requires local diameter 2, vertex {v} has {ecc}")
     base = float(total)
     for w in map(int, graph.neighbors(v)):
         for w2 in range(graph.n):
@@ -123,9 +124,9 @@ def lemma7_holds_at(graph: CSRGraph, v: int, w: int) -> bool:
     """
     dist = bfs_distances(graph, v)
     if (dist == UNREACHABLE).any():
-        raise ValueError("lemma 7 requires a connected graph")
+        raise ConfigurationError("lemma 7 requires a connected graph")
     if int(dist.max()) != 3:
-        raise ValueError(f"lemma 7 requires local diameter 3 at {v}")
+        raise ConfigurationError(f"lemma 7 requires local diameter 3 at {v}")
     r = int(dist[w])
     if r <= 1:
         return True  # adding an existing/trivial edge gains nothing
@@ -147,7 +148,7 @@ def lemma8_holds(graph: CSRGraph) -> bool:
     """
     g = girth(graph)
     if g < 4:
-        raise ValueError(f"lemma 8 requires girth >= 4, graph has girth {g}")
+        raise ConfigurationError(f"lemma 8 requires girth >= 4, graph has girth {g}")
     lifted = lift_distances(distance_matrix(graph))
     for v in range(graph.n):
         for w in map(int, graph.neighbors(v)):
@@ -189,7 +190,7 @@ def lemma10_holds(graph: CSRGraph, u: int) -> Lemma10Outcome | None:
     n = graph.n
     dm = distance_matrix(graph)
     if (dm == UNREACHABLE).any():
-        raise ValueError("lemma 10 requires a connected graph")
+        raise ConfigurationError("lemma 10 requires a connected graph")
     lg = math.log2(n) if n >= 2 else 0.0
     if int(dm.max()) <= 2 * lg:
         return Lemma10Outcome(True, None, None)
@@ -219,7 +220,7 @@ def corollary11_holds(graph: CSRGraph) -> bool:
     n = graph.n
     dm = distance_matrix(graph)
     if (dm == UNREACHABLE).any():
-        raise ValueError("corollary 11 requires a connected graph")
+        raise ConfigurationError("corollary 11 requires a connected graph")
     bound = corollary11_gain_bound(n)
     lifted = lift_distances(dm)
     sums = lifted.sum(axis=1)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 
 import numpy as np
+from ..errors import ConfigurationError
 
 __all__ = [
     "primes_up_to",
@@ -64,14 +65,14 @@ def multiple_free_modulus(lo: int, hi: int, limit: int | None = None) -> int:
     Raises when no ``x ≤ limit`` exists (caller sized the guard wrong).
     """
     if lo < 1 or hi < lo:
-        raise ValueError(f"need 0 < lo <= hi, got [{lo}, {hi}]")
+        raise ConfigurationError(f"need 0 < lo <= hi, got [{lo}, {hi}]")
     # Any x > hi trivially has no multiple in the interval, so the search
     # always terminates by x = hi + 1.
     cap = hi + 1 if limit is None else min(limit, hi + 1)
     for x in range(2, cap + 1):
         if not _has_multiple_in(x, lo, hi):
             return x
-    raise ValueError(
+    raise ConfigurationError(
         f"no multiple-free modulus <= {limit} for interval [{lo}, {hi}]"
     )
 

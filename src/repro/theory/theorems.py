@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from ..errors import ConfigurationError
 
 from ..core.equilibrium import (
     is_deletion_critical,
@@ -120,7 +121,7 @@ def _subtree_sizes_on_path(graph: CSRGraph, path: tuple[int, int, int, int]) -> 
 def theorem1_witness(graph: CSRGraph) -> Theorem1Witness | None:
     """Instantiate Figure 1 on a tree of diameter ≥ 3 (``None`` otherwise)."""
     if not is_tree(graph):
-        raise ValueError("theorem 1 witness requires a tree")
+        raise ConfigurationError("theorem 1 witness requires a tree")
     dm = distance_matrix(graph)
     pairs = np.argwhere(dm == 3)
     if pairs.size == 0:
@@ -148,7 +149,7 @@ def theorem1_check(graph: CSRGraph) -> bool:
     (and then really is not).
     """
     if not is_tree(graph):
-        raise ValueError("theorem 1 concerns trees")
+        raise ConfigurationError("theorem 1 concerns trees")
     eq = is_sum_equilibrium(graph)
     star = is_star(graph)
     if star != eq:
@@ -169,7 +170,7 @@ def theorem4_check(graph: CSRGraph) -> bool:
     root — asserted separately by the construction tests.)
     """
     if not is_tree(graph):
-        raise ValueError("theorem 4 concerns trees")
+        raise ConfigurationError("theorem 4 concerns trees")
     if not is_max_equilibrium(graph):
         return True  # hypothesis empty: nothing to check
     return diameter(graph) <= 3

@@ -96,3 +96,73 @@ def medium_graph() -> CSRGraph:
 def small_tree() -> CSRGraph:
     """A fixed 12-vertex random tree."""
     return random_tree(12, seed=999)
+
+
+# ---------------------------------------------------------------------------
+# Sanitizers (DESIGN.md §11): fail fast on silent numerics, leaked threads,
+# and leaked shared-memory segments.  These are autouse so every test in the
+# suite runs hardened — a kernel that divides by zero or a service test that
+# forgets to join a worker thread fails *here*, not three PRs later.
+# ---------------------------------------------------------------------------
+
+import glob as _glob
+import threading as _threading
+import time as _time
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _numpy_strict_errors():
+    """Promote silent numpy floating-point warnings to hard errors."""
+    old = np.seterr(all="raise")
+    yield
+    np.seterr(**old)
+
+
+def _lingering_threads() -> "set[_threading.Thread]":
+    """Non-daemon threads a test must not leak.
+
+    Daemon threads and the persistent shared pool's executor machinery
+    (``_ExecutorManagerThread`` — alive by design between tests) are
+    exempt; everything else must be joined by the test that started it.
+    """
+    allowed_types = {"_ExecutorManagerThread", "QueueFeederThread"}
+    return {
+        t
+        for t in _threading.enumerate()
+        if t is not _threading.main_thread()
+        and not t.daemon
+        and type(t).__name__ not in allowed_types
+    }
+
+
+@pytest.fixture(autouse=True)
+def _no_thread_leak():
+    """Every test must join the non-daemon threads it starts."""
+    before = _lingering_threads()
+    yield
+    leaked = _lingering_threads() - before
+    deadline = _time.monotonic() + 2.0
+    while leaked and _time.monotonic() < deadline:
+        _time.sleep(0.02)  # grace: threads mid-shutdown when the test ends
+        leaked = {t for t in _lingering_threads() - before if t.is_alive()}
+    assert not leaked, (
+        f"test leaked non-daemon thread(s): {sorted(t.name for t in leaked)}"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leak():
+    """Every test must release the /dev/shm segments it creates.
+
+    The explicit crash-path checks live in tests/parallel; this autouse
+    promotion catches the quiet leaks — a test that maps over a bundle and
+    forgets to close it passes its own asserts but fails here.
+    """
+    before = set(_glob.glob("/dev/shm/repro-shm-*"))
+    yield
+    leaked = set(_glob.glob("/dev/shm/repro-shm-*")) - before
+    deadline = _time.monotonic() + 2.0
+    while leaked and _time.monotonic() < deadline:
+        _time.sleep(0.02)  # grace: worker detach / finalizer timing
+        leaked = set(_glob.glob("/dev/shm/repro-shm-*")) - before
+    assert not leaked, f"test leaked shared-memory segment(s): {sorted(leaked)}"

@@ -158,3 +158,105 @@ class TestCostModelArgument:
             w = k_swap_witness(g, 0, 1, objective=spec)
             assert w is not None
             assert _cost(_apply(g, 0, w), 0, spec) < _cost(g, 0, spec)
+
+
+class _FakeClock:
+    """Deterministic monotonic() stand-in: advances one tick per call."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def monotonic(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestDeadline:
+    def test_spent_deadline_raises_immediately(self):
+        import time
+
+        from repro.errors import DeadlineExceeded
+
+        with pytest.raises(DeadlineExceeded):
+            k_swap_witness(cycle_graph(10), 0, 2, deadline=time.monotonic() - 1.0)
+
+    def test_fake_clock_interrupts_mid_enumeration(self, monkeypatch):
+        # check_deadline reads the clock through repro.parallel.pool's
+        # module-level ``time``; swap it for a stepping fake so the budget
+        # expires after a known number of drop-set checks — no sleeps, no
+        # wall-clock flakiness.
+        from repro.errors import DeadlineExceeded
+        from repro.parallel import pool as pool_mod
+
+        clock = _FakeClock(start=0.0, step=1.0)
+        monkeypatch.setattr(pool_mod, "time", clock)
+        # A star leaf is k-swap stable, so the enumeration never returns
+        # early: with k=2 it visits drop-sets {} and {hub}, checking the
+        # deadline once per drop-set.  A budget of 0.5 ticks survives the
+        # first check (t=0) and expires on the second (t=1).
+        with pytest.raises(DeadlineExceeded):
+            k_swap_witness(star_graph(6), 1, 2, deadline=0.5)
+        assert clock.now >= 2.0  # the clock was actually consulted
+
+    def test_is_k_swap_stable_forwards_deadline(self, monkeypatch):
+        from repro.errors import DeadlineExceeded
+        from repro.parallel import pool as pool_mod
+
+        clock = _FakeClock()
+        monkeypatch.setattr(pool_mod, "time", clock)
+        # A star is 1-swap stable, so the all() over vertices cannot
+        # short-circuit: the hub exits early (adjacent to everyone) and
+        # each of the 5 leaves burns two drop-set checks.  The budget
+        # expires partway through the leaves.
+        with pytest.raises(DeadlineExceeded):
+            is_k_swap_stable(star_graph(6), 1, deadline=4.5)
+
+    def test_no_deadline_never_consults_the_clock(self, monkeypatch):
+        from repro.parallel import pool as pool_mod
+
+        clock = _FakeClock()
+        monkeypatch.setattr(pool_mod, "time", clock)
+        assert k_swap_witness(star_graph(6), 1, 1) is None
+        assert clock.now == 0.0
+
+
+class TestCandidatePoolHoist:
+    """The hoisted frozenset neighbor filter must be behaviour-preserving:
+    the default pool and an explicit (duplicate-laden, unsorted) candidate
+    pool covering all vertices yield identical witnesses."""
+
+    @pytest.mark.parametrize(
+        "graph", [path_graph(6), cycle_graph(8), star_graph(5)]
+    )
+    def test_default_pool_matches_explicit_full_pool(self, graph):
+        n = graph.n
+        for v in range(n):
+            default = k_swap_witness(graph, v, 1)
+            explicit = k_swap_witness(graph, v, 1, candidate_adds=range(n))
+            assert default == explicit, (v, default, explicit)
+
+    @pytest.mark.parametrize(
+        "graph", [path_graph(6), cycle_graph(8), star_graph(5)]
+    )
+    def test_noisy_pool_finds_a_witness_iff_default_does(self, graph):
+        # Duplicates and reversed order change which witness is found
+        # first, never whether one exists or whether it improves.
+        n = graph.n
+        noisy = list(range(n - 1, -1, -1)) + list(range(n))
+        for v in range(n):
+            default = k_swap_witness(graph, v, 1)
+            w = k_swap_witness(graph, v, 1, candidate_adds=noisy)
+            assert (w is None) == (default is None), (v, default, w)
+            if w is not None:
+                assert _cost(_apply(graph, v, w), v, "max") < _cost(
+                    graph, v, "max"
+                )
+
+    def test_neighbors_and_self_filtered_from_explicit_pool(self):
+        g = path_graph(6)
+        # Handing the filter only v itself and v's neighbours must leave
+        # an empty pool: the sole legal move is then a pure deletion.
+        w = k_swap_witness(g, 0, 1, candidate_adds=[0, 1, 1, 0])
+        assert w is None or w[1] == ()

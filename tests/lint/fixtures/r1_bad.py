@@ -1,0 +1,25 @@
+"""R1 corpus: every statement here is a determinism violation."""
+import random
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    nanos = time.time_ns()
+    day = datetime.now()
+    return started, nanos, day
+
+
+def pick(items):
+    return random.choice(items) + random.random()
+
+
+def iterate():
+    out = []
+    for x in {3, 1, 2}:
+        out.append(x)
+    for y in set(out):
+        out.append(y)
+    squares = [v * v for v in frozenset(out)]
+    return out, squares

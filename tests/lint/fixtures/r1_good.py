@@ -1,0 +1,24 @@
+"""R1 corpus: deterministic equivalents of everything r1_bad does."""
+import time
+
+
+def stamp():
+    started = time.monotonic()
+    precise = time.perf_counter()
+    return started, precise
+
+
+def pick(items, rng):
+    return items[int(rng.integers(0, len(items)))]
+
+
+def iterate():
+    out = []
+    for x in sorted({3, 1, 2}):
+        out.append(x)
+    for y in sorted(set(out)):
+        out.append(y)
+    if 3 in {1, 2, 3}:  # membership is order-free, not a violation
+        out.append(3)
+    squares = [v * v for v in sorted(frozenset(out))]
+    return out, squares

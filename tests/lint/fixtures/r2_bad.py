@@ -1,0 +1,15 @@
+"""R2 corpus: RNG construction and reseeding outside repro.rng."""
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh(seed):
+    a = np.random.default_rng(seed)
+    b = default_rng(seed)
+    c = np.random.RandomState(seed)
+    return a, b, c
+
+
+def reseed(rng, seed):
+    rng.seed(seed)
+    return rng

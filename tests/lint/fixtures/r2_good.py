@@ -1,0 +1,12 @@
+"""R2 corpus: seed discipline via the repro.rng helpers."""
+from repro.rng import derive_seed, make_rng, spawn_rngs
+
+
+def fresh(seed):
+    rng = make_rng(seed)
+    children = spawn_rngs(rng, 4)
+    return rng, children
+
+
+def derived(seed):
+    return make_rng(derive_seed(seed, "replica", 3))

@@ -1,0 +1,29 @@
+"""R3 corpus: deadlines accepted but dropped on the floor."""
+from repro.parallel import check_deadline, parallel_map
+
+
+def scan_unused(items, *, deadline=None):
+    # Accepts a deadline but never consults it: the caller's timeout
+    # silently expires inside this loop.
+    out = []
+    for item in items:
+        out.append(item * 2)
+    return out
+
+
+def scan_unforwarded(fn, tasks, *, deadline=None):
+    check_deadline(deadline)
+    # Forwards nothing: parallel_map runs unbounded.
+    return parallel_map(fn, tasks, workers=2)
+
+
+def helper_scan(edges, *, deadline=None):
+    for edge in edges:
+        check_deadline(deadline)
+        yield edge
+
+
+def caller_drops_it(edges, *, deadline=None):
+    check_deadline(deadline)
+    # Calls a deadline-capable project function without the deadline.
+    return list(helper_scan(edges))

@@ -1,0 +1,23 @@
+"""R3 corpus: deadlines threaded all the way down."""
+from repro.parallel import check_deadline, parallel_map
+
+
+def scan(fn, tasks, *, deadline=None):
+    check_deadline(deadline)
+    return parallel_map(fn, tasks, workers=2, deadline=deadline)
+
+
+def helper_scan(edges, *, deadline=None):
+    for edge in edges:
+        check_deadline(deadline)
+        yield edge
+
+
+def caller_forwards(edges, *, deadline=None):
+    return list(helper_scan(edges, deadline=deadline))
+
+
+def no_deadline_no_obligation(items):
+    # Builtin name calls (map) are not project callees; a function without
+    # a deadline parameter owes nothing.
+    return list(map(str, items))

@@ -1,0 +1,16 @@
+"""R4 corpus: untyped raises and unexplained blanket excepts."""
+
+
+def validate(k):
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k > 100:
+        raise Exception("k too large")
+    return k
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

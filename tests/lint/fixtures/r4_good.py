@@ -1,0 +1,30 @@
+"""R4 corpus: typed raises; justified or re-raising blanket excepts."""
+from repro.errors import ConfigurationError
+
+
+def validate(k):
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    return k
+
+
+def cleanup_and_reraise(fn, resource):
+    try:
+        return fn()
+    except BaseException:
+        resource.close()
+        raise
+
+
+def quarantine(fn):
+    try:
+        return fn()
+    except Exception:  # pragma: no cover - task bodies raise anything
+        return None
+
+
+def annotated(fn):
+    try:
+        return fn()
+    except Exception:  # repro-lint: disable=R4 -- probe may fail arbitrarily; fallback is correct
+        return None

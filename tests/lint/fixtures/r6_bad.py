@@ -1,0 +1,26 @@
+"""R6 corpus: workers mutating shared read-only array views."""
+import numpy as np
+
+
+def worker_direct(payload, arrays):
+    arrays["dm"][payload] = 0
+    return payload
+
+
+def worker_alias(payload, arrays):
+    view = arrays["dm"]
+    view[payload, :] = -1
+    view += 1
+    return int(view.sum())
+
+
+def worker_out(payload, arrays):
+    dm = arrays["dm"]
+    np.minimum(dm, payload, out=dm)
+    return payload
+
+
+def worker_inplace_method(payload, arrays):
+    arrays["dm"].fill(0)
+    arrays["dm"].sort()
+    return payload

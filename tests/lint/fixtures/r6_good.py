@@ -1,0 +1,19 @@
+"""R6 corpus: workers reading shared views, writing local copies."""
+import numpy as np
+
+
+def worker_copy(payload, arrays):
+    local = arrays["dm"].copy()
+    local[payload] = 0  # local copy: fine
+    return int(local.sum())
+
+
+def worker_fresh_result(payload, arrays):
+    costs = np.minimum(arrays["dm"], payload + 1).astype(float)
+    costs[payload] = np.inf  # fresh array from a call, not a view
+    return float(costs.min())
+
+
+def not_a_worker(payload, rows):
+    rows[payload] = 0  # no `arrays` parameter: rule does not apply
+    return payload

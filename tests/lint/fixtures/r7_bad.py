@@ -1,0 +1,20 @@
+"""R7 corpus: a record-defining module writing files directly."""
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass
+class SampleRecord:
+    n: int
+    cost: float
+
+
+def dump_records(records, path):
+    with open(path, "w") as fh:
+        for rec in records:
+            json.dump({"n": rec.n, "cost": rec.cost}, fh)
+
+
+def dump_text(records, path):
+    Path(path).write_text("\n".join(str(r.n) for r in records))

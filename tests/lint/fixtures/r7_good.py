@@ -1,0 +1,18 @@
+"""R7 corpus: records serialized through the store; reads are fine."""
+from dataclasses import dataclass
+
+
+@dataclass
+class SampleRecord:
+    n: int
+    cost: float
+
+
+def load_raw(path):
+    with open(path) as fh:  # read mode: allowed
+        return fh.read()
+
+
+def write_records(store, records):
+    # Serialization goes through the jsonl_store sink, never direct I/O.
+    store.append_records(records)

@@ -1,0 +1,15 @@
+"""R8 corpus: mutable defaults shared across calls."""
+
+
+def append_to(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, *, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(seen=set(), extras=list()):
+    return seen, extras

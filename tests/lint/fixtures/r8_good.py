@@ -1,0 +1,17 @@
+"""R8 corpus: None-or-immutable defaults."""
+
+
+def append_to(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, *, counts=None):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def collect(seen=(), label="x", limit=0):
+    return tuple(seen), label, limit

@@ -1,0 +1,24 @@
+"""The repository's own tree passes its own contract checker.
+
+This is the CI gate in test form: src/ and scripts/ must lint clean —
+any new wall-clock call, untyped raise, dropped deadline, or stray RNG
+shows up as a failing finding with its file:line in the assertion.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_scripts_are_violation_free():
+    config = LintConfig(tests_dir=REPO_ROOT / "tests")
+    findings, checked = lint_paths(
+        [REPO_ROOT / "src", REPO_ROOT / "scripts"], config
+    )
+    assert checked > 50  # the real tree, not an empty glob
+    report = "\n".join(f.format() for f in findings)
+    assert findings == [], f"repro lint found violations:\n{report}"

@@ -303,6 +303,61 @@ class TestDeadline:
         assert hit["cached"]
 
 
+class TestKSwapAudit:
+    """The k_swap_stable query kind: exponential audit behind a deadline."""
+
+    def test_stable_and_unstable_verdicts(self, engine):
+        # Under the paper's max objective a star is 1-swap stable (no
+        # single move lowers any vertex's eccentricity); a path is not.
+        stable = engine.handle_audit(
+            {"query": "k_swap_stable", "graph6": _g6(star_graph(6)),
+             "k": 1, "model": "max"}
+        )
+        assert stable["result"] == {"k_swap_stable": True, "k": 1}
+        unstable = engine.handle_audit(
+            {"query": "k_swap_stable", "graph6": _g6(path_graph(6)),
+             "k": 1, "model": "max"}
+        )
+        assert unstable["result"] == {"k_swap_stable": False, "k": 1}
+
+    def test_k_defaults_to_one_and_keys_the_cache(self, engine):
+        g6 = _g6(star_graph(5))
+        implicit = engine.handle_audit({"query": "k_swap_stable", "graph6": g6})
+        assert implicit["result"]["k"] == 1
+        hit = engine.handle_audit(
+            {"query": "k_swap_stable", "graph6": g6, "k": 1}
+        )
+        assert hit["cached"]  # same k, same content address
+        other = engine.handle_audit(
+            {"query": "k_swap_stable", "graph6": g6, "k": 2}
+        )
+        assert not other["cached"]  # a different k is a different audit
+
+    def test_bad_k_is_a_client_error(self, engine):
+        g6 = _g6(path_graph(4))
+        with pytest.raises(ClientError):
+            engine.handle_audit(
+                {"query": "k_swap_stable", "graph6": g6, "k": 0}
+            )
+        with pytest.raises(ClientError):
+            engine.handle_audit(
+                {"query": "k_swap_stable", "graph6": g6, "k": "two"}
+            )
+        assert engine.ladder.mode == "pool"
+
+    def test_spent_deadline_is_typed(self, engine):
+        with pytest.raises(DeadlineExceeded):
+            engine.handle_audit(
+                {
+                    "query": "k_swap_stable",
+                    "graph6": _g6(random_connected_gnm(20, 30, seed=2)),
+                    "k": 2,
+                    "timeout_s": 1e-6,
+                }
+            )
+        assert engine.ladder.mode == "pool"  # a spent budget is not infra
+
+
 class _Client:
     def __init__(self, base):
         self.base = base
@@ -383,6 +438,20 @@ class TestHTTP:
             {
                 "query": "find_swap_violation",
                 "graph6": _g6(random_connected_gnm(20, 30, seed=2)),
+                "timeout_s": 1e-6,
+            },
+        )
+        assert status == 504 and body["error"] == "deadline-exceeded"
+        assert server.engine.deadline_exceeded == 1
+
+    def test_k_swap_audit_timeout_is_a_typed_504(self, http):
+        client, server = http
+        status, body, _ = client.post(
+            "/audit",
+            {
+                "query": "k_swap_stable",
+                "graph6": _g6(random_connected_gnm(20, 30, seed=2)),
+                "k": 2,
                 "timeout_s": 1e-6,
             },
         )
