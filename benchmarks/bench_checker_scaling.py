@@ -23,9 +23,14 @@ DESIGN.md §4 ablation matrix:
 * **variant-audit throughput** — full model-aware equilibrium audits of the
   interest and budget game variants (cost-model layer, DESIGN.md §6) on
   their own converged endpoints, repair vs batched kernels;
-* **trajectory-census fleet** — `run_trajectory_census` (DESIGN.md §7)
-  serial vs sharded over the persistent pool, records asserted
-  bit-identical across worker counts.
+* **trajectory-census fleet** — the registered
+  ``bench-trajectory-scaling`` experiment (DESIGN.md §7, §12) serial vs
+  sharded over the persistent pool, records asserted bit-identical across
+  worker counts.
+
+Both fleet arms ride registered :mod:`repro.experiments` instances
+(``bench-census-scaling`` / ``bench-trajectory-scaling``), so what this
+file times is exactly the declarative layer every fleet now runs on.
 
 ``test_scaling_report`` times the arms at n ∈ {48, 128, 256, 512} (env
 ``REPRO_BENCH_SMOKE=1`` restricts to n = 48 for CI smoke runs, still with a
@@ -50,12 +55,11 @@ from repro.core import (
     lift_distances,
     removal_distance_matrix,
     resolve_cost_model,
-    run_census,
-    run_trajectory_census,
     swap_cost_after,
 )
 from repro.core.batched import certify_at_rest
 from repro.core.census import seed_graph
+from repro.experiments import build_experiment, run_fleet
 from repro.graphs import distance_matrix, random_connected_gnm, random_tree
 
 from conftest import emit
@@ -167,7 +171,7 @@ def _load_history(path) -> list:
     return []
 
 
-_ENTRY_LABEL = "pr5-dynamics-batched"
+_ENTRY_LABEL = "pr9-experiment-layer"
 
 
 def _variant_equilibrium(spec: str, n: int):
@@ -252,15 +256,14 @@ def test_scaling_report(results_dir):
             }
         )
 
-    # Sharded census fleet vs the serial trajectory loop.
+    # Sharded census fleet vs the serial trajectory loop, riding the
+    # registered bench-census-scaling experiment (grid pinned to families
+    # tree/sparse/dense × 2 replicates at root seed 7).
     fleet_n = [24] if smoke else [48]
-    fleet_kwargs = dict(
-        n_values=fleet_n, families=("tree", "sparse", "dense"),
-        replicates=2, root_seed=7,
-    )
-    t_serial = _best_of(lambda: run_census(**fleet_kwargs), reps=1)
+    fleet_exp = build_experiment("bench-census-scaling", n=fleet_n)
+    t_serial = _best_of(lambda: run_fleet(fleet_exp), reps=1)
     for w in ([2] if smoke else [2, 4]):
-        t_fleet = _best_of(lambda: run_census(workers=w, **fleet_kwargs), reps=1)
+        t_fleet = _best_of(lambda: run_fleet(fleet_exp, workers=w), reps=1)
         entry["fleet"].append(
             {
                 "n": fleet_n[0],
@@ -302,20 +305,16 @@ def test_scaling_report(results_dir):
             )
 
     # Trajectory-census fleet: serial vs sharded workers (records must be
-    # bit-identical, so the scaling rows are also a determinism assertion).
+    # bit-identical, so the scaling rows are also a determinism assertion),
+    # riding the registered bench-trajectory-scaling experiment.
     traj_n = [12] if smoke else [24]
-    traj_kwargs = dict(
-        n_values=traj_n, families=("tree", "sparse"),
-        objectives=("sum", "interest-sum:k=3,seed=0"),
-        schedules=("round_robin", "random"), responders=("best",),
-        replicates=2, root_seed=11, max_steps=4000,
-    )
-    traj_count = 2 * 2 * 2 * len(traj_n) * 2
+    traj_exp = build_experiment("bench-trajectory-scaling", n=traj_n)
+    traj_count = traj_exp.total_tasks()
     serial_records = None
     t_traj_serial = None
     for w in [1, 2] if smoke else [1, 2, 4]:
         start = time.perf_counter()
-        recs = run_trajectory_census(workers=w, **traj_kwargs)
+        recs = run_fleet(traj_exp, workers=w)
         t_traj = time.perf_counter() - start
         if w == 1:
             serial_records, t_traj_serial = recs, t_traj

@@ -1,147 +1,30 @@
 #!/usr/bin/env python
-"""Large-scale Theorem-9 census fleet: sharded trajectories, streamed JSONL.
+"""Deprecated shim: the census fleet now lives in the experiment CLI.
 
-The empirical side of Theorem 9 at sizes the serial loop cannot touch:
-distribute dynamics trajectories over the persistent shared-memory pool and
-stream every finished :class:`~repro.core.census.CensusRecord` to JSONL in
-record order (tail the file to watch the fleet; rerun with the same seed to
-reproduce it bit-for-bit at any worker count; rerun with ``--resume`` to
-pick an interrupted fleet back up from the streamed prefix).
+Every flag this script ever took is accepted unchanged by::
 
-The first JSONL line is a run-config header; ``--resume`` validates it (and
-every resumed record) against the current flags and refuses to mix records
-from different games, so a fat-fingered overnight restart fails loudly
-instead of silently corrupting the fleet.
+    PYTHONPATH=src python -m repro.cli experiment run census [flags]
 
-``--objective`` takes any cost-model spec (:mod:`repro.core.costmodel`):
-the paper's ``sum`` / ``max``, communication-interest variants
-(``interest-sum:k=4,seed=9``), and bounded-budget variants
-(``budget-max:cap=3``).
-
-Examples
---------
-Overnight n = 512–1024 fleet on 8 cores::
-
-    PYTHONPATH=src python scripts/census_fleet.py \
-        --n 512 768 1024 --replicates 32 --workers 8 \
-        --out results/census_fleet.jsonl
-
-Quick sanity fleet::
-
-    PYTHONPATH=src python scripts/census_fleet.py --n 64 128 --replicates 4
-
-Interest-game fleet (each agent cares about 8 random targets)::
-
-    PYTHONPATH=src python scripts/census_fleet.py \
-        --n 128 --objective "interest-sum:k=8,seed=1" \
-        --out results/census_interest.jsonl
+(`--resume` / `--retry-failed` included; ``repro experiment status
+census`` reports progress and quarantine without recomputing).  This
+wrapper forwards its arguments verbatim and will be removed.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
-from pathlib import Path
 
-from repro.core.census import census_to_rows, run_census
-from repro.core.costmodel import cost_model_spec
-from repro.io.jsonl_store import FleetFailure
-from repro.parallel import default_workers
+from repro.cli import main as cli_main
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, nargs="+", default=[512],
-                    help="graph sizes (default: 512)")
-    ap.add_argument("--families", nargs="+",
-                    default=["tree", "sparse", "dense"],
-                    choices=["tree", "sparse", "dense"])
-    ap.add_argument("--replicates", type=int, default=8)
-    ap.add_argument("--objective", type=cost_model_spec, default="sum",
-                    metavar="SPEC",
-                    help="cost-model spec: sum | max | "
-                         "interest-{sum,max}:k=K[,seed=S] | "
-                         "budget-{sum,max}:cap=C (default: sum)")
-    ap.add_argument("--schedule", default="round_robin",
-                    choices=["round_robin", "random", "greedy"])
-    ap.add_argument("--root-seed", type=int, default=0)
-    ap.add_argument("--max-steps", type=int, default=200_000)
-    ap.add_argument("--workers", type=int, default=None,
-                    help="trajectory shards (default: cores - 1)")
-    ap.add_argument("--audit-mode", default="batched",
-                    choices=["batched", "repair", "rebuild"],
-                    help="equilibrium-audit kernel for endpoint checks")
-    ap.add_argument("--no-verify", action="store_true",
-                    help="skip the exact equilibrium audit of endpoints")
-    ap.add_argument("--resume", action="store_true",
-                    help="continue an interrupted fleet from --out's prefix "
-                         "(same arguments required; validated against the "
-                         "file's config header)")
-    ap.add_argument("--retry-failed", action="store_true",
-                    help="with --resume: re-run the quarantined slots of "
-                         "the streamed prefix before continuing")
-    ap.add_argument("--task-timeout", type=float, default=None,
-                    metavar="SECONDS",
-                    help="per-chunk wall-clock budget; a chunk exceeding it "
-                         "is presumed hung, its workers are killed, and it "
-                         "is retried (default: no timeout)")
-    ap.add_argument("--retries", type=int, default=2,
-                    help="per-task failure budget beyond the first attempt "
-                         "(default: 2)")
-    ap.add_argument("--fail-fast", action="store_true",
-                    help="abort the fleet on the first permanently failed "
-                         "task instead of quarantining it in the stream")
-    ap.add_argument("--out", type=Path,
-                    default=Path("results/census_fleet.jsonl"))
-    args = ap.parse_args(argv)
-
-    workers = default_workers() if args.workers is None else args.workers
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    total = len(args.n) * len(args.families) * args.replicates
+    argv = list(sys.argv[1:] if argv is None else argv)
     print(
-        f"census fleet: {total} trajectories "
-        f"(n={args.n}, {len(args.families)} families, "
-        f"{args.replicates} replicates, objective={args.objective}) "
-        f"on {workers} workers -> {args.out}",
-        flush=True,
+        "census_fleet.py is deprecated; use: "
+        "python -m repro.cli experiment run census",
+        file=sys.stderr,
     )
-    start = time.perf_counter()
-    records = run_census(
-        args.n,
-        families=tuple(args.families),
-        replicates=args.replicates,
-        objective=args.objective,
-        schedule=args.schedule,
-        root_seed=args.root_seed,
-        max_steps=args.max_steps,
-        verify=not args.no_verify,
-        workers=workers,
-        audit_mode=args.audit_mode,
-        jsonl_path=args.out,
-        resume=args.resume,
-        timeout=args.task_timeout,
-        retries=args.retries,
-        on_error="raise" if args.fail_fast else "record",
-        retry_failed=args.retry_failed,
-    )
-    elapsed = time.perf_counter() - start
-
-    failures = [r for r in records if isinstance(r, FleetFailure)]
-    rows = [r for r in census_to_rows(records) if "fleet_failure" not in r]
-    converged = [r for r in rows if r["converged"]]
-    verified = [r for r in converged if r["verified_equilibrium"]]
-    diam = max((r["diameter_final"] for r in converged), default=float("nan"))
-    print(
-        f"done in {elapsed:.1f}s: {len(converged)}/{len(rows)} converged, "
-        f"{len(verified)} verified equilibria, max final diameter {diam}"
-    )
-    if failures:
-        print(f"quarantine: {len(failures)} task(s) failed permanently "
-              "(re-run with --resume --retry-failed to retry them)")
-        for f in failures:
-            print(f"  {f.coords} after {f.attempts} attempt(s): {f.error}")
-    return 0
+    return cli_main(["experiment", "run", "census", *argv])
 
 
 if __name__ == "__main__":

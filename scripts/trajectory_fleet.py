@@ -1,157 +1,30 @@
 #!/usr/bin/env python
-"""Trajectory census fleet: dynamics behaviour over a schedule/model grid.
+"""Deprecated shim: the trajectory fleet now lives in the experiment CLI.
 
-Runs :func:`repro.core.trajcensus.run_trajectory_census` — swap dynamics
-over schedules × responders × cost-model specs × initial families × n ×
-replicates — sharded across the persistent shared-memory pool and streamed
-to JSONL in record order (tail the file to watch the fleet; rerun with the
-same flags to reproduce it bit-for-bit at any worker count; rerun with
-``--resume`` to pick an interrupted fleet back up from the streamed
-prefix).
+Every flag this script ever took is accepted unchanged by::
 
-The first JSONL line is a run-config header; ``--resume`` validates it
-(and every resumed record) against the current flags and refuses to mix
-records from different grids, with atomic prefix rewrites, so a
-fat-fingered overnight restart fails loudly instead of silently
-corrupting the dataset (shared machinery: :mod:`repro.io.jsonl_store`).
+    PYTHONPATH=src python -m repro.cli experiment run trajectory [flags]
 
-Examples
---------
-Schedule-sensitivity sweep of the base sum game::
-
-    PYTHONPATH=src python scripts/trajectory_fleet.py \
-        --n 64 128 --schedules round_robin random greedy \
-        --responders best first --replicates 8 --workers 4 \
-        --out results/trajectory_fleet.jsonl
-
-Cycling hunt in the interest variant (no equilibrium audit)::
-
-    PYTHONPATH=src python scripts/trajectory_fleet.py \
-        --n 16 32 --objectives "interest-sum:k=3,seed=0" \
-        --families dense --replicates 32 --max-steps 2000 --no-verify
+(`--resume` / `--retry-failed` included; ``repro experiment status
+trajectory`` reports progress and quarantine without recomputing).  This
+wrapper forwards its arguments verbatim and will be removed.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
-import time
-from pathlib import Path
 
-from repro.core.costmodel import cost_model_spec
-from repro.core.trajcensus import run_trajectory_census
-from repro.io.jsonl_store import FleetFailure
-from repro.parallel import default_workers
+from repro.cli import main as cli_main
 
 
 def main(argv: "list[str] | None" = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, nargs="+", default=[32, 64],
-                    help="graph sizes (default: 32 64)")
-    ap.add_argument("--families", nargs="+",
-                    default=["tree", "sparse", "dense"],
-                    choices=["tree", "sparse", "dense"])
-    ap.add_argument("--objectives", type=cost_model_spec, nargs="+",
-                    default=["sum"], metavar="SPEC",
-                    help="cost-model specs: sum | max | "
-                         "interest-{sum,max}:k=K[,seed=S] | "
-                         "budget-{sum,max}:cap=C (default: sum)")
-    ap.add_argument("--schedules", nargs="+", default=["round_robin"],
-                    choices=["round_robin", "random", "greedy"])
-    ap.add_argument("--responders", nargs="+", default=["best"],
-                    choices=["best", "first"])
-    ap.add_argument("--replicates", type=int, default=4)
-    ap.add_argument("--root-seed", type=int, default=0)
-    ap.add_argument("--max-steps", type=int, default=20_000)
-    ap.add_argument("--workers", type=int, default=None,
-                    help="trajectory shards (default: cores - 1)")
-    ap.add_argument("--audit-mode", default="batched",
-                    choices=["batched", "repair", "rebuild"],
-                    help="equilibrium-audit kernel for endpoint checks")
-    ap.add_argument("--engine-mode", default="batched",
-                    choices=["batched", "incremental", "oracle"],
-                    help="dynamics engine (trajectories are bit-identical "
-                         "across modes; batched is the fast path)")
-    ap.add_argument("--no-verify", action="store_true",
-                    help="skip the exact equilibrium audit of endpoints")
-    ap.add_argument("--resume", action="store_true",
-                    help="continue an interrupted fleet from --out's prefix "
-                         "(same arguments required; validated against the "
-                         "file's config header)")
-    ap.add_argument("--retry-failed", action="store_true",
-                    help="with --resume: re-run the quarantined slots of "
-                         "the streamed prefix before continuing")
-    ap.add_argument("--task-timeout", type=float, default=None,
-                    metavar="SECONDS",
-                    help="per-chunk wall-clock budget; a chunk exceeding it "
-                         "is presumed hung, its workers are killed, and it "
-                         "is retried (default: no timeout)")
-    ap.add_argument("--retries", type=int, default=2,
-                    help="per-task failure budget beyond the first attempt "
-                         "(default: 2)")
-    ap.add_argument("--fail-fast", action="store_true",
-                    help="abort the fleet on the first permanently failed "
-                         "task instead of quarantining it in the stream")
-    ap.add_argument("--out", type=Path,
-                    default=Path("results/trajectory_fleet.jsonl"))
-    args = ap.parse_args(argv)
-
-    workers = default_workers() if args.workers is None else args.workers
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    total = (
-        len(args.n) * len(args.families) * len(args.objectives)
-        * len(args.schedules) * len(args.responders) * args.replicates
-    )
+    argv = list(sys.argv[1:] if argv is None else argv)
     print(
-        f"trajectory fleet: {total} trajectories "
-        f"(n={args.n}, {len(args.families)} families, "
-        f"{len(args.objectives)} objectives, {len(args.schedules)} "
-        f"schedules, {len(args.responders)} responders, "
-        f"{args.replicates} replicates) on {workers} workers "
-        f"-> {args.out}",
-        flush=True,
+        "trajectory_fleet.py is deprecated; use: "
+        "python -m repro.cli experiment run trajectory",
+        file=sys.stderr,
     )
-    start = time.perf_counter()
-    records = run_trajectory_census(
-        args.n,
-        families=tuple(args.families),
-        objectives=tuple(args.objectives),
-        schedules=tuple(args.schedules),
-        responders=tuple(args.responders),
-        replicates=args.replicates,
-        root_seed=args.root_seed,
-        max_steps=args.max_steps,
-        verify=not args.no_verify,
-        workers=workers,
-        audit_mode=args.audit_mode,
-        engine_mode=args.engine_mode,
-        jsonl_path=args.out,
-        resume=args.resume,
-        timeout=args.task_timeout,
-        retries=args.retries,
-        on_error="raise" if args.fail_fast else "record",
-        retry_failed=args.retry_failed,
-    )
-    elapsed = time.perf_counter() - start
-
-    failures = [r for r in records if isinstance(r, FleetFailure)]
-    results = [r for r in records if not isinstance(r, FleetFailure)]
-    converged = [r for r in results if r.converged]
-    cycles = [r for r in results if r.cycle_detected]
-    exhausted = [r for r in results if r.exhausted]
-    verified = sum(1 for r in converged if r.verified_equilibrium)
-    distinct = len({r.final_fingerprint for r in converged})
-    print(
-        f"done in {elapsed:.1f}s: {len(converged)}/{len(results)} converged "
-        f"({verified} verified equilibria, {distinct} distinct terminal "
-        f"graphs), {len(cycles)} cycles, {len(exhausted)} exhausted"
-    )
-    if failures:
-        print(f"quarantine: {len(failures)} task(s) failed permanently "
-              "(re-run with --resume --retry-failed to retry them)")
-        for f in failures:
-            print(f"  {f.coords} after {f.attempts} attempt(s): {f.error}")
-    return 0
+    return cli_main(["experiment", "run", "trajectory", *argv])
 
 
 if __name__ == "__main__":

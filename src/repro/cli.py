@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli run thm9-diameter-census --scale full --csv results/
     python -m repro.cli run dynamics-census            # trajectory census
     python -m repro.cli all --scale quick --csv results/
+    python -m repro.cli experiment list                # registered fleets
+    python -m repro.cli experiment run census --n 64   # resumable fleet
     python -m repro.cli serve --port 8642              # audit service
     python -m repro.cli lint src scripts               # contract checker
 
@@ -102,10 +104,17 @@ def main(argv: "list[str] | None" = None) -> int:
 
     add_lint_arguments(lint_p)
 
+    from .experiments.cli import add_experiment_parser, run_experiment_command
+
+    add_experiment_parser(sub)
+
     args = parser.parse_args(argv)
 
     if args.command == "lint":
         return run_lint(args)
+
+    if args.command == "experiment":
+        return run_experiment_command(args)
 
     if args.command == "list":
         for exp_id in experiment_ids():

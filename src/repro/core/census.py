@@ -34,9 +34,9 @@ from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
-import numpy as np
-from ..errors import ConfigurationError, StoreIntegrityError
+from ..errors import ConfigurationError
 
+from ..experiments.experiment import Experiment, run_fleet
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import (
     CSRGraph,
@@ -46,7 +46,6 @@ from ..graphs import (
     random_tree,
     total_pairwise_distance,
 )
-from ..parallel import TaskFailure, map_streamed
 from ..rng import derive_seed
 from .costmodel import CostModel, cost_model_spec, resolve_cost_model
 from .dynamics import SwapDynamics
@@ -55,6 +54,7 @@ from .equilibrium import is_equilibrium
 __all__ = [
     "CENSUS_CONFIG_KEY",
     "CensusRecord",
+    "census_experiment",
     "census_to_rows",
     "run_census",
     "seed_graph",
@@ -283,132 +283,104 @@ def run_census(
             "choose one sharding axis: workers (trajectories) or "
             "verify_workers (audit edges), not both"
         )
-    if resume and jsonl_path is None:
-        raise ConfigurationError("resume=True needs a jsonl_path to resume from")
+    experiment = census_experiment(
+        n_values,
+        families=families,
+        replicates=replicates,
+        objective=objective,
+        schedule=schedule,
+        responder=responder,
+        root_seed=root_seed,
+        max_steps=max_steps,
+        verify=verify,
+        verify_workers=verify_workers,
+        audit_mode=audit_mode,
+    )
+    return run_fleet(
+        experiment,
+        workers=workers,
+        jsonl_path=jsonl_path,
+        resume=resume,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        on_error=on_error,
+        retry_failed=retry_failed,
+        durability=durability,
+    )
+
+
+def census_experiment(
+    n_values: Sequence[int],
+    families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
+    replicates: int = 3,
+    objective: "str | CostModel" = "sum",
+    schedule: str = "round_robin",
+    responder: str = "best",
+    root_seed: int = 0,
+    max_steps: int = 20_000,
+    verify: bool = True,
+    verify_workers: int = 1,
+    audit_mode: str = "batched",
+) -> Experiment:
+    """The equilibrium census as a declarative :class:`Experiment`.
+
+    Grid ``n × family`` with the historical ``"axes"`` seed scheme
+    (``derive_seed(root_seed, n_index, family_index, replicate)``), the
+    legacy :data:`CENSUS_CONFIG_KEY` header, and the module's own store
+    factory — so the compiled fleet streams JSONL byte-identical to the
+    pre-refactor ``run_census`` (pinned by the golden-file suite).
+    """
     spec = cost_model_spec(objective)  # canonical; validates the objective
     task_objective = objective if isinstance(objective, CostModel) else spec
-    tasks = [
-        (
-            n, family, derive_seed(root_seed, ni, fi, rep), task_objective,
-            schedule, responder, max_steps, verify, verify_workers,
-            audit_mode,
-        )
-        for ni, n in enumerate(n_values)
-        for fi, family in enumerate(families)
-        for rep in range(replicates)
-    ]
-    def task_coords(task: tuple) -> dict:
-        return {
-            "n": int(task[0]),
-            "family": task[1],
-            "seed": int(task[2]),
-            "objective": spec,
+    config = {
+        "objective": spec,
+        "schedule": schedule,
+        "responder": responder,
+        "max_steps": max_steps,
+        "verify": verify,
+        "audit_mode": audit_mode,
+        "root_seed": root_seed,
+        "n_values": [int(n) for n in n_values],
+        "families": list(families),
+        "replicates": replicates,
+    }
+    return Experiment(
+        name="census",
+        point_fn=_census_task,
+        grid={"n": list(n_values), "family": list(families)},
+        task_fields=(
+            "n", "family", "seed", "objective", "schedule", "responder",
+            "max_steps", "verify", "verify_workers", "audit_mode",
+        ),
+        coord_fields=(
+            "n", "family", "seed", "objective", "schedule", "responder",
+        ),
+        replicates=replicates,
+        root_seed=root_seed,
+        seed_scheme="axes",
+        fixed={
+            "objective": task_objective,
             "schedule": schedule,
             "responder": responder,
-        }
-
-    def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
-        return FleetFailure(
-            coords=task_coords(task),
-            error=failure.error,
-            attempts=failure.attempts,
-        )
-
-    records: list = []
-    sink = None
-    store = None
-    if jsonl_path is not None:
-        store = _make_store(
-            jsonl_path,
-            {
-                "objective": spec,
-                "schedule": schedule,
-                "responder": responder,
-                "max_steps": max_steps,
-                "verify": verify,
-                "audit_mode": audit_mode,
-                "root_seed": root_seed,
-                "n_values": [int(n) for n in n_values],
-                "families": list(families),
-                "replicates": replicates,
-            },
-            durability,
-        )
-        def check_record(idx: int, rec) -> None:
-            # Seeds derive from grid *position*, so (n, family, seed)
-            # alone cannot see an objective/schedule/responder change;
-            # re-validate per record so a header pasted onto foreign
-            # records is still caught.  Quarantined slots carry the same
-            # coordinates in their coords dict.
-            if isinstance(rec, FleetFailure):
-                if rec.coords != task_coords(tasks[idx]):
-                    raise StoreIntegrityError(
-                        f"resume mismatch: quarantined slot {rec.coords!r} "
-                        "does not match this run's grid/configuration — "
-                        "same arguments required"
-                    )
-                return
-            if (rec.n, rec.family, rec.seed) != tasks[idx][:3] or (
-                rec.objective, rec.schedule, rec.responder
-            ) != (spec, schedule, responder):
-                raise StoreIntegrityError(
-                    "resume mismatch: existing record (n="
-                    f"{rec.n}, family={rec.family!r}, seed={rec.seed}, "
-                    f"objective={rec.objective!r}, "
-                    f"schedule={rec.schedule!r}, "
-                    f"responder={rec.responder!r}) does not match this "
-                    "run's grid/configuration — same arguments required"
-                )
-
-        records = store.start_stream(resume, len(tasks), check_record)
-        if retry_failed and records:
-            failed_idx = [
-                i for i, r in enumerate(records)
-                if isinstance(r, FleetFailure)
-            ]
-            if failed_idx:
-                redo = [tasks[i] for i in failed_idx]
-                fixed = map_streamed(
-                    _census_task, redo, workers,
-                    timeout=timeout, retries=retries, backoff=backoff,
-                    on_error=on_error,
-                )
-                for sub, value in enumerate(fixed):
-                    if isinstance(value, TaskFailure):
-                        value = quarantine(value, redo[sub])
-                    records[failed_idx[sub]] = value
-                store.rewrite_prefix(records)
-        tasks = tasks[len(records) :]
-        sink = store.open_append()
-
-    def as_records(part: list) -> list:
-        # TaskFailure.index is absolute within the mapped (post-resume)
-        # task slice, so it looks its coordinates up directly.
-        return [
-            quarantine(item, tasks[item.index])
-            if isinstance(item, TaskFailure)
-            else item
-            for item in part
-        ]
-
-    try:
-        fresh = map_streamed(
-            _census_task,
-            tasks,
-            workers,
-            consume=None
-            if sink is None
-            else (lambda part: store.append(sink, as_records(part))),
-            timeout=timeout,
-            retries=retries,
-            backoff=backoff,
-            on_error=on_error,
-        )
-        records += as_records(fresh)
-    finally:
-        if sink is not None:
-            sink.close()
-    return records
+            "max_steps": max_steps,
+            "verify": verify,
+            "verify_workers": verify_workers,
+            "audit_mode": audit_mode,
+        },
+        # A CostModel instance rides the task tuple, but the stream's
+        # coordinates always carry the canonical spec string.
+        coord_overrides={"objective": spec},
+        int_coords=("n", "seed"),
+        config_key=CENSUS_CONFIG_KEY,
+        config_version=_CONFIG_VERSION,
+        config=config,
+        record_name="census record",
+        decode_record=_decode_record,
+        store_factory=lambda path, durability: _make_store(
+            path, config, durability
+        ),
+    )
 
 
 def census_to_rows(records: Iterable) -> list[dict]:

@@ -43,11 +43,11 @@ from dataclasses import dataclass, asdict
 from pathlib import Path
 from typing import IO, Iterable, Literal, Sequence
 
-from ..errors import ConfigurationError, StoreIntegrityError
+from ..experiments.experiment import Experiment, run_fleet
 from ..io.hashing import graph_fingerprint
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..graphs import CSRGraph
-from ..parallel import Sweep, TaskFailure, map_streamed
+from ..parallel import Sweep
 from ..rng import derive_seed
 from .census import InitialFamily, seed_graph
 from .costmodel import CostModel, cost_model_spec, resolve_cost_model
@@ -60,6 +60,7 @@ __all__ = [
     "graph_fingerprint",
     "run_trajectory_census",
     "trajectory_census_to_rows",
+    "trajectory_experiment",
     "trajectory_sweep",
 ]
 
@@ -297,143 +298,108 @@ def run_trajectory_census(
     exactly those slots on resume, and ``durability`` sets the stream's
     flush cadence.
     """
+    experiment = trajectory_experiment(
+        n_values,
+        families=families,
+        objectives=objectives,
+        schedules=schedules,
+        responders=responders,
+        replicates=replicates,
+        root_seed=root_seed,
+        max_steps=max_steps,
+        verify=verify,
+        audit_mode=audit_mode,
+        engine_mode=engine_mode,
+    )
+    return run_fleet(
+        experiment,
+        workers=workers,
+        jsonl_path=jsonl_path,
+        resume=resume,
+        timeout=timeout,
+        retries=retries,
+        backoff=backoff,
+        on_error=on_error,
+        retry_failed=retry_failed,
+        durability=durability,
+    )
+
+
+def trajectory_experiment(
+    n_values: Sequence[int],
+    families: Sequence[InitialFamily] = ("tree", "sparse", "dense"),
+    objectives: Sequence["str | CostModel"] = ("sum",),
+    schedules: Sequence[Schedule] = ("round_robin",),
+    responders: Sequence[Responder] = ("best",),
+    replicates: int = 2,
+    root_seed: int = 0,
+    max_steps: int = 20_000,
+    verify: bool = True,
+    audit_mode: str = "batched",
+    engine_mode: str = "batched",
+) -> Experiment:
+    """The trajectory census as a declarative :class:`Experiment`.
+
+    The grid and its order are exactly :func:`trajectory_sweep`'s
+    (objective slowest, n fastest) with the sweep's flat positional seed
+    scheme, the legacy :data:`TRAJ_CONFIG_KEY` header, and the module's
+    own store factory — so the compiled fleet streams JSONL byte-identical
+    to the pre-refactor ``run_trajectory_census`` (pinned by the
+    golden-file suite).
+    """
+    config = {
+        "objectives": [cost_model_spec(o) for o in objectives],
+        "schedules": list(schedules),
+        "responders": list(responders),
+        "families": list(families),
+        "n_values": [int(n) for n in n_values],
+        "replicates": replicates,
+        "root_seed": root_seed,
+        "max_steps": max_steps,
+        "verify": verify,
+        "audit_mode": audit_mode,
+        # Not engine_mode itself: incremental/batched records are
+        # bit-identical and interchangeable; only the oracle path's
+        # activation accounting differs.
+        "activation_accounting": (
+            "oracle" if engine_mode == "oracle" else "engine"
+        ),
+    }
     sweep = trajectory_sweep(
         n_values, families, objectives, schedules, responders,
         replicates, root_seed,
     )
-    points = sweep.points()
-    tasks = [
-        (
-            pt["n"], pt["family"], pt.replicate, pt.seed, pt["objective"],
-            pt["schedule"], pt["responder"], max_steps, verify, audit_mode,
-            engine_mode,
-        )
-        for pt in points
-    ]
-    if resume and jsonl_path is None:
-        raise ConfigurationError("resume=True needs a jsonl_path to resume from")
-
-    def task_coords(task: tuple) -> dict:
-        return {
-            "n": int(task[0]),
-            "family": task[1],
-            "replicate": int(task[2]),
-            "seed": int(task[3]),
-            "objective": task[4],
-            "schedule": task[5],
-            "responder": task[6],
-        }
-
-    def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
-        return FleetFailure(
-            coords=task_coords(task),
-            error=failure.error,
-            attempts=failure.attempts,
-        )
-
-    records: list = []
-    sink = None
-    store = None
-    if jsonl_path is not None:
-        store = _make_store(
-            jsonl_path,
-            {
-                "objectives": [cost_model_spec(o) for o in objectives],
-                "schedules": list(schedules),
-                "responders": list(responders),
-                "families": list(families),
-                "n_values": [int(n) for n in n_values],
-                "replicates": replicates,
-                "root_seed": root_seed,
-                "max_steps": max_steps,
-                "verify": verify,
-                "audit_mode": audit_mode,
-                # Not engine_mode itself: incremental/batched records are
-                # bit-identical and interchangeable; only the oracle path's
-                # activation accounting differs.
-                "activation_accounting": (
-                    "oracle" if engine_mode == "oracle" else "engine"
-                ),
-            },
-            durability,
-        )
-        def check_record(idx: int, rec) -> None:
-            # Seeds derive from grid position, so re-validate every
-            # resumed record's full coordinates: a matching header
-            # pasted onto foreign records is still caught.  Quarantined
-            # slots carry the same coordinates in their coords dict.
-            if isinstance(rec, FleetFailure):
-                if rec.coords != task_coords(tasks[idx]):
-                    raise StoreIntegrityError(
-                        f"resume mismatch: quarantined slot {rec.coords!r} "
-                        "does not match this run's grid/configuration — "
-                        "same arguments required"
-                    )
-                return
-            key = (
-                rec.n, rec.family, rec.replicate, rec.seed,
-                rec.objective, rec.schedule, rec.responder,
-            )
-            if key != tasks[idx][:7]:
-                raise StoreIntegrityError(
-                    "resume mismatch: existing record "
-                    f"(n={rec.n}, family={rec.family!r}, "
-                    f"replicate={rec.replicate}, seed={rec.seed}, "
-                    f"objective={rec.objective!r}, "
-                    f"schedule={rec.schedule!r}, "
-                    f"responder={rec.responder!r}) does not match this "
-                    "run's grid/configuration — same arguments required"
-                )
-
-        records = store.start_stream(resume, len(tasks), check_record)
-        if retry_failed and records:
-            failed_idx = [
-                i for i, r in enumerate(records)
-                if isinstance(r, FleetFailure)
-            ]
-            if failed_idx:
-                redo = [tasks[i] for i in failed_idx]
-                fixed = map_streamed(
-                    _trajectory_task, redo, workers,
-                    timeout=timeout, retries=retries, backoff=backoff,
-                    on_error=on_error,
-                )
-                for sub, value in enumerate(fixed):
-                    if isinstance(value, TaskFailure):
-                        value = quarantine(value, redo[sub])
-                    records[failed_idx[sub]] = value
-                store.rewrite_prefix(records)
-        tasks = tasks[len(records) :]
-        sink = store.open_append()
-
-    def as_records(part: list) -> list:
-        # TaskFailure.index is absolute within the mapped (post-resume)
-        # task slice, so it looks its coordinates up directly.
-        return [
-            quarantine(item, tasks[item.index])
-            if isinstance(item, TaskFailure)
-            else item
-            for item in part
-        ]
-
-    try:
-        fresh = map_streamed(
-            _trajectory_task,
-            tasks,
-            workers,
-            consume=None
-            if sink is None
-            else (lambda part: store.append(sink, as_records(part))),
-            timeout=timeout,
-            retries=retries,
-            backoff=backoff,
-            on_error=on_error,
-        )
-        records += as_records(fresh)
-    finally:
-        if sink is not None:
-            sink.close()
-    return records
+    return Experiment(
+        name="trajectory",
+        point_fn=_trajectory_task,
+        grid=sweep.grid,
+        task_fields=(
+            "n", "family", "replicate", "seed", "objective", "schedule",
+            "responder", "max_steps", "verify", "audit_mode", "engine_mode",
+        ),
+        coord_fields=(
+            "n", "family", "replicate", "seed", "objective", "schedule",
+            "responder",
+        ),
+        replicates=replicates,
+        root_seed=root_seed,
+        seed_scheme="flat",
+        fixed={
+            "max_steps": max_steps,
+            "verify": verify,
+            "audit_mode": audit_mode,
+            "engine_mode": engine_mode,
+        },
+        int_coords=("n", "replicate", "seed"),
+        config_key=TRAJ_CONFIG_KEY,
+        config_version=_CONFIG_VERSION,
+        config=config,
+        record_name="trajectory record",
+        decode_record=_decode_record,
+        store_factory=lambda path, durability: _make_store(
+            path, config, durability
+        ),
+    )
 
 
 def trajectory_census_to_rows(records: Iterable) -> list[dict]:

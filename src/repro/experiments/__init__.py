@@ -1,0 +1,40 @@
+"""The declarative experiment layer (DESIGN.md §12).
+
+:mod:`repro.experiments.experiment` holds the :class:`Experiment`
+dataclass and the unified :func:`run_fleet` runner;
+:mod:`repro.experiments.registry` holds the registered instances (the
+censuses and the bench arms) and is loaded lazily — it imports
+:mod:`repro.core`, which itself builds on this package's experiment
+machinery, so eager loading here would cycle during package init.
+"""
+
+from .experiment import Experiment, run_fleet, write_jsonl_records
+
+__all__ = [
+    "Experiment",
+    "build_experiment",
+    "run_fleet",
+    "write_jsonl_records",
+]
+
+
+def build_experiment(name: str, **kwargs) -> Experiment:
+    """Build a registered experiment's :class:`Experiment` by name."""
+    from .registry import get_experiment
+
+    return get_experiment(name).build(**kwargs)
+
+
+def __getattr__(name: str):
+    # Lazy registry access (see the module docstring for the cycle).
+    if name in (
+        "ExperimentDef",
+        "experiment_defs",
+        "experiment_names",
+        "get_experiment",
+        "register_experiment",
+    ):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

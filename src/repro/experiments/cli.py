@@ -1,0 +1,174 @@
+"""``repro experiment`` — the one CLI over every registered experiment.
+
+Subcommands::
+
+    repro experiment list                      # registered experiments
+    repro experiment run census --n 64 ...     # fresh (or --resume) fleet
+    repro experiment resume census ... --retry-failed
+    repro experiment status census --out results/census_fleet.jsonl
+
+``run``/``resume`` compile the named experiment and execute it through
+:func:`~repro.experiments.experiment.run_fleet` with the full DESIGN.md
+§9 fault-tolerance contract; their flags are each experiment's grid flags
+(from the registry) plus the shared execution flags the fleet scripts
+used to take.  ``status`` reads the stream's run-config header and
+quarantine records via :func:`~repro.io.jsonl_store.summarize_stream` —
+progress, quarantined grid coordinates, and a ready-to-paste
+``--retry-failed`` resume command, with no recomputation.
+
+``scripts/census_fleet.py`` and ``scripts/trajectory_fleet.py`` are thin
+deprecation shims forwarding here (``experiment run census`` /
+``experiment run trajectory``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from ..parallel import default_workers
+from .experiment import run_fleet
+from .registry import ExperimentDef, experiment_defs, get_experiment
+
+__all__ = ["add_experiment_parser", "run_experiment_command"]
+
+
+def _execution_arguments(
+    ap: argparse.ArgumentParser, defn: ExperimentDef, *, with_resume: bool
+) -> None:
+    """The shared fleet-execution flags (mirroring the retired scripts)."""
+    if with_resume:
+        ap.add_argument("--resume", action="store_true",
+                        help="continue an interrupted fleet from --out's "
+                             "prefix (same arguments required; validated "
+                             "against the file's config header)")
+    ap.add_argument("--retry-failed", action="store_true",
+                    help="when resuming: re-run the quarantined slots of "
+                         "the streamed prefix before continuing")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="task shards (default: cores - 1)")
+    ap.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-chunk wall-clock budget; a chunk exceeding it "
+                         "is presumed hung, its workers are killed, and it "
+                         "is retried (default: no timeout)")
+    ap.add_argument("--retries", type=int, default=2,
+                    help="per-task failure budget beyond the first attempt "
+                         "(default: 2)")
+    ap.add_argument("--fail-fast", action="store_true",
+                    help="abort the fleet on the first permanently failed "
+                         "task instead of quarantining it in the stream")
+    ap.add_argument("--out", type=Path, default=Path(defn.default_out))
+
+
+def add_experiment_parser(sub) -> None:
+    """Attach the ``experiment`` subcommand tree to a subparsers object."""
+    p = sub.add_parser(
+        "experiment",
+        help="declarative experiment fleets (DESIGN.md §12)",
+    )
+    esub = p.add_subparsers(dest="experiment_command", required=True)
+
+    esub.add_parser("list", help="list registered experiments")
+
+    run_p = esub.add_parser(
+        "run", help="run an experiment as a sharded resumable fleet"
+    )
+    run_sub = run_p.add_subparsers(dest="experiment_name", required=True)
+    for defn in experiment_defs():
+        ep = run_sub.add_parser(defn.name, help=defn.summary)
+        defn.add_arguments(ep)
+        _execution_arguments(ep, defn, with_resume=True)
+
+    res_p = esub.add_parser(
+        "resume", help="resume an interrupted fleet (same flags required)"
+    )
+    res_sub = res_p.add_subparsers(dest="experiment_name", required=True)
+    for defn in experiment_defs():
+        ep = res_sub.add_parser(defn.name, help=defn.summary)
+        defn.add_arguments(ep)
+        _execution_arguments(ep, defn, with_resume=False)
+
+    st_p = esub.add_parser(
+        "status",
+        help="report a stream's progress + quarantine without recomputing",
+    )
+    st_sub = st_p.add_subparsers(dest="experiment_name", required=True)
+    for defn in experiment_defs():
+        ep = st_sub.add_parser(defn.name, help=defn.summary)
+        ep.add_argument("--out", type=Path, default=Path(defn.default_out))
+
+
+def _status(defn: ExperimentDef, out: Path) -> int:
+    # Deferred: keep the status path free of any fleet machinery import.
+    from ..io.jsonl_store import summarize_stream
+
+    if not out.exists():
+        print(f"{defn.name}: no stream at {out} (not started)")
+        return 1
+    summary = summarize_stream(out, record_name=f"{defn.name} record")
+    header = summary.header
+    if header is None:
+        print(f"{defn.name}: {out} has no run-config header "
+              "(pre-header legacy file; resume would refuse it)")
+        return 1
+    if defn.config_key not in header:
+        print(f"{defn.name}: {out} is not a {defn.name} stream "
+              f"(header lacks {defn.config_key!r})")
+        return 1
+    total = defn.total_from_header(header)
+    tail = " + torn tail (dropped on resume)" if summary.torn_tail else ""
+    print(f"{defn.name}: {out}")
+    print(f"  progress: {summary.completed}/{total} slots "
+          f"({summary.results} results, "
+          f"{len(summary.failures)} quarantined){tail}")
+    if summary.failures:
+        print("  quarantined slots:")
+        for failure in summary.failures:
+            coords = ", ".join(
+                f"{k}={v!r}" for k, v in failure.coords.items()
+            )
+            print(f"    {coords} — {failure.attempts} attempt(s): "
+                  f"{failure.error}")
+    if summary.failures or summary.completed < total or summary.torn_tail:
+        flags = " ".join(defn.flags_from_header(header))
+        retry = " --retry-failed" if summary.failures else ""
+        print("  resume with:")
+        print(f"    PYTHONPATH=src python -m repro.cli experiment resume "
+              f"{defn.name} {flags}{retry} --out {out}")
+    else:
+        print("  complete")
+    return 0
+
+
+def run_experiment_command(args: argparse.Namespace) -> int:
+    command = args.experiment_command
+    if command == "list":
+        for defn in experiment_defs():
+            print(f"{defn.name:26s} {defn.summary}")
+        return 0
+    defn = get_experiment(args.experiment_name)
+    if command == "status":
+        return _status(defn, args.out)
+
+    experiment = defn.from_args(args)
+    workers = default_workers() if args.workers is None else args.workers
+    resume = command == "resume" or getattr(args, "resume", False)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    verb = "resuming" if resume else "running"
+    print(f"{defn.name}: {verb} {experiment.total_tasks()} task(s) "
+          f"on {workers} workers -> {args.out}", flush=True)
+    start = time.perf_counter()
+    records = run_fleet(
+        experiment,
+        workers=workers,
+        jsonl_path=args.out,
+        resume=resume,
+        timeout=args.task_timeout,
+        retries=args.retries,
+        on_error="raise" if args.fail_fast else "record",
+        retry_failed=args.retry_failed,
+    )
+    defn.report(records, time.perf_counter() - start)
+    return 0

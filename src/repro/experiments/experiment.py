@@ -1,0 +1,405 @@
+"""Declarative experiments compiled to sharded resumable fleets.
+
+An :class:`Experiment` is the repo's one description of an empirical run:
+a named cartesian grid of independent variables (with an explicit
+enumeration order), a replicate count, a position-derived seeding scheme,
+a picklable point function, and the persistence contract (config header,
+record schema, coordinate fields used for resume validation).  Declaring
+one buys the whole hardened execution stack with no new code:
+
+* **enumeration** — the grid compiles to a :class:`~repro.parallel.Sweep`
+  (explicit ``order=``, reserved-column checks, position-derived seeds);
+* **execution** — :func:`run_fleet` shards tasks over the persistent
+  shared-memory pool via :func:`~repro.parallel.map_streamed` with the
+  DESIGN.md §9 timeout/retry/quarantine semantics, records bit-identical
+  to a serial run at any worker count;
+* **persistence** — records stream through
+  :class:`~repro.io.jsonl_store.JsonlStore`: run-config header, resume
+  with per-record grid validation, atomic prefix rewrites, torn-tail
+  policy, quarantined :class:`~repro.io.jsonl_store.FleetFailure` slots
+  and ``retry_failed`` re-runs.
+
+The equilibrium census and the trajectory census are instances of this
+layer (their ``run_census`` / ``run_trajectory_census`` entry points are
+thin shims), and their streamed JSONL is byte-identical to the
+pre-refactor fleets — grid order, seeds, header fields, record fields,
+resume behavior and ``fleet_failure`` slots all preserved, pinned by the
+golden-file suite in ``tests/experiments/``.  The full contract is
+DESIGN.md §12.
+
+Seeding schemes
+---------------
+``seed_scheme="flat"`` derives each task's seed from the flat grid
+position, exactly as :class:`~repro.parallel.Sweep` does:
+``derive_seed(root_seed, point_index, replicate)``.  ``"axes"`` derives
+it from the per-axis indices instead:
+``derive_seed(root_seed, i_0, …, i_k, replicate)`` — the historical
+equilibrium-census discipline, kept so its streams stay byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import IO, Any, Callable, Iterable, Mapping, Sequence
+
+from ..errors import ConfigurationError, StoreIntegrityError
+from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
+from ..parallel import Sweep, TaskFailure, map_streamed
+from ..rng import derive_seed
+
+__all__ = ["Experiment", "run_fleet", "write_jsonl_records"]
+
+#: Task-tuple slots :meth:`Experiment.compile_tasks` derives per point
+#: (everything else must come from ``grid`` or ``fixed``).
+_DERIVED_FIELDS = ("seed", "replicate")
+
+
+def write_jsonl_records(sink: "IO[str]", records: Iterable) -> None:
+    """Default record serializer: one JSON object per line, then flush.
+
+    Quarantined slots (:class:`FleetFailure`) serialize with their marker
+    key; dataclass records via :func:`dataclasses.asdict`; mappings as-is.
+    """
+    for rec in records:
+        if isinstance(rec, FleetFailure):
+            obj = rec.encode()
+        elif isinstance(rec, Mapping):
+            obj = dict(rec)
+        else:
+            obj = asdict(rec)
+        sink.write(json.dumps(obj) + "\n")
+    sink.flush()
+
+
+@dataclass
+class Experiment:
+    """One declarative experiment: grid, seeds, point function, persistence.
+
+    Parameters
+    ----------
+    name:
+        Registry name (also what ``repro experiment run <name>`` invokes).
+    point_fn:
+        Picklable module-level callable mapping one task tuple to one
+        record; fully determined by the tuple so records are identical
+        wherever (and in whatever order) the task runs.
+    grid:
+        Ordered mapping of independent variables to their level lists.
+    task_fields:
+        The task tuple's layout, by name.  Each name resolves from the
+        grid (its per-point value), the derived columns (``seed`` /
+        ``replicate``), or ``fixed`` (a run-constant) — anything else is
+        a configuration error.
+    coord_fields:
+        The subset (and order) of ``task_fields`` that identifies a task
+        in the stream: quarantine ``coords`` dicts carry exactly these,
+        and resume validation compares them against every resumed record.
+    order:
+        Explicit grid enumeration order (defaults to insertion order);
+        validated by :meth:`~repro.parallel.Sweep.names`.
+    seed_scheme:
+        ``"flat"`` or ``"axes"`` — see the module docstring.
+    fixed:
+        Run-constant values for ``task_fields`` not in the grid.
+    coord_overrides:
+        Coordinate values that differ from the raw task slot (e.g. the
+        census coordinates carry the canonical objective *spec* while the
+        task may carry a resolved ``CostModel`` instance).
+    int_coords:
+        Coordinate fields coerced through ``int()`` (numpy scalars in the
+        grid must not leak into headers or quarantine coords).
+    config_key / config_version / config:
+        The stream's run-config header (see :class:`JsonlStore`).
+    record_name / decode_record:
+        Corruption-error naming and the dict→record decoder; the default
+        decoder accepts any JSON object (quarantine lines decode to
+        :class:`FleetFailure`).
+    store_factory:
+        Optional ``(path, durability) -> JsonlStore`` hook.  The censuses
+        keep their module-local stores (whose write hooks the
+        crash-window tests intercept); experiments without one get a
+        store with :func:`write_jsonl_records` and an ``experiment``
+        header block naming this experiment.
+    """
+
+    name: str
+    point_fn: Callable[[tuple], Any]
+    grid: Mapping[str, Sequence[Any]]
+    task_fields: Sequence[str]
+    coord_fields: Sequence[str]
+    replicates: int = 1
+    root_seed: int = 0
+    order: "Sequence[str] | None" = None
+    seed_scheme: str = "flat"
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    coord_overrides: Mapping[str, Any] = field(default_factory=dict)
+    int_coords: Sequence[str] = ()
+    config_key: str = "experiment_config"
+    config_version: int = 1
+    config: Mapping[str, Any] = field(default_factory=dict)
+    record_name: str = "record"
+    decode_record: "Callable[[dict], Any] | None" = None
+    store_factory: "Callable[[Any, str], JsonlStore] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.seed_scheme not in ("flat", "axes"):
+            raise ConfigurationError(
+                f"seed_scheme must be 'flat' or 'axes', "
+                f"got {self.seed_scheme!r}"
+            )
+        overlap = [k for k in self.fixed if k in self.grid]
+        if overlap:
+            raise ConfigurationError(
+                f"fixed value(s) {overlap!r} shadow grid dimensions of the "
+                f"same name in experiment {self.name!r}"
+            )
+        unresolved = [
+            f for f in self.task_fields
+            if f not in self.grid and f not in self.fixed
+            and f not in _DERIVED_FIELDS
+        ]
+        if unresolved:
+            raise ConfigurationError(
+                f"task field(s) {unresolved!r} of experiment {self.name!r} "
+                "resolve from neither grid, fixed, nor the derived columns "
+                f"{_DERIVED_FIELDS}"
+            )
+        missing = [f for f in self.coord_fields if f not in self.task_fields]
+        if missing:
+            raise ConfigurationError(
+                f"coord field(s) {missing!r} of experiment {self.name!r} "
+                "are not task fields"
+            )
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def sweep(self) -> Sweep:
+        """The grid as a :class:`~repro.parallel.Sweep`."""
+        return Sweep(
+            grid=self.grid,
+            replicates=self.replicates,
+            root_seed=self.root_seed,
+            order=self.order,
+        )
+
+    def total_tasks(self) -> int:
+        total = self.replicates
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+    def compile_tasks(self) -> list[tuple]:
+        """Every task tuple of the fleet, in stream order."""
+        sweep = self.sweep()
+        names = sweep.names()
+        dims = [len(self.grid[k]) for k in names]
+        tasks: list[tuple] = []
+        for flat, pt in enumerate(sweep.points()):
+            if self.seed_scheme == "axes":
+                axes = _unravel(flat // self.replicates, dims)
+                seed = derive_seed(self.root_seed, *axes, pt.replicate)
+            else:
+                seed = pt.seed
+            values = []
+            for name in self.task_fields:
+                if name == "seed":
+                    values.append(seed)
+                elif name == "replicate":
+                    values.append(pt.replicate)
+                elif name in self.grid:
+                    values.append(pt[name])
+                else:
+                    values.append(self.fixed[name])
+            tasks.append(tuple(values))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Stream identity
+    # ------------------------------------------------------------------
+    def task_coords(self, task: tuple) -> dict:
+        """The task's grid coordinates (quarantine + resume identity)."""
+        coords = {}
+        for name in self.coord_fields:
+            if name in self.coord_overrides:
+                value = self.coord_overrides[name]
+            else:
+                value = task[list(self.task_fields).index(name)]
+            if name in self.int_coords:
+                value = int(value)
+            coords[name] = value
+        return coords
+
+    def check_resumed(self, coords: dict, rec) -> None:
+        """Raise unless a resumed record sits in the slot ``coords`` pins.
+
+        Seeds derive from grid *position*, so the coordinate fields alone
+        cannot see a changed run-constant; the caller's config header
+        covers those, and this per-record check still catches a matching
+        header pasted onto foreign records.
+        """
+        if isinstance(rec, FleetFailure):
+            if rec.coords != coords:
+                raise StoreIntegrityError(
+                    f"resume mismatch: quarantined slot {rec.coords!r} "
+                    "does not match this run's grid/configuration — "
+                    "same arguments required"
+                )
+            return
+        theirs = {name: _field_of(rec, name) for name in self.coord_fields}
+        if theirs != coords:
+            detail = ", ".join(
+                f"{name}={value!r}" for name, value in theirs.items()
+            )
+            raise StoreIntegrityError(
+                f"resume mismatch: existing record ({detail}) does not "
+                "match this run's grid/configuration — same arguments "
+                "required"
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def make_store(self, path, durability: str = "flush") -> JsonlStore:
+        """The experiment's resumable stream at ``path``."""
+        if self.store_factory is not None:
+            return self.store_factory(path, durability)
+        decode = self.decode_record or _decode_any
+        return JsonlStore(
+            path,
+            config_key=self.config_key,
+            config_version=self.config_version,
+            config=dict(self.config),
+            decode=decode,
+            record_name=self.record_name,
+            write_records=write_jsonl_records,
+            durability=durability,
+            experiment={
+                "name": self.name,
+                "order": list(self.sweep().names()),
+                "seed_scheme": self.seed_scheme,
+            },
+        )
+
+
+def _decode_any(obj: dict):
+    failure = maybe_decode_failure(obj)
+    if failure is not None:
+        return failure
+    if not isinstance(obj, dict):
+        raise TypeError(f"not a record object: {obj!r}")
+    return dict(obj)
+
+
+def _field_of(rec, name: str):
+    if isinstance(rec, Mapping):
+        return rec[name]
+    return getattr(rec, name)
+
+
+def _unravel(flat: int, dims: Sequence[int]) -> tuple[int, ...]:
+    axes = []
+    for size in reversed(dims):
+        axes.append(flat % size)
+        flat //= size
+    return tuple(reversed(axes))
+
+
+def run_fleet(
+    experiment: Experiment,
+    *,
+    workers: int = 1,
+    jsonl_path: "str | Path | None" = None,
+    resume: bool = False,
+    timeout: "float | None" = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    on_error: str = "record",
+    retry_failed: bool = False,
+    durability: str = "flush",
+) -> list:
+    """Execute ``experiment`` as a sharded resumable fleet; one record per task.
+
+    This is the single runner behind every registered experiment (and the
+    ``run_census`` / ``run_trajectory_census`` shims): enumeration via the
+    compiled task list, execution via :func:`~repro.parallel.map_streamed`
+    (workers > 1 shards over the persistent pool, records bit-identical to
+    serial for any worker count), persistence via the experiment's
+    :class:`~repro.io.jsonl_store.JsonlStore` with the full DESIGN.md §9
+    contract: streamed record order, resume with header + per-record
+    validation, quarantined ``FleetFailure`` slots under
+    ``on_error="record"``, ``retry_failed=True`` re-running exactly the
+    quarantined slots of a resumed prefix, and ``durability`` selecting
+    the flush cadence.
+    """
+    if resume and jsonl_path is None:
+        raise ConfigurationError("resume=True needs a jsonl_path to resume from")
+    tasks = experiment.compile_tasks()
+
+    def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
+        return FleetFailure(
+            coords=experiment.task_coords(task),
+            error=failure.error,
+            attempts=failure.attempts,
+        )
+
+    records: list = []
+    sink = None
+    store = None
+    if jsonl_path is not None:
+        store = experiment.make_store(jsonl_path, durability)
+
+        def check_record(idx: int, rec) -> None:
+            experiment.check_resumed(experiment.task_coords(tasks[idx]), rec)
+
+        records = store.start_stream(resume, len(tasks), check_record)
+        if retry_failed and records:
+            failed_idx = [
+                i for i, r in enumerate(records)
+                if isinstance(r, FleetFailure)
+            ]
+            if failed_idx:
+                redo = [tasks[i] for i in failed_idx]
+                fixed = map_streamed(
+                    experiment.point_fn, redo, workers,
+                    timeout=timeout, retries=retries, backoff=backoff,
+                    on_error=on_error,
+                )
+                for sub, value in enumerate(fixed):
+                    if isinstance(value, TaskFailure):
+                        value = quarantine(value, redo[sub])
+                    records[failed_idx[sub]] = value
+                store.rewrite_prefix(records)
+        tasks = tasks[len(records):]
+        sink = store.open_append()
+
+    def as_records(part: list) -> list:
+        # TaskFailure.index is absolute within the mapped (post-resume)
+        # task slice, so it looks its coordinates up directly.
+        return [
+            quarantine(item, tasks[item.index])
+            if isinstance(item, TaskFailure)
+            else item
+            for item in part
+        ]
+
+    try:
+        fresh = map_streamed(
+            experiment.point_fn,
+            tasks,
+            workers,
+            consume=None
+            if sink is None
+            else (lambda part: store.append(sink, as_records(part))),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            on_error=on_error,
+        )
+        records += as_records(fresh)
+    finally:
+        if sink is not None:
+            sink.close()
+    return records

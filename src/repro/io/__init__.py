@@ -1,15 +1,23 @@
 """Audited on-disk state: record streams, fingerprints, result caches."""
 
 from .hashing import graph_fingerprint
-from .jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
+from .jsonl_store import (
+    FleetFailure,
+    JsonlStore,
+    StreamSummary,
+    maybe_decode_failure,
+    summarize_stream,
+)
 from .result_cache import ResultCache, cache_key, canonical_json
 
 __all__ = [
     "FleetFailure",
     "JsonlStore",
     "ResultCache",
+    "StreamSummary",
     "cache_key",
     "canonical_json",
     "graph_fingerprint",
     "maybe_decode_failure",
+    "summarize_stream",
 ]

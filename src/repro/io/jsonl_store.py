@@ -64,7 +64,13 @@ from typing import IO, Callable, Iterable, Mapping, Sequence
 from ..errors import ConfigurationError, StoreIntegrityError
 from ..parallel import faults
 
-__all__ = ["FleetFailure", "JsonlStore", "maybe_decode_failure"]
+__all__ = [
+    "FleetFailure",
+    "JsonlStore",
+    "StreamSummary",
+    "maybe_decode_failure",
+    "summarize_stream",
+]
 
 #: Marker key identifying a quarantine line in a record stream.
 _FAILURE_KEY = "fleet_failure"
@@ -106,6 +112,91 @@ def maybe_decode_failure(obj: dict) -> "FleetFailure | None":
         raise TypeError(f"torn {_FAILURE_KEY} line: {obj!r}") from None
 
 
+@dataclass
+class StreamSummary:
+    """What a stream contains, read without recomputing anything.
+
+    ``results`` counts decoded result records, ``failures`` holds the
+    quarantined :class:`FleetFailure` slots in stream order, and
+    ``torn_tail`` reports whether the final line was torn by a crash (the
+    resume machinery would drop it).  ``header`` is the raw run-config
+    header dict (``None`` for legacy headerless files).
+    """
+
+    path: Path
+    header: "dict | None"
+    results: int
+    failures: list
+    torn_tail: bool
+
+    @property
+    def completed(self) -> int:
+        """Slots occupied in the stream (results + quarantined failures)."""
+        return self.results + len(self.failures)
+
+
+def summarize_stream(
+    path: "str | Path", *, record_name: str = "record"
+) -> StreamSummary:
+    """Summarize any record stream at ``path`` without a record schema.
+
+    Applies the store's torn-line policy (a torn **final** line is
+    reported, a tear anywhere earlier raises) and classifies every line:
+    the first line whose keys include one ending in ``_config`` is the
+    run-config header, ``fleet_failure``-marked lines decode to
+    :class:`FleetFailure`, everything else counts as a result record.
+    This is what ``repro experiment status`` reads — headers plus
+    quarantine coordinates, no recompute.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    header: "dict | None" = None
+    results = 0
+    failures: list = []
+    torn_tail = False
+    for idx, line in enumerate(lines):
+        final = idx == len(lines) - 1
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            if final:
+                torn_tail = True
+                break
+            raise StoreIntegrityError(
+                f"{path}: line {idx + 1} of {len(lines)} is not valid JSON "
+                "but is not the final line — the stream is corrupt "
+                "mid-file, not merely torn by a crash"
+            ) from None
+        if (
+            idx == 0
+            and isinstance(obj, dict)
+            and any(key.endswith("_config") for key in obj)
+        ):
+            header = obj
+            continue
+        try:
+            failure = maybe_decode_failure(obj)
+        except TypeError:
+            if final:
+                torn_tail = True
+                break
+            raise StoreIntegrityError(
+                f"{path}: line {idx + 1} of {len(lines)} is valid JSON but "
+                f"not a {record_name}; the stream is corrupt mid-file"
+            ) from None
+        if failure is not None:
+            failures.append(failure)
+        else:
+            results += 1
+    return StreamSummary(
+        path=path,
+        header=header,
+        results=results,
+        failures=failures,
+        torn_tail=torn_tail,
+    )
+
+
 class JsonlStore:
     """One resumable JSONL stream: header, prefix validation, atomic rewrite.
 
@@ -131,6 +222,12 @@ class JsonlStore:
     durability:
         What :meth:`append` does after each batch: ``"none"``, ``"flush"``
         (default), or ``"fsync"`` — see the module docstring.
+    experiment:
+        Optional experiment descriptor (name / grid order / seed scheme)
+        written into the header as an ``"experiment"`` block and, like
+        every header field, validated on resume.  Streams predating the
+        experiment layer (the census formats) omit it, keeping their
+        bytes and resume behavior unchanged.
     """
 
     def __init__(
@@ -144,6 +241,7 @@ class JsonlStore:
         record_name: str = "record",
         write_records: Callable[[IO, Iterable], None],
         durability: str = "flush",
+        experiment: "Mapping | None" = None,
     ):
         if durability not in ("none", "flush", "fsync"):
             raise ConfigurationError(
@@ -154,6 +252,12 @@ class JsonlStore:
         self.config_key = config_key
         self.config_version = config_version
         self.header = {config_key: config_version, **config}
+        if experiment is not None:
+            self.header = {
+                config_key: config_version,
+                "experiment": dict(experiment),
+                **config,
+            }
         self._decode = decode
         self.record_name = record_name
         self._write = write_records
@@ -163,6 +267,10 @@ class JsonlStore:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def summary(self) -> StreamSummary:
+        """Header + slot counts + quarantined failures, no recomputation."""
+        return summarize_stream(self.path, record_name=self.record_name)
+
     def read_prefix(self) -> "tuple[dict | None, list]":
         """Parse a (possibly torn) stream -> ``(config header, records)``.
 

@@ -12,9 +12,11 @@ The engine is a small rule framework over :mod:`ast` (stdlib only):
 
 * per-file **visitor rules** (R1, R2, R4, R6, R7, R8) walk one module's
   tree;
-* **project rules** (R3, R5) see every parsed file at once — R3 first
-  collects the set of ``deadline=``-accepting functions, R5 cross-checks
-  kernel mode literals against the test tree;
+* **project rules** (R3, R5, R9) see every parsed file at once — R3
+  first collects the set of ``deadline=``-accepting functions, R5
+  cross-checks kernel mode literals against the test tree, R9
+  cross-checks registered experiment names against the golden-file
+  suite;
 * findings are ``path:line:col: RULE message`` records, sortable and
   JSON-serializable;
 * any finding can be suppressed in place with a justified comment::
@@ -38,8 +40,11 @@ R4      error taxonomy: no ``raise ValueError``/``raise Exception`` in
 R5      oracle coverage: every kernel mode literal must appear in tests/
 R6      shared-memory safety: no writes to ``arrays``-parameter views
 R7      JSONL stability: record-defining modules never write files
-        directly (serialization goes through ``jsonl_store``)
+        directly (serialization goes through ``jsonl_store`` or the
+        ``repro.experiments`` layer that feeds it)
 R8      no mutable default arguments
+R9      golden pins: every ``register_experiment`` name must appear in
+        a golden-file test, keeping its stream bytes pinned
 ======  ==============================================================
 
 Entry points: :func:`lint_paths` (library), ``python -m repro.lint`` and

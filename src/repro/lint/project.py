@@ -1,6 +1,6 @@
-"""Project-wide rules: R3 (deadline propagation) and R5 (oracle coverage).
+"""Project-wide rules: R3 (deadlines), R5 (oracles), R9 (golden pins).
 
-Both need the whole parsed tree at once.  R3 runs two passes: first it
+All need the whole parsed tree at once.  R3 runs two passes: first it
 collects every function that *accepts* ``deadline=`` (these are the
 "deadline-capable" callees, seeded with the pool primitives), then it
 re-walks each capable function's body and demands that (a) the deadline
@@ -9,6 +9,10 @@ collects kernel mode literals (``*_MODES`` registries and ``*Mode``
 Literal aliases) and requires each to appear, quoted, somewhere in the
 test tree — a mode string nobody asserts bit-equality on is an oracle
 gap, exactly how the ``batched`` path drifted before PR 5 pinned it.
+R9 applies the same discipline to experiment streams: every
+``register_experiment`` name must appear, quoted, in a golden-file test
+(a ``tests`` file with ``golden`` in its name), so no experiment ships
+without its bytes pinned (DESIGN.md §12).
 """
 
 from __future__ import annotations
@@ -182,4 +186,49 @@ def rule_oracle_coverage(
                     f"kernel mode '{literal}' never appears in the test "
                     f"tree ({config.tests_dir}); add a bit-equality oracle "
                     "test before shipping a mode",
+                )
+
+
+def _registered_experiment_names(ctx: FileContext):
+    """Yield ``(name, node)`` for every ``register_experiment(...)`` whose
+    definition carries a literal ``name=`` (the registry's idiom)."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _callee_name(node) != "register_experiment":
+            continue
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.keyword)
+                and sub.arg == "name"
+                and isinstance(sub.value, ast.Constant)
+                and isinstance(sub.value.value, str)
+            ):
+                yield sub.value.value, node
+                break
+
+
+@project_rule("R9", "every registered experiment is pinned in a golden test")
+def rule_golden_coverage(
+    contexts: "list[FileContext]", config: LintConfig
+) -> Iterator[Finding]:
+    if config.tests_dir is None or not config.tests_dir.is_dir():
+        return
+    corpus_parts: list[str] = []
+    for path in sorted(config.tests_dir.rglob("*.py")):
+        if "golden" in path.name and "__pycache__" not in path.parts:
+            try:
+                corpus_parts.append(path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+    corpus = "\n".join(corpus_parts)
+    for ctx in contexts:
+        for name, node in _registered_experiment_names(ctx):
+            if f'"{name}"' not in corpus and f"'{name}'" not in corpus:
+                yield ctx.finding(
+                    node, "R9",
+                    f"experiment '{name}' is registered but appears in no "
+                    f"golden-file test under {config.tests_dir} (a file "
+                    "with 'golden' in its name); its stream bytes are "
+                    "unpinned — extend the golden suite before shipping",
                 )

@@ -51,12 +51,38 @@ class Sweep:
     """A cartesian grid of parameters with replicates.
 
     ``grid`` maps parameter names to value lists; points enumerate the
-    product in the declared order (first parameter slowest).
+    product in the declared order (first parameter slowest).  Passing
+    ``order=`` makes the enumeration order explicit instead of relying on
+    the mapping's insertion order: it must name every grid key exactly
+    once (a re-declared key raises, as does a key missing from ``grid``).
     """
 
     grid: Mapping[str, Sequence[Any]]
     replicates: int = 1
     root_seed: int = 0
+    order: "Sequence[str] | None" = None
+
+    def names(self) -> list[str]:
+        """Enumeration order of the grid dimensions (first is slowest)."""
+        if self.order is None:
+            return list(self.grid.keys())
+        declared = list(self.order)
+        seen: set = set()
+        for name in declared:
+            if name in seen:
+                raise ConfigurationError(
+                    f"grid key {name!r} re-declared in order={declared!r}; "
+                    "each dimension must appear exactly once"
+                )
+            seen.add(name)
+        unknown = [name for name in declared if name not in self.grid]
+        missing = [name for name in self.grid if name not in seen]
+        if unknown or missing:
+            raise ConfigurationError(
+                f"order={declared!r} must name every grid key exactly once "
+                f"(unknown: {unknown!r}, missing: {missing!r})"
+            )
+        return declared
 
     def points(self) -> list[SweepPoint]:
         if self.replicates < 1:
@@ -71,7 +97,7 @@ class Sweep:
                 f"{RESERVED_COLUMNS}; SweepPoint.as_dict would silently "
                 "overwrite them — rename the grid dimension"
             )
-        names = list(self.grid.keys())
+        names = self.names()
         values = [list(self.grid[k]) for k in names]
         if any(len(v) == 0 for v in values):
             raise ConfigurationError("every grid dimension needs >= 1 value")

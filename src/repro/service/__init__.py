@@ -10,7 +10,7 @@ and a pool → serial → cache-only degradation ladder.
 
 from .admission import AdmissionGate, LoadShed
 from .degradation import DegradationLadder
-from .handlers import AuditEngine, ClientError, QUERY_KINDS
+from .handlers import AuditEngine, ClientError, NotModified, QUERY_KINDS
 from .server import AuditServer, build_server, serve
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "ClientError",
     "DegradationLadder",
     "LoadShed",
+    "NotModified",
     "QUERY_KINDS",
     "build_server",
     "serve",

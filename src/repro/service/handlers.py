@@ -50,7 +50,7 @@ from ..parallel import faults
 from .admission import AdmissionGate, LoadShed
 from .degradation import DegradationLadder
 
-__all__ = ["AuditEngine", "ClientError", "QUERY_KINDS"]
+__all__ = ["AuditEngine", "ClientError", "NotModified", "QUERY_KINDS"]
 
 QUERY_KINDS = (
     "is_equilibrium",
@@ -66,6 +66,36 @@ _CLIENT_ERRORS = (GraphError, MoveError, ValueError, TypeError, KeyError)
 
 class ClientError(ReproError):
     """The request itself is malformed (unknown query, bad graph, ...)."""
+
+
+class NotModified(Exception):
+    """The client's cached answer (``If-None-Match``) is still current.
+
+    Answers are content-addressed: the cache key *is* the ``ETag``, so a
+    matching validator means the client already holds this exact answer
+    and the transport can reply 304 with no body.  Raised only for
+    answers the service itself has cached — a recomputation is never
+    skipped on the client's word alone.
+    """
+
+    def __init__(self, etag: str):
+        super().__init__(etag)
+        self.etag = etag
+
+
+def _etag_matches(if_none_match: "str | None", key: str) -> bool:
+    """RFC 9110 ``If-None-Match``: ``*``, quoted, weak, or a list."""
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    for candidate in if_none_match.split(","):
+        tag = candidate.strip()
+        if tag.startswith("W/"):
+            tag = tag[2:].strip()
+        if tag.strip('"') == key:
+            return True
+    return False
 
 
 def _json_safe(value):
@@ -124,6 +154,7 @@ class AuditEngine:
         self.compute_failures = 0
         self.store_failures = 0
         self.deadline_exceeded = 0
+        self.not_modified = 0
 
     # -- request parsing --------------------------------------------------
 
@@ -297,8 +328,16 @@ class AuditEngine:
 
     # -- endpoints --------------------------------------------------------
 
-    def handle_audit(self, request: dict) -> dict:
-        """One query; returns the response body (raises typed errors)."""
+    def handle_audit(
+        self, request: dict, *, if_none_match: "str | None" = None
+    ) -> dict:
+        """One query; returns the response body (raises typed errors).
+
+        ``if_none_match`` is the transport's ``If-None-Match`` header:
+        when it names this answer's cache key (the ``ETag`` every
+        cacheable answer carries) and the answer is cached,
+        :class:`NotModified` is raised instead of re-serving the body.
+        """
         if not isinstance(request, dict):
             raise ClientError("request body must be a JSON object")
         kind, params = self._parse_query(request)
@@ -317,18 +356,25 @@ class AuditEngine:
                 "model": model_spec,
                 "cached": cached,
                 "compute_mode": mode,
+                "etag": key,
                 "result": payload,
                 "elapsed_ms": round((time.monotonic() - start) * 1e3, 3),
             }
 
+        def serve_cached(payload):
+            if _etag_matches(if_none_match, key):
+                self.not_modified += 1
+                raise NotModified(key)
+            return respond(payload, cached=True, mode="cache")
+
         cached = self.cache.get(key)
         if cached is not None:
-            return respond(cached, cached=True, mode="cache")
+            return serve_cached(cached)
         with self.gate.slot(deadline):
             # A queue-mate may have filled it; not a second logical miss.
             cached = self.cache.get(key, count_miss=False)
             if cached is not None:
-                return respond(cached, cached=True, mode="cache")
+                return serve_cached(cached)
             payload, mode = self._compute_degraded(
                 kind, graph, model_spec, params, deadline=deadline
             )
@@ -419,6 +465,7 @@ class AuditEngine:
             "compute_failures": self.compute_failures,
             "store_failures": self.store_failures,
             "deadline_exceeded": self.deadline_exceeded,
+            "not_modified": self.not_modified,
             "cache": self.cache.stats(),
             "admission": self.gate.snapshot(),
             "degradation": self.ladder.snapshot(),

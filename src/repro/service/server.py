@@ -11,7 +11,10 @@ A :class:`~http.server.ThreadingHTTPServer` front-ends
 Every response is a complete JSON body with an explicit Content-Length —
 typed errors map to typed statuses (400 client error, 503 shed/degraded
 with a ``Retry-After`` header, 504 deadline exceeded, 500 compute failed)
-and never a hang or a partial body.  Start one with::
+and never a hang or a partial body.  Cacheable answers carry their
+content-addressed cache key as an ``ETag`` (also ``"etag"`` in the body);
+a ``POST /audit`` with ``If-None-Match`` naming a cached answer's key is
+answered 304 with no body.  Start one with::
 
     python -m repro.cli serve --port 8642 --cache-dir results/audit_cache
 """
@@ -26,7 +29,7 @@ from ..io import ResultCache
 from ..parallel import shutdown_shared_pools
 from .admission import AdmissionGate, LoadShed
 from .degradation import DegradationLadder
-from .handlers import AuditEngine, ClientError
+from .handlers import AuditEngine, ClientError, NotModified
 
 __all__ = ["AuditServer", "build_server", "serve"]
 
@@ -83,9 +86,18 @@ class AuditRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ClientError(f"request body is not valid JSON: {exc}")
 
+    def _send_not_modified(self, etag: str) -> None:
+        # 304 carries validator headers but no body (RFC 9110 §15.4.5).
+        self.send_response(304)
+        self.send_header("ETag", f'"{etag}"')
+        self.send_header("Content-Length", "0")
+        self.end_headers()
+
     def _dispatch(self, handler) -> None:
         try:
             body = handler()
+        except NotModified as exc:
+            self._send_not_modified(exc.etag)
         except ClientError as exc:
             self._send_json(400, {"ok": False, "error": "bad-request",
                                   "detail": str(exc)})
@@ -109,7 +121,11 @@ class AuditRequestHandler(BaseHTTPRequestHandler):
                 {"ok": False, "error": "compute-failed", "detail": repr(exc)},
             )
         else:
-            self._send_json(200, body)
+            headers = ()
+            etag = body.get("etag") if isinstance(body, dict) else None
+            if etag:
+                headers = (("ETag", f'"{etag}"'),)
+            self._send_json(200, body, headers=headers)
 
     # -- routes -----------------------------------------------------------
 
@@ -126,7 +142,10 @@ class AuditRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self):  # noqa: N802 - stdlib naming
         engine = self.server.engine
         if self.path == "/audit":
-            self._dispatch(lambda: engine.handle_audit(self._read_body()))
+            self._dispatch(lambda: engine.handle_audit(
+                self._read_body(),
+                if_none_match=self.headers.get("If-None-Match"),
+            ))
         elif self.path == "/batch":
             self._dispatch(lambda: engine.handle_batch(self._read_body()))
         else:

@@ -1,0 +1,165 @@
+"""End-to-end tests for ``repro experiment list/run/resume/status``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.jsonl_store import FleetFailure, summarize_stream
+
+TINY = ["--n", "8", "--families", "tree", "--replicates", "2",
+        "--max-steps", "2000", "--root-seed", "3"]
+
+
+def run_tiny(out, *extra):
+    return main(["experiment", "run", "census", *TINY,
+                 "--workers", "1", *extra, "--out", str(out)])
+
+
+class TestList:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("census", "trajectory", "bench-census-scaling",
+                     "bench-trajectory-scaling"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_streams_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "census.jsonl"
+        assert run_tiny(out) == 0
+        text = capsys.readouterr().out
+        assert "running 2 task(s)" in text
+        assert "done in" in text
+        summary = summarize_stream(out)
+        assert summary.results == 2
+        assert summary.header["census_config"] is not None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "run", "nope"])
+
+    def test_run_resume_flag_continues(self, tmp_path, capsys):
+        out = tmp_path / "census.jsonl"
+        assert run_tiny(out) == 0
+        full = out.read_bytes()
+        lines = out.read_text().splitlines(keepends=True)
+        out.write_text("".join(lines[:2]))
+        capsys.readouterr()
+        assert run_tiny(out, "--resume") == 0
+        assert "resuming" in capsys.readouterr().out
+        assert out.read_bytes() == full
+
+
+class TestStatus:
+    def test_missing_stream_reports_not_started(self, tmp_path, capsys):
+        code = main(["experiment", "status", "census",
+                     "--out", str(tmp_path / "none.jsonl")])
+        assert code == 1
+        assert "not started" in capsys.readouterr().out
+
+    def test_complete_stream_reports_complete(self, tmp_path, capsys):
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "progress: 2/2 slots (2 results, 0 quarantined)" in text
+        assert "complete" in text
+
+    def test_partial_stream_prints_resume_command(self, tmp_path, capsys):
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        lines = out.read_text().splitlines(keepends=True)
+        out.write_text("".join(lines[:2]))
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "progress: 1/2 slots" in text
+        assert (f"python -m repro.cli experiment resume census "
+                f"--n 8 --families tree --replicates 2") in text
+        assert "--retry-failed" not in text
+
+    def test_quarantined_slot_surfaced_with_retry_command(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        lines = out.read_text().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        failure = FleetFailure(
+            coords={"n": record["n"], "family": record["family"],
+                    "seed": record["seed"], "objective": "sum"},
+            error="InjectedFault('boom')",
+            attempts=3,
+        )
+        lines[1] = json.dumps(failure.encode()) + "\n"
+        out.write_text("".join(lines))
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "1 quarantined" in text
+        assert "quarantined slots:" in text
+        assert "InjectedFault('boom')" in text
+        assert "--retry-failed" in text
+        assert "experiment resume census" in text
+
+    def test_foreign_stream_rejected(self, tmp_path, capsys):
+        out = tmp_path / "other.jsonl"
+        out.write_text(json.dumps({"other_config": 1}) + "\n")
+        assert main(["experiment", "status", "census",
+                     "--out", str(out)]) == 1
+        assert "not a census stream" in capsys.readouterr().out
+
+
+class TestResumeVerb:
+    def test_resume_retry_failed_clears_quarantine(self, tmp_path, capsys):
+        from repro.core.census import census_experiment
+
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        full = out.read_bytes()
+        lines = out.read_text().splitlines(keepends=True)
+        exp = census_experiment(
+            [8], families=("tree",), replicates=2,
+            root_seed=3, max_steps=2000,
+        )
+        failure = FleetFailure(
+            coords=exp.task_coords(exp.compile_tasks()[0]),
+            error="InjectedFault('boom')",
+            attempts=3,
+        )
+        lines[1] = json.dumps(failure.encode()) + "\n"
+        out.write_text("".join(lines))
+        capsys.readouterr()
+        assert main(["experiment", "resume", "census", *TINY,
+                     "--workers", "1", "--retry-failed",
+                     "--out", str(out)]) == 0
+        assert out.read_bytes() == full
+        assert summarize_stream(out).failures == []
+
+
+class TestDeprecatedShims:
+    @pytest.mark.parametrize("script, name", [
+        ("census_fleet.py", "census"),
+        ("trajectory_fleet.py", "trajectory"),
+    ])
+    def test_shim_forwards_to_experiment_cli(self, script, name, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            f"shim_{name}",
+            Path(__file__).parents[2] / "scripts" / script,
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        with pytest.raises(SystemExit):
+            mod.main(["--help"])
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--retry-failed" in captured.out

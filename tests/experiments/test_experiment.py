@@ -1,0 +1,193 @@
+"""Unit tests for the Experiment dataclass and run_fleet (DESIGN.md §12)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, StoreIntegrityError
+from repro.experiments import Experiment, run_fleet
+from repro.io.jsonl_store import FleetFailure
+from repro.rng import derive_seed
+
+
+def eval_task(task):
+    n, mode, seed, scale = task
+    return {"n": n, "mode": mode, "seed": seed, "value": n * scale}
+
+
+def make_experiment(**overrides):
+    kwargs = dict(
+        name="demo",
+        point_fn=eval_task,
+        grid={"n": [2, 3], "mode": ["a", "b"]},
+        task_fields=("n", "mode", "seed", "scale"),
+        coord_fields=("n", "mode", "seed"),
+        replicates=2,
+        root_seed=9,
+        fixed={"scale": 10},
+        int_coords=("n", "seed"),
+        config={"scale": 10, "root_seed": 9},
+    )
+    kwargs.update(overrides)
+    return Experiment(**kwargs)
+
+
+class TestValidation:
+    def test_bad_seed_scheme(self):
+        with pytest.raises(ConfigurationError, match="seed_scheme"):
+            make_experiment(seed_scheme="zigzag")
+
+    def test_fixed_shadowing_grid(self):
+        with pytest.raises(ConfigurationError, match="shadow grid"):
+            make_experiment(fixed={"scale": 10, "n": 5})
+
+    def test_unresolved_task_field(self):
+        with pytest.raises(ConfigurationError, match="'ghost'"):
+            make_experiment(task_fields=("n", "mode", "seed", "ghost"))
+
+    def test_coord_field_must_be_task_field(self):
+        with pytest.raises(ConfigurationError, match="not task fields"):
+            make_experiment(coord_fields=("n", "elsewhere"))
+
+    def test_order_validated_through_sweep(self):
+        exp = make_experiment(order=("mode", "mode"))
+        with pytest.raises(ConfigurationError, match="re-declared"):
+            exp.compile_tasks()
+
+
+class TestCompileTasks:
+    def test_stream_order_and_fixed_resolution(self):
+        tasks = make_experiment().compile_tasks()
+        assert len(tasks) == 8
+        assert [t[0] for t in tasks] == [2, 2, 2, 2, 3, 3, 3, 3]
+        assert [t[1] for t in tasks] == ["a", "a", "b", "b"] * 2
+        assert all(t[3] == 10 for t in tasks)
+
+    def test_flat_seed_scheme_matches_sweep(self):
+        exp = make_experiment()
+        seeds = [t[2] for t in exp.compile_tasks()]
+        assert seeds == [p.seed for p in exp.sweep().points()]
+
+    def test_axes_seed_scheme_derives_from_axis_indices(self):
+        exp = make_experiment(seed_scheme="axes")
+        seeds = [t[2] for t in exp.compile_tasks()]
+        expect = [
+            derive_seed(9, i, j, rep)
+            for i in range(2) for j in range(2) for rep in range(2)
+        ]
+        assert seeds == expect
+
+    def test_order_reorders_tasks(self):
+        tasks = make_experiment(order=("mode", "n")).compile_tasks()
+        assert [t[1] for t in tasks] == ["a"] * 4 + ["b"] * 4
+
+    def test_total_tasks(self):
+        assert make_experiment().total_tasks() == 8
+
+
+class TestCoords:
+    def test_coords_follow_coord_field_order(self):
+        exp = make_experiment()
+        task = exp.compile_tasks()[0]
+        coords = exp.task_coords(task)
+        assert list(coords) == ["n", "mode", "seed"]
+        assert coords["n"] == 2 and coords["mode"] == "a"
+
+    def test_int_coords_coerce_numpy_scalars(self):
+        np = pytest.importorskip("numpy")
+        exp = make_experiment(grid={"n": [np.int64(2)], "mode": ["a"]})
+        coords = exp.task_coords(exp.compile_tasks()[0])
+        assert type(coords["n"]) is int
+
+    def test_coord_overrides_win(self):
+        exp = make_experiment(coord_overrides={"mode": "canonical"})
+        coords = exp.task_coords(exp.compile_tasks()[0])
+        assert coords["mode"] == "canonical"
+
+
+class TestCheckResumed:
+    def test_matching_record_passes(self):
+        exp = make_experiment()
+        coords = {"n": 2, "mode": "a", "seed": 5}
+        exp.check_resumed(coords, {"n": 2, "mode": "a", "seed": 5, "x": 1})
+
+    def test_mismatching_record_names_every_coord(self):
+        exp = make_experiment()
+        with pytest.raises(StoreIntegrityError, match="n=3, mode='a'"):
+            exp.check_resumed(
+                {"n": 2, "mode": "a", "seed": 5},
+                {"n": 3, "mode": "a", "seed": 5},
+            )
+
+    def test_quarantine_slot_checked_against_coords(self):
+        exp = make_experiment()
+        good = FleetFailure(
+            coords={"n": 2, "mode": "a", "seed": 5}, error="x", attempts=1
+        )
+        exp.check_resumed({"n": 2, "mode": "a", "seed": 5}, good)
+        with pytest.raises(StoreIntegrityError, match="quarantined slot"):
+            exp.check_resumed({"n": 3, "mode": "a", "seed": 5}, good)
+
+
+class TestStore:
+    def test_default_store_writes_experiment_block(self, tmp_path):
+        exp = make_experiment()
+        path = tmp_path / "demo.jsonl"
+        run_fleet(exp, jsonl_path=path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["experiment"] == {
+            "name": "demo",
+            "order": ["n", "mode"],
+            "seed_scheme": "flat",
+        }
+
+    def test_store_factory_overrides_default(self, tmp_path):
+        sentinel = object()
+        calls = []
+
+        def factory(path, durability):
+            calls.append((path, durability))
+            return sentinel
+
+        exp = make_experiment(store_factory=factory)
+        store = exp.make_store(tmp_path / "x.jsonl", "fsync")
+        assert calls == [(tmp_path / "x.jsonl", "fsync")]
+        assert store is sentinel
+
+
+class TestRunFleet:
+    def test_resume_requires_path(self):
+        with pytest.raises(ConfigurationError, match="needs a jsonl_path"):
+            run_fleet(make_experiment(), resume=True)
+
+    def test_records_match_tasks_in_order(self):
+        exp = make_experiment()
+        records = run_fleet(exp)
+        assert [r["n"] for r in records] == [t[0] for t in exp.compile_tasks()]
+        assert all(r["value"] == r["n"] * 10 for r in records)
+
+    def test_workers_bit_identical(self, tmp_path):
+        exp = make_experiment()
+        a, b = tmp_path / "w1.jsonl", tmp_path / "w2.jsonl"
+        serial = run_fleet(exp, workers=1, jsonl_path=a)
+        sharded = run_fleet(exp, workers=2, jsonl_path=b)
+        assert serial == sharded
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_resume_skips_streamed_prefix(self, tmp_path):
+        exp = make_experiment()
+        path = tmp_path / "demo.jsonl"
+        full = run_fleet(exp, jsonl_path=path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:4]))
+        resumed = run_fleet(exp, jsonl_path=path, resume=True)
+        assert resumed == full
+        assert path.read_text() == "".join(lines)
+
+    def test_resume_refuses_foreign_records(self, tmp_path):
+        exp = make_experiment()
+        path = tmp_path / "demo.jsonl"
+        run_fleet(exp, jsonl_path=path)
+        other = make_experiment(grid={"n": [7, 8], "mode": ["a", "b"]})
+        with pytest.raises(StoreIntegrityError, match="resume mismatch"):
+            run_fleet(other, jsonl_path=path, resume=True)

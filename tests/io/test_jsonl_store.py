@@ -13,7 +13,12 @@ from dataclasses import asdict, dataclass
 import pytest
 
 from repro.io import JsonlStore
-from repro.io.jsonl_store import FleetFailure, maybe_decode_failure
+from repro.io.jsonl_store import (
+    FleetFailure,
+    StreamSummary,
+    maybe_decode_failure,
+    summarize_stream,
+)
 
 
 @dataclass
@@ -260,3 +265,95 @@ def _write_mixed(sink, records):
         obj = rec.encode() if isinstance(rec, FleetFailure) else asdict(rec)
         sink.write(json.dumps(obj) + "\n")
     sink.flush()
+
+
+class TestExperimentHeaderBlock:
+    BLOCK = {"name": "demo", "order": ["a"], "seed_scheme": "flat"}
+
+    def make(self, path):
+        return JsonlStore(
+            path,
+            config_key="item_config",
+            config_version=1,
+            config={"mode": "x"},
+            decode=lambda obj: Item(**obj),
+            record_name="item record",
+            write_records=_write,
+            experiment=self.BLOCK,
+        )
+
+    def test_block_lands_in_header_after_config_key(self, tmp_path):
+        path = tmp_path / "items.jsonl"
+        self.make(path).rewrite_prefix([])
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {
+            "item_config": 1, "experiment": self.BLOCK, "mode": "x",
+        }
+        assert list(header) == ["item_config", "experiment", "mode"]
+
+    def test_omitted_block_leaves_header_unchanged(self, stream):
+        # Legacy streams (census formats) must keep their exact bytes.
+        _, path = stream
+        header = json.loads(path.read_text().splitlines()[0])
+        assert "experiment" not in header
+
+    def test_block_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "items.jsonl"
+        self.make(path).rewrite_prefix(RECORDS)
+        other = self.make(path)
+        other.header["experiment"] = {**self.BLOCK, "seed_scheme": "axes"}
+        with pytest.raises(ValueError, match="resume mismatch"):
+            other.resume_records()
+
+
+class TestStreamSummary:
+    def test_summary_counts_results(self, stream):
+        store, path = stream
+        summary = store.summary()
+        assert isinstance(summary, StreamSummary)
+        assert summary.path == path
+        assert summary.header == {"item_config": 1, "mode": "x", "count": 3}
+        assert summary.results == 3
+        assert summary.failures == []
+        assert not summary.torn_tail
+        assert summary.completed == 3
+
+    def test_summary_classifies_quarantine_lines(self, stream):
+        store, path = stream
+        failure = FleetFailure(
+            coords={"a": 4}, error="InjectedFault('x')", attempts=2
+        )
+        with path.open("a") as sink:
+            sink.write(json.dumps(failure.encode()) + "\n")
+        summary = store.summary()
+        assert summary.results == 3
+        assert summary.failures == [failure]
+        assert summary.completed == 4
+
+    def test_summary_reports_torn_tail(self, stream):
+        store, path = stream
+        path.write_text(path.read_text()[:-15])
+        summary = store.summary()
+        assert summary.torn_tail
+        assert summary.results == 2
+
+    def test_summary_raises_on_mid_file_tear(self, stream):
+        store, path = stream
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:7]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt mid-file"):
+            store.summary()
+
+    def test_headerless_stream_summarizes_with_none_header(self, stream):
+        _, path = stream
+        path.write_text("\n".join(path.read_text().splitlines()[1:]) + "\n")
+        summary = summarize_stream(path)
+        assert summary.header is None
+        assert summary.results == 3
+
+    def test_summarize_needs_no_record_schema(self, stream):
+        # status must work on any stream without importing its decoder.
+        _, path = stream
+        summary = summarize_stream(path)
+        assert summary.results == 3

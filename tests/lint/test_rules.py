@@ -51,7 +51,9 @@ class TestRuleCorpus:
 
     def test_catalogue_covers_every_shipped_rule(self):
         codes = {code for code, _ in rule_catalogue()}
-        assert {"R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"} <= codes
+        assert {
+            "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+        } <= codes
 
 
 class TestR1Details:
@@ -117,6 +119,73 @@ class TestR5:
         lib.write_text(self._src())
         findings, _ = lint_paths([lib], LintConfig(tests_dir=None))
         assert [f for f in findings if f.rule == "R5"] == []
+
+
+class TestR7ExperimentsExemption:
+    _SRC = (
+        "from dataclasses import dataclass\n"
+        "import json\n"
+        "@dataclass\n"
+        "class FooRecord:\n"
+        "    a: int\n"
+        "def dump(path, recs):\n"
+        "    with open(path, 'w') as fh:\n"
+        "        json.dump(recs, fh)\n"
+    )
+
+    def test_fires_outside_the_sanctioned_paths(self):
+        config = LintConfig(library_part="repro")
+        hits = lint_source(
+            self._SRC, path="src/repro/core/writer.py", config=config
+        )
+        assert {f.rule for f in hits} == {"R7"}
+
+    def test_experiments_layer_is_a_sanctioned_path(self):
+        config = LintConfig(library_part="repro")
+        hits = lint_source(
+            self._SRC, path="src/repro/experiments/writer.py", config=config
+        )
+        assert [f for f in hits if f.rule == "R7"] == []
+
+
+class TestR9:
+    _REGISTRY = (
+        "register_experiment(ExperimentDef(\n"
+        "    name='census-pinned',\n"
+        "    summary='x',\n"
+        "))\n"
+        "register_experiment(ExperimentDef(name='census-unpinned'))\n"
+    )
+
+    def _lint(self, tmp_path, tests_dir):
+        lib = tmp_path / "repro" / "registry.py"
+        lib.parent.mkdir(exist_ok=True)
+        lib.write_text(self._REGISTRY)
+        findings, _ = lint_paths([lib], LintConfig(tests_dir=tests_dir))
+        return [f for f in findings if f.rule == "R9"]
+
+    def test_unpinned_experiment_flagged(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_golden.py").write_text(
+            'CASES = {"census-pinned": "census_pinned.jsonl"}\n'
+        )
+        r9 = self._lint(tmp_path, tests_dir)
+        assert [f.message.split("'")[1] for f in r9] == ["census-unpinned"]
+
+    def test_non_golden_test_files_do_not_count(self, tmp_path):
+        tests_dir = tmp_path / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_other.py").write_text(
+            '"census-pinned"\n"census-unpinned"\n'
+        )
+        r9 = self._lint(tmp_path, tests_dir)
+        assert {f.message.split("'")[1] for f in r9} == {
+            "census-pinned", "census-unpinned",
+        }
+
+    def test_disabled_without_tests_dir(self, tmp_path):
+        assert self._lint(tmp_path, None) == []
 
 
 class TestSuppression:

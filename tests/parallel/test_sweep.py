@@ -53,6 +53,40 @@ class TestSweep:
             Sweep({"seed": [1]}).points()
 
 
+class TestSweepOrder:
+    GRID = {"n": [4, 8], "family": ["a", "b"]}
+
+    def test_default_order_is_declaration_order(self):
+        assert Sweep(self.GRID).names() == ["n", "family"]
+
+    def test_explicit_order_matches_declaration(self):
+        a = Sweep(self.GRID).points()
+        b = Sweep(self.GRID, order=("n", "family")).points()
+        assert a == b
+
+    def test_explicit_order_reorders_enumeration(self):
+        pts = Sweep(self.GRID, order=("family", "n")).points()
+        # First name in order varies slowest.
+        assert [p["family"] for p in pts] == ["a", "a", "b", "b"]
+        assert [p["n"] for p in pts] == [4, 8, 4, 8]
+
+    def test_redeclared_key_raises_stable_error(self):
+        with pytest.raises(ConfigurationError, match="re-declared"):
+            Sweep(self.GRID, order=("n", "n", "family")).names()
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown: \\['m'\\]"):
+            Sweep(self.GRID, order=("n", "family", "m")).names()
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ConfigurationError, match="missing: \\['family'\\]"):
+            Sweep(self.GRID, order=("n",)).names()
+
+    def test_points_validates_order(self):
+        with pytest.raises(ConfigurationError, match="exactly once"):
+            Sweep(self.GRID, order=("n",)).points()
+
+
 class TestRunSweep:
     def test_records_merge_params_and_results(self):
         sweep = Sweep({"n": [2, 3]}, replicates=2, root_seed=0)

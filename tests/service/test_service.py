@@ -31,6 +31,7 @@ from repro.service import (
     ClientError,
     DegradationLadder,
     LoadShed,
+    NotModified,
     build_server,
 )
 from repro.service.handlers import _json_safe, _violation_payload
@@ -358,6 +359,48 @@ class TestKSwapAudit:
         assert engine.ladder.mode == "pool"  # a spent budget is not infra
 
 
+class TestETag:
+    REQUEST = {"query": "find_swap_violation"}
+
+    def _request(self):
+        return {**self.REQUEST, "graph6": _g6(path_graph(6))}
+
+    def test_every_answer_carries_its_cache_key_as_etag(self, engine):
+        first = engine.handle_audit(self._request())
+        again = engine.handle_audit(self._request())
+        assert first["etag"] and first["etag"] == again["etag"]
+
+    def test_matching_validator_on_cached_answer_raises(self, engine):
+        etag = engine.handle_audit(self._request())["etag"]
+        with pytest.raises(NotModified) as exc:
+            engine.handle_audit(
+                self._request(), if_none_match=f'"{etag}"'
+            )
+        assert exc.value.etag == etag
+        assert engine.not_modified == 1
+        assert engine.stats()["not_modified"] == 1
+
+    def test_unquoted_weak_and_list_validators_match(self, engine):
+        etag = engine.handle_audit(self._request())["etag"]
+        for header in (etag, f'W/"{etag}"', f'"zzz", "{etag}"', "*"):
+            with pytest.raises(NotModified):
+                engine.handle_audit(self._request(), if_none_match=header)
+
+    def test_stale_validator_serves_the_cached_body(self, engine):
+        engine.handle_audit(self._request())
+        response = engine.handle_audit(
+            self._request(), if_none_match='"somebody-elses-answer"'
+        )
+        assert response["cached"]
+
+    def test_uncached_answer_never_skipped_on_clients_word(self, engine):
+        # The validator may name this key, but nothing is cached yet: the
+        # service computes and serves the full body regardless.
+        response = engine.handle_audit(self._request(), if_none_match="*")
+        assert response["ok"] and not response["cached"]
+        assert engine.not_modified == 0
+
+
 class _Client:
     def __init__(self, base):
         self.base = base
@@ -369,19 +412,21 @@ class _Client:
         except urllib.error.HTTPError as err:
             return err.code, json.loads(err.read()), dict(err.headers)
 
-    def post(self, path, body):
+    def post(self, path, body, headers=None):
         data = (
             body if isinstance(body, bytes) else json.dumps(body).encode()
         )
+        merged = {"Content-Type": "application/json", **(headers or {})}
         req = urllib.request.Request(
-            self.base + path, data=data, method="POST",
-            headers={"Content-Type": "application/json"},
+            self.base + path, data=data, method="POST", headers=merged,
         )
         try:
             with urllib.request.urlopen(req, timeout=30) as r:
-                return r.status, json.loads(r.read()), dict(r.headers)
+                raw = r.read()
+                return r.status, json.loads(raw) if raw else None, dict(r.headers)
         except urllib.error.HTTPError as err:
-            return err.code, json.loads(err.read()), dict(err.headers)
+            raw = err.read()
+            return err.code, json.loads(raw) if raw else None, dict(err.headers)
 
 
 @pytest.fixture
@@ -421,6 +466,28 @@ class TestHTTP:
         status, again, _ = client.post("/audit", request)
         assert status == 200 and again["cached"]
         assert again["result"] == first["result"]
+
+    def test_etag_header_and_if_none_match_304(self, http):
+        client, server = http
+        request = {"query": "find_swap_violation", "graph6": _g6(path_graph(6))}
+        status, first, headers = client.post("/audit", request)
+        assert status == 200
+        etag = headers["ETag"]
+        assert etag == f'"{first["etag"]}"'
+        # A matching validator on the now-cached answer: 304, no body.
+        status, body, headers = client.post(
+            "/audit", request, headers={"If-None-Match": etag}
+        )
+        assert status == 304 and body is None
+        assert headers["ETag"] == etag
+        assert server.engine.not_modified == 1
+        # A stale validator still gets the full cached answer.
+        status, body, _ = client.post(
+            "/audit", request, headers={"If-None-Match": '"stale"'}
+        )
+        assert status == 200 and body["cached"]
+        _, stats, _ = client.get("/stats")
+        assert stats["not_modified"] == 1
 
     def test_not_found_and_bad_json_are_typed(self, http):
         client, _ = http
