@@ -51,6 +51,18 @@ Design notes
 * **Instrumentation** — optional trajectory recording (applied swaps,
   per-step diameter and social cost) feeds the convergence examples and the
   census diagnostics.
+* **Preemptibility** — ``run(checkpoint=, checkpoint_every=)`` keeps a
+  crash-safe :class:`~repro.io.checkpoint.CheckpointStore` current with the
+  run's *full* resumable state — edge set, the cycle detector's ``seen``
+  hashes, the serialized RNG stream, dirty set, counters, traces, and the
+  schedule's loop position — snapshotted only at applied-move boundaries
+  (the states a resumed loop can actually re-enter).  A run killed at any
+  instant and re-``run`` with the same configuration resumes from its last
+  snapshot and produces a :class:`DynamicsResult` bit-identical to the
+  uninterrupted run, for every ``engine_mode`` and cost model; a
+  ``deadline=`` expiry checkpoints-and-yields (typed
+  :class:`~repro.errors.DeadlineExceeded`) so fleet/service budgets convert
+  to persisted progress instead of lost work.  DESIGN.md §13.
 """
 
 from __future__ import annotations
@@ -61,7 +73,11 @@ from typing import Literal
 
 import numpy as np
 
-from ..errors import ConfigurationError, DisconnectedGraphError
+from ..errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    DisconnectedGraphError,
+)
 from ..graphs import (
     AdjacencyGraph,
     CSRGraph,
@@ -69,6 +85,9 @@ from ..graphs import (
     distance_matrix,
     is_connected,
 )
+from ..io.checkpoint import CheckpointStore
+from ..io.hashing import graph_fingerprint
+from ..parallel import check_deadline, current_task_deadline
 from ..rng import make_rng
 from .best_response import BestResponse, best_swap, first_improving_swap
 from .costmodel import CostModel, parse_cost_spec, resolve_cost_model
@@ -82,6 +101,39 @@ Objective = Literal["sum", "max"]
 Schedule = Literal["round_robin", "random", "greedy"]
 Responder = Literal["best", "first"]
 EngineMode = Literal["incremental", "batched", "oracle"]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint payload codecs.  The checkpoint contract (DESIGN.md §13) is
+# canonical JSON — strict, no NaN/Infinity literals — so non-finite trace
+# floats round-trip as strings and every edge/move coordinate is coerced
+# to a plain int (numpy scalars are not JSON).
+# ----------------------------------------------------------------------
+def _encode_trace(values: "list[float]") -> list:
+    out: list = []
+    for x in values:
+        if x == math.inf:
+            out.append("inf")
+        elif x == -math.inf:
+            out.append("-inf")
+        elif x != x:
+            out.append("nan")
+        else:
+            out.append(float(x))
+    return out
+
+
+def _decode_trace(values: list) -> "list[float]":
+    # float("inf") / float("-inf") / float("nan") parse the string forms.
+    return [float(x) for x in values]
+
+
+def _encode_edges(edge_set) -> list:
+    return [[int(a), int(b)] for a, b in sorted(edge_set)]
+
+
+def _decode_edges(edges: list) -> "list[tuple[int, int]]":
+    return [(int(a), int(b)) for a, b in edges]
 
 
 @dataclass
@@ -207,22 +259,111 @@ class SwapDynamics:
         self.seed = seed
         self._rng = None  # derived per run()
         self._model: CostModel | None = None  # resolved per run()
+        self._ckpt: "CheckpointStore | None" = None  # armed per run()
+        self._ckpt_every: "int | None" = None
+        self._deadline: "float | None" = None
 
     # ------------------------------------------------------------------
-    def run(self, initial: CSRGraph) -> DynamicsResult:
-        """Run the dynamics from ``initial`` (must be connected)."""
+    def run(
+        self,
+        initial: CSRGraph,
+        *,
+        checkpoint: "CheckpointStore | str | None" = None,
+        checkpoint_every: "int | None" = None,
+        deadline: "float | None" = None,
+    ) -> DynamicsResult:
+        """Run the dynamics from ``initial`` (must be connected).
+
+        Preemption contract (DESIGN.md §13): ``checkpoint`` names a
+        :class:`~repro.io.checkpoint.CheckpointStore` (or a path for one)
+        that the run keeps current — a full resumable snapshot every
+        ``checkpoint_every`` applied moves.  A later ``run`` with the same
+        configuration (objective spec, schedule, responder, ``max_steps``,
+        ``record``, activation accounting, initial graph) finds the
+        snapshot and continues it, producing a :class:`DynamicsResult`
+        bit-identical to the uninterrupted run — same moves, traces,
+        counters and terminal graph — for every ``engine_mode`` and cost
+        model; the RNG stream is serialized with the state, so the
+        configured ``seed`` only matters for fresh starts.  A corrupt
+        checkpoint is quarantined and the run restarts; a checkpoint from
+        a *different* configuration raises
+        :class:`~repro.errors.StoreIntegrityError`.  A finished run clears
+        the slot.
+
+        ``deadline`` (a ``time.monotonic()`` instant, as everywhere in the
+        runtime) is checked at applied-move boundaries — the only states a
+        resumed loop can re-enter — and on expiry the run snapshots its
+        state (when a checkpoint store is armed) and raises
+        :class:`~repro.errors.DeadlineExceeded`: the budget converts to
+        persisted progress, not lost work.  When no explicit deadline is
+        given, the run adopts the surrounding mapped task's
+        (:func:`~repro.parallel.current_task_deadline`), which is how a
+        fleet-level deadline preempts its in-flight trajectories.
+        """
         if not is_connected(initial):
             raise DisconnectedGraphError("dynamics require a connected start")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a checkpoint store/path to write to"
+            )
         # A fresh per-run generator: a second run() on this instance replays
         # the same schedule / candidate order instead of continuing the
         # first run's stream (re-running from `seed` must be reproducible).
         # A Generator passed as the seed is the documented opt-out: the
         # caller owns the stream, and it keeps advancing across runs.
+        # (A resumed checkpoint then *overwrites* the generator's state —
+        # the serialized stream is part of the bit-identity guarantee.)
         self._rng = make_rng(self.seed)
         self._model = resolve_cost_model(self.objective, initial.n)
+        self._ckpt = self._checkpoint_store(checkpoint)
+        self._ckpt_every = checkpoint_every
+        self._deadline = (
+            current_task_deadline() if deadline is None else deadline
+        )
         if self.engine_mode == "oracle":
-            return self._run_oracle(initial)
-        return self._run_incremental(initial)
+            result = self._run_oracle(initial)
+        else:
+            result = self._run_incremental(initial)
+        if self._ckpt is not None:
+            # A finished run leaves no checkpoint behind (a deadline expiry
+            # raises above, so its freshly saved snapshot survives).
+            self._ckpt.clear()
+        return result
+
+    @staticmethod
+    def _checkpoint_store(
+        checkpoint: "CheckpointStore | str | None",
+    ) -> "CheckpointStore | None":
+        if checkpoint is None or isinstance(checkpoint, CheckpointStore):
+            return checkpoint
+        return CheckpointStore(checkpoint)
+
+    def _checkpoint_config(self, initial: CSRGraph) -> dict:
+        """What a snapshot must agree on before it may be resumed.
+
+        ``engine_mode`` is deliberately folded to its activation
+        *accounting* ("engine" vs "oracle"), matching the trajectory
+        census header: incremental and batched runs are bit-identical and
+        resume each other's checkpoints freely, while the oracle path
+        counts activations differently and must not splice.
+        """
+        return {
+            "v": 1,
+            "objective": self._model.spec,
+            "schedule": self.schedule,
+            "responder": self.responder,
+            "max_steps": int(self.max_steps),
+            "record": bool(self.record),
+            "accounting": (
+                "oracle" if self.engine_mode == "oracle" else "engine"
+            ),
+            "n": int(initial.n),
+            "initial": graph_fingerprint(initial),
+        }
 
     # ------------------------------------------------------------------
     # Incremental engine + dirty-set path (the default), shared with the
@@ -233,15 +374,81 @@ class SwapDynamics:
     # ------------------------------------------------------------------
     def _run_incremental(self, initial: CSRGraph) -> DynamicsResult:
         batched = self.engine_mode == "batched"
-        engine = DistanceEngine(initial)
-        n = engine.n
-        seen: set[frozenset[tuple[int, int]]] = {engine.adjacency.edge_set()}
-        steps = 0
-        activations = 0
-        moves: list[Swap] = []
-        diam_trace: list[float] = []
-        cost_trace: list[float] = []
-        dirty = np.ones(n, dtype=bool)
+        config = self._checkpoint_config(initial)
+        loaded = None if self._ckpt is None else self._ckpt.load(config)
+        if loaded is None:
+            engine = DistanceEngine(initial)
+            n = engine.n
+            seen: set[frozenset[tuple[int, int]]] = {
+                engine.adjacency.edge_set()
+            }
+            steps = 0
+            activations = 0
+            moves: list[Swap] = []
+            diam_trace: list[float] = []
+            cost_trace: list[float] = []
+            dirty = np.ones(n, dtype=bool)
+            pos = {"idx": 0, "quiet": 0}
+        else:
+            # Resume: rebuild the engine from the snapshotted edge set (the
+            # recomputed distance matrix is exact, like the maintained one)
+            # and restore every piece of loop state — including the RNG
+            # stream — so the continuation is bit-identical to the run the
+            # snapshot interrupted.
+            n = initial.n
+            engine = DistanceEngine(
+                CSRGraph(n, _decode_edges(loaded["edges"]))
+            )
+            seen = {
+                frozenset(_decode_edges(key)) for key in loaded["seen"]
+            }
+            steps = int(loaded["steps"])
+            activations = int(loaded["activations"])
+            moves = [
+                Swap(int(a), int(b), int(c)) for a, b, c in loaded["moves"]
+            ]
+            diam_trace = _decode_trace(loaded["diam"])
+            cost_trace = _decode_trace(loaded["cost"])
+            dirty = np.array(loaded["dirty"], dtype=bool)
+            pos = {"idx": int(loaded["idx"]), "quiet": int(loaded["quiet"])}
+            self._rng.bit_generator.state = loaded["rng"]
+
+        def save_checkpoint() -> None:
+            payload = {
+                "edges": _encode_edges(engine.adjacency.edge_set()),
+                "seen": sorted(_encode_edges(key) for key in seen),
+                "rng": self._rng.bit_generator.state,
+                "dirty": [int(b) for b in dirty],
+                "steps": steps,
+                "activations": activations,
+                "moves": [
+                    [int(s.vertex), int(s.drop), int(s.add)] for s in moves
+                ],
+                "diam": _encode_trace(diam_trace),
+                "cost": _encode_trace(cost_trace),
+                "idx": pos["idx"],
+                "quiet": pos["quiet"],
+            }
+            self._ckpt.save(
+                payload, config,
+                meta={"steps": steps, "activations": activations},
+            )
+
+        def guard_deadline() -> None:
+            """Checkpoint-and-yield when the caller's budget has expired.
+
+            Checked only at applied-move boundaries (loop tops): those are
+            exactly the states a resumed loop re-enters, so the snapshot
+            taken here loses nothing and splices nothing.
+            """
+            if self._deadline is None:
+                return
+            try:
+                check_deadline(self._deadline)
+            except DeadlineExceeded:
+                if self._ckpt is not None:
+                    save_checkpoint()
+                raise
 
         def record_state() -> None:
             if self.record:
@@ -289,6 +496,12 @@ class SwapDynamics:
             if key in seen:
                 return False
             seen.add(key)
+            if (
+                self._ckpt is not None
+                and self._ckpt_every is not None
+                and steps % self._ckpt_every == 0
+            ):
+                save_checkpoint()
             return True
 
         def verification_sweep() -> BestResponse | None:
@@ -327,7 +540,8 @@ class SwapDynamics:
 
         cycle = False
         converged = False
-        record_state()
+        if loaded is None:
+            record_state()  # a resumed trace already holds this snapshot
 
         if self.schedule == "greedy":
             # Greedy is canonical: every step compares ALL vertices, so the
@@ -336,6 +550,7 @@ class SwapDynamics:
             # activation cheap; the full scan doubling as the convergence
             # certificate means no separate verification sweep is needed.
             while steps < self.max_steps:
+                guard_deadline()
                 best: BestResponse | None = None
                 for v in range(n):
                     br = respond(v)
@@ -351,8 +566,8 @@ class SwapDynamics:
                     break
 
         elif self.schedule == "round_robin":
-            idx = 0
             while steps < self.max_steps:
+                guard_deadline()
                 if not dirty.any():
                     pending = verification_sweep()
                     if pending is None:
@@ -362,8 +577,8 @@ class SwapDynamics:
                         cycle = True
                         break
                     continue
-                v = idx % n
-                idx += 1
+                v = pos["idx"] % n
+                pos["idx"] += 1
                 if not dirty[v]:
                     continue  # provably quiet since its last no-op
                 br = respond(v)
@@ -375,28 +590,28 @@ class SwapDynamics:
                     break
 
         else:  # random schedule
-            quiet = 0
             while steps < self.max_steps:
-                if not dirty.any() or quiet >= 2 * n:
+                guard_deadline()
+                if not dirty.any() or pos["quiet"] >= 2 * n:
                     pending = verification_sweep()
                     if pending is None:
                         converged = True
                         break
-                    quiet = 0
+                    pos["quiet"] = 0
                     if not apply(pending):
                         cycle = True
                         break
                     continue
                 v = int(self._rng.integers(0, n))
                 if not dirty[v]:
-                    quiet += 1
+                    pos["quiet"] += 1
                     continue
                 br = respond(v)
                 if br.swap is None:
                     dirty[v] = False
-                    quiet += 1
+                    pos["quiet"] += 1
                     continue
-                quiet = 0
+                pos["quiet"] = 0
                 if not apply(br):
                     cycle = True
                     break
@@ -415,17 +630,69 @@ class SwapDynamics:
         return first_improving_swap(graph, v, self._model, self._rng)
 
     def _run_oracle(self, initial: CSRGraph) -> DynamicsResult:
-        state = AdjacencyGraph.from_csr(initial)
-        n = state.n
-        seen: set[frozenset[tuple[int, int]]] = {state.edge_set()}
-        steps = 0
-        activations = 0
-        moves: list[Swap] = []
-        diam_trace: list[float] = []
-        cost_trace: list[float] = []
+        config = self._checkpoint_config(initial)
+        loaded = None if self._ckpt is None else self._ckpt.load(config)
+        n = initial.n
+        if loaded is None:
+            state = AdjacencyGraph.from_csr(initial)
+            seen: set[frozenset[tuple[int, int]]] = {state.edge_set()}
+            steps = 0
+            activations = 0
+            moves: list[Swap] = []
+            diam_trace: list[float] = []
+            cost_trace: list[float] = []
+            pos = {"idx": 0, "quiet": 0}
+        else:
+            # Same restore discipline as the incremental path (the oracle's
+            # checkpoints carry no dirty set — it has none).
+            state = AdjacencyGraph.from_csr(
+                CSRGraph(n, _decode_edges(loaded["edges"]))
+            )
+            seen = {
+                frozenset(_decode_edges(key)) for key in loaded["seen"]
+            }
+            steps = int(loaded["steps"])
+            activations = int(loaded["activations"])
+            moves = [
+                Swap(int(a), int(b), int(c)) for a, b, c in loaded["moves"]
+            ]
+            diam_trace = _decode_trace(loaded["diam"])
+            cost_trace = _decode_trace(loaded["cost"])
+            pos = {"idx": int(loaded["idx"]), "quiet": int(loaded["quiet"])}
+            self._rng.bit_generator.state = loaded["rng"]
 
         def snapshot() -> CSRGraph:
             return state.to_csr()
+
+        def save_checkpoint() -> None:
+            payload = {
+                "edges": _encode_edges(state.edge_set()),
+                "seen": sorted(_encode_edges(key) for key in seen),
+                "rng": self._rng.bit_generator.state,
+                "steps": steps,
+                "activations": activations,
+                "moves": [
+                    [int(s.vertex), int(s.drop), int(s.add)] for s in moves
+                ],
+                "diam": _encode_trace(diam_trace),
+                "cost": _encode_trace(cost_trace),
+                "idx": pos["idx"],
+                "quiet": pos["quiet"],
+            }
+            self._ckpt.save(
+                payload, config,
+                meta={"steps": steps, "activations": activations},
+            )
+
+        def guard_deadline() -> None:
+            if self._deadline is None:
+                return
+            try:
+                check_deadline(self._deadline)
+            except DeadlineExceeded:
+                if self._ckpt is not None:
+                    save_checkpoint()
+                raise
 
         def record_state() -> None:
             if self.record:
@@ -455,14 +722,22 @@ class SwapDynamics:
             if key in seen:
                 return False
             seen.add(key)
+            if (
+                self._ckpt is not None
+                and self._ckpt_every is not None
+                and steps % self._ckpt_every == 0
+            ):
+                save_checkpoint()
             return True
 
         cycle = False
         converged = False
-        record_state()
+        if loaded is None:
+            record_state()  # a resumed trace already holds this snapshot
 
         if self.schedule == "greedy":
             while steps < self.max_steps:
+                guard_deadline()
                 best: BestResponse | None = None
                 g = snapshot()
                 for v in range(n):
@@ -484,22 +759,22 @@ class SwapDynamics:
             )
 
         if self.schedule == "round_robin":
-            quiet = 0  # consecutive activations without a move
+            # pos["quiet"]: consecutive activations without a move
             order = list(range(n))
-            idx = 0
-            while steps < self.max_steps and quiet < n:
-                v = order[idx % n]
-                idx += 1
+            while steps < self.max_steps and pos["quiet"] < n:
+                guard_deadline()
+                v = order[pos["idx"] % n]
+                pos["idx"] += 1
                 activations += 1
                 br = self._respond_oracle(snapshot(), v)
                 if br.swap is None:
-                    quiet += 1
+                    pos["quiet"] += 1
                     continue
-                quiet = 0
+                pos["quiet"] = 0
                 if not apply(br):
                     cycle = True
                     break
-            converged = (not cycle) and quiet >= n
+            converged = (not cycle) and pos["quiet"] >= n
             return DynamicsResult(
                 snapshot(), converged, cycle, steps, activations,
                 moves, diam_trace, cost_trace,
@@ -507,9 +782,9 @@ class SwapDynamics:
 
         # random schedule: quiet streak of 2n activations triggers a full
         # deterministic verification sweep before declaring convergence.
-        quiet = 0
         while steps < self.max_steps:
-            if quiet >= 2 * n:
+            guard_deadline()
+            if pos["quiet"] >= 2 * n:
                 g = snapshot()
                 verified = True
                 pending: BestResponse | None = None
@@ -523,7 +798,7 @@ class SwapDynamics:
                 if verified:
                     converged = True
                     break
-                quiet = 0
+                pos["quiet"] = 0
                 assert pending is not None
                 if not apply(pending):
                     cycle = True
@@ -533,9 +808,9 @@ class SwapDynamics:
             activations += 1
             br = self._respond_oracle(snapshot(), v)
             if br.swap is None:
-                quiet += 1
+                pos["quiet"] += 1
                 continue
-            quiet = 0
+            pos["quiet"] = 0
             if not apply(br):
                 cycle = True
                 break

@@ -161,6 +161,7 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
     (
         n, family, replicate, seed, objective, schedule, responder,
         max_steps, verify, audit_mode, engine_mode,
+        checkpoint_path, checkpoint_every,
     ) = task
     # Deferred: repro.analysis imports repro.core.dynamics, so a module-top
     # import here would cycle during package init.
@@ -177,7 +178,11 @@ def _trajectory_task(task: tuple) -> TrajectoryRecord:
         seed=derive_seed(seed, 1),
         engine_mode=engine_mode,
     )
-    result = dyn.run(initial)
+    result = dyn.run(
+        initial,
+        checkpoint=checkpoint_path,
+        checkpoint_every=checkpoint_every if checkpoint_path else None,
+    )
     summary = summarize_trajectory(result).as_dict()
     summary.pop("steps")  # duplicated by the outcome block
     final = result.graph
@@ -260,6 +265,9 @@ def run_trajectory_census(
     on_error: str = "record",
     retry_failed: bool = False,
     durability: str = "flush",
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "int | None" = None,
+    deadline: "float | None" = None,
 ) -> list:
     """Run the trajectory census; one record per grid point × replicate.
 
@@ -297,6 +305,13 @@ def run_trajectory_census(
     slot instead of killing the fleet, ``retry_failed=True`` re-runs
     exactly those slots on resume, and ``durability`` sets the stream's
     flush cadence.
+
+    Preemption (DESIGN.md §13): ``checkpoint_dir`` gives each trajectory
+    a crash-safe in-task checkpoint (snapshot every ``checkpoint_every``
+    applied moves), so killed or deadline-preempted slots *resume* on
+    retry and still stream records bit-identical to an uninterrupted
+    run; ``deadline`` (absolute monotonic instant) makes running
+    trajectories snapshot-and-yield at the cutoff.
     """
     experiment = trajectory_experiment(
         n_values,
@@ -322,6 +337,9 @@ def run_trajectory_census(
         on_error=on_error,
         retry_failed=retry_failed,
         durability=durability,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        deadline=deadline,
     )
 
 
@@ -376,6 +394,7 @@ def trajectory_experiment(
         task_fields=(
             "n", "family", "replicate", "seed", "objective", "schedule",
             "responder", "max_steps", "verify", "audit_mode", "engine_mode",
+            "checkpoint_path", "checkpoint_every",
         ),
         coord_fields=(
             "n", "family", "replicate", "seed", "objective", "schedule",

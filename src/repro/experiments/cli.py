@@ -14,7 +14,9 @@ Subcommands::
 used to take.  ``status`` reads the stream's run-config header and
 quarantine records via :func:`~repro.io.jsonl_store.summarize_stream` —
 progress, quarantined grid coordinates, and a ready-to-paste
-``--retry-failed`` resume command, with no recomputation.
+``--retry-failed`` resume command, with no recomputation; ``--json``
+emits the same report machine-readably, including live per-slot
+checkpoint progress (DESIGN.md §13).
 
 ``scripts/census_fleet.py`` and ``scripts/trajectory_fleet.py`` are thin
 deprecation shims forwarding here (``experiment run census`` /
@@ -24,9 +26,11 @@ deprecation shims forwarding here (``experiment run census`` /
 from __future__ import annotations
 
 import argparse
+import json
 import time
 from pathlib import Path
 
+from ..errors import DeadlineExceeded
 from ..parallel import default_workers
 from .experiment import run_fleet
 from .registry import ExperimentDef, experiment_defs, get_experiment
@@ -59,6 +63,24 @@ def _execution_arguments(
     ap.add_argument("--fail-fast", action="store_true",
                     help="abort the fleet on the first permanently failed "
                          "task instead of quarantining it in the stream")
+    ap.add_argument("--checkpoint-dir", type=Path, default=None,
+                    metavar="DIR",
+                    help="give every slot a crash-safe in-task checkpoint "
+                         "under DIR (DESIGN.md §13): killed or preempted "
+                         "tasks resume mid-run on retry instead of "
+                         "restarting (checkpoint-capable experiments only)")
+    ap.add_argument("--checkpoint-every", type=int, default=None,
+                    metavar="MOVES",
+                    help="snapshot cadence in applied moves (requires "
+                         "--checkpoint-dir; default: snapshot only on "
+                         "deadline preemption)")
+    ap.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="whole-fleet wall-clock budget: tasks running when "
+                         "it is spent checkpoint-and-yield (with "
+                         "--checkpoint-dir) and are quarantined for a later "
+                         "resume --retry-failed, never retried past the "
+                         "budget (default: no deadline)")
     ap.add_argument("--out", type=Path, default=Path(defn.default_out))
 
 
@@ -98,26 +120,83 @@ def add_experiment_parser(sub) -> None:
     for defn in experiment_defs():
         ep = st_sub.add_parser(defn.name, help=defn.summary)
         ep.add_argument("--out", type=Path, default=Path(defn.default_out))
+        ep.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable status on stdout: progress, "
+                             "quarantined slots with coordinates, and live "
+                             "per-slot checkpoint progress")
 
 
-def _status(defn: ExperimentDef, out: Path) -> int:
+def _slot_checkpoint(failure) -> "dict | None":
+    """A quarantined slot's checkpoint progress, freshest view available.
+
+    The quarantine record carries the progress block peeked when the slot
+    failed; if the checkpoint file still exists (no healing retry yet),
+    re-peek it so status reports *live* progress — a crashed-and-retried
+    slot may have advanced past what the stream recorded.
+    """
+    # Deferred: keep the status path free of any fleet machinery import.
+    from ..io.checkpoint import peek_checkpoint
+
+    recorded = getattr(failure, "checkpoint", None)
+    if not recorded or not recorded.get("path"):
+        return None
+    live = peek_checkpoint(recorded["path"])
+    if live is not None:
+        return {"path": recorded["path"], **live}
+    return dict(recorded)
+
+
+def _status(defn: ExperimentDef, out: Path, as_json: bool = False) -> int:
     # Deferred: keep the status path free of any fleet machinery import.
     from ..io.jsonl_store import summarize_stream
 
-    if not out.exists():
-        print(f"{defn.name}: no stream at {out} (not started)")
+    def fail(error: str) -> int:
+        if as_json:
+            print(json.dumps(
+                {"experiment": defn.name, "stream": str(out), "error": error}
+            ))
+        else:
+            print(f"{defn.name}: {error}")
         return 1
+
+    if not out.exists():
+        return fail(f"no stream at {out} (not started)")
     summary = summarize_stream(out, record_name=f"{defn.name} record")
     header = summary.header
     if header is None:
-        print(f"{defn.name}: {out} has no run-config header "
-              "(pre-header legacy file; resume would refuse it)")
-        return 1
+        return fail(f"{out} has no run-config header "
+                    "(pre-header legacy file; resume would refuse it)")
     if defn.config_key not in header:
-        print(f"{defn.name}: {out} is not a {defn.name} stream "
-              f"(header lacks {defn.config_key!r})")
-        return 1
+        return fail(f"{out} is not a {defn.name} stream "
+                    f"(header lacks {defn.config_key!r})")
     total = defn.total_from_header(header)
+    complete = (
+        not summary.failures
+        and summary.completed >= total
+        and not summary.torn_tail
+    )
+    slots = [
+        {
+            "coords": dict(failure.coords),
+            "attempts": failure.attempts,
+            "error": failure.error,
+            "checkpoint": _slot_checkpoint(failure),
+        }
+        for failure in summary.failures
+    ]
+    if as_json:
+        print(json.dumps({
+            "experiment": defn.name,
+            "stream": str(out),
+            "total": total,
+            "completed": summary.completed,
+            "results": summary.results,
+            "quarantined": len(slots),
+            "torn_tail": summary.torn_tail,
+            "complete": complete,
+            "failures": slots,
+        }, sort_keys=True))
+        return 0
     tail = " + torn tail (dropped on resume)" if summary.torn_tail else ""
     print(f"{defn.name}: {out}")
     print(f"  progress: {summary.completed}/{total} slots "
@@ -125,13 +204,21 @@ def _status(defn: ExperimentDef, out: Path) -> int:
           f"{len(summary.failures)} quarantined){tail}")
     if summary.failures:
         print("  quarantined slots:")
-        for failure in summary.failures:
+        for failure, slot in zip(summary.failures, slots):
             coords = ", ".join(
                 f"{k}={v!r}" for k, v in failure.coords.items()
             )
             print(f"    {coords} — {failure.attempts} attempt(s): "
                   f"{failure.error}")
-    if summary.failures or summary.completed < total or summary.torn_tail:
+            ckpt = slot["checkpoint"]
+            if ckpt:
+                progress = ", ".join(
+                    f"{k}={v}" for k, v in sorted(ckpt.items())
+                    if k != "path"
+                )
+                print(f"      checkpointed: {progress or 'yes'} "
+                      f"({ckpt['path']})")
+    if not complete:
         flags = " ".join(defn.flags_from_header(header))
         retry = " --retry-failed" if summary.failures else ""
         print("  resume with:")
@@ -150,7 +237,7 @@ def run_experiment_command(args: argparse.Namespace) -> int:
         return 0
     defn = get_experiment(args.experiment_name)
     if command == "status":
-        return _status(defn, args.out)
+        return _status(defn, args.out, getattr(args, "as_json", False))
 
     experiment = defn.from_args(args)
     workers = default_workers() if args.workers is None else args.workers
@@ -160,15 +247,31 @@ def run_experiment_command(args: argparse.Namespace) -> int:
     print(f"{defn.name}: {verb} {experiment.total_tasks()} task(s) "
           f"on {workers} workers -> {args.out}", flush=True)
     start = time.perf_counter()
-    records = run_fleet(
-        experiment,
-        workers=workers,
-        jsonl_path=args.out,
-        resume=resume,
-        timeout=args.task_timeout,
-        retries=args.retries,
-        on_error="raise" if args.fail_fast else "record",
-        retry_failed=args.retry_failed,
+    deadline = (
+        None if args.deadline is None
+        else time.monotonic() + args.deadline
     )
+    try:
+        records = run_fleet(
+            experiment,
+            workers=workers,
+            jsonl_path=args.out,
+            resume=resume,
+            timeout=args.task_timeout,
+            retries=args.retries,
+            on_error="raise" if args.fail_fast else "record",
+            retry_failed=args.retry_failed,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            deadline=deadline,
+        )
+    except DeadlineExceeded as exc:
+        # The streamed prefix (checkpointed yields included) is already
+        # durable; the run simply stops here instead of dying mid-write.
+        print(f"{defn.name}: deadline spent — {exc}", flush=True)
+        print("  continue with:")
+        print(f"    PYTHONPATH=src python -m repro.cli experiment resume "
+              f"{defn.name} ... --retry-failed --out {args.out}")
+        return 3
     defn.report(records, time.perf_counter() - start)
     return 0

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import IO, Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError, StoreIntegrityError
+from ..io.checkpoint import peek_checkpoint
 from ..io.jsonl_store import FleetFailure, JsonlStore, maybe_decode_failure
 from ..parallel import Sweep, TaskFailure, map_streamed
 from ..rng import derive_seed
@@ -54,6 +55,14 @@ __all__ = ["Experiment", "run_fleet", "write_jsonl_records"]
 #: Task-tuple slots :meth:`Experiment.compile_tasks` derives per point
 #: (everything else must come from ``grid`` or ``fixed``).
 _DERIVED_FIELDS = ("seed", "replicate")
+
+#: Optional derived slots for experiments whose point function supports
+#: in-task checkpoints (DESIGN.md §13): declaring both in ``task_fields``
+#: lets :func:`run_fleet` thread a per-slot checkpoint path and cadence
+#: into every task, so quarantined/timed-out slots *resume* on retry
+#: instead of restarting.  Execution details, like ``workers`` — they
+#: never appear in the stream's config header or its records.
+_CHECKPOINT_FIELDS = ("checkpoint_path", "checkpoint_every")
 
 
 def write_jsonl_records(sink: "IO[str]", records: Iterable) -> None:
@@ -158,13 +167,19 @@ class Experiment:
         unresolved = [
             f for f in self.task_fields
             if f not in self.grid and f not in self.fixed
-            and f not in _DERIVED_FIELDS
+            and f not in _DERIVED_FIELDS and f not in _CHECKPOINT_FIELDS
         ]
         if unresolved:
             raise ConfigurationError(
                 f"task field(s) {unresolved!r} of experiment {self.name!r} "
                 "resolve from neither grid, fixed, nor the derived columns "
-                f"{_DERIVED_FIELDS}"
+                f"{_DERIVED_FIELDS + _CHECKPOINT_FIELDS}"
+            )
+        declared = [f for f in _CHECKPOINT_FIELDS if f in self.task_fields]
+        if declared and len(declared) != len(_CHECKPOINT_FIELDS):
+            raise ConfigurationError(
+                f"experiment {self.name!r} declares {declared!r} but "
+                f"checkpoint support needs all of {_CHECKPOINT_FIELDS}"
             )
         missing = [f for f in self.coord_fields if f not in self.task_fields]
         if missing:
@@ -191,8 +206,27 @@ class Experiment:
             total *= len(values)
         return total
 
-    def compile_tasks(self) -> list[tuple]:
-        """Every task tuple of the fleet, in stream order."""
+    @property
+    def supports_checkpoints(self) -> bool:
+        """Whether the point function takes the DESIGN.md §13 checkpoint slots."""
+        return all(f in self.task_fields for f in _CHECKPOINT_FIELDS)
+
+    def compile_tasks(
+        self,
+        *,
+        checkpoint_dir: "str | Path | None" = None,
+        checkpoint_every: "int | None" = None,
+    ) -> list[tuple]:
+        """Every task tuple of the fleet, in stream order.
+
+        When the experiment :attr:`supports_checkpoints` and a
+        ``checkpoint_dir`` is given, each task's ``checkpoint_path`` slot
+        is filled with a per-slot file (``slot-{flat:05d}.ckpt``, flat
+        stream position — stable across resumes because the grid order
+        is) and ``checkpoint_every`` with the cadence; otherwise both
+        slots compile to ``None`` and the point function runs
+        checkpoint-free.
+        """
         sweep = self.sweep()
         names = sweep.names()
         dims = [len(self.grid[k]) for k in names]
@@ -203,18 +237,32 @@ class Experiment:
                 seed = derive_seed(self.root_seed, *axes, pt.replicate)
             else:
                 seed = pt.seed
+            if checkpoint_dir is not None:
+                ckpt_path = str(Path(checkpoint_dir) / f"slot-{flat:05d}.ckpt")
+            else:
+                ckpt_path = None
             values = []
             for name in self.task_fields:
                 if name == "seed":
                     values.append(seed)
                 elif name == "replicate":
                     values.append(pt.replicate)
+                elif name == "checkpoint_path":
+                    values.append(ckpt_path)
+                elif name == "checkpoint_every":
+                    values.append(checkpoint_every if ckpt_path else None)
                 elif name in self.grid:
                     values.append(pt[name])
                 else:
                     values.append(self.fixed[name])
             tasks.append(tuple(values))
         return tasks
+
+    def task_checkpoint(self, task: tuple) -> "str | None":
+        """The task's compiled ``checkpoint_path`` slot, or ``None``."""
+        if not self.supports_checkpoints:
+            return None
+        return task[list(self.task_fields).index("checkpoint_path")]
 
     # ------------------------------------------------------------------
     # Stream identity
@@ -319,6 +367,9 @@ def run_fleet(
     on_error: str = "record",
     retry_failed: bool = False,
     durability: str = "flush",
+    checkpoint_dir: "str | Path | None" = None,
+    checkpoint_every: "int | None" = None,
+    deadline: "float | None" = None,
 ) -> list:
     """Execute ``experiment`` as a sharded resumable fleet; one record per task.
 
@@ -333,16 +384,49 @@ def run_fleet(
     ``on_error="record"``, ``retry_failed=True`` re-running exactly the
     quarantined slots of a resumed prefix, and ``durability`` selecting
     the flush cadence.
+
+    ``checkpoint_dir`` (DESIGN.md §13, experiments that declare the
+    checkpoint task slots only) gives every slot a crash-safe in-task
+    checkpoint file under that directory: a killed/timed-out/preempted
+    task resumes from its latest applied-move snapshot on the next
+    attempt — same bytes as an uninterrupted run — instead of restarting,
+    and quarantined ``FleetFailure`` records carry the slot's checkpoint
+    progress.  ``deadline`` (absolute :func:`time.monotonic` instant) is
+    forwarded into the pool *and* the task bodies: at the deadline,
+    checkpoint-armed tasks snapshot and yield, so a later
+    ``resume=True, retry_failed=True`` run finishes the fleet from where
+    it stopped.
     """
     if resume and jsonl_path is None:
         raise ConfigurationError("resume=True needs a jsonl_path to resume from")
-    tasks = experiment.compile_tasks()
+    if checkpoint_every is not None and checkpoint_dir is None:
+        raise ConfigurationError(
+            "checkpoint_every needs a checkpoint_dir to write to"
+        )
+    if checkpoint_dir is not None:
+        if not experiment.supports_checkpoints:
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} does not declare the "
+                f"checkpoint task fields {_CHECKPOINT_FIELDS}; it cannot "
+                "run with checkpoint_dir"
+            )
+        Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
+    tasks = experiment.compile_tasks(
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+    )
 
     def quarantine(failure: TaskFailure, task: tuple) -> FleetFailure:
+        ckpt_path = experiment.task_checkpoint(task)
+        progress = None
+        if ckpt_path is not None:
+            meta = peek_checkpoint(ckpt_path)
+            if meta is not None:
+                progress = {"path": str(ckpt_path), **meta}
         return FleetFailure(
             coords=experiment.task_coords(task),
             error=failure.error,
             attempts=failure.attempts,
+            checkpoint=progress,
         )
 
     records: list = []
@@ -365,7 +449,7 @@ def run_fleet(
                 fixed = map_streamed(
                     experiment.point_fn, redo, workers,
                     timeout=timeout, retries=retries, backoff=backoff,
-                    on_error=on_error,
+                    on_error=on_error, deadline=deadline,
                 )
                 for sub, value in enumerate(fixed):
                     if isinstance(value, TaskFailure):
@@ -397,6 +481,7 @@ def run_fleet(
             retries=retries,
             backoff=backoff,
             on_error=on_error,
+            deadline=deadline,
         )
         records += as_records(fresh)
     finally:

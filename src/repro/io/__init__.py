@@ -1,5 +1,7 @@
-"""Audited on-disk state: record streams, fingerprints, result caches."""
+"""Audited on-disk state: record streams, fingerprints, caches, checkpoints."""
 
+from .checkpoint import CheckpointStore, peek_checkpoint
+from .fsutil import fsync_dir, publish_replace
 from .hashing import graph_fingerprint
 from .jsonl_store import (
     FleetFailure,
@@ -11,13 +13,17 @@ from .jsonl_store import (
 from .result_cache import ResultCache, cache_key, canonical_json
 
 __all__ = [
+    "CheckpointStore",
     "FleetFailure",
     "JsonlStore",
     "ResultCache",
     "StreamSummary",
     "cache_key",
     "canonical_json",
+    "fsync_dir",
     "graph_fingerprint",
     "maybe_decode_failure",
+    "peek_checkpoint",
+    "publish_replace",
     "summarize_stream",
 ]

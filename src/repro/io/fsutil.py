@@ -1,0 +1,76 @@
+"""Durable-publish primitives shared by every crash-safe store.
+
+Every "atomic write" in this package follows the same discipline: build the
+complete new content in a sidecar, ``os.replace`` it onto the final path,
+and — the step this module exists to centralize — **fsync the parent
+directory**.  ``os.replace`` alone makes the swap atomic against process
+crashes, but the *rename itself* lives in the directory, and a directory
+entry is just more file data: until it is synced, a power cut can roll the
+rename back and resurrect the old file (or nothing).  PR 10 closed exactly
+this hole across :class:`~repro.io.jsonl_store.JsonlStore`,
+:class:`~repro.io.result_cache.ResultCache`, and
+:class:`~repro.io.checkpoint.CheckpointStore` by routing every publish
+through :func:`publish_replace`.
+
+:func:`publish_replace` is also the instrumented ``torn-rename`` fault
+site (:mod:`repro.parallel.faults`): a firing leaves the complete sidecar
+in place, skips the rename, and raises — the deterministic stand-in for
+the lost-rename crash window, which the stores' resume/sweep machinery
+must absorb (the old final file is still authoritative; the sidecar is
+garbage to sweep).
+
+Lint rule R10 pins the discipline: raw ``os.replace`` / ``os.fsync``
+calls outside :mod:`repro.io` are findings — durable writes go through
+the sanctioned stores, and the stores come through here.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..parallel import faults
+
+__all__ = ["fsync_dir", "publish_replace"]
+
+
+def fsync_dir(path: "str | os.PathLike") -> None:
+    """Fsync a directory, making previously renamed entries crash-durable.
+
+    Best-effort on platforms/filesystems that refuse to open or fsync a
+    directory (some network filesystems): durability degrades to the
+    filesystem's own guarantees there, which is the pre-PR-10 behavior —
+    never an error on the write path.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def publish_replace(tmp: "str | os.PathLike", final: "str | os.PathLike") -> None:
+    """Atomically publish ``tmp`` as ``final`` and sync the directory entry.
+
+    The one sanctioned way a complete sidecar becomes the live file: the
+    caller has already written and fsynced ``tmp``; this renames it over
+    ``final`` and fsyncs the parent directory so the rename survives power
+    loss.  Honours an armed ``torn-rename`` fault (``path=`` filter
+    matches ``final``): the sidecar is left intact, the rename is skipped,
+    and :class:`~repro.parallel.faults.InjectedFault` is raised — the
+    crash-window the directory fsync exists to close, injected
+    deterministically so the recovery paths stay tested.
+    """
+    final = Path(final)
+    spec = faults.take("torn-rename", path=str(final))
+    if spec is not None:
+        raise faults.InjectedFault(
+            f"injected torn-rename publishing {final} (sidecar left behind)"
+        )
+    os.replace(tmp, final)
+    fsync_dir(final.parent)

@@ -50,6 +50,20 @@ Fault-tolerance additions (ISSUE 6, DESIGN.md §9):
   half of the serialized batch before flushing and raising — the
   deterministic stand-in for a crash tearing the stream's final line, which
   is exactly what the torn-tail resume policy must absorb.
+
+Disk-fault hardening (ISSUE 10, DESIGN.md §13):
+
+* **Directory durability** — the atomic prefix rewrite publishes through
+  :func:`~repro.io.fsutil.publish_replace` (``os.replace`` **plus a
+  parent-directory fsync** — a rename is not crash-durable until the
+  directory entry is synced), and ``durability="fsync"`` appends sync the
+  parent too.  ``publish_replace`` doubles as the ``torn-rename`` fault
+  site.
+* **ENOSPC as a typed error** — a failed append (injected ``enospc`` site
+  per batch, or any real ``OSError``) raises
+  :class:`~repro.errors.StoreIntegrityError` after at most tearing the
+  stream's *tail* (which resume drops); fleets quarantine the slot and
+  heal on retry instead of dying on a raw ``OSError``.
 """
 
 from __future__ import annotations
@@ -63,6 +77,7 @@ from typing import IO, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError, StoreIntegrityError
 from ..parallel import faults
+from .fsutil import fsync_dir, publish_replace
 
 __all__ = [
     "FleetFailure",
@@ -84,14 +99,25 @@ class FleetFailure:
     fleet's resume validation checks on result records, e.g. ``n`` /
     ``family`` / ``seed``), so a resumed run can both validate the slot and
     re-run exactly this task under ``--retry-failed``.
+
+    ``checkpoint`` (optional) records the slot's in-task checkpoint
+    progress at quarantine time — ``{"path": ..., "steps": ...}`` for a
+    checkpointed dynamics task — so status readers and schedulers can see
+    that a retry resumes rather than restarts.  ``None`` (the default, and
+    every pre-checkpoint stream) serializes to *no* field at all, keeping
+    historical stream bytes unchanged.
     """
 
     coords: dict
     error: str
     attempts: int
+    checkpoint: "dict | None" = None
 
     def encode(self) -> dict:
-        return {_FAILURE_KEY: 1, **asdict(self)}
+        obj = {_FAILURE_KEY: 1, **asdict(self)}
+        if obj.get("checkpoint") is None:
+            obj.pop("checkpoint", None)
+        return obj
 
 
 def maybe_decode_failure(obj: dict) -> "FleetFailure | None":
@@ -103,10 +129,14 @@ def maybe_decode_failure(obj: dict) -> "FleetFailure | None":
     if not isinstance(obj, dict) or _FAILURE_KEY not in obj:
         return None
     try:
+        checkpoint = obj.get("checkpoint")
+        if checkpoint is not None:
+            checkpoint = dict(checkpoint)
         return FleetFailure(
             coords=dict(obj["coords"]),
             error=str(obj["error"]),
             attempts=int(obj["attempts"]),
+            checkpoint=checkpoint,
         )
     except (KeyError, TypeError, ValueError):
         raise TypeError(f"torn {_FAILURE_KEY} line: {obj!r}") from None
@@ -410,7 +440,12 @@ class JsonlStore:
         with tmp.open("w", encoding="utf-8") as sink:
             sink.write(json.dumps(self.header) + "\n")
             self._write(sink, records)
-        os.replace(tmp, self.path)
+            sink.flush()
+            os.fsync(sink.fileno())
+        # publish_replace = os.replace + parent-directory fsync (the rename
+        # is not crash-durable until the directory entry is synced) + the
+        # torn-rename fault site; see repro.io.fsutil.
+        publish_replace(tmp, self.path)
 
     def open_append(self) -> "IO[str]":
         """An append handle for streaming finished records."""
@@ -438,12 +473,42 @@ class JsonlStore:
                 raise faults.InjectedFault(
                     f"injected torn-write at batch {batch}"
                 )
-        self._write(sink, records)
-        if self.durability == "flush":
-            sink.flush()
-        elif self.durability == "fsync":
-            sink.flush()
-            os.fsync(sink.fileno())
+            spec = faults.take("enospc", batch=batch, path=str(self.path))
+            if spec is not None:
+                # The disk fills mid-append: half the batch lands (a torn
+                # tail the resume policy drops) and the write path raises
+                # its typed integrity error, exactly like the real-OSError
+                # branch below.
+                buf = io.StringIO()
+                self._write(buf, records)
+                text = buf.getvalue()
+                sink.write(text[: len(text) // 2])
+                sink.flush()
+                raise StoreIntegrityError(
+                    f"stream append failed: injected ENOSPC at batch "
+                    f"{batch} of {self.path}"
+                ) from faults.InjectedFault("no space left on device")
+        try:
+            self._write(sink, records)
+            if self.durability == "flush":
+                sink.flush()
+            elif self.durability == "fsync":
+                sink.flush()
+                os.fsync(sink.fileno())
+                # An appended record is only durable once the *file* is —
+                # and a freshly created stream only once its directory
+                # entry is.  Sync the parent to close the rename/creation
+                # window under the fsync cadence.
+                fsync_dir(self.path.parent)
+        except OSError as exc:
+            # A torn tail is recoverable (dropped on resume); losing the
+            # typed error would not be.  ENOSPC and friends surface as the
+            # store's integrity error so fleets quarantine the slot
+            # instead of dying on a raw OSError.
+            raise StoreIntegrityError(
+                f"stream append failed at batch {batch} of "
+                f"{self.path}: {exc}"
+            ) from exc
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"JsonlStore({str(self.path)!r}, key={self.config_key!r})"

@@ -10,12 +10,18 @@ JSON entry file under a two-level sharded directory layout
 
 Integrity is never assumed:
 
-* **writes are atomic** — each entry is serialized to a uniquely named
-  ``*.tmp`` sidecar in the final directory, fsynced, then published with
-  ``os.replace``.  A crash mid-write leaves only a ``.tmp`` (swept on the
-  next startup), never a partial entry; two concurrent writers of the same
-  key each publish a complete entry and the last rename wins — both are
-  valid, because the payload is a pure function of the key;
+* **writes are atomic and durable** — each entry is serialized to a
+  uniquely named ``*.tmp`` sidecar in the final directory, fsynced, then
+  published with :func:`~repro.io.fsutil.publish_replace` (``os.replace``
+  plus a parent-directory fsync: the rename itself is not crash-durable
+  until the directory entry is synced).  A crash mid-write leaves only a
+  ``.tmp`` (swept on the next startup), never a partial entry; two
+  concurrent writers of the same key each publish a complete entry and the
+  last rename wins — both are valid, because the payload is a pure
+  function of the key.  A failed write — the injected ``enospc`` site or
+  any real ``OSError`` — raises :class:`~repro.errors.StoreIntegrityError`
+  with the final path untouched, so callers degrade (serve the computed
+  answer uncached) instead of corrupting the cache;
 * **reads verify** — every entry carries a SHA-256 checksum of its
   canonically serialized payload plus the key it claims to answer.  A
   mismatch (torn file, bit rot, hand-edited entry, key collision) moves
@@ -42,8 +48,9 @@ import os
 import threading
 from pathlib import Path
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StoreIntegrityError
 from ..parallel import faults
+from .fsutil import publish_replace
 
 __all__ = ["ResultCache", "cache_key", "canonical_json"]
 
@@ -222,11 +229,32 @@ class ResultCache:
                 f"injected torn-write of cache entry {final}"
             )
         tmp = self._tmp_path(final)
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, final)
+        spec = faults.take("enospc", path=str(final))
+        if spec is not None:
+            # The disk fills mid-sidecar-write: partial tmp (startup sweep
+            # litter), typed error, final path untouched — never a torn
+            # published entry.
+            tmp.write_bytes(blob[: len(blob) // 2])
+            raise StoreIntegrityError(
+                f"cache write failed: injected ENOSPC at {final}"
+            ) from faults.InjectedFault("no space left on device")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - full-disk unlink race
+                pass
+            raise StoreIntegrityError(
+                f"cache write failed at {final}: {exc}"
+            ) from exc
+        # os.replace + parent-directory fsync (+ the torn-rename fault
+        # site): the rename is not crash-durable until the directory
+        # entry is synced.
+        publish_replace(tmp, final)
         with self._lock:
             self.writes += 1
         return final

@@ -1,4 +1,4 @@
-"""Per-file visitor rules: R1, R2, R4, R6, R7, R8.
+"""Per-file visitor rules: R1, R2, R4, R6, R7, R8, R10.
 
 Each rule is a generator over one parsed module.  Rules are deliberately
 syntactic — they match the patterns this codebase actually uses (see the
@@ -383,6 +383,37 @@ def _is_mutable_literal(node: ast.expr) -> bool:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
         return node.func.id in _MUTABLE_CALLS and not node.args
     return False
+
+
+#: The raw primitives of crash-durable publication.  ``os.replace`` alone
+#: is atomic but NOT durable (the rename itself can vanish in a crash until
+#: the parent directory entry is fsynced), and scattered call sites can't
+#: be covered by the ``torn-rename``/``enospc`` fault sites — so both live
+#: behind :mod:`repro.io.fsutil` and friends (DESIGN.md §13).
+_RAW_FS_CALLS = {"os.replace", "os.rename", "os.fsync"}
+
+
+@file_rule("R10", "raw os.replace/os.rename/os.fsync only inside repro.io")
+def rule_fs_durability(ctx: FileContext, config: LintConfig) -> Iterator[Finding]:
+    if not ctx.is_library(config) or "io" in ctx.path.parts:
+        return
+    origins = _imported_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        parts = name.split(".")
+        qualified = ".".join([origins.get(parts[0], parts[0])] + parts[1:])
+        if name in _RAW_FS_CALLS or qualified in _RAW_FS_CALLS:
+            yield ctx.finding(
+                node, "R10",
+                f"'{name}()' publishes/syncs filesystem state outside "
+                "repro.io; route it through repro.io.fsutil "
+                "(publish_replace/fsync_dir) so renames stay durable and "
+                "the disk-fault sites stay injectable",
+            )
 
 
 # Shared helper for project.py: python builtins never count as project

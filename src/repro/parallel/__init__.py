@@ -12,6 +12,7 @@ from .pool import (
     TaskFailure,
     check_deadline,
     chunk_evenly,
+    current_task_deadline,
     default_workers,
     parallel_map,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "TaskFailure",
     "check_deadline",
     "chunk_evenly",
+    "current_task_deadline",
     "default_workers",
     "get_shared_pool",
     "injected_env",

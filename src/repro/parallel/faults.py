@@ -26,15 +26,30 @@ Kinds
 * ``torn-write`` — a file write is torn in half: :meth:`repro.io.
   jsonl_store.JsonlStore.append` writes only half of the serialized batch,
   flushes, and raises (a host crash tearing the stream's final line);
-  :meth:`repro.io.result_cache.ResultCache.put` writes only half of the
-  serialized cache entry *to the final path* and raises (the post-rename
-  content loss a power cut can inflict on an unsynced entry — exactly the
-  corruption the cache's checksum verification must quarantine).
+  :meth:`repro.io.result_cache.ResultCache.put` and :meth:`repro.io.
+  checkpoint.CheckpointStore.save` write only half of the serialized
+  entry *to the final path* and raise (the post-rename content loss a
+  power cut can inflict on an unsynced entry — exactly the corruption the
+  stores' checksum verification must quarantine);
+* ``enospc`` — the disk fills mid-write: the store writes a partial blob,
+  then raises the typed integrity error its write contract promises
+  (wrapping ``OSError(ENOSPC)``); fired at stream appends
+  (:meth:`~repro.io.jsonl_store.JsonlStore.append`), cache puts, and
+  checkpoint saves.  The partial bytes land where a real ``ENOSPC`` would
+  leave them — a torn stream tail, a dead ``.tmp`` sidecar — never a torn
+  final entry;
+* ``torn-rename`` — the crash window *between* ``os.replace`` and the
+  parent-directory fsync: :func:`repro.io.fsutil.publish_replace` leaves
+  the complete ``.tmp`` sidecar in place, skips the rename, and raises —
+  the deterministic stand-in for a power cut that loses the rename
+  because the directory entry was never synced (the durability bug the
+  directory fsync exists to close).
 
 Filters: ``chunk=N`` (original chunk ordinal, stable across retries and
 splits), ``task=N`` (absolute task index within the parallel call),
 ``batch=N`` (JSONL append-batch ordinal), and — for sites that write named
-files, currently ``torn-write`` only — ``path=SUBSTRING``: the spec fires
+files: ``torn-write``, ``enospc``, ``torn-rename`` — ``path=SUBSTRING``:
+the spec fires
 only at sites whose ``path`` contains ``SUBSTRING`` (so one env string can
 target the result cache, a specific stream, or any file-writing site
 without knowing absolute paths; ``=`` and ``,`` cannot appear in the
@@ -89,7 +104,7 @@ ENV_SPEC = "REPRO_FAULTS"
 ENV_DIR = "REPRO_FAULTS_DIR"
 ENV_SAFE_PID = "REPRO_FAULTS_SAFE_PID"
 
-KINDS = ("kill", "hang", "raise", "torn-write")
+KINDS = ("kill", "hang", "raise", "torn-write", "enospc", "torn-rename")
 
 _SITE_KEYS = ("chunk", "task", "batch")
 

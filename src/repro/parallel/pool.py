@@ -57,6 +57,7 @@ __all__ = [
     "TaskFailure",
     "check_deadline",
     "chunk_evenly",
+    "current_task_deadline",
     "default_workers",
     "parallel_map",
 ]
@@ -101,6 +102,11 @@ class _TaskError:
     exc_repr: str
     tb_text: str
     exc_bytes: "bytes | None"
+    #: The task body raised :class:`~repro.errors.DeadlineExceeded` — it
+    #: yielded on purpose (checkpoint-and-yield, DESIGN.md §13).  Retrying
+    #: it against the same spent budget is pure waste, so the runtime
+    #: skips the retry ladder and goes straight to the permanent verdict.
+    deadline: bool = False
 
     @classmethod
     def from_exception(cls, index: int, task, exc: Exception) -> "_TaskError":
@@ -108,7 +114,10 @@ class _TaskError:
             blob = pickle.dumps(exc)
         except Exception:  # repro-lint: disable=R4 -- pickling arbitrary user exceptions can raise anything; repr fallback below
             blob = None
-        return cls(index, repr(task), repr(exc), traceback.format_exc(), blob)
+        return cls(
+            index, repr(task), repr(exc), traceback.format_exc(), blob,
+            deadline=isinstance(exc, DeadlineExceeded),
+        )
 
     def exception(self) -> BaseException:
         """The original exception (re-pickled), or a faithful stand-in."""
@@ -124,23 +133,64 @@ def _call_task(fn: Callable, task, arrays) -> object:
     return fn(task) if arrays is None else fn(task, arrays)
 
 
-def _run_tasks(fn, arrays, tasks, chunk_id, start) -> list:
+#: The request deadline governing the task currently being mapped, set by
+#: the chunk/serial runners for the duration of each task body and read via
+#: :func:`current_task_deadline`.  Per-process (workers set their own copy
+#: around each chunk); ``time.monotonic()`` instants are system-wide on the
+#: platforms the pool runs on, so the owner's deadline is meaningful in a
+#: forked worker.
+_ambient_deadline: "float | None" = None
+
+
+def current_task_deadline() -> "float | None":
+    """The mapped request's absolute deadline, visible from a task body.
+
+    Checkpoint-capable task bodies (``SwapDynamics.run``, DESIGN.md §13)
+    adopt this when no explicit deadline was passed, so a fleet-level
+    deadline makes a long-running task snapshot-and-yield instead of
+    running on while the pool gives up waiting for it.  ``None`` outside
+    a mapped task or when the map call had no deadline.
+    """
+    return _ambient_deadline
+
+
+class _deadline_scope:
+    """Context manager binding the ambient task deadline (re-entrant safe)."""
+
+    def __init__(self, deadline: "float | None"):
+        self._deadline = deadline
+        self._prev: "float | None" = None
+
+    def __enter__(self) -> None:
+        global _ambient_deadline
+        self._prev = _ambient_deadline
+        _ambient_deadline = self._deadline
+
+    def __exit__(self, *exc_info) -> None:
+        global _ambient_deadline
+        _ambient_deadline = self._prev
+
+
+def _run_tasks(fn, arrays, tasks, chunk_id, start, deadline=None) -> list:
     """Run a contiguous chunk, catching per-task exceptions into markers.
 
     The single chunk body shared by every process backend (and the
     degraded serial path): checks the fault-injection sites (``chunk=`` at
     chunk start, ``task=`` per task) and returns one entry per task —
     the result, or a :class:`_TaskError` carrying the task's identity.
+    ``deadline`` is published to the task bodies via
+    :func:`current_task_deadline` for checkpoint-and-yield support.
     """
     faults.maybe_fault(chunk=chunk_id)
     out: list = []
-    for i, task in enumerate(tasks):
-        abs_idx = start + i
-        try:
-            faults.maybe_fault(task=abs_idx)
-            out.append(_call_task(fn, task, arrays))
-        except Exception as exc:  # repro-lint: disable=R4 -- task bodies raise anything; quarantined as a typed marker
-            out.append(_TaskError.from_exception(abs_idx, task, exc))
+    with _deadline_scope(deadline):
+        for i, task in enumerate(tasks):
+            abs_idx = start + i
+            try:
+                faults.maybe_fault(task=abs_idx)
+                out.append(_call_task(fn, task, arrays))
+            except Exception as exc:  # repro-lint: disable=R4 -- task bodies raise anything; quarantined as a typed marker
+                out.append(_TaskError.from_exception(abs_idx, task, exc))
     return out
 
 
@@ -222,10 +272,15 @@ def _serial_map(
             attempts += 1
             try:
                 faults.maybe_fault(task=abs_idx)
-                value = _call_task(fn, task, arrays)
+                with _deadline_scope(deadline):
+                    value = _call_task(fn, task, arrays)
                 break
             except Exception as exc:  # repro-lint: disable=R4 -- retry loop must catch whatever the task body raises
-                if attempts > retries:
+                # A task-body DeadlineExceeded is a deliberate yield (the
+                # task checkpointed its progress); retrying it against the
+                # same spent budget is waste, so it goes straight to the
+                # permanent verdict.
+                if attempts > retries or isinstance(exc, DeadlineExceeded):
                     marker = _TaskError.from_exception(abs_idx, task, exc)
                     value = _permanent_failure(marker, attempts, on_error)
                     break

@@ -80,6 +80,7 @@ from .pool import (
     _TaskError,
     _backoff_sleep,
     _check_deadline,
+    _permanent_failure,
     _run_tasks,
     _serial_map,
 )
@@ -95,6 +96,14 @@ __all__ = [
 
 #: Segment-name prefix: makes leak assertions in tests (and `ls /dev/shm`
 #: forensics in anger) trivially greppable.
+#: How long past a spent request deadline the pool waits for inflight
+#: chunks to hand back their checkpoint-and-yield markers before killing
+#: the workers.  Checkpoint-capable tasks yield at their next applied-move
+#: boundary (sub-millisecond for the grids here), so this is headroom, not
+#: schedule; it bounds the worst case (a non-yielding task body) so the
+#: deadline contract stays "never a hang".
+_DEADLINE_GRACE = 2.0
+
 _NAME_PREFIX = "repro-shm"
 
 _SPEC_FIELDS = 4  # (key, segment name, shape, dtype string)
@@ -408,16 +417,22 @@ def attach_spec(spec) -> dict[str, np.ndarray]:
     }
 
 
-def _run_chunk(fn: Callable, spec, chunk: list, chunk_id=None, start=0) -> list:
+def _run_chunk(
+    fn: Callable, spec, chunk: list, chunk_id=None, start=0, deadline=None,
+) -> list:
     """Worker entry point: resolve the shared payload, run the chunk.
 
     Per-task exceptions come back as markers in the task's slot (see
     :func:`repro.parallel.pool._run_tasks`), so a poisoned task identifies
     itself instead of poisoning its chunk; ``chunk_id``/``start`` also
-    locate the fault-injection sites.
+    locate the fault-injection sites.  ``deadline`` (the map call's
+    request budget) is published to the task bodies in this worker via
+    :func:`~repro.parallel.pool.current_task_deadline`, so
+    checkpoint-capable tasks snapshot-and-yield at the cutoff instead of
+    running on past the owner's patience.
     """
     arrays = None if spec is None else attach_spec(spec)
-    return _run_tasks(fn, arrays, chunk, chunk_id, start)
+    return _run_tasks(fn, arrays, chunk, chunk_id, start, deadline=deadline)
 
 
 # ---------------------------------------------------------------------------
@@ -598,28 +613,62 @@ class SharedArrayPool:
                 pool = self._ensure_executor()
                 fut = pool.submit(
                     _run_chunk, fn, spec, unit.tasks, unit.chunk_id,
-                    unit.start,
+                    unit.start, deadline,
                 )
             except BrokenProcessPool:  # pragma: no cover - submit race
                 self._kill_executor()
                 pool = self._ensure_executor()
                 fut = pool.submit(
                     _run_chunk, fn, spec, unit.tasks, unit.chunk_id,
-                    unit.start,
+                    unit.start, deadline,
                 )
             inflight[fut] = unit
 
+        def drain_deadline() -> None:
+            # The request budget is spent.  The workers see the same
+            # deadline (published via current_task_deadline), so
+            # checkpoint-capable tasks are yielding at their next applied-
+            # move boundary right now: give each inflight chunk a short
+            # bounded grace to hand those checkpoint-and-yield markers
+            # back — the budget converts to persisted progress — then
+            # kill whatever is still running and raise.  Never a hang:
+            # the grace is a constant, not another retry ladder.
+            grace_until = time.monotonic() + _DEADLINE_GRACE
+            while inflight:
+                fut, unit = next(iter(inflight.items()))
+                try:
+                    part = fut.result(
+                        timeout=max(grace_until - time.monotonic(), 0.0)
+                    )
+                except Exception:  # repro-lint: disable=R4 -- anything still failing at spent budget is killed below
+                    break
+                del inflight[fut]
+                for off, value in enumerate(part):
+                    if not isinstance(value, _TaskError):
+                        results[unit.start + off] = value
+                    elif value.deadline and on_error == "record":
+                        results[unit.start + off] = _permanent_failure(
+                            value, unit.attempts + 1, on_error
+                        )
+                emit_ready()
+            self._kill_executor()
+            raise DeadlineExceeded(
+                "request deadline passed; yielded task checkpoints were "
+                "collected and remaining workers killed rather than "
+                "retried past the budget"
+            )
+
         def guard_deadline() -> None:
             # The request budget outranks the retry budget: at expiry the
-            # stuck workers are killed (the executor rebuilds lazily on
-            # next use) and the typed error propagates — never a hang.
+            # inflight chunks get one bounded grace to yield their
+            # progress, the rest are killed, and the typed error
+            # propagates — never a hang.
             if deadline is None:
                 return
             try:
                 _check_deadline(deadline)
             except DeadlineExceeded:
-                self._kill_executor()
-                raise
+                drain_deadline()
 
         def degrade_serial(unit: _Unit) -> None:
             # The last resort: the chunk keeps dying in workers, so run its
@@ -702,12 +751,7 @@ class SharedArrayPool:
                     part = fut.result(timeout=wait)
                 except _FuturesTimeout:
                     if deadline_capped:
-                        self._kill_executor()
-                        raise DeadlineExceeded(
-                            "request deadline passed while waiting on a "
-                            f"chunk of {len(unit.tasks)} task(s); workers "
-                            "killed rather than retried past the budget"
-                        ) from None
+                        drain_deadline()
                     # Head-of-line chunk blew its wall-clock budget: the
                     # worker is presumed hung.  Nothing short of SIGKILL
                     # interrupts it, so tear the executor down and retry
@@ -745,7 +789,16 @@ class SharedArrayPool:
                 for off, value in enumerate(part):
                     if isinstance(value, _TaskError):
                         attempts = unit.attempts + 1
-                        if attempts > retries:
+                        if value.deadline:
+                            # The task body yielded on a spent deadline
+                            # (checkpoint-and-yield): re-running it now
+                            # would just re-expire, so record/raise the
+                            # permanent verdict without the retry ladder
+                            # or the degraded serial re-run.
+                            results[unit.start + off] = _permanent_failure(
+                                value, attempts, on_error
+                            )
+                        elif attempts > retries:
                             # Spent: one degraded serial verdict, then
                             # record/raise with identity.
                             single = _Unit(

@@ -42,7 +42,13 @@ from ..core import (
 )
 from ..core.costmodel import cost_model_spec
 from ..core.costs import lift_distances
-from ..errors import DeadlineExceeded, GraphError, MoveError, ReproError
+from ..errors import (
+    DeadlineExceeded,
+    GraphError,
+    MoveError,
+    ReproError,
+    StoreIntegrityError,
+)
 from ..graphs import CSRGraph, distance_matrix
 from ..graphs.graph6 import from_graph6
 from ..io import ResultCache, cache_key, graph_fingerprint
@@ -153,6 +159,7 @@ class AuditEngine:
         self.requests = 0
         self.compute_failures = 0
         self.store_failures = 0
+        self.cache_write_failures = 0
         self.deadline_exceeded = 0
         self.not_modified = 0
 
@@ -320,9 +327,20 @@ class AuditEngine:
         ) from last_error
 
     def _store(self, key: str, payload: dict, meta: dict) -> None:
-        """Publish an answer; a failed write must not fail the response."""
+        """Publish an answer; a failed write must not fail the response.
+
+        Since the disk-fault hardening (DESIGN.md §13) the cache raises
+        typed :class:`~repro.errors.StoreIntegrityError` for write
+        failures (ENOSPC above all), with the final entry never torn —
+        the service serves the computed answer anyway and the next
+        request recomputes into a healthier disk.  Torn-*write* injection
+        still surfaces as :class:`~repro.parallel.faults.InjectedFault`.
+        """
         try:
             self.cache.put(key, payload, meta)
+        except StoreIntegrityError:
+            self.cache_write_failures += 1
+            self.store_failures += 1
         except (faults.InjectedFault, OSError):
             self.store_failures += 1
 
@@ -464,6 +482,7 @@ class AuditEngine:
             "requests": self.requests,
             "compute_failures": self.compute_failures,
             "store_failures": self.store_failures,
+            "cache_write_failures": self.cache_write_failures,
             "deadline_exceeded": self.deadline_exceeded,
             "not_modified": self.not_modified,
             "cache": self.cache.stats(),

@@ -1,0 +1,194 @@
+"""Checkpoint/resume bit-identity for the dynamics engine (DESIGN.md §13).
+
+The contract under test: a run killed at an arbitrary checkpoint boundary
+and resumed from its snapshot produces a :class:`DynamicsResult` equal to
+the uninterrupted run — same moves, traces, counters, terminal graph —
+for every ``engine_mode`` and cost-model family.  The kill is simulated
+deterministically: a :class:`CheckpointStore` subclass raises right
+*after* the Nth snapshot publishes, exactly the state a SIGKILL between
+two moves leaves on disk.
+"""
+
+import pytest
+
+from repro.core import SwapDynamics
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    StoreIntegrityError,
+)
+from repro.graphs import random_connected_gnm, random_tree
+from repro.io.checkpoint import CheckpointStore
+
+
+class _SimulatedKill(BaseException):
+    """Out-of-band 'the process died here' — not an Exception subclass,
+    so no library recovery path may swallow it."""
+
+
+class _KillAfter(CheckpointStore):
+    """A store whose owner dies immediately after the Nth publish."""
+
+    def __init__(self, path, kills_after: int):
+        super().__init__(path)
+        self.saves = 0
+        self.kills_after = kills_after
+
+    def save(self, payload, config, meta=None):
+        out = super().save(payload, config, meta)
+        self.saves += 1
+        if self.saves >= self.kills_after:
+            raise _SimulatedKill()
+        return out
+
+
+OBJECTIVES = ["sum", "max", "interest-sum:k=3,seed=0", "budget-sum:cap=3"]
+ENGINE_MODES = ["incremental", "batched", "oracle"]
+
+
+def _dyn(objective, engine_mode) -> SwapDynamics:
+    return SwapDynamics(
+        objective=objective,
+        engine_mode=engine_mode,
+        record=True,
+        max_steps=400,
+        seed=7,
+    )
+
+
+@pytest.mark.parametrize("engine_mode", ENGINE_MODES)
+@pytest.mark.parametrize("objective", OBJECTIVES)
+class TestResumeBitIdentity:
+    def test_kill_mid_run_then_resume_matches_clean(
+        self, tmp_path, objective, engine_mode
+    ):
+        initial = random_connected_gnm(9, 12, seed=3)
+        clean = _dyn(objective, engine_mode).run(initial)
+        assert clean.steps >= 2, "grid must exercise a multi-move run"
+
+        path = tmp_path / "slot.ckpt"
+        killer = _KillAfter(path, kills_after=2)
+        with pytest.raises(_SimulatedKill):
+            _dyn(objective, engine_mode).run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        assert path.exists(), "the snapshot must survive its owner"
+
+        resumed = _dyn(objective, engine_mode).run(
+            initial, checkpoint=path, checkpoint_every=1
+        )
+        assert resumed == clean
+        assert resumed.moves == clean.moves
+        assert resumed.social_cost_trace == clean.social_cost_trace
+        assert resumed.diameter_trace == clean.diameter_trace
+        assert resumed.activations == clean.activations
+        assert not path.exists(), "a finished run clears its slot"
+
+    def test_kill_at_first_snapshot_then_resume(
+        self, tmp_path, objective, engine_mode
+    ):
+        initial = random_tree(10, seed=5)
+        clean = _dyn(objective, engine_mode).run(initial)
+        killer = _KillAfter(tmp_path / "slot.ckpt", kills_after=1)
+        with pytest.raises(_SimulatedKill):
+            _dyn(objective, engine_mode).run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        resumed = _dyn(objective, engine_mode).run(
+            initial, checkpoint=tmp_path / "slot.ckpt", checkpoint_every=1
+        )
+        assert resumed == clean
+
+
+class TestEngineModeSplice:
+    def test_incremental_and_batched_share_checkpoints(self, tmp_path):
+        # The two engine-backed modes are bit-identical by contract, so a
+        # snapshot from one resumes under the other.
+        initial = random_connected_gnm(9, 12, seed=3)
+        clean = _dyn("sum", "incremental").run(initial)
+        killer = _KillAfter(tmp_path / "slot.ckpt", kills_after=2)
+        with pytest.raises(_SimulatedKill):
+            _dyn("sum", "incremental").run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        resumed = _dyn("sum", "batched").run(
+            initial, checkpoint=tmp_path / "slot.ckpt", checkpoint_every=1
+        )
+        assert resumed == clean
+
+    def test_oracle_checkpoints_refuse_engine_resume(self, tmp_path):
+        # Oracle activation accounting differs; splicing would lie.
+        initial = random_connected_gnm(9, 12, seed=3)
+        killer = _KillAfter(tmp_path / "slot.ckpt", kills_after=1)
+        with pytest.raises(_SimulatedKill):
+            _dyn("sum", "oracle").run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        with pytest.raises(StoreIntegrityError):
+            _dyn("sum", "incremental").run(
+                initial, checkpoint=tmp_path / "slot.ckpt", checkpoint_every=1
+            )
+
+
+class TestDeadlinePreemption:
+    def test_expired_deadline_checkpoints_and_yields(self, tmp_path):
+        initial = random_connected_gnm(9, 12, seed=3)
+        clean = _dyn("sum", "incremental").run(initial)
+        path = tmp_path / "slot.ckpt"
+        with pytest.raises(DeadlineExceeded):
+            # Monotonic instant 0.0 is always in the past: the run must
+            # snapshot at the first move boundary and yield, not die dry.
+            _dyn("sum", "incremental").run(
+                initial, checkpoint=path, deadline=0.0
+            )
+        assert path.exists()
+        resumed = _dyn("sum", "incremental").run(initial, checkpoint=path)
+        assert resumed == clean
+
+    def test_expired_deadline_without_store_still_typed(self):
+        initial = random_connected_gnm(9, 12, seed=3)
+        with pytest.raises(DeadlineExceeded):
+            _dyn("sum", "incremental").run(initial, deadline=0.0)
+
+
+class TestCheckpointConfiguration:
+    def test_cadence_without_store_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics().run(random_tree(6, seed=0), checkpoint_every=5)
+
+    def test_nonpositive_cadence_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SwapDynamics().run(
+                random_tree(6, seed=0),
+                checkpoint=tmp_path / "s.ckpt",
+                checkpoint_every=0,
+            )
+
+    def test_different_objective_refuses_foreign_snapshot(self, tmp_path):
+        initial = random_tree(10, seed=5)
+        killer = _KillAfter(tmp_path / "slot.ckpt", kills_after=1)
+        with pytest.raises(_SimulatedKill):
+            _dyn("sum", "incremental").run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        with pytest.raises(StoreIntegrityError):
+            _dyn("max", "incremental").run(
+                initial, checkpoint=tmp_path / "slot.ckpt", checkpoint_every=1
+            )
+
+    def test_corrupt_snapshot_restarts_clean(self, tmp_path):
+        initial = random_tree(10, seed=5)
+        clean = _dyn("sum", "incremental").run(initial)
+        killer = _KillAfter(tmp_path / "slot.ckpt", kills_after=1)
+        with pytest.raises(_SimulatedKill):
+            _dyn("sum", "incremental").run(
+                initial, checkpoint=killer, checkpoint_every=1
+            )
+        path = tmp_path / "slot.ckpt"
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        resumed = _dyn("sum", "incremental").run(
+            initial, checkpoint=path, checkpoint_every=1
+        )
+        assert resumed == clean  # quarantined + restarted from scratch
+        assert list(tmp_path.glob("*.quarantined.*"))

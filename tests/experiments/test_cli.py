@@ -163,3 +163,110 @@ class TestDeprecatedShims:
         captured = capsys.readouterr()
         assert "deprecated" in captured.err
         assert "--retry-failed" in captured.out
+
+
+class TestStatusJson:
+    def _quarantine_slot_1(self, out, checkpoint=None):
+        lines = out.read_text().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        failure = FleetFailure(
+            coords={"n": record["n"], "family": record["family"],
+                    "seed": record["seed"], "objective": "sum"},
+            error="DeadlineExceeded('budget spent')",
+            attempts=1,
+            checkpoint=checkpoint,
+        )
+        lines[1] = json.dumps(failure.encode()) + "\n"
+        out.write_text("".join(lines))
+        return failure
+
+    def test_complete_stream_emits_machine_readable_report(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {
+            "experiment": "census",
+            "stream": str(out),
+            "total": 2,
+            "completed": 2,
+            "results": 2,
+            "quarantined": 0,
+            "torn_tail": False,
+            "complete": True,
+            "failures": [],
+        }
+
+    def test_quarantined_slot_reports_live_checkpoint_progress(
+        self, tmp_path, capsys
+    ):
+        from repro.io.checkpoint import CheckpointStore
+
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        ckpt_path = tmp_path / "slot-00001.ckpt"
+        CheckpointStore(ckpt_path).save(
+            {"state": "opaque"}, {"v": 1},
+            meta={"steps": 9, "activations": 4},
+        )
+        # The recorded block is stale (steps=2); status must re-peek the
+        # live file and report steps=9.
+        self._quarantine_slot_1(
+            out, checkpoint={"path": str(ckpt_path), "steps": 2}
+        )
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["quarantined"] == 1
+        assert report["complete"] is False
+        (slot,) = report["failures"]
+        assert slot["attempts"] == 1
+        assert "DeadlineExceeded" in slot["error"]
+        assert slot["checkpoint"] == {
+            "path": str(ckpt_path), "steps": 9, "activations": 4,
+        }
+
+    def test_vanished_checkpoint_falls_back_to_recorded_block(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        gone = tmp_path / "gone.ckpt"
+        self._quarantine_slot_1(
+            out, checkpoint={"path": str(gone), "steps": 2}
+        )
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out), "--json"]) == 0
+        (slot,) = json.loads(capsys.readouterr().out)["failures"]
+        assert slot["checkpoint"] == {"path": str(gone), "steps": 2}
+
+    def test_human_status_prints_checkpoint_line(self, tmp_path, capsys):
+        from repro.io.checkpoint import CheckpointStore
+
+        out = tmp_path / "census.jsonl"
+        run_tiny(out)
+        ckpt_path = tmp_path / "slot-00001.ckpt"
+        CheckpointStore(ckpt_path).save(
+            {"state": "opaque"}, {"v": 1}, meta={"steps": 9},
+        )
+        self._quarantine_slot_1(out, checkpoint={"path": str(ckpt_path)})
+        capsys.readouterr()
+        assert main(["experiment", "status", "census",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "checkpointed: steps=9" in text
+        assert str(ckpt_path) in text
+
+    def test_missing_stream_error_is_json_too(self, tmp_path, capsys):
+        assert main(["experiment", "status", "census",
+                     "--out", str(tmp_path / "none.jsonl"),
+                     "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["experiment"] == "census"
+        assert "not started" in report["error"]

@@ -1,0 +1,20 @@
+"""R10 corpus: raw durability primitives outside repro.io."""
+
+import os
+from os import replace as os_replace
+
+
+def publish(tmp, final):
+    os.replace(tmp, final)
+
+
+def publish_aliased(tmp, final):
+    os_replace(tmp, final)
+
+
+def sync(fh):
+    os.fsync(fh.fileno())
+
+
+def shuffle_aside(path, dest):
+    os.rename(path, dest)

@@ -1,0 +1,15 @@
+"""R10 corpus twin: publication routed through the sanctioned helpers."""
+
+import os
+
+from repro.io.fsutil import fsync_dir, publish_replace
+
+
+def publish(tmp, final):
+    publish_replace(tmp, final)
+    fsync_dir(final.parent)
+
+
+def unrelated_os_use(path):
+    # Plain os calls that do not publish state are fine.
+    return os.getpid(), os.path.basename(path)

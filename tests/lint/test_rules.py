@@ -27,7 +27,9 @@ def rules_in(path: Path, select: "str | None" = None) -> set:
 
 
 class TestRuleCorpus:
-    @pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4", "R6", "R7", "R8"])
+    @pytest.mark.parametrize(
+        "rule", ["R1", "R2", "R3", "R4", "R6", "R7", "R8", "R10"]
+    )
     def test_fires_on_bad_and_not_on_good(self, rule):
         bad = FIXTURES / f"{rule.lower()}_bad.py"
         good = FIXTURES / f"{rule.lower()}_good.py"
@@ -53,6 +55,7 @@ class TestRuleCorpus:
         codes = {code for code, _ in rule_catalogue()}
         assert {
             "R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9",
+            "R10",
         } <= codes
 
 
@@ -77,6 +80,36 @@ class TestR2Details:
         assert lint_source(src, path="src/repro/rng.py", config=config) == []
         hits = lint_source(src, path="src/repro/other.py", config=config)
         assert {f.rule for f in hits} == {"R2"}
+
+
+class TestR10Details:
+    SRC = "import os\n\ndef publish(tmp, final):\n    os.replace(tmp, final)\n"
+
+    def test_repro_io_modules_are_exempt(self):
+        config = LintConfig(library_part="repro")
+        clean = lint_source(
+            self.SRC, path="src/repro/io/checkpoint.py", config=config
+        )
+        assert clean == []
+        hits = lint_source(
+            self.SRC, path="src/repro/core/census.py", config=config
+        )
+        assert {f.rule for f in hits} == {"R10"}
+
+    def test_non_library_code_is_exempt(self):
+        config = LintConfig(library_part="repro")
+        assert lint_source(
+            self.SRC, path="scripts/helper.py", config=config
+        ) == []
+
+    def test_from_import_alias_is_caught(self):
+        src = (
+            "from os import fsync\n\n"
+            "def sync(fh):\n    fsync(fh.fileno())\n"
+        )
+        config = LintConfig(library_part="repro")
+        hits = lint_source(src, path="src/repro/core/x.py", config=config)
+        assert {f.rule for f in hits} == {"R10"}
 
 
 class TestR3Details:

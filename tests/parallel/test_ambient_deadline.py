@@ -1,0 +1,90 @@
+"""The ambient task deadline (DESIGN.md §13): a mapped task body can read
+the request budget it runs under via ``current_task_deadline()`` without
+any plumbing through task tuples — how a fleet-level deadline reaches the
+dynamics loop to trigger checkpoint-and-yield."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.parallel import (
+    current_task_deadline,
+    parallel_map,
+    shutdown_shared_pools,
+)
+from repro.parallel.pool import _deadline_scope
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    shutdown_shared_pools()
+
+
+def report_deadline(task):
+    return (task, current_task_deadline())
+
+
+class TestScope:
+    def test_no_ambient_deadline_outside_tasks(self):
+        assert current_task_deadline() is None
+
+    def test_scope_sets_and_restores(self):
+        with _deadline_scope(123.5):
+            assert current_task_deadline() == 123.5
+        assert current_task_deadline() is None
+
+    def test_scopes_nest(self):
+        with _deadline_scope(100.0):
+            with _deadline_scope(50.0):
+                assert current_task_deadline() == 50.0
+            assert current_task_deadline() == 100.0
+        assert current_task_deadline() is None
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with _deadline_scope(100.0):
+                raise RuntimeError("task died")
+        assert current_task_deadline() is None
+
+    def test_none_scope_is_transparent(self):
+        with _deadline_scope(None):
+            assert current_task_deadline() is None
+
+
+class TestMappedTasks:
+    def test_serial_tasks_see_the_map_deadline(self):
+        deadline = time.monotonic() + 60.0
+        results = parallel_map(
+            report_deadline, [0, 1, 2], workers=1, deadline=deadline
+        )
+        assert results == [(0, deadline), (1, deadline), (2, deadline)]
+
+    def test_serial_tasks_without_deadline_see_none(self):
+        results = parallel_map(report_deadline, [0, 1], workers=1)
+        assert results == [(0, None), (1, None)]
+
+    def test_worker_tasks_see_the_map_deadline(self):
+        # Monotonic instants are system-wide on the platforms the pool
+        # supports, so forked workers can compare the owner's deadline.
+        deadline = time.monotonic() + 60.0
+        results = parallel_map(
+            report_deadline, list(range(6)), workers=2, deadline=deadline
+        )
+        assert results == [(t, deadline) for t in range(6)]
+
+    def test_ambient_deadline_does_not_leak_past_the_map(self):
+        parallel_map(
+            report_deadline, [0], workers=1,
+            deadline=time.monotonic() + 60.0,
+        )
+        assert current_task_deadline() is None
+
+    def test_spent_deadline_still_raises_typed(self):
+        with pytest.raises(DeadlineExceeded):
+            parallel_map(
+                report_deadline, [0, 1], workers=1,
+                deadline=time.monotonic() - 1.0,
+            )
+        assert current_task_deadline() is None
